@@ -1,0 +1,117 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-full] [-n N] [-queries Q] [-seed S] [-only LIST]
+//
+// By default the quick configuration runs (50K tuples, 800 queries); -full
+// switches to the paper's scale (500K tuples, 10K queries). -only selects a
+// comma-separated subset of {4a,4b,4c,5,6,7,8a,8b,8c,8d,9a,9b,9c,9d,t7,nb}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's scale (500K tuples, 10K queries)")
+	n := flag.Int("n", 0, "override table size")
+	queries := flag.Int("queries", 0, "override query workload size")
+	seed := flag.Int64("seed", 0, "override RNG seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Paper()
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type figExp struct {
+		id  string
+		run func(experiments.Config) (metrics.Figure, error)
+	}
+	figs := []figExp{
+		{"4a", experiments.Fig4a},
+		{"4b", experiments.Fig4b},
+		{"4c", experiments.Fig4c},
+		{"8a", experiments.Fig8a},
+		{"8b", experiments.Fig8b},
+		{"8c", experiments.Fig8c},
+		{"8d", experiments.Fig8d},
+		{"9a", experiments.Fig9a},
+		{"9b", experiments.Fig9b},
+		{"9c", experiments.Fig9c},
+		{"9d", experiments.Fig9d},
+		{"nb", experiments.FigNB},
+	}
+	type genExp struct {
+		id  string
+		run func(experiments.Config) (experiments.GenResult, error)
+	}
+	gens := []genExp{
+		{"5", experiments.Fig5},
+		{"6", experiments.Fig6},
+		{"7", experiments.Fig7},
+	}
+
+	fmt.Printf("config: N=%d queries=%d seed=%d\n\n", cfg.N, cfg.Queries, cfg.Seed)
+	start := time.Now()
+	for _, g := range gens {
+		if !selected(g.id) {
+			continue
+		}
+		res, err := g.run(cfg)
+		if err != nil {
+			fail(g.id, err)
+		}
+		fmt.Println(res.AIL.Render())
+		fmt.Println(res.Time.Render())
+	}
+	for _, f := range figs {
+		if !selected(f.id) {
+			continue
+		}
+		fig, err := f.run(cfg)
+		if err != nil {
+			fail(f.id, err)
+		}
+		fmt.Println(fig.Render())
+	}
+	if selected("t7") {
+		rows, err := experiments.Table7(cfg)
+		if err != nil {
+			fail("t7", err)
+		}
+		fmt.Println(experiments.RenderTable7(rows))
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(id string, err error) {
+	fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command perturb randomizes the SA column of a CENSUS-schema CSV with the
+// paper's (ρ1i, ρ2i)-privacy mechanism (§5) and writes the perturbed table;
+// the perturbation matrix PM needed for reconstruction goes to stderr (or a
+// file via -pm).
+//
+// Usage:
+//
+//	perturb -beta B [-seed S] [-i FILE] [-o FILE] [-pm FILE]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/census"
+	"repro/internal/microdata"
+	"repro/internal/perturb"
+)
+
+func main() {
+	beta := flag.Float64("beta", 4, "β-likeness threshold")
+	seed := flag.Int64("seed", 1, "randomization seed")
+	in := flag.String("i", "", "input CSV (default stdin)")
+	out := flag.String("o", "", "output CSV (default stdout)")
+	pmOut := flag.String("pm", "", "write the perturbation matrix PM as CSV to this file")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	table, err := microdata.ReadCSV(bufio.NewReader(r), census.Schema())
+	if err != nil {
+		die(err)
+	}
+
+	scheme, err := perturb.NewScheme(table, *beta)
+	if err != nil {
+		die(err)
+	}
+	pert := scheme.Perturb(table, rand.New(rand.NewSource(*seed)))
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := pert.WriteCSV(bw); err != nil {
+		die(err)
+	}
+	if err := bw.Flush(); err != nil {
+		die(err)
+	}
+
+	if *pmOut != "" {
+		f, err := os.Create(*pmOut)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		pw := bufio.NewWriter(f)
+		m := scheme.PM
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				if j > 0 {
+					fmt.Fprint(pw, ",")
+				}
+				fmt.Fprintf(pw, "%.12g", m.At(i, j))
+			}
+			fmt.Fprintln(pw)
+		}
+		if err := pw.Flush(); err != nil {
+			die(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "perturb: %d tuples randomized; %d active SA values; C^L_M=%.6g\n",
+		pert.Len(), len(scheme.Active), scheme.CLM)
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "perturb: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,198 @@
+// Command reconstruct consumes a perturbed release (cmd/perturb output plus
+// the PM matrix) and estimates the true SA counts of a selection — the data
+// recipient's side of §5. Without predicates it reconstructs the whole
+// table's SA distribution.
+//
+// Usage:
+//
+//	reconstruct -pm pm.csv [-i noisy.csv] [-where Attr=lo..hi]...
+//
+// Predicates select ranges over numeric attributes ("Age=30..40") or
+// single leaves of categorical ones ("Gender=male").
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/census"
+	"repro/internal/matrix"
+	"repro/internal/microdata"
+)
+
+// whereFlag collects repeated -where predicates.
+type whereFlag []string
+
+func (w *whereFlag) String() string { return strings.Join(*w, ",") }
+func (w *whereFlag) Set(v string) error {
+	*w = append(*w, v)
+	return nil
+}
+
+func main() {
+	pmPath := flag.String("pm", "", "perturbation matrix CSV written by cmd/perturb (required)")
+	in := flag.String("i", "", "perturbed CSV (default stdin)")
+	var wheres whereFlag
+	flag.Var(&wheres, "where", "predicate Attr=lo..hi or Attr=value (repeatable)")
+	flag.Parse()
+
+	if *pmPath == "" {
+		die(fmt.Errorf("-pm is required"))
+	}
+	pm, err := readMatrix(*pmPath)
+	if err != nil {
+		die(err)
+	}
+	inv, err := matrix.Inverse(pm)
+	if err != nil {
+		die(fmt.Errorf("inverting PM: %w", err))
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	schema := census.Schema()
+	table, err := microdata.ReadCSV(bufio.NewReader(r), schema)
+	if err != nil {
+		die(err)
+	}
+	match, err := compilePredicates(schema, wheres)
+	if err != nil {
+		die(err)
+	}
+
+	observed := make([]float64, len(schema.SA.Values))
+	selected := 0
+	for _, tp := range table.Tuples {
+		if match(tp) {
+			observed[tp.SA]++
+			selected++
+		}
+	}
+	if pm.Rows != len(observed) {
+		die(fmt.Errorf("PM is %d×%d but SA domain has %d values", pm.Rows, pm.Cols, len(observed)))
+	}
+	recon, err := inv.MulVec(observed)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Printf("selected %d of %d tuples\n", selected, table.Len())
+	fmt.Printf("%-10s %10s %12s\n", "value", "observed", "estimated")
+	for i, v := range schema.SA.Values {
+		fmt.Printf("%-10s %10.0f %12.1f\n", v, observed[i], recon[i])
+	}
+}
+
+// compilePredicates builds a tuple filter from -where arguments.
+func compilePredicate(schema *microdata.Schema, raw string) (func(microdata.Tuple) bool, error) {
+	parts := strings.SplitN(raw, "=", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad predicate %q (want Attr=lo..hi)", raw)
+	}
+	name, spec := parts[0], parts[1]
+	for j, a := range schema.QI {
+		if a.Name != name {
+			continue
+		}
+		j := j
+		if a.Kind == microdata.Categorical {
+			rank, ok := a.Hierarchy.Rank(spec)
+			if !ok {
+				return nil, fmt.Errorf("%s=%q: unknown value", name, spec)
+			}
+			want := float64(rank)
+			return func(tp microdata.Tuple) bool { return tp.QI[j] == want }, nil
+		}
+		bounds := strings.SplitN(spec, "..", 2)
+		if len(bounds) != 2 {
+			return nil, fmt.Errorf("%s=%q: want lo..hi", name, spec)
+		}
+		lo, err := strconv.ParseFloat(bounds[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad lower bound %q", name, bounds[0])
+		}
+		hi, err := strconv.ParseFloat(bounds[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad upper bound %q", name, bounds[1])
+		}
+		return func(tp microdata.Tuple) bool { return tp.QI[j] >= lo && tp.QI[j] <= hi }, nil
+	}
+	return nil, fmt.Errorf("unknown attribute %q", name)
+}
+
+func compilePredicates(schema *microdata.Schema, wheres []string) (func(microdata.Tuple) bool, error) {
+	var preds []func(microdata.Tuple) bool
+	for _, w := range wheres {
+		p, err := compilePredicate(schema, w)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	return func(tp microdata.Tuple) bool {
+		for _, p := range preds {
+			if !p(tp) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// readMatrix parses the square CSV matrix written by cmd/perturb.
+func readMatrix(path string) (*matrix.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows [][]float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make([]float64, len(fields))
+		for i, fv := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fv), 64)
+			if err != nil {
+				return nil, fmt.Errorf("pm row %d col %d: %w", len(rows)+1, i+1, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 || len(rows) != len(rows[0]) {
+		return nil, fmt.Errorf("pm matrix must be square and non-empty, got %d rows", len(rows))
+	}
+	m := matrix.New(len(rows), len(rows))
+	for i, row := range rows {
+		for j, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+	return m, nil
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+	os.Exit(1)
+}

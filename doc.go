@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Publishing Microdata
+// with a Robust Privacy Guarantee" (Cao & Karras, PVLDB 5(11), 2012): the
+// β-likeness privacy model, the BUREL generalization algorithm, the
+// (ρ1i, ρ2i)-privacy perturbation scheme, and every comparator and
+// experiment of the paper's evaluation.
+//
+// The library lives under internal/; see README.md for the map, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
+// record. The benchmarks in bench_test.go regenerate each table and figure.
+package repro

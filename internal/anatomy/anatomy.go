@@ -1,0 +1,173 @@
+// Package anatomy implements the Baseline comparator of §6.3: in the
+// fashion of Anatomy (Xiao & Tao, VLDB 2006) it publishes the exact QI
+// value of every tuple together with only the overall SA distribution of
+// the original table — the SA column itself is withheld. A recipient
+// answers an aggregation query by counting the tuples that satisfy the QI
+// predicates and scaling by the overall probability mass of the SA range.
+package anatomy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/microdata"
+)
+
+// Publication is the Baseline release: QI columns intact, SA replaced by
+// the table-wide distribution.
+type Publication struct {
+	// Table holds the published tuples. SA indices are scrambled (drawn
+	// from P) so that no per-tuple SA information remains; consumers
+	// must use P, not the column.
+	Table *microdata.Table
+	// P is the overall SA distribution of the original table.
+	P dist.Distribution
+}
+
+// Publish builds the Baseline release. rng scrambles the SA column (the
+// column is never meaningful; scrambling guards against accidental use).
+func Publish(t *microdata.Table, rng *rand.Rand) *Publication {
+	pub := &Publication{Table: microdata.NewTable(t.Schema), P: t.SADistribution()}
+	cdf := make([]float64, len(pub.P))
+	sum := 0.0
+	for i, p := range pub.P {
+		sum += p
+		cdf[i] = sum
+	}
+	draw := func() int {
+		u := rng.Float64() * sum
+		for i, c := range cdf {
+			if u <= c {
+				return i
+			}
+		}
+		return len(cdf) - 1
+	}
+	pub.Table.Tuples = make([]microdata.Tuple, len(t.Tuples))
+	for i, tp := range t.Tuples {
+		pub.Table.Tuples[i] = microdata.Tuple{QI: tp.QI, SA: draw()}
+	}
+	return pub
+}
+
+// EstimateCount answers a COUNT(*) query: numQIMatches tuples satisfy the
+// QI predicates; the SA predicate selects value indices [saLo, saHi]. The
+// estimate is |S_t| · Σ_{i∈R_SA} p_i.
+func (pub *Publication) EstimateCount(numQIMatches int, saLo, saHi int) (float64, error) {
+	if saLo < 0 || saHi >= len(pub.P) || saLo > saHi {
+		return 0, fmt.Errorf("anatomy: bad SA range [%d,%d] over domain %d", saLo, saHi, len(pub.P))
+	}
+	mass := 0.0
+	for i := saLo; i <= saHi; i++ {
+		mass += pub.P[i]
+	}
+	return float64(numQIMatches) * mass, nil
+}
+
+// LDiversePublication is the full Anatomy release of Xiao & Tao: tuples are
+// grouped into ℓ-diverse groups; the quasi-identifier table keeps every
+// tuple's exact QI values tagged with its group id, and the sensitive table
+// reveals each group's SA multiset (but not the within-group assignment).
+// This is the publication format the deFinetti attack of §7 targets.
+type LDiversePublication struct {
+	Table  *microdata.Table
+	Groups []microdata.EC
+	// SACounts[g] is group g's published SA multiset.
+	SACounts [][]int
+	L        int
+}
+
+// PublishLDiverse runs Anatomy's group-formation algorithm: repeatedly draw
+// one tuple from each of the ℓ currently largest SA-value buckets to form a
+// group with ℓ distinct values; leftover tuples join existing groups that
+// do not yet contain their value. Returns an error when the distribution
+// cannot support ℓ-diversity (max_i N_i > N/ℓ).
+func PublishLDiverse(t *microdata.Table, l int, rng *rand.Rand) (*LDiversePublication, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("anatomy: ℓ must be ≥ 2, got %d", l)
+	}
+	counts := t.SACounts()
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC*l > t.Len() {
+		return nil, fmt.Errorf("anatomy: ℓ=%d infeasible: most frequent value has %d of %d tuples", l, maxC, t.Len())
+	}
+	// Buckets of row indices per SA value, shuffled for unbiased draws.
+	buckets := make([][]int, len(counts))
+	for r, tp := range t.Tuples {
+		buckets[tp.SA] = append(buckets[tp.SA], r)
+	}
+	for v := range buckets {
+		rng.Shuffle(len(buckets[v]), func(a, b int) {
+			buckets[v][a], buckets[v][b] = buckets[v][b], buckets[v][a]
+		})
+	}
+	pub := &LDiversePublication{Table: t, L: l}
+	type pair struct{ v, n int }
+	for {
+		var order []pair
+		for v, b := range buckets {
+			if len(b) > 0 {
+				order = append(order, pair{v, len(b)})
+			}
+		}
+		if len(order) < l {
+			break
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if order[a].n != order[b].n {
+				return order[a].n > order[b].n
+			}
+			return order[a].v < order[b].v
+		})
+		g := microdata.EC{}
+		sa := make([]int, len(counts))
+		for i := 0; i < l; i++ {
+			v := order[i].v
+			b := buckets[v]
+			g.Rows = append(g.Rows, b[len(b)-1])
+			buckets[v] = b[:len(b)-1]
+			sa[v]++
+		}
+		pub.Groups = append(pub.Groups, g)
+		pub.SACounts = append(pub.SACounts, sa)
+	}
+	// Residue: attach each leftover tuple to some group lacking its value;
+	// a per-value cursor amortizes the scan across leftovers.
+	for v, b := range buckets {
+		cursor := 0
+		for _, r := range b {
+			placed := false
+			for ; cursor < len(pub.Groups); cursor++ {
+				if pub.SACounts[cursor][v] == 0 {
+					pub.Groups[cursor].Rows = append(pub.Groups[cursor].Rows, r)
+					pub.SACounts[cursor][v]++
+					cursor++
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				// Degenerate fallback: join the smallest group.
+				small := 0
+				for gi := range pub.Groups {
+					if len(pub.Groups[gi].Rows) < len(pub.Groups[small].Rows) {
+						small = gi
+					}
+				}
+				pub.Groups[small].Rows = append(pub.Groups[small].Rows, r)
+				pub.SACounts[small][v]++
+			}
+		}
+	}
+	if len(pub.Groups) == 0 {
+		return nil, fmt.Errorf("anatomy: table too small for ℓ=%d", l)
+	}
+	return pub, nil
+}

@@ -1,0 +1,77 @@
+package anatomy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/census"
+)
+
+func TestPublishShape(t *testing.T) {
+	tab := census.Generate(census.Options{N: 5000, Seed: 42}).Project(3)
+	pub := Publish(tab, rand.New(rand.NewSource(1)))
+	if pub.Table.Len() != tab.Len() {
+		t.Fatalf("published %d of %d tuples", pub.Table.Len(), tab.Len())
+	}
+	// QI intact.
+	for i := range tab.Tuples {
+		for j := range tab.Tuples[i].QI {
+			if pub.Table.Tuples[i].QI[j] != tab.Tuples[i].QI[j] {
+				t.Fatal("QI modified")
+			}
+		}
+	}
+	// P matches the original distribution.
+	p := tab.SADistribution()
+	for i := range p {
+		if math.Abs(pub.P[i]-p[i]) > 1e-12 {
+			t.Fatal("P mismatch")
+		}
+	}
+}
+
+// TestSAScrambled: the published SA column must not retain per-tuple
+// information — its mutual agreement with the original should be at chance
+// level (Σ p_i² for independent draws from P).
+func TestSAScrambled(t *testing.T) {
+	tab := census.Generate(census.Options{N: 50000, Seed: 42}).Project(3)
+	pub := Publish(tab, rand.New(rand.NewSource(2)))
+	agree := 0
+	for i := range tab.Tuples {
+		if pub.Table.Tuples[i].SA == tab.Tuples[i].SA {
+			agree++
+		}
+	}
+	chance := 0.0
+	for _, p := range pub.P {
+		chance += p * p
+	}
+	got := float64(agree) / float64(tab.Len())
+	if got > chance*3+0.01 {
+		t.Errorf("agreement %v far above chance %v: SA leaks", got, chance)
+	}
+}
+
+func TestEstimateCount(t *testing.T) {
+	tab := census.Generate(census.Options{N: 10000, Seed: 42}).Project(3)
+	pub := Publish(tab, rand.New(rand.NewSource(3)))
+	// Whole SA domain: estimate = |S_t| exactly.
+	est, err := pub.EstimateCount(1234, 0, len(pub.P)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-1234) > 1e-9 {
+		t.Fatalf("full-domain estimate = %v", est)
+	}
+	// Range validation.
+	if _, err := pub.EstimateCount(10, -1, 3); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := pub.EstimateCount(10, 3, 2); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := pub.EstimateCount(10, 0, len(pub.P)); err == nil {
+		t.Error("hi beyond domain accepted")
+	}
+}

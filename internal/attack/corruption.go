@@ -1,0 +1,57 @@
+package attack
+
+import (
+	"math/rand"
+
+	"repro/internal/microdata"
+)
+
+// CorruptionPosterior quantifies the §7 corruption attack of Tao et al.
+// against a generalization-based release: an adversary who already knows
+// the true SA values of a fraction of individuals (e.g., acquaintances)
+// subtracts them from their equivalence classes' published multisets and
+// gains sharper posteriors on the remaining members. The function corrupts
+// a random knownFraction of tuples and returns the average and maximum
+// posterior the adversary then holds in the true SA value of an uncorrupted
+// tuple.
+//
+// The perturbation scheme randomizes each tuple independently, so corrupted
+// tuples reveal nothing about others: its posterior is unchanged by
+// corruption (immunity, §6.3/§7) — compare against perturb.Scheme.Posterior.
+func CorruptionPosterior(p *microdata.Partition, knownFraction float64, rng *rand.Rand) (avg, max float64) {
+	t := p.Table
+	n := 0
+	sum := 0.0
+	for i := range p.ECs {
+		g := &p.ECs[i]
+		counts := g.SACounts(t)
+		size := g.Len()
+		// Corrupt a random subset of the EC.
+		for _, r := range g.Rows {
+			if rng.Float64() < knownFraction {
+				counts[t.Tuples[r].SA]--
+				size--
+			}
+		}
+		if size <= 0 {
+			continue
+		}
+		// Posterior for each remaining member's true value.
+		for _, r := range g.Rows {
+			v := t.Tuples[r].SA
+			if counts[v] <= 0 {
+				continue // this tuple was corrupted (or bookkeeping emptied v)
+			}
+			post := float64(counts[v]) / float64(size)
+			sum += post
+			n++
+			if post > max {
+				max = post
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), max
+}

@@ -1,0 +1,136 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/burel"
+	"repro/internal/census"
+	"repro/internal/likeness"
+	"repro/internal/microdata"
+	"repro/internal/mondrian"
+)
+
+func sample(t *testing.T, n int) *microdata.Table {
+	t.Helper()
+	return census.Generate(census.Options{N: n, Seed: 42}).Project(3)
+}
+
+// TestNBOnBetaLikenessNearPrior reproduces the §7 result: against BUREL
+// output, the Naïve Bayes attack's accuracy stays close to the frequency of
+// the modal SA value (≈ 4.84%) because β-likeness explicitly bounds the
+// conditional-vs-unconditional variation the classifier exploits.
+func TestNBOnBetaLikenessNearPrior(t *testing.T) {
+	tab := sample(t, 50000)
+	modalFreq := 0.0
+	for _, p := range tab.SADistribution() {
+		if p > modalFreq {
+			modalFreq = p
+		}
+	}
+	for _, beta := range []float64{1, 3} {
+		res, err := burel.Anonymize(tab, burel.Options{Beta: beta, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb := BuildNaiveBayes(res.Partition)
+		acc := nb.Accuracy(tab)
+		// The paper's figure shows accuracy within roughly 2× of the
+		// modal frequency for β ≤ 5.
+		if acc > 2.5*modalFreq {
+			t.Errorf("β=%v: NB accuracy %v ≫ modal frequency %v", beta, acc, modalFreq)
+		}
+		if acc <= 0 {
+			t.Errorf("β=%v: accuracy %v; classifier degenerate", beta, acc)
+		}
+	}
+}
+
+// TestNBStrongerOnWeakModel: the attack should do better against a model
+// that does not bound per-value gain (plain k-anonymity) than against
+// β-likeness at a tight budget, on correlated data.
+func TestNBStrongerOnWeakModel(t *testing.T) {
+	tab := sample(t, 50000)
+	weak := mondrian.Anonymize(tab, mondrian.KAnonymity{K: 10})
+	accWeak := BuildNaiveBayes(weak).Accuracy(tab)
+
+	res, err := burel.Anonymize(tab, burel.Options{Beta: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBeta := BuildNaiveBayes(res.Partition).Accuracy(tab)
+	if accBeta >= accWeak {
+		t.Errorf("NB on β-likeness (%v) not below k-anonymity (%v)", accBeta, accWeak)
+	}
+}
+
+// TestNBAccuracyGrowsWithBeta: relaxing β leaks more correlation, so the
+// attack cannot get systematically weaker as β grows (§7 figure trend,
+// modulo noise — we compare the extremes).
+func TestNBAccuracyTrend(t *testing.T) {
+	tab := sample(t, 50000)
+	acc := func(beta float64) float64 {
+		res, err := burel.Anonymize(tab, burel.Options{Beta: beta, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BuildNaiveBayes(res.Partition).Accuracy(tab)
+	}
+	lo, hi := acc(1), acc(5)
+	if hi < lo*0.5 {
+		t.Errorf("accuracy at β=5 (%v) far below β=1 (%v); trend inverted", hi, lo)
+	}
+}
+
+// TestPredictConsistency: prediction is deterministic and cached paths
+// agree with uncached ones.
+func TestPredictConsistency(t *testing.T) {
+	tab := sample(t, 5000)
+	res, err := burel.Anonymize(tab, burel.Options{Beta: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := BuildNaiveBayes(res.Partition)
+	for i := 0; i < 50; i++ {
+		tp := tab.Tuples[i]
+		a := nb.Predict(tp)
+		b := nb.Predict(tp) // cached
+		if a != b {
+			t.Fatalf("prediction unstable for tuple %d", i)
+		}
+		if a < 0 || a >= len(tab.Schema.SA.Values) {
+			t.Fatalf("prediction %d outside domain", a)
+		}
+	}
+}
+
+// TestMaxPosteriorSkewness demonstrates the §2 skewness attack surface: on
+// a k-anonymous release the maximum in-EC posterior for some value greatly
+// exceeds what β-likeness at β=1 allows.
+func TestMaxPosteriorSkewness(t *testing.T) {
+	tab := sample(t, 20000)
+	p := tab.SADistribution()
+	model, _ := likeness.NewModel(1, tab)
+
+	kanon := mondrian.Anonymize(tab, mondrian.KAnonymity{K: 5})
+	mp := MaxPosterior(kanon)
+	violations := 0
+	for v := range mp {
+		if mp[v] > model.MaxFreq(p[v])+1e-9 {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Error("k-anonymity unexpectedly satisfied 1-likeness for every value")
+	}
+
+	res, err := burel.Anonymize(tab, burel.Options{Beta: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpB := MaxPosterior(res.Partition)
+	for v := range mpB {
+		if mpB[v] > model.MaxFreq(p[v])+1e-9 {
+			t.Fatalf("BUREL value %d posterior %v exceeds f(p)=%v", v, mpB[v], model.MaxFreq(p[v]))
+		}
+	}
+}

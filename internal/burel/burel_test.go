@@ -1,0 +1,393 @@
+package burel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/census"
+	"repro/internal/likeness"
+	"repro/internal/microdata"
+)
+
+// modelFor builds an enhanced β-likeness threshold function over explicit
+// frequencies.
+func modelFor(beta float64) func(float64) float64 {
+	m := &likeness.Model{Beta: beta, Variant: likeness.Enhanced}
+	return m.MaxFreq
+}
+
+// TestDPPartitionExample2 reproduces the paper's Example 2: 19 tuples with
+// frequencies (2,3,3,3,4,4)/19 and β = 2 bucketize into three buckets
+// {headache, epilepsy}, {brain tumors, anemia}, {angina, heart murmur}.
+func TestDPPartitionExample2(t *testing.T) {
+	p := []float64{2.0 / 19, 3.0 / 19, 3.0 / 19, 3.0 / 19, 4.0 / 19, 4.0 / 19}
+	sp, err := DPPartition(p, modelFor(2))
+	if err != nil {
+		t.Fatalf("DPPartition: %v", err)
+	}
+	if got := sp.NumBuckets(); got != 3 {
+		t.Fatalf("buckets = %d, want 3 (Example 2)", got)
+	}
+	wantSegs := [][]int{{0, 1}, {2, 3}, {4, 5}}
+	for s, want := range wantSegs {
+		got := sp.Segment(s)
+		if len(got) != len(want) {
+			t.Fatalf("segment %d = %v, want %v", s, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("segment %d = %v, want %v", s, got, want)
+			}
+		}
+	}
+	if err := sp.Validate(modelFor(2)); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestBiSplitExample2 reproduces the ECTree of Fig. 3: root [5,6,8] splits
+// into [2,3,4]+[3,3,4]; [2,3,4] splits into [1,1,2]+[1,2,2]; [3,3,4] cannot
+// split (child [2,2,2] would violate eligibility).
+func TestBiSplitExample2(t *testing.T) {
+	p := []float64{2.0 / 19, 3.0 / 19, 3.0 / 19, 3.0 / 19, 4.0 / 19, 4.0 / 19}
+	f := modelFor(2)
+	minFreq := []float64{p[0], p[2], p[4]}
+	leaves := BiSplit([]int{5, 6, 8}, minFreq, f)
+	want := [][]int{{1, 1, 2}, {1, 2, 2}, {3, 3, 4}}
+	if len(leaves) != len(want) {
+		t.Fatalf("leaves = %v, want %v", leaves, want)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if leaves[i][j] != want[i][j] {
+				t.Fatalf("leaves = %v, want %v", leaves, want)
+			}
+		}
+	}
+}
+
+// TestDPPartitionSingletonAlwaysValid: any frequency vector admits the
+// trivial one-value-per-bucket partition, so DPPartition never fails on
+// valid input and every returned segment satisfies Lemma 2.
+func TestDPPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(30)
+		counts := make([]float64, m)
+		total := 0.0
+		for i := range counts {
+			counts[i] = float64(1 + r.Intn(50))
+			total += counts[i]
+		}
+		for i := range counts {
+			counts[i] /= total
+		}
+		beta := 0.2 + r.Float64()*5
+		fm := modelFor(beta)
+		sp, err := DPPartition(counts, fm)
+		if err != nil {
+			return false
+		}
+		if sp.Validate(fm) != nil {
+			return false
+		}
+		// Coverage: every value appears exactly once.
+		seen := make([]bool, m)
+		for s := 0; s < sp.NumBuckets(); s++ {
+			for _, v := range sp.Segment(s) {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDPPartitionMinimality checks DP optimality against brute force on
+// small domains: no contiguous partition of the sorted frequencies uses
+// fewer buckets.
+func TestDPPartitionMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(8)
+		counts := make([]float64, m)
+		total := 0.0
+		for i := range counts {
+			counts[i] = float64(1 + rng.Intn(20))
+			total += counts[i]
+		}
+		for i := range counts {
+			counts[i] /= total
+		}
+		beta := 0.2 + rng.Float64()*4
+		f := modelFor(beta)
+		sp, err := DPPartition(counts, f)
+		if err != nil {
+			t.Fatalf("DPPartition: %v", err)
+		}
+		if got, want := sp.NumBuckets(), bruteMinBuckets(sp.Freqs, f); got != want {
+			t.Fatalf("buckets = %d, brute force = %d (freqs %v, β=%v)", got, want, sp.Freqs, beta)
+		}
+	}
+}
+
+// bruteMinBuckets enumerates all contiguous partitions of the ascending
+// frequency vector and returns the minimum count of Lemma-2-valid buckets.
+func bruteMinBuckets(freqs []float64, f func(float64) float64) int {
+	m := len(freqs)
+	const inf = int(^uint(0) >> 1)
+	best := make([]int, m+1)
+	for e := 1; e <= m; e++ {
+		best[e] = inf
+		sum := 0.0
+		for b := e; b >= 1; b-- {
+			sum += freqs[b-1]
+			if sum <= f(freqs[b-1])+1e-12 && best[b-1] != inf && best[b-1]+1 < best[e] {
+				best[e] = best[b-1] + 1
+			}
+		}
+	}
+	return best[m]
+}
+
+func TestDPPartitionErrors(t *testing.T) {
+	if _, err := DPPartition([]float64{0, 0}, modelFor(1)); err == nil {
+		t.Error("all-zero frequencies accepted")
+	}
+	if _, err := DPPartition([]float64{-0.1, 1.1}, modelFor(1)); err == nil {
+		t.Error("negative frequency accepted")
+	}
+	// Zero-frequency values are skipped, not bucketized.
+	sp, err := DPPartition([]float64{0, 0.5, 0.5}, modelFor(1))
+	if err != nil {
+		t.Fatalf("DPPartition: %v", err)
+	}
+	for s := 0; s < sp.NumBuckets(); s++ {
+		for _, v := range sp.Segment(s) {
+			if v == 0 {
+				t.Error("zero-frequency value placed in a bucket")
+			}
+		}
+	}
+}
+
+// TestBiSplitConservation: leaf size vectors sum to the bucket sizes, and
+// every leaf satisfies the eligibility condition whenever the root does.
+func TestBiSplitProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nb := 1 + r.Intn(6)
+		sizes := make([]int, nb)
+		minFreq := make([]float64, nb)
+		n := 0
+		for j := range sizes {
+			sizes[j] = r.Intn(200)
+			n += sizes[j]
+		}
+		if n == 0 {
+			return true
+		}
+		for j := range minFreq {
+			// Min frequency consistent with bucket mass.
+			minFreq[j] = (0.1 + 0.9*r.Float64()) * float64(sizes[j]) / float64(n)
+		}
+		beta := 0.5 + 4*r.Float64()
+		fm := modelFor(beta)
+		// Only meaningful when the root is eligible.
+		root := make(ECSizes, nb)
+		copy(root, sizes)
+		if !root.eligible(minFreq, fm) {
+			return true
+		}
+		leaves := BiSplit(sizes, minFreq, fm)
+		got := make([]int, nb)
+		for _, leaf := range leaves {
+			if !leaf.eligible(minFreq, fm) {
+				return false
+			}
+			for j, x := range leaf {
+				got[j] += x
+			}
+		}
+		for j := range sizes {
+			if got[j] != sizes[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAnonymizeCensus runs BUREL end-to-end on a synthetic CENSUS sample
+// and verifies every paper-mandated invariant: valid partition, every EC
+// satisfies enhanced β-likeness, and the achieved β is within the budget.
+func TestAnonymizeCensus(t *testing.T) {
+	tab := census.Generate(census.Options{N: 20000, Seed: 42}).Project(3)
+	for _, beta := range []float64{1, 2, 4} {
+		res, err := Anonymize(tab, Options{Beta: beta, Seed: 1})
+		if err != nil {
+			t.Fatalf("β=%v: %v", beta, err)
+		}
+		p := res.Partition
+		if err := p.Validate(); err != nil {
+			t.Fatalf("β=%v: invalid partition: %v", beta, err)
+		}
+		if ok, bad := res.Model.CheckPartition(p); !ok {
+			q := p.ECs[bad].SADistribution(tab)
+			t.Fatalf("β=%v: EC %d violates β-likeness (q=%v)", beta, bad, q)
+		}
+		if got := likeness.AchievedEnhancedBeta(p); got > beta+1e-9 {
+			t.Errorf("β=%v: achieved enhanced β = %v exceeds budget", beta, got)
+		}
+		if len(p.ECs) < 2 {
+			t.Errorf("β=%v: only %d EC(s); expected a real partition", beta, len(p.ECs))
+		}
+		ail := p.AIL()
+		if ail <= 0 || ail >= 1 {
+			t.Errorf("β=%v: AIL = %v outside (0,1)", beta, ail)
+		}
+	}
+}
+
+// TestAILDecreasesWithBeta: relaxing β must not worsen information quality
+// (Fig. 5a trend).
+func TestAILDecreasesWithBeta(t *testing.T) {
+	tab := census.Generate(census.Options{N: 20000, Seed: 7}).Project(3)
+	prev := math.Inf(1)
+	for _, beta := range []float64{1, 2, 3, 4, 5} {
+		res, err := Anonymize(tab, Options{Beta: beta, Seed: 1})
+		if err != nil {
+			t.Fatalf("β=%v: %v", beta, err)
+		}
+		ail := res.Partition.AIL()
+		if ail > prev*1.10 { // allow 10% noise from EC seeding
+			t.Errorf("AIL rose substantially from %v to %v at β=%v", prev, ail, beta)
+		}
+		prev = ail
+	}
+}
+
+// TestAnonymizeDeterminism: identical seeds give identical partitions.
+func TestAnonymizeDeterminism(t *testing.T) {
+	tab := census.Generate(census.Options{N: 5000, Seed: 3}).Project(3)
+	a, err := Anonymize(tab, Options{Beta: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anonymize(tab, Options{Beta: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Partition.ECs) != len(b.Partition.ECs) {
+		t.Fatalf("EC counts differ: %d vs %d", len(a.Partition.ECs), len(b.Partition.ECs))
+	}
+	for i := range a.Partition.ECs {
+		ra, rb := a.Partition.ECs[i].Rows, b.Partition.ECs[i].Rows
+		if len(ra) != len(rb) {
+			t.Fatalf("EC %d sizes differ", i)
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("EC %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestAnonymizeSmallTable: the paper's Example 1/Table 1 scenario — six
+// patients, six distinct diseases — must at least satisfy the requested β.
+func TestAnonymizeSmallTable(t *testing.T) {
+	s := &microdata.Schema{
+		QI: []microdata.Attribute{
+			microdata.NumericAttr("Weight", 50, 80),
+			microdata.NumericAttr("Age", 40, 70),
+		},
+		SA: microdata.SensitiveAttr{Name: "Disease", Values: []string{
+			"headache", "epilepsy", "brain tumors", "heart murmur", "anemia", "angina",
+		}},
+	}
+	tb := microdata.NewTable(s)
+	pts := [][3]float64{{70, 40, 0}, {60, 60, 1}, {50, 50, 2}, {70, 50, 3}, {80, 50, 4}, {60, 70, 5}}
+	for _, p := range pts {
+		tb.MustAppend(microdata.Tuple{QI: []float64{p[0], p[1]}, SA: int(p[2])})
+	}
+	res, err := Anonymize(tb, Options{Beta: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, bad := res.Model.CheckPartition(res.Partition); !ok {
+		t.Fatalf("EC %d violates likeness", bad)
+	}
+	// With 6 equally rare values and β=2, buckets of up to 3 values are
+	// combinable (3/6 ≤ f(1/6) = 0.5); two ECs should emerge.
+	if len(res.Partition.ECs) < 2 {
+		t.Errorf("expected ≥2 ECs, got %d", len(res.Partition.ECs))
+	}
+}
+
+func TestAnonymizeErrors(t *testing.T) {
+	tab := census.Generate(census.Options{N: 100, Seed: 1}).Project(2)
+	if _, err := Anonymize(tab, Options{Beta: 0}); err == nil {
+		t.Error("β=0 accepted")
+	}
+	empty := microdata.NewTable(tab.Schema)
+	if _, err := Anonymize(empty, Options{Beta: 1}); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+// TestBasicVariant: the basic model admits looser partitions (never fewer
+// ECs than enhanced at the same β) and still bounds positive gain by β for
+// infrequent values.
+func TestBasicVariant(t *testing.T) {
+	tab := census.Generate(census.Options{N: 10000, Seed: 11}).Project(3)
+	res, err := Anonymize(tab, Options{Beta: 2, Variant: likeness.Basic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, bad := res.Model.CheckPartition(res.Partition); !ok {
+		t.Fatalf("EC %d violates basic likeness", bad)
+	}
+	if got := likeness.AchievedBeta(res.Partition); got > 2+1e-9 {
+		t.Errorf("achieved β = %v > 2 under basic model", got)
+	}
+}
+
+// TestRetrieverConsumesAll: every bucket row lands in exactly one EC.
+func TestRetrieverConsumesAll(t *testing.T) {
+	tab := census.Generate(census.Options{N: 3000, Seed: 13}).Project(2)
+	res, err := Anonymize(tab, Options{Beta: 3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range res.Partition.ECs {
+		total += res.Partition.ECs[i].Len()
+	}
+	if total != tab.Len() {
+		t.Fatalf("ECs cover %d of %d rows", total, tab.Len())
+	}
+}

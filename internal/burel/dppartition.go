@@ -1,0 +1,141 @@
+// Package burel implements BUREL, the paper's generalization-based
+// anonymization algorithm for β-likeness (§4): a BUcketization phase that
+// partitions SA values into buckets by dynamic programming (Function
+// DPpartition, Eq. 6), a REallocation phase that sizes equivalence classes
+// with a binary EC tree (biSplit, §4.4), and a retrieval phase that fills
+// the classes with Hilbert-curve-adjacent tuples (§4.5).
+package burel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SegmentPartition is the output of DPpartition: a partition of the SA
+// values (ordered by ascending overall frequency) into contiguous segments,
+// each of which becomes one bucket of tuples.
+type SegmentPartition struct {
+	// Order lists SA value indices sorted by ascending frequency;
+	// only values with positive frequency appear.
+	Order []int
+	// Freqs are the frequencies of Order's values, ascending.
+	Freqs []float64
+	// Bounds are segment boundaries: segment s covers Order[Bounds[s]:Bounds[s+1]].
+	Bounds []int
+}
+
+// NumBuckets returns the number of segments.
+func (sp *SegmentPartition) NumBuckets() int { return len(sp.Bounds) - 1 }
+
+// Segment returns the SA value indices of bucket s.
+func (sp *SegmentPartition) Segment(s int) []int {
+	return sp.Order[sp.Bounds[s]:sp.Bounds[s+1]]
+}
+
+// MinFreq returns p_ℓ for bucket s: the smallest overall frequency among
+// its SA values. Because values are sorted ascending, it is the first one.
+func (sp *SegmentPartition) MinFreq(s int) float64 {
+	return sp.Freqs[sp.Bounds[s]]
+}
+
+// SumFreq returns Σ_{v_i ∈ V_s} p_i for bucket s.
+func (sp *SegmentPartition) SumFreq(s int) float64 {
+	sum := 0.0
+	for _, f := range sp.Freqs[sp.Bounds[s]:sp.Bounds[s+1]] {
+		sum += f
+	}
+	return sum
+}
+
+// DPPartition partitions the SA values with positive frequency into the
+// minimum number of buckets such that each bucket satisfies the condition
+// of Lemma 2: Σ_{v_i∈V_j} p_i ≤ f(p_ℓj), where p_ℓj is the bucket's
+// minimum frequency and f is the model's EC-frequency threshold (Eq. 1).
+// ECs drawn proportionally from such buckets satisfy β-likeness.
+//
+// Values are first sorted by ascending frequency (the paper's convention);
+// only contiguous runs of that order may share a bucket. The DP recursion
+// (Eq. 6) is N[e] = min over combinable (b,e) of N[b−1] + 1 and runs in
+// O(m²) with O(1) combinability checks via a running sum.
+func DPPartition(p []float64, f func(float64) float64) (*SegmentPartition, error) {
+	sp := &SegmentPartition{}
+	for i, pi := range p {
+		if pi < 0 {
+			return nil, fmt.Errorf("burel: negative frequency p[%d]=%v", i, pi)
+		}
+		if pi > 0 {
+			sp.Order = append(sp.Order, i)
+		}
+	}
+	if len(sp.Order) == 0 {
+		return nil, fmt.Errorf("burel: no SA value has positive frequency")
+	}
+	sort.Slice(sp.Order, func(a, b int) bool {
+		if p[sp.Order[a]] != p[sp.Order[b]] {
+			return p[sp.Order[a]] < p[sp.Order[b]]
+		}
+		return sp.Order[a] < sp.Order[b] // stable tie-break
+	})
+	m := len(sp.Order)
+	sp.Freqs = make([]float64, m)
+	for i, v := range sp.Order {
+		sp.Freqs[i] = p[v]
+	}
+
+	// N[e] = min buckets for the first e values; S[e] = start (1-based) of
+	// the last bucket in an optimal partition of the first e values.
+	const inf = int(^uint(0) >> 1)
+	N := make([]int, m+1)
+	S := make([]int, m+1)
+	N[0] = 0
+	for e := 1; e <= m; e++ {
+		// A single value is always a valid bucket: p ≤ f(p) since
+		// f(p) = p(1+min{β,−ln p}) ≥ p.
+		N[e] = N[e-1] + 1
+		S[e] = e
+		sum := sp.Freqs[e-1]
+		for b := e - 1; b >= 1; b-- {
+			sum += sp.Freqs[b-1]
+			// combinable(b, e): values v_b..v_e fit one bucket.
+			if sum > f(sp.Freqs[b-1])+combineEps {
+				// Frequencies ascend, so widening the window
+				// only grows the sum and shrinks f(p_ℓ):
+				// no earlier b can be combinable either.
+				break
+			}
+			if N[b-1] != inf && N[b-1]+1 < N[e] {
+				N[e] = N[b-1] + 1
+				S[e] = b
+			}
+		}
+	}
+
+	// Walk back from m to materialize segment bounds.
+	var rev []int
+	for e := m; e > 0; e = S[e] - 1 {
+		rev = append(rev, S[e]-1)
+	}
+	sp.Bounds = make([]int, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		sp.Bounds = append(sp.Bounds, rev[i])
+	}
+	sp.Bounds = append(sp.Bounds, m)
+	return sp, nil
+}
+
+// combineEps absorbs floating-point noise in the Lemma 2 inequality; the
+// frequencies involved are ratios of small integers.
+const combineEps = 1e-12
+
+// Validate checks that every segment satisfies Lemma 2 for the given f.
+func (sp *SegmentPartition) Validate(f func(float64) float64) error {
+	for s := 0; s < sp.NumBuckets(); s++ {
+		if sp.Bounds[s] >= sp.Bounds[s+1] {
+			return fmt.Errorf("burel: empty segment %d", s)
+		}
+		if sum, lim := sp.SumFreq(s), f(sp.MinFreq(s)); sum > lim+combineEps {
+			return fmt.Errorf("burel: segment %d violates Lemma 2: Σp=%v > f(p_ℓ)=%v", s, sum, lim)
+		}
+	}
+	return nil
+}

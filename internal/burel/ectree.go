@@ -1,0 +1,79 @@
+package burel
+
+// ECSizes is one node of the ECTree: the number of tuples a (potential) EC
+// draws from each bucket. Leaves of the final tree prescribe the ECs that
+// the retrieval phase materializes.
+type ECSizes []int
+
+// Total returns |G| = Σ_j x_j.
+func (a ECSizes) Total() int {
+	n := 0
+	for _, x := range a {
+		n += x
+	}
+	return n
+}
+
+// eligible implements the eligibility condition of Theorem 1: an EC drawing
+// x_j tuples from bucket B_j follows β-likeness if x_j/|G| ≤ f(p_ℓj) for
+// every bucket. minFreq[j] is p_ℓj.
+func (a ECSizes) eligible(minFreq []float64, f func(float64) float64) bool {
+	total := a.Total()
+	if total == 0 {
+		return false
+	}
+	inv := 1 / float64(total)
+	for j, x := range a {
+		if x == 0 {
+			continue
+		}
+		if float64(x)*inv > f(minFreq[j])+combineEps {
+			return false
+		}
+	}
+	return true
+}
+
+// BiSplit builds the ECTree top-down (§4.4) and returns its leaves. The
+// root holds all of each bucket (x_j = |B_j|). A node is split into halves
+// with |B¹_j| = ⌊|B_j|/2⌋ and |B²_j| = |B_j| − |B¹_j| (reproducing the
+// paper's Example 2: [5,6,8] → [2,3,4] + [3,3,4]); the split is kept only
+// when both children are non-empty and satisfy the eligibility condition.
+// When no further split is allowed the node becomes a leaf.
+//
+// The root is guaranteed eligible when the bucket partition satisfies
+// Lemma 2, since then x_j/|DB| = Σ_{v∈V_j} p_v ≤ f(p_ℓj).
+func BiSplit(bucketSizes []int, minFreq []float64, f func(float64) float64) []ECSizes {
+	return BiSplitFunc(bucketSizes, func(node ECSizes) bool {
+		return node.eligible(minFreq, f)
+	})
+}
+
+// BiSplitFunc is the generic form of BiSplit with a caller-supplied
+// eligibility predicate over candidate EC size vectors; SABRE reuses it
+// with an EMD-budget predicate.
+func BiSplitFunc(bucketSizes []int, eligible func(ECSizes) bool) []ECSizes {
+	root := make(ECSizes, len(bucketSizes))
+	copy(root, bucketSizes)
+	var leaves []ECSizes
+	var split func(node ECSizes)
+	split = func(node ECSizes) {
+		left := make(ECSizes, len(node))
+		right := make(ECSizes, len(node))
+		for j, x := range node {
+			left[j] = x / 2
+			right[j] = x - left[j]
+		}
+		if left.Total() > 0 && right.Total() > 0 &&
+			eligible(left) && eligible(right) {
+			split(left)
+			split(right)
+			return
+		}
+		leaves = append(leaves, node)
+	}
+	if root.Total() > 0 {
+		split(root)
+	}
+	return leaves
+}

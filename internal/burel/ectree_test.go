@@ -1,0 +1,104 @@
+package burel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestECSizesTotal(t *testing.T) {
+	if got := (ECSizes{1, 2, 3}).Total(); got != 6 {
+		t.Fatalf("Total = %d", got)
+	}
+	if got := (ECSizes{}).Total(); got != 0 {
+		t.Fatalf("empty Total = %d", got)
+	}
+}
+
+// TestBiSplitFuncNeverLosesTuples: for an arbitrary eligibility predicate,
+// the leaves conserve per-bucket sums — even adversarial predicates cannot
+// lose or duplicate tuples.
+func TestBiSplitFuncConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	f := func(seed int64, mode uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		nb := 1 + r.Intn(5)
+		sizes := make([]int, nb)
+		for j := range sizes {
+			sizes[j] = r.Intn(300)
+		}
+		var eligible func(ECSizes) bool
+		switch mode % 3 {
+		case 0: // always eligible: splits to singletons
+			eligible = func(ECSizes) bool { return true }
+		case 1: // never eligible: root leaf only
+			eligible = func(ECSizes) bool { return false }
+		default: // random but deterministic per node total
+			eligible = func(n ECSizes) bool { return n.Total()%3 != 0 }
+		}
+		leaves := BiSplitFunc(sizes, eligible)
+		got := make([]int, nb)
+		for _, leaf := range leaves {
+			for j, x := range leaf {
+				got[j] += x
+			}
+		}
+		for j := range sizes {
+			if got[j] != sizes[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBiSplitAlwaysEligibleSplitsFully: with a trivially true predicate the
+// tree splits down to single-tuple leaves.
+func TestBiSplitAlwaysEligible(t *testing.T) {
+	leaves := BiSplitFunc([]int{8}, func(ECSizes) bool { return true })
+	if len(leaves) != 8 {
+		t.Fatalf("leaves = %d, want 8", len(leaves))
+	}
+	for _, l := range leaves {
+		if l.Total() != 1 {
+			t.Fatalf("leaf total %d", l.Total())
+		}
+	}
+}
+
+// TestBiSplitNeverEligible: the root is returned as the only leaf.
+func TestBiSplitNeverEligible(t *testing.T) {
+	leaves := BiSplitFunc([]int{5, 7}, func(ECSizes) bool { return false })
+	if len(leaves) != 1 || leaves[0].Total() != 12 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+}
+
+// TestBiSplitHalfDownRounding: the paper's Example 2 rounding convention —
+// the left child takes ⌊x/2⌋ per bucket.
+func TestBiSplitHalfDownRounding(t *testing.T) {
+	var first ECSizes
+	calls := 0
+	BiSplitFunc([]int{5, 6, 8}, func(n ECSizes) bool {
+		calls++
+		if calls == 1 { // first candidate seen is the left child of root
+			first = append(ECSizes(nil), n...)
+		}
+		return false
+	})
+	want := ECSizes{2, 3, 4}
+	for j := range want {
+		if first[j] != want[j] {
+			t.Fatalf("left child = %v, want %v", first, want)
+		}
+	}
+}
+
+func TestBiSplitZeroRoot(t *testing.T) {
+	if leaves := BiSplitFunc([]int{0, 0}, func(ECSizes) bool { return true }); len(leaves) != 0 {
+		t.Fatalf("zero root produced %d leaves", len(leaves))
+	}
+}

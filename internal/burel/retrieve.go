@@ -1,0 +1,133 @@
+package burel
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// tupleBucket holds one bucket's tuples sorted by Hilbert index, with an
+// intrusive doubly-linked "alive" list so that consuming a tuple and finding
+// the nearest unconsumed neighbour of a curve position stay near O(1)
+// amortized (path-compressed jump pointers skip consumed runs).
+type tupleBucket struct {
+	rows []int    // table row indices, ascending by key
+	keys []uint64 // Hilbert indices, ascending
+
+	next, prev []int // alive-list links; len(rows) = past-the-end, -1 = before-the-start
+	jump       []int // path-compressed pointer to the nearest alive position ≥ i (or len(rows))
+	head, tail int   // first and last alive positions; head = len(rows), tail = -1 when empty
+	remaining  int
+}
+
+func newTupleBucket(rows []int, keys []uint64) *tupleBucket {
+	n := len(rows)
+	b := &tupleBucket{rows: rows, keys: keys, remaining: n, head: 0, tail: n - 1}
+	b.next = make([]int, n)
+	b.prev = make([]int, n)
+	b.jump = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		b.next[i] = i + 1
+		b.prev[i] = i - 1
+		b.jump[i] = i
+	}
+	b.jump[n] = n
+	if n == 0 {
+		b.head, b.tail = 0, -1
+	}
+	return b
+}
+
+// aliveAtOrAfter returns the smallest alive position ≥ i, or len(rows).
+func (b *tupleBucket) aliveAtOrAfter(i int) int {
+	root := i
+	for b.jump[root] != root {
+		root = b.jump[root]
+	}
+	for b.jump[i] != root {
+		b.jump[i], i = root, b.jump[i]
+	}
+	return root
+}
+
+// consume removes position i from the alive list.
+func (b *tupleBucket) consume(i int) {
+	nx, pv := b.next[i], b.prev[i]
+	if pv >= 0 {
+		b.next[pv] = nx
+	}
+	if nx < len(b.rows) {
+		b.prev[nx] = pv
+	}
+	if i == b.head {
+		b.head = nx
+	}
+	if i == b.tail {
+		b.tail = pv
+	}
+	b.jump[i] = nx
+	b.remaining--
+}
+
+// takeNearest removes and returns the table rows of the count alive tuples
+// whose Hilbert keys are nearest to seedKey: binary search locates the
+// insertion point, then a two-pointer expansion picks the closer side at
+// each step (the paper's "binary search, then expand" heuristic of §4.5).
+func (b *tupleBucket) takeNearest(seedKey uint64, count int) []int {
+	if count > b.remaining {
+		count = b.remaining
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]int, 0, count)
+	pos := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= seedKey })
+	right := b.aliveAtOrAfter(pos)
+	var left int
+	if right < len(b.rows) {
+		left = b.prev[right]
+	} else {
+		left = b.tail
+	}
+	for len(out) < count {
+		takeLeft := false
+		switch {
+		case left < 0 && right >= len(b.rows):
+			return out // exhausted; unreachable since count ≤ remaining
+		case left < 0:
+			takeLeft = false
+		case right >= len(b.rows):
+			takeLeft = true
+		default:
+			takeLeft = seedKey-b.keys[left] <= b.keys[right]-seedKey
+		}
+		if takeLeft {
+			out = append(out, b.rows[left])
+			nl := b.prev[left]
+			b.consume(left)
+			left = nl
+		} else {
+			out = append(out, b.rows[right])
+			nr := b.next[right]
+			b.consume(right)
+			right = nr
+		}
+	}
+	return out
+}
+
+// headKey returns the Hilbert key of the first (lowest-key) alive tuple.
+func (b *tupleBucket) headKey() uint64 {
+	return b.keys[b.head]
+}
+
+// pickSeedKey returns the Hilbert key of a randomly chosen alive tuple: a
+// uniform position in the original order, snapped to the nearest alive
+// entry. Near-uniform over the remaining tuples and O(α) thanks to the
+// path-compressed jump pointers.
+func (b *tupleBucket) pickSeedKey(rng *rand.Rand) uint64 {
+	i := b.aliveAtOrAfter(rng.Intn(len(b.rows)))
+	if i >= len(b.rows) {
+		i = b.tail
+	}
+	return b.keys[i]
+}

@@ -1,0 +1,166 @@
+package burel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func bucketOf(keys ...uint64) *tupleBucket {
+	rows := make([]int, len(keys))
+	for i := range rows {
+		rows[i] = i
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	for i := range sorted {
+		if sorted[i] != keys[i] {
+			panic("bucketOf requires sorted keys")
+		}
+	}
+	return newTupleBucket(rows, keys)
+}
+
+func TestTakeNearestBasic(t *testing.T) {
+	b := bucketOf(10, 20, 30, 40, 50)
+	got := b.takeNearest(31, 2)
+	// Nearest to 31 are 30 (row 2) then 40 (d=9) vs 20 (d=11) → 40 (row 3).
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("takeNearest = %v, want [2 3]", got)
+	}
+	if b.remaining != 3 {
+		t.Fatalf("remaining = %d", b.remaining)
+	}
+	// Consumed entries are skipped on the next call.
+	got = b.takeNearest(31, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("second takeNearest = %v, want [1 4]", got)
+	}
+}
+
+func TestTakeNearestEdges(t *testing.T) {
+	b := bucketOf(10, 20, 30)
+	// Seed below all keys.
+	if got := b.takeNearest(0, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("low seed = %v", got)
+	}
+	// Seed above all keys.
+	if got := b.takeNearest(100, 1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("high seed = %v", got)
+	}
+	// Overshoot clamps to remaining.
+	if got := b.takeNearest(15, 5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("overshoot = %v", got)
+	}
+	if got := b.takeNearest(15, 1); got != nil {
+		t.Fatalf("empty bucket returned %v", got)
+	}
+}
+
+func TestTakeNearestExactTies(t *testing.T) {
+	b := bucketOf(10, 20, 20, 30)
+	got := b.takeNearest(20, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// The two exact matches (rows 1, 2) must be among the three.
+	has := map[int]bool{}
+	for _, r := range got {
+		has[r] = true
+	}
+	if !has[1] || !has[2] {
+		t.Fatalf("exact-key rows missing from %v", got)
+	}
+}
+
+// TestTakeNearestIsActuallyNearest cross-checks against a brute-force
+// selection on random inputs: the set of chosen keys must be a nearest set
+// (same multiset of distances as brute force).
+func TestTakeNearestIsActuallyNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(1000))
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		b := newTupleBucket(append([]int(nil), rows...), append([]uint64(nil), keys...))
+		seed := uint64(rng.Intn(1100))
+		k := 1 + rng.Intn(n)
+		got := b.takeNearest(seed, k)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d of %d", trial, len(got), k)
+		}
+		// Brute force distances.
+		dists := make([]uint64, n)
+		for i, key := range keys {
+			if key > seed {
+				dists[i] = key - seed
+			} else {
+				dists[i] = seed - key
+			}
+		}
+		sorted := append([]uint64(nil), dists...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		var gotDists []uint64
+		for _, r := range got {
+			gotDists = append(gotDists, dists[r])
+		}
+		sort.Slice(gotDists, func(a, b int) bool { return gotDists[a] < gotDists[b] })
+		for i := 0; i < k; i++ {
+			if gotDists[i] != sorted[i] {
+				t.Fatalf("trial %d: distance multiset mismatch: got %v want prefix of %v", trial, gotDists, sorted[:k])
+			}
+		}
+	}
+}
+
+// TestInterleavedConsumption exercises the alive-list across interleaved
+// takes from different seed positions.
+func TestInterleavedConsumption(t *testing.T) {
+	keys := make([]uint64, 100)
+	rows := make([]int, 100)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+		rows[i] = i
+	}
+	b := newTupleBucket(rows, keys)
+	seen := make(map[int]bool)
+	rng := rand.New(rand.NewSource(41))
+	taken := 0
+	for b.remaining > 0 {
+		k := 1 + rng.Intn(7)
+		got := b.takeNearest(uint64(rng.Intn(300)), k)
+		for _, r := range got {
+			if seen[r] {
+				t.Fatalf("row %d taken twice", r)
+			}
+			seen[r] = true
+		}
+		taken += len(got)
+	}
+	if taken != 100 {
+		t.Fatalf("consumed %d of 100", taken)
+	}
+}
+
+func TestPickSeedKey(t *testing.T) {
+	b := bucketOf(5, 10, 15, 20)
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 50; i++ {
+		k := b.pickSeedKey(rng)
+		if k != 5 && k != 10 && k != 15 && k != 20 {
+			t.Fatalf("seed key %d not in bucket", k)
+		}
+	}
+	// After consuming all but one, the seed must be the survivor.
+	b.takeNearest(0, 3)
+	if got := b.pickSeedKey(rng); got != 20 {
+		t.Fatalf("seed of singleton = %d, want 20", got)
+	}
+}

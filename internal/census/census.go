@@ -1,0 +1,367 @@
+// Package census generates a synthetic stand-in for the CENSUS dataset the
+// paper evaluates on (Table 3: 500,000 tuples; Age 79 values, Gender 2
+// [hierarchy height 1], Education Level 17, Marital Status 6 [height 2],
+// Work Class 10 [height 3], Salary Class 50 as the SA). The real dataset
+// (IPUMS) is not redistributable, so this generator reproduces the
+// properties the experiments actually exercise:
+//
+//   - the schema and attribute cardinalities of Table 3,
+//   - the SA frequency profile quoted in §6 (least frequent value
+//     ≈ 0.2018%, most frequent ≈ 4.8402%), realized as a geometric ramp
+//     over the 50 salary classes calibrated to those extremes, and
+//   - mild rank correlation between salary class and (education, age), so
+//     that the Naïve-Bayes attack and the query workloads see realistic
+//     structure. The SA marginal is matched exactly by construction: class
+//     counts are fixed first, then assigned to tuples by noisy score rank.
+package census
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hierarchy"
+	"repro/internal/microdata"
+)
+
+// Options configures the generator.
+type Options struct {
+	// N is the number of tuples (default 500,000).
+	N int
+	// Seed makes generation deterministic.
+	Seed int64
+	// CorrelationNoise in (0,1] is the fraction of tuples whose salary
+	// class is assigned independently of the QI values (the rest are
+	// rank-assigned from an education/age score). Zero or negative
+	// selects the default of 0.5. The mixture gives the conditional
+	// distribution P(class | QI region) full support everywhere — every
+	// class occurs in every region, reweighted — as real census data
+	// does: coarse regions still deviate from the global distribution
+	// (which drives the Baseline's error in Fig. 9), while rare classes
+	// remain locally available (which keeps proportional ECs compact).
+	CorrelationNoise float64
+}
+
+// MinSalaryFreq and MaxSalaryFreq are the target SA frequency extremes
+// from §6 of the paper.
+const (
+	MinSalaryFreq = 0.002018
+	MaxSalaryFreq = 0.048402
+	SalaryClasses = 50
+)
+
+// Schema returns the CENSUS schema of Table 3.
+func Schema() *microdata.Schema {
+	gender := hierarchy.Flat("person", "male", "female")
+
+	marital := hierarchy.MustNew(hierarchy.N("any-status",
+		hierarchy.N("ever-married",
+			hierarchy.N("married"),
+			hierarchy.N("separated"),
+			hierarchy.N("divorced"),
+			hierarchy.N("widowed"),
+		),
+		hierarchy.N("never-married",
+			hierarchy.N("single"),
+			hierarchy.N("partnered"),
+		),
+	))
+
+	work := hierarchy.MustNew(hierarchy.N("any-class",
+		hierarchy.N("employed",
+			hierarchy.N("private",
+				hierarchy.N("private-for-profit"),
+				hierarchy.N("private-nonprofit"),
+			),
+			hierarchy.N("government",
+				hierarchy.N("federal-gov"),
+				hierarchy.N("state-gov"),
+				hierarchy.N("local-gov"),
+			),
+			hierarchy.N("self-employed",
+				hierarchy.N("self-emp-inc"),
+				hierarchy.N("self-emp-not-inc"),
+			),
+		),
+		hierarchy.N("not-employed",
+			hierarchy.N("jobless",
+				hierarchy.N("unemployed"),
+				hierarchy.N("never-worked"),
+			),
+			hierarchy.N("unpaid",
+				hierarchy.N("without-pay"),
+			),
+		),
+	))
+
+	salary := make([]string, SalaryClasses)
+	for i := range salary {
+		salary[i] = salaryClassName(i)
+	}
+
+	return &microdata.Schema{
+		QI: []microdata.Attribute{
+			microdata.NumericAttr("Age", 17, 95),          // 79 distinct integer values
+			microdata.CategoricalAttr("Gender", gender),   // height 1
+			microdata.NumericAttr("Education", 1, 17),     // 17 distinct integer values
+			microdata.CategoricalAttr("Marital", marital), // height 2
+			microdata.CategoricalAttr("WorkClass", work),  // height 3
+		},
+		SA: microdata.SensitiveAttr{Name: "Salary", Values: salary},
+	}
+}
+
+func salaryClassName(i int) string {
+	return "class-" + itoa2(i+1)
+}
+
+func itoa2(v int) string {
+	if v < 10 {
+		return string([]byte{'0', byte('0' + v)})
+	}
+	return string([]byte{byte('0' + v/10), byte('0' + v%10)})
+}
+
+// SalaryWeights returns the calibrated SA marginal: a monotone ramp
+// w_i = min + (max−min)·g_i with g a normalized geometric profile, where
+// the curvature of g is solved numerically so that the weights sum to 1
+// while w_0 and w_49 hit the §6 extremes (0.2018% and 4.8402%) exactly.
+func SalaryWeights() []float64 {
+	m := SalaryClasses
+	a := MaxSalaryFreq - MinSalaryFreq
+	target := (1 - float64(m)*MinSalaryFreq) / a // required Σ g_i
+
+	// g_i(r) = (r^i − 1)/(r^{m−1} − 1) is 0 at i=0, 1 at i=m−1, and its
+	// sum decreases continuously from m/2 (r→1) toward 1 (r→∞); bisect
+	// on r to hit the target sum.
+	sumG := func(r float64) float64 {
+		den := math.Pow(r, float64(m-1)) - 1
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += (math.Pow(r, float64(i)) - 1) / den
+		}
+		return s
+	}
+	lo, hi := 1.0000001, 4.0
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if sumG(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	r := (lo + hi) / 2
+	den := math.Pow(r, float64(m-1)) - 1
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = MinSalaryFreq + a*(math.Pow(r, float64(i))-1)/den
+	}
+	return w
+}
+
+// Generate builds the synthetic table.
+func Generate(opts Options) *microdata.Table {
+	if opts.N <= 0 {
+		opts.N = 500000
+	}
+	if opts.CorrelationNoise <= 0 {
+		opts.CorrelationNoise = 0.5
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	schema := Schema()
+	t := microdata.NewTable(schema)
+	t.Tuples = make([]microdata.Tuple, opts.N)
+
+	scores := make([]scored, opts.N)
+
+	for i := 0; i < opts.N; i++ {
+		// Age: working-age bulge via a clipped mixture of normals.
+		age := math.Round(clamp(mixAge(rng), 17, 95))
+		// Gender ≈ uniform.
+		gender := float64(rng.Intn(2))
+		// Education: correlated with age cohort; younger cohorts skew
+		// higher (triangular around a cohort-dependent mode).
+		eduMode := 9.0 + 4.0*(1-math.Abs(age-40)/40)
+		edu := math.Round(clamp(eduMode+rng.NormFloat64()*3, 1, 17))
+		// Marital status: age-dependent.
+		marital := float64(maritalFor(age, rng))
+		// Work class: loosely age- and education-dependent.
+		work := float64(workFor(age, edu, rng))
+
+		t.Tuples[i] = microdata.Tuple{QI: []float64{age, gender, edu, marital, work}}
+
+		// Salary score: education and age drive the class, with a
+		// small jitter so equal QI combinations do not tie.
+		base := 0.6*(edu-1)/16 + 0.4*(age-17)/78
+		scores[i] = scored{i, base + 0.1*rng.Float64()}
+	}
+
+	// Exact-marginal mixture assignment: the class counts are fixed from
+	// the calibrated weights, then split between a rank-correlated
+	// subset (fraction 1−CorrelationNoise, classes assigned by score
+	// order) and an independent subset (classes shuffled uniformly).
+	counts := apportion(SalaryWeights(), opts.N)
+	corrIdx := make([]scored, 0, opts.N)
+	randIdx := make([]int, 0, opts.N)
+	for _, s := range scores {
+		if rng.Float64() < opts.CorrelationNoise {
+			randIdx = append(randIdx, s.idx)
+		} else {
+			corrIdx = append(corrIdx, s)
+		}
+	}
+	// Split each class's quota proportionally between the two subsets.
+	corrCounts := make([]int, SalaryClasses)
+	randCounts := make([]int, SalaryClasses)
+	{
+		corrShare := float64(len(corrIdx)) / float64(opts.N)
+		given := 0
+		for k, n := range counts {
+			corrCounts[k] = int(float64(n)*corrShare + 0.5)
+			given += corrCounts[k]
+		}
+		// Repair rounding so Σ corrCounts = len(corrIdx).
+		for k := 0; given > len(corrIdx); k = (k + 1) % SalaryClasses {
+			if corrCounts[k] > 0 {
+				corrCounts[k]--
+				given--
+			}
+		}
+		for k := 0; given < len(corrIdx); k = (k + 1) % SalaryClasses {
+			if corrCounts[k] < counts[k] {
+				corrCounts[k]++
+				given++
+			}
+		}
+		for k := range counts {
+			randCounts[k] = counts[k] - corrCounts[k]
+		}
+	}
+	// Correlated subset: classes by score rank.
+	sort.Slice(corrIdx, func(a, b int) bool {
+		if corrIdx[a].score != corrIdx[b].score {
+			return corrIdx[a].score < corrIdx[b].score
+		}
+		return corrIdx[a].idx < corrIdx[b].idx
+	})
+	k, boundary := 0, corrCounts[0]
+	for given, s := range corrIdx {
+		for k < SalaryClasses-1 && given >= boundary {
+			k++
+			boundary += corrCounts[k]
+		}
+		t.Tuples[s.idx].SA = k
+	}
+	// Independent subset: classes in a random permutation.
+	pool := make([]int, 0, len(randIdx))
+	for k, n := range randCounts {
+		for j := 0; j < n; j++ {
+			pool = append(pool, k)
+		}
+	}
+	rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+	for i, idx := range randIdx {
+		t.Tuples[idx].SA = pool[i]
+	}
+	return t
+}
+
+// scored pairs a tuple index with its salary-assignment score.
+type scored struct {
+	idx   int
+	score float64
+}
+
+// apportion turns weights into integer counts summing exactly to n
+// (largest-remainder method).
+func apportion(w []float64, n int) []int {
+	counts := make([]int, len(w))
+	type rem struct {
+		i int
+		f float64
+	}
+	rems := make([]rem, len(w))
+	total := 0
+	for i, wi := range w {
+		exact := wi * float64(n)
+		counts[i] = int(exact)
+		rems[i] = rem{i, exact - float64(counts[i])}
+		total += counts[i]
+	}
+	// Distribute the leftover to the largest remainders.
+	for i := 0; i < len(rems); i++ {
+		for j := i + 1; j < len(rems); j++ {
+			if rems[j].f > rems[i].f {
+				rems[i], rems[j] = rems[j], rems[i]
+			}
+		}
+	}
+	for i := 0; total < n; i, total = i+1, total+1 {
+		counts[rems[i%len(rems)].i]++
+	}
+	return counts
+}
+
+func mixAge(rng *rand.Rand) float64 {
+	switch u := rng.Float64(); {
+	case u < 0.55:
+		return 38 + rng.NormFloat64()*11
+	case u < 0.85:
+		return 58 + rng.NormFloat64()*9
+	default:
+		return 24 + rng.NormFloat64()*5
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// maritalFor returns a marital-status leaf rank. Leaf pre-order:
+// 0 married, 1 separated, 2 divorced, 3 widowed, 4 single, 5 partnered.
+func maritalFor(age float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case age < 25:
+		return pick(u, []float64{0.10, 0.01, 0.01, 0.00, 0.70, 0.18})
+	case age < 45:
+		return pick(u, []float64{0.55, 0.03, 0.10, 0.01, 0.20, 0.11})
+	case age < 65:
+		return pick(u, []float64{0.62, 0.03, 0.15, 0.05, 0.10, 0.05})
+	default:
+		return pick(u, []float64{0.55, 0.02, 0.10, 0.25, 0.05, 0.03})
+	}
+}
+
+// workFor returns a work-class leaf rank. Leaf pre-order:
+// 0 private-for-profit, 1 private-nonprofit, 2 federal, 3 state, 4 local,
+// 5 self-emp-inc, 6 self-emp-not-inc, 7 unemployed, 8 never-worked,
+// 9 without-pay.
+func workFor(age, edu float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	if age >= 70 {
+		return pick(u, []float64{0.25, 0.05, 0.02, 0.03, 0.04, 0.06, 0.10, 0.30, 0.05, 0.10})
+	}
+	if edu >= 13 {
+		return pick(u, []float64{0.45, 0.12, 0.06, 0.07, 0.08, 0.07, 0.08, 0.05, 0.01, 0.01})
+	}
+	return pick(u, []float64{0.52, 0.06, 0.03, 0.04, 0.06, 0.03, 0.10, 0.12, 0.02, 0.02})
+}
+
+func pick(u float64, w []float64) int {
+	c := 0.0
+	for i, wi := range w {
+		c += wi
+		if u <= c {
+			return i
+		}
+	}
+	return len(w) - 1
+}

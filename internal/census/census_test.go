@@ -1,0 +1,180 @@
+package census
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/microdata"
+)
+
+func TestSchemaMatchesTable3(t *testing.T) {
+	s := Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.QI) != 5 {
+		t.Fatalf("QI count = %d, want 5", len(s.QI))
+	}
+	wantCard := []int{79, 2, 17, 6, 10} // Table 3 cardinalities
+	wantKind := []microdata.Kind{microdata.Numeric, microdata.Categorical,
+		microdata.Numeric, microdata.Categorical, microdata.Categorical}
+	wantHeight := []int{0, 1, 0, 2, 3} // hierarchy heights for categoricals
+	for i, a := range s.QI {
+		if got := a.Cardinality(); got != wantCard[i] {
+			t.Errorf("%s cardinality = %d, want %d", a.Name, got, wantCard[i])
+		}
+		if a.Kind != wantKind[i] {
+			t.Errorf("%s kind = %v", a.Name, a.Kind)
+		}
+		if a.Kind == microdata.Categorical {
+			if got := a.Hierarchy.Height(); got != wantHeight[i] {
+				t.Errorf("%s hierarchy height = %d, want %d", a.Name, got, wantHeight[i])
+			}
+		}
+	}
+	if len(s.SA.Values) != 50 {
+		t.Fatalf("SA domain = %d, want 50", len(s.SA.Values))
+	}
+}
+
+func TestSalaryWeightsCalibration(t *testing.T) {
+	w := SalaryWeights()
+	sum, min, max := 0.0, w[0], w[0]
+	for _, v := range w {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	// The §6 extremes: min ≈ 0.2018%, max ≈ 4.8402% (ratio ≈ 23.98 held
+	// exactly; absolute values within 15% after normalization).
+	if math.Abs(max/min-MaxSalaryFreq/MinSalaryFreq) > 1e-9 {
+		t.Errorf("ratio = %v, want %v", max/min, MaxSalaryFreq/MinSalaryFreq)
+	}
+	if min < MinSalaryFreq*0.85 || min > MinSalaryFreq*1.15 {
+		t.Errorf("min weight %v far from target %v", min, MinSalaryFreq)
+	}
+	if max < MaxSalaryFreq*0.85 || max > MaxSalaryFreq*1.15 {
+		t.Errorf("max weight %v far from target %v", max, MaxSalaryFreq)
+	}
+}
+
+func TestGenerateMarginalExact(t *testing.T) {
+	tab := Generate(Options{N: 50000, Seed: 1})
+	if tab.Len() != 50000 {
+		t.Fatalf("N = %d", tab.Len())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := tab.SACounts()
+	want := apportion(SalaryWeights(), 50000)
+	for i := range counts {
+		if counts[i] != want[i] {
+			t.Fatalf("class %d count = %d, want exactly %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Options{N: 2000, Seed: 5})
+	b := Generate(Options{N: 2000, Seed: 5})
+	for i := range a.Tuples {
+		if a.Tuples[i].SA != b.Tuples[i].SA {
+			t.Fatal("SA differs under same seed")
+		}
+		for j := range a.Tuples[i].QI {
+			if a.Tuples[i].QI[j] != b.Tuples[i].QI[j] {
+				t.Fatal("QI differs under same seed")
+			}
+		}
+	}
+	c := Generate(Options{N: 2000, Seed: 6})
+	same := true
+	for i := range a.Tuples {
+		if a.Tuples[i].SA != c.Tuples[i].SA {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical SA columns")
+	}
+}
+
+// TestCorrelation: salary class must correlate positively with education
+// (the generator's whole point), and the correlation must weaken as
+// CorrelationNoise rises.
+func TestCorrelation(t *testing.T) {
+	corr := func(noise float64) float64 {
+		tab := Generate(Options{N: 20000, Seed: 3, CorrelationNoise: noise})
+		// Pearson correlation between education (QI index 2) and SA.
+		var sx, sy, sxx, syy, sxy float64
+		n := float64(tab.Len())
+		for _, tp := range tab.Tuples {
+			x, y := tp.QI[2], float64(tp.SA)
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+		}
+		cov := sxy/n - sx/n*sy/n
+		vx := sxx/n - sx/n*sx/n
+		vy := syy/n - sy/n*sy/n
+		return cov / math.Sqrt(vx*vy)
+	}
+	strong := corr(0.3)
+	weak := corr(0.95)
+	if strong < 0.35 {
+		t.Errorf("strong correlation = %v, want ≥ 0.35", strong)
+	}
+	if weak >= strong {
+		t.Errorf("noise 0.9 correlation (%v) not below noise 0.3 (%v)", weak, strong)
+	}
+}
+
+func TestApportion(t *testing.T) {
+	counts := apportion([]float64{0.5, 0.3, 0.2}, 10)
+	if counts[0]+counts[1]+counts[2] != 10 {
+		t.Fatalf("apportion sum = %v", counts)
+	}
+	if counts[0] != 5 || counts[1] != 3 || counts[2] != 2 {
+		t.Fatalf("apportion = %v", counts)
+	}
+	// Remainder distribution: weights that don't divide evenly.
+	counts = apportion([]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, 10)
+	total := 0
+	for _, c := range counts {
+		total += c
+		if c < 3 || c > 4 {
+			t.Fatalf("apportion uneven = %v", counts)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("apportion total = %d", total)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	tab := Generate(Options{N: 100, Seed: 1})
+	if tab.Len() != 100 {
+		t.Fatal("explicit N ignored")
+	}
+	// All QI values within their domains (Validate covers this, but assert
+	// age bounds explicitly since clamping is load-bearing).
+	for _, tp := range tab.Tuples {
+		if tp.QI[0] < 17 || tp.QI[0] > 95 {
+			t.Fatalf("age %v outside [17,95]", tp.QI[0])
+		}
+		if tp.QI[2] < 1 || tp.QI[2] > 17 {
+			t.Fatalf("education %v outside [1,17]", tp.QI[2])
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/microdata"
+)
+
+// GenResult pairs the AIL and wall-clock figures of one generalization
+// sweep (the paper presents them as sub-figures (a) and (b)).
+type GenResult struct {
+	AIL  metrics.Figure
+	Time metrics.Figure
+}
+
+// sweepGeneralization evaluates BUREL, LMondrian, and DMondrian on a series
+// of (table, β) pairs and fills AIL and time figures.
+func sweepGeneralization(title, xlabel string, xs []float64,
+	instance func(i int) (*microdata.Table, float64), seed int64) (GenResult, error) {
+	res := GenResult{
+		AIL:  figure(title+" — AIL", xlabel, "AIL", xs, "BUREL", "LMondrian", "DMondrian"),
+		Time: figure(title+" — time (s)", xlabel, "seconds", xs, "BUREL", "LMondrian", "DMondrian"),
+	}
+	for i := range xs {
+		t, beta := instance(i)
+		pb, db, err := runBUREL(t, beta, seed)
+		if err != nil {
+			return res, err
+		}
+		pl, dl, err := runLMondrian(t, beta)
+		if err != nil {
+			return res, err
+		}
+		pd, dd := runDMondrian(t, beta)
+		res.AIL.Series[0].Y = append(res.AIL.Series[0].Y, pb.AIL())
+		res.AIL.Series[1].Y = append(res.AIL.Series[1].Y, pl.AIL())
+		res.AIL.Series[2].Y = append(res.AIL.Series[2].Y, pd.AIL())
+		res.Time.Series[0].Y = append(res.Time.Series[0].Y, db.Seconds())
+		res.Time.Series[1].Y = append(res.Time.Series[1].Y, dl.Seconds())
+		res.Time.Series[2].Y = append(res.Time.Series[2].Y, dd.Seconds())
+	}
+	return res, nil
+}
+
+// Fig5 reproduces Figure 5: AIL and time as functions of the β threshold
+// (β ∈ 1..5, default table, default QI).
+func Fig5(c Config) (GenResult, error) {
+	t := c.table().Project(c.QI)
+	return sweepGeneralization("Fig 5: effect of varying β", "beta", c.Betas,
+		func(i int) (*microdata.Table, float64) { return t, c.Betas[i] }, c.Seed)
+}
+
+// Fig6 reproduces Figure 6: AIL and time as functions of QI dimensionality
+// (1..5 attributes, β = 4).
+func Fig6(c Config) (GenResult, error) {
+	base := c.table()
+	xs := []float64{1, 2, 3, 4, 5}
+	return sweepGeneralization("Fig 6: effect of varying QI size", "QI size", xs,
+		func(i int) (*microdata.Table, float64) { return base.Project(i + 1), 4 }, c.Seed)
+}
+
+// Fig7 reproduces Figure 7: AIL and time as functions of table size
+// (|DB| from N/5 to N in five steps, matching the paper's 100K..500K
+// samples of the 500K dataset; β = 4).
+func Fig7(c Config) (GenResult, error) {
+	base := c.table()
+	rng := seededRng(c, 7)
+	xs := make([]float64, 5)
+	tables := make([]*microdata.Table, 5)
+	for i := 0; i < 5; i++ {
+		n := c.N * (i + 1) / 5
+		xs[i] = float64(n)
+		tables[i] = base.Sample(n, rng).Project(c.QI)
+	}
+	return sweepGeneralization("Fig 7: effect of varying dataset size", "|DB|", xs,
+		func(i int) (*microdata.Table, float64) { return tables[i], 4 }, c.Seed)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/microdata"
+	"repro/internal/query"
+)
+
+// genWorkloadError measures the median relative error of the intersection
+// estimator over a generalization-based release.
+func genWorkloadError(t *microdata.Table, p *microdata.Partition, lambda int, theta float64, n int, c Config, tag int64) (float64, error) {
+	pub := p.Publish()
+	gen, err := query.NewGenerator(t.Schema, lambda, theta, seededRng(c, tag))
+	if err != nil {
+		return 0, err
+	}
+	med, _, err := query.MedianRelativeError(t, gen, func(q query.Query) (float64, error) {
+		return query.EstimateGeneralized(t.Schema, pub, q), nil
+	}, n)
+	return med, err
+}
+
+// genErrorSweep runs one Fig. 8 sub-figure: a parameter sweep over
+// (table, β, λ, θ) instances for the three generalization schemes.
+func genErrorSweep(title, xlabel string, xs []float64,
+	instance func(i int) (*microdata.Table, float64, int, float64), c Config) (metrics.Figure, error) {
+	fig := figure(title, xlabel, "median relative error", xs, "BUREL", "LMondrian", "DMondrian")
+	for i := range xs {
+		t, beta, lambda, theta := instance(i)
+		pb, _, err := runBUREL(t, beta, c.Seed)
+		if err != nil {
+			return fig, err
+		}
+		pl, _, err := runLMondrian(t, beta)
+		if err != nil {
+			return fig, err
+		}
+		pd, _ := runDMondrian(t, beta)
+		for s, p := range []*microdata.Partition{pb, pl, pd} {
+			med, err := genWorkloadError(t, p, lambda, theta, c.Queries, c, int64(100+i))
+			if err != nil {
+				return fig, err
+			}
+			fig.Series[s].Y = append(fig.Series[s].Y, med)
+		}
+	}
+	return fig, nil
+}
+
+// Fig8a reproduces Figure 8(a): error vs the number of query predicates λ
+// (QI = 5 attributes, θ = 0.1, β = 4).
+func Fig8a(c Config) (metrics.Figure, error) {
+	t := c.table() // all 5 QI attributes
+	xs := []float64{1, 2, 3, 4, 5}
+	return genErrorSweep("Fig 8(a): error vs λ", "lambda", xs,
+		func(i int) (*microdata.Table, float64, int, float64) { return t, 4, i + 1, c.Theta }, c)
+}
+
+// Fig8b reproduces Figure 8(b): error vs β (λ = 3, θ = 0.1, QI = 5).
+func Fig8b(c Config) (metrics.Figure, error) {
+	t := c.table()
+	return genErrorSweep("Fig 8(b): error vs β", "beta", c.Betas,
+		func(i int) (*microdata.Table, float64, int, float64) { return t, c.Betas[i], c.Lambda, c.Theta }, c)
+}
+
+// Fig8c reproduces Figure 8(c): error vs QI size (θ = 0.1, β = 4, λ
+// clamped to the QI size).
+func Fig8c(c Config) (metrics.Figure, error) {
+	base := c.table()
+	xs := []float64{1, 2, 3, 4, 5}
+	return genErrorSweep("Fig 8(c): error vs QI size", "QI size", xs,
+		func(i int) (*microdata.Table, float64, int, float64) {
+			qi := i + 1
+			lambda := c.Lambda
+			if lambda > qi {
+				lambda = qi
+			}
+			return base.Project(qi), 4, lambda, c.Theta
+		}, c)
+}
+
+// Fig8d reproduces Figure 8(d): error vs selectivity θ (λ = 3, β = 4,
+// QI = 5).
+func Fig8d(c Config) (metrics.Figure, error) {
+	t := c.table()
+	xs := []float64{0.05, 0.1, 0.15, 0.2, 0.25}
+	return genErrorSweep("Fig 8(d): error vs θ", "theta", xs,
+		func(i int) (*microdata.Table, float64, int, float64) { return t, 4, c.Lambda, xs[i] }, c)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"repro/internal/anatomy"
+	"repro/internal/metrics"
+	"repro/internal/microdata"
+	"repro/internal/perturb"
+	"repro/internal/query"
+)
+
+// perturbPair holds one prepared perturbation comparison instance.
+type perturbPair struct {
+	table  *microdata.Table
+	scheme *perturb.Scheme
+	pert   *microdata.Table
+	base   *anatomy.Publication
+}
+
+// preparePerturb builds the (ρ1i, ρ2i)-privacy release and the Baseline
+// release for a table at a given β.
+func preparePerturb(t *microdata.Table, beta float64, c Config, tag int64) (perturbPair, error) {
+	scheme, err := perturb.NewScheme(t, beta)
+	if err != nil {
+		return perturbPair{}, err
+	}
+	rng := seededRng(c, tag)
+	return perturbPair{
+		table:  t,
+		scheme: scheme,
+		pert:   scheme.Perturb(t, rng),
+		base:   anatomy.Publish(t, rng),
+	}, nil
+}
+
+// errors measures the median relative error of both estimators on an
+// identical workload.
+func (pp perturbPair) errors(lambda int, theta float64, n int, c Config, tag int64) (pertErr, baseErr float64, err error) {
+	gp, err := query.NewGenerator(pp.table.Schema, lambda, theta, seededRng(c, tag))
+	if err != nil {
+		return 0, 0, err
+	}
+	pertErr, _, err = query.MedianRelativeError(pp.table, gp, func(q query.Query) (float64, error) {
+		return query.EstimatePerturbed(pp.pert, pp.scheme, q)
+	}, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	gb, err := query.NewGenerator(pp.table.Schema, lambda, theta, seededRng(c, tag))
+	if err != nil {
+		return 0, 0, err
+	}
+	baseErr, _, err = query.MedianRelativeError(pp.table, gb, func(q query.Query) (float64, error) {
+		return query.EstimateBaseline(pp.base, q)
+	}, n)
+	return pertErr, baseErr, err
+}
+
+// perturbErrorSweep runs one Fig. 9 sub-figure.
+func perturbErrorSweep(title, xlabel string, xs []float64,
+	instance func(i int) (*microdata.Table, float64, int, float64), c Config) (metrics.Figure, error) {
+	fig := figure(title, xlabel, "median relative error", xs, "(rho1,rho2)-privacy", "Baseline")
+	for i := range xs {
+		t, beta, lambda, theta := instance(i)
+		pp, err := preparePerturb(t, beta, c, int64(900+i))
+		if err != nil {
+			return fig, err
+		}
+		pe, be, err := pp.errors(lambda, theta, c.Queries, c, int64(300+i))
+		if err != nil {
+			return fig, err
+		}
+		fig.Series[0].Y = append(fig.Series[0].Y, pe)
+		fig.Series[1].Y = append(fig.Series[1].Y, be)
+	}
+	return fig, nil
+}
+
+// Fig9a reproduces Figure 9(a): error vs λ (QI = 5, θ = 0.1, β = 4).
+func Fig9a(c Config) (metrics.Figure, error) {
+	t := c.table()
+	xs := []float64{1, 2, 3, 4, 5}
+	return perturbErrorSweep("Fig 9(a): perturbation error vs λ", "lambda", xs,
+		func(i int) (*microdata.Table, float64, int, float64) { return t, 4, i + 1, c.Theta }, c)
+}
+
+// Fig9b reproduces Figure 9(b): error vs β (λ = 3, θ = 0.1).
+func Fig9b(c Config) (metrics.Figure, error) {
+	t := c.table()
+	return perturbErrorSweep("Fig 9(b): perturbation error vs β", "beta", c.Betas,
+		func(i int) (*microdata.Table, float64, int, float64) { return t, c.Betas[i], c.Lambda, c.Theta }, c)
+}
+
+// Fig9c reproduces Figure 9(c): error vs QI size (β = 4, θ = 0.1).
+func Fig9c(c Config) (metrics.Figure, error) {
+	base := c.table()
+	xs := []float64{1, 2, 3, 4, 5}
+	return perturbErrorSweep("Fig 9(c): perturbation error vs QI size", "QI size", xs,
+		func(i int) (*microdata.Table, float64, int, float64) {
+			qi := i + 1
+			lambda := c.Lambda
+			if lambda > qi {
+				lambda = qi
+			}
+			return base.Project(qi), 4, lambda, c.Theta
+		}, c)
+}
+
+// Fig9d reproduces Figure 9(d): error vs θ (λ = 3, β = 4).
+func Fig9d(c Config) (metrics.Figure, error) {
+	t := c.table()
+	xs := []float64{0.05, 0.1, 0.15, 0.2, 0.25}
+	return perturbErrorSweep("Fig 9(d): perturbation error vs θ", "theta", xs,
+		func(i int) (*microdata.Table, float64, int, float64) { return t, 4, c.Lambda, xs[i] }, c)
+}

@@ -1,0 +1,322 @@
+// Package hierarchy implements generalization hierarchies for categorical
+// attributes, as used by syntactic anonymization models (Fig. 1 of the
+// β-likeness paper). A hierarchy is a rooted tree whose leaves are the raw
+// domain values; internal nodes are generalized values. The information-loss
+// metric for a categorical attribute (Eq. 3) needs, for any set of leaves,
+// the lowest common ancestor and the number of leaves beneath it.
+//
+// Leaves are ranked by pre-order traversal; BUREL's QI-space mapping uses the
+// leaf rank as the coordinate of a categorical value, so that semantically
+// close values (sharing low ancestors) get nearby coordinates.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a vertex of a generalization hierarchy.
+type Node struct {
+	// Label is the (generalized) value this node stands for.
+	Label string
+	// Children are the direct specializations; empty for leaves.
+	Children []*Node
+
+	parent *Node
+	// leafLo and leafHi are the pre-order ranks of the first and last
+	// leaves in this node's subtree (inclusive).
+	leafLo, leafHi int
+	depth          int
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Parent returns the node's parent, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Depth returns the node's distance from the root (root has depth 0).
+func (n *Node) Depth() int { return n.depth }
+
+// LeafCount returns the number of leaves in the node's subtree.
+func (n *Node) LeafCount() int { return n.leafHi - n.leafLo + 1 }
+
+// LeafRange returns the inclusive pre-order rank range of leaves under n.
+func (n *Node) LeafRange() (lo, hi int) { return n.leafLo, n.leafHi }
+
+// Hierarchy is an immutable generalization hierarchy over a categorical
+// domain. Build one with New or Flat, then index values by label or rank.
+type Hierarchy struct {
+	root    *Node
+	leaves  []*Node // by pre-order rank
+	byLabel map[string]*Node
+	height  int
+}
+
+// New builds a hierarchy from the given root. It validates that leaf labels
+// are unique (internal labels may repeat leaf labels only if unambiguous is
+// not required; we reject any duplicate label to keep lookups well-defined).
+func New(root *Node) (*Hierarchy, error) {
+	if root == nil {
+		return nil, fmt.Errorf("hierarchy: nil root")
+	}
+	h := &Hierarchy{root: root, byLabel: make(map[string]*Node)}
+	if err := h.index(root, nil, 0); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustNew is New but panics on error; intended for static hierarchies.
+func MustNew(root *Node) *Hierarchy {
+	h, err := New(root)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Flat builds a two-level hierarchy: a root labeled rootLabel whose children
+// are the given leaf values in order. This is the default for categorical
+// attributes without richer semantics.
+func Flat(rootLabel string, values ...string) *Hierarchy {
+	root := &Node{Label: rootLabel}
+	for _, v := range values {
+		root.Children = append(root.Children, &Node{Label: v})
+	}
+	return MustNew(root)
+}
+
+// N is a convenience constructor for hierarchy nodes.
+func N(label string, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+func (h *Hierarchy) index(n *Node, parent *Node, depth int) error {
+	n.parent = parent
+	n.depth = depth
+	if depth > h.height {
+		h.height = depth
+	}
+	if _, dup := h.byLabel[n.Label]; dup {
+		return fmt.Errorf("hierarchy: duplicate label %q", n.Label)
+	}
+	h.byLabel[n.Label] = n
+	if n.IsLeaf() {
+		n.leafLo = len(h.leaves)
+		n.leafHi = n.leafLo
+		h.leaves = append(h.leaves, n)
+		return nil
+	}
+	n.leafLo = len(h.leaves)
+	for _, c := range n.Children {
+		if err := h.index(c, n, depth+1); err != nil {
+			return err
+		}
+	}
+	n.leafHi = len(h.leaves) - 1
+	return nil
+}
+
+// Root returns the hierarchy's root node.
+func (h *Hierarchy) Root() *Node { return h.root }
+
+// Height returns the length of the longest root-to-leaf path (a flat
+// hierarchy has height 1).
+func (h *Hierarchy) Height() int { return h.height }
+
+// NumLeaves returns the size of the raw domain.
+func (h *Hierarchy) NumLeaves() int { return len(h.leaves) }
+
+// Leaf returns the leaf with the given pre-order rank.
+func (h *Hierarchy) Leaf(rank int) *Node { return h.leaves[rank] }
+
+// Lookup returns the node with the given label, or nil if absent.
+func (h *Hierarchy) Lookup(label string) *Node { return h.byLabel[label] }
+
+// Rank returns the pre-order rank of the leaf with the given label and true,
+// or 0 and false if the label is not a leaf.
+func (h *Hierarchy) Rank(label string) (int, bool) {
+	n := h.byLabel[label]
+	if n == nil || !n.IsLeaf() {
+		return 0, false
+	}
+	return n.leafLo, true
+}
+
+// LCA returns the lowest common ancestor of the two nodes.
+func (h *Hierarchy) LCA(a, b *Node) *Node {
+	for a.depth > b.depth {
+		a = a.parent
+	}
+	for b.depth > a.depth {
+		b = b.parent
+	}
+	for a != b {
+		a, b = a.parent, b.parent
+	}
+	return a
+}
+
+// LCAOfRanks returns the lowest common ancestor of a set of leaves given by
+// pre-order ranks. Because leaves are ordered, the LCA of a set equals the
+// LCA of its extreme-rank members.
+func (h *Hierarchy) LCAOfRanks(ranks []int) *Node {
+	if len(ranks) == 0 {
+		return h.root
+	}
+	lo, hi := ranks[0], ranks[0]
+	for _, r := range ranks[1:] {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return h.LCA(h.leaves[lo], h.leaves[hi])
+}
+
+// LCAOfRankRange returns the LCA of all leaves with rank in [lo, hi].
+func (h *Hierarchy) LCAOfRankRange(lo, hi int) *Node {
+	return h.LCA(h.leaves[lo], h.leaves[hi])
+}
+
+// GeneralizationLoss returns the Eq. 3 information loss of publishing the
+// LCA of the leaves with ranks in [lo, hi]: 0 when the range is a single
+// leaf, otherwise |leaves(LCA)| / |leaves(H)|.
+func (h *Hierarchy) GeneralizationLoss(lo, hi int) float64 {
+	if lo == hi {
+		return 0
+	}
+	a := h.LCAOfRankRange(lo, hi)
+	return float64(a.LeafCount()) / float64(len(h.leaves))
+}
+
+// Parse builds a hierarchy from an indented textual description, one node
+// per line; each level of indentation is one tab (or two spaces). Example:
+//
+//	any disease
+//		nervous
+//			headache
+//			epilepsy
+//		circulatory
+//			anemia
+//
+// Blank lines and lines starting with '#' are ignored.
+func Parse(text string) (*Hierarchy, error) {
+	type frame struct {
+		node  *Node
+		depth int
+	}
+	var root *Node
+	var stack []frame
+	lineNo := 0
+	for _, raw := range strings.Split(text, "\n") {
+		lineNo++
+		line := strings.TrimRight(raw, " \t\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		depth := 0
+		for {
+			switch {
+			case strings.HasPrefix(line, "\t"):
+				line = line[1:]
+				depth++
+			case strings.HasPrefix(line, "  "):
+				line = line[2:]
+				depth++
+			default:
+				goto parsed
+			}
+		}
+	parsed:
+		label := strings.TrimSpace(line)
+		n := &Node{Label: label}
+		if depth == 0 {
+			if root != nil {
+				return nil, fmt.Errorf("hierarchy: line %d: multiple roots", lineNo)
+			}
+			root = n
+			stack = []frame{{n, 0}}
+			continue
+		}
+		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return nil, fmt.Errorf("hierarchy: line %d: bad indentation", lineNo)
+		}
+		p := stack[len(stack)-1].node
+		p.Children = append(p.Children, n)
+		stack = append(stack, frame{n, depth})
+	}
+	if root == nil {
+		return nil, fmt.Errorf("hierarchy: empty description")
+	}
+	return New(root)
+}
+
+// String renders the hierarchy in the Parse format (tabs for indentation).
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("\t", depth))
+		b.WriteString(n.Label)
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(h.root, 0)
+	return b.String()
+}
+
+// LeafLabels returns the labels of all leaves in pre-order.
+func (h *Hierarchy) LeafLabels() []string {
+	out := make([]string, len(h.leaves))
+	for i, l := range h.leaves {
+		out[i] = l.Label
+	}
+	return out
+}
+
+// Uniform builds a balanced hierarchy over n synthetic leaf labels
+// ("prefix0" .. "prefix{n-1}") with the given fanout at every internal node.
+// Useful for generating categorical QI attributes of a given height.
+func Uniform(prefix string, n, fanout int) *Hierarchy {
+	if fanout < 2 {
+		fanout = 2
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{Label: fmt.Sprintf("%s%d", prefix, i)}
+	}
+	level := 0
+	for len(nodes) > 1 {
+		level++
+		var next []*Node
+		for i := 0; i < len(nodes); i += fanout {
+			j := i + fanout
+			if j > len(nodes) {
+				j = len(nodes)
+			}
+			p := &Node{Label: fmt.Sprintf("%s_L%d_%d", prefix, level, len(next))}
+			p.Children = append(p.Children, nodes[i:j]...)
+			next = append(next, p)
+		}
+		nodes = next
+	}
+	return MustNew(nodes[0])
+}
+
+// SortedRanks returns a sorted copy of the given ranks; helper for callers
+// that need deterministic iteration over leaf sets.
+func SortedRanks(ranks []int) []int {
+	out := append([]int(nil), ranks...)
+	sort.Ints(out)
+	return out
+}

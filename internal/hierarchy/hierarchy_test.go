@@ -1,0 +1,221 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// diseaseHierarchy is Fig. 1 of the paper: nervous and circulatory
+// diseases.
+func diseaseHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := New(N("nervous and circulatory diseases",
+		N("nervous diseases", N("headache"), N("epilepsy"), N("brain tumors")),
+		N("circulatory diseases", N("anemia"), N("angina"), N("heart murmur")),
+	))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h
+}
+
+func TestBasicShape(t *testing.T) {
+	h := diseaseHierarchy(t)
+	if got := h.NumLeaves(); got != 6 {
+		t.Fatalf("NumLeaves = %d, want 6", got)
+	}
+	if got := h.Height(); got != 2 {
+		t.Fatalf("Height = %d, want 2", got)
+	}
+	wantLeaves := []string{"headache", "epilepsy", "brain tumors", "anemia", "angina", "heart murmur"}
+	for i, w := range wantLeaves {
+		if got := h.Leaf(i).Label; got != w {
+			t.Errorf("Leaf(%d) = %q, want %q", i, got, w)
+		}
+		r, ok := h.Rank(w)
+		if !ok || r != i {
+			t.Errorf("Rank(%q) = %d,%v, want %d,true", w, r, ok, i)
+		}
+	}
+	if _, ok := h.Rank("nervous diseases"); ok {
+		t.Error("Rank of internal node should fail")
+	}
+	if h.Lookup("angina") == nil || h.Lookup("missing") != nil {
+		t.Error("Lookup misbehaves")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	h := diseaseHierarchy(t)
+	headache := h.Lookup("headache")
+	epilepsy := h.Lookup("epilepsy")
+	anemia := h.Lookup("anemia")
+
+	if got := h.LCA(headache, epilepsy); got.Label != "nervous diseases" {
+		t.Errorf("LCA(headache, epilepsy) = %q", got.Label)
+	}
+	if got := h.LCA(headache, anemia); got != h.Root() {
+		t.Errorf("LCA across subtrees = %q, want root", got.Label)
+	}
+	if got := h.LCA(headache, headache); got != headache {
+		t.Errorf("LCA(x,x) = %q, want x", got.Label)
+	}
+	if got := h.LCAOfRanks([]int{0, 1, 2}); got.Label != "nervous diseases" {
+		t.Errorf("LCAOfRanks(nervous) = %q", got.Label)
+	}
+	if got := h.LCAOfRanks(nil); got != h.Root() {
+		t.Error("LCAOfRanks(nil) should be root")
+	}
+}
+
+func TestGeneralizationLoss(t *testing.T) {
+	h := diseaseHierarchy(t)
+	if got := h.GeneralizationLoss(2, 2); got != 0 {
+		t.Errorf("single-leaf loss = %v, want 0", got)
+	}
+	// headache..brain tumors → "nervous diseases" with 3 of 6 leaves.
+	if got := h.GeneralizationLoss(0, 2); got != 0.5 {
+		t.Errorf("nervous loss = %v, want 0.5", got)
+	}
+	// Crossing the subtrees generalizes to the root: 6/6.
+	if got := h.GeneralizationLoss(2, 3); got != 1 {
+		t.Errorf("cross-subtree loss = %v, want 1", got)
+	}
+}
+
+func TestLeafRangesConsistent(t *testing.T) {
+	h := diseaseHierarchy(t)
+	nerv := h.Lookup("nervous diseases")
+	lo, hi := nerv.LeafRange()
+	if lo != 0 || hi != 2 || nerv.LeafCount() != 3 {
+		t.Errorf("nervous LeafRange = [%d,%d] count=%d", lo, hi, nerv.LeafCount())
+	}
+	root := h.Root()
+	lo, hi = root.LeafRange()
+	if lo != 0 || hi != 5 || root.LeafCount() != 6 {
+		t.Errorf("root LeafRange = [%d,%d]", lo, hi)
+	}
+}
+
+func TestFlat(t *testing.T) {
+	h := Flat("person", "male", "female")
+	if h.Height() != 1 || h.NumLeaves() != 2 {
+		t.Fatalf("Flat shape: height=%d leaves=%d", h.Height(), h.NumLeaves())
+	}
+	if got := h.GeneralizationLoss(0, 1); got != 1 {
+		t.Errorf("flat full span loss = %v, want 1", got)
+	}
+}
+
+func TestDuplicateLabelRejected(t *testing.T) {
+	_, err := New(N("root", N("a"), N("a")))
+	if err == nil {
+		t.Fatal("duplicate leaf label accepted")
+	}
+	_, err = New(N("x", N("x")))
+	if err == nil {
+		t.Fatal("internal/leaf duplicate accepted")
+	}
+}
+
+func TestNilRoot(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil root accepted")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `any disease
+	nervous
+		headache
+		epilepsy
+	circulatory
+		anemia
+`
+	h, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if h.NumLeaves() != 3 {
+		t.Fatalf("NumLeaves = %d, want 3", h.NumLeaves())
+	}
+	if got := h.LCAOfRanks([]int{0, 1}).Label; got != "nervous" {
+		t.Errorf("LCA = %q", got)
+	}
+	// Round trip: String output parses back to an equivalent hierarchy.
+	h2, err := Parse(h.String())
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if strings.Join(h2.LeafLabels(), ",") != strings.Join(h.LeafLabels(), ",") {
+		t.Errorf("round trip changed leaves: %v vs %v", h2.LeafLabels(), h.LeafLabels())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(""); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Parse("a\nb\n"); err == nil {
+		t.Error("two roots accepted")
+	}
+	if _, err := Parse("\tindented-root\n"); err == nil {
+		t.Error("leading indent accepted")
+	}
+	if _, err := Parse("# comment only\n"); err == nil {
+		t.Error("comment-only input accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	h := Uniform("v", 10, 3)
+	if h.NumLeaves() != 10 {
+		t.Fatalf("NumLeaves = %d", h.NumLeaves())
+	}
+	for i := 0; i < 10; i++ {
+		if r, ok := h.Rank(h.Leaf(i).Label); !ok || r != i {
+			t.Fatalf("leaf %d rank mismatch", i)
+		}
+	}
+	// Fanout below 2 is clamped.
+	h2 := Uniform("w", 4, 1)
+	if h2.NumLeaves() != 4 {
+		t.Fatalf("clamped fanout leaves = %d", h2.NumLeaves())
+	}
+}
+
+// Property: for any random hierarchy and any leaf-rank set, the LCA
+// contains every leaf of the set, and GeneralizationLoss is within [0,1]
+// and monotone in range widening.
+func TestLCAProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		fanout := 2 + r.Intn(4)
+		h := Uniform("x", n, fanout)
+		lo := r.Intn(n)
+		hi := lo + r.Intn(n-lo)
+		a := h.LCAOfRankRange(lo, hi)
+		alo, ahi := a.LeafRange()
+		if alo > lo || ahi < hi {
+			return false
+		}
+		l1 := h.GeneralizationLoss(lo, hi)
+		if l1 < 0 || l1 > 1 {
+			return false
+		}
+		// Widening the range cannot decrease the loss.
+		if hi < n-1 {
+			if h.GeneralizationLoss(lo, hi+1) < l1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

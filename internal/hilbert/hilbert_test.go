@@ -1,0 +1,235 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		dims, bits int
+		ok         bool
+	}{
+		{1, 1, true},
+		{2, 16, true},
+		{5, 12, true},  // 60 bits
+		{5, 13, false}, // 65 bits
+		{0, 4, false},
+		{2, 0, false},
+		{2, 33, false},
+		{63, 1, true},
+		{64, 1, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.dims, c.bits)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d): err=%v, want ok=%v", c.dims, c.bits, err, c.ok)
+		}
+	}
+}
+
+// TestOrder1D: in one dimension the Hilbert curve is the identity.
+func TestOrder1D(t *testing.T) {
+	c := MustNew(1, 4)
+	for v := uint32(0); v < 16; v++ {
+		if got := c.Encode([]uint32{v}); got != uint64(v) {
+			t.Fatalf("Encode([%d]) = %d", v, got)
+		}
+	}
+}
+
+// TestKnown2D checks the first-order 2-D curve: the four cells are visited
+// in the classic (0,0) → (0,1) → (1,1) → (1,0) U-shape (x, y order per
+// Skilling's convention).
+func TestKnown2D(t *testing.T) {
+	c := MustNew(2, 1)
+	seen := make(map[uint64][]uint32)
+	for x := uint32(0); x < 2; x++ {
+		for y := uint32(0); y < 2; y++ {
+			h := c.Encode([]uint32{x, y})
+			if h > 3 {
+				t.Fatalf("index %d out of range", h)
+			}
+			seen[h] = []uint32{x, y}
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("indices not distinct: %v", seen)
+	}
+	// Consecutive curve positions must be grid neighbours.
+	for h := uint64(0); h < 3; h++ {
+		a, b := seen[h], seen[h+1]
+		d := absDiff(a[0], b[0]) + absDiff(a[1], b[1])
+		if d != 1 {
+			t.Errorf("positions %d and %d not adjacent: %v %v", h, h+1, a, b)
+		}
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestRoundTrip: Decode(Encode(x)) == x over exhaustive small grids.
+func TestRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ dims, bits int }{{2, 3}, {3, 2}, {4, 2}, {5, 2}} {
+		c := MustNew(cfg.dims, cfg.bits)
+		n := uint64(1) << uint(cfg.dims*cfg.bits)
+		for h := uint64(0); h < n; h++ {
+			x := c.Decode(h)
+			if got := c.Encode(x); got != h {
+				t.Fatalf("dims=%d bits=%d: Encode(Decode(%d)) = %d", cfg.dims, cfg.bits, h, got)
+			}
+		}
+	}
+}
+
+// TestBijection: all indices of an exhaustive grid are distinct and cover
+// the full range (Hilbert curve is a bijection).
+func TestBijection(t *testing.T) {
+	c := MustNew(3, 2)
+	seen := make(map[uint64]bool)
+	var rec func(coords []uint32, d int)
+	rec = func(coords []uint32, d int) {
+		if d == 3 {
+			h := c.Encode(coords)
+			if seen[h] {
+				t.Fatalf("duplicate index %d for %v", h, coords)
+			}
+			seen[h] = true
+			return
+		}
+		for v := uint32(0); v < 4; v++ {
+			coords[d] = v
+			rec(coords, d+1)
+		}
+	}
+	rec(make([]uint32, 3), 0)
+	if len(seen) != 64 {
+		t.Fatalf("covered %d of 64 indices", len(seen))
+	}
+}
+
+// TestAdjacency: consecutive curve positions differ by exactly 1 in exactly
+// one coordinate — the defining locality property of the Hilbert curve.
+func TestAdjacency(t *testing.T) {
+	for _, cfg := range []struct{ dims, bits int }{{2, 4}, {3, 3}} {
+		c := MustNew(cfg.dims, cfg.bits)
+		n := uint64(1) << uint(cfg.dims*cfg.bits)
+		prev := c.Decode(0)
+		for h := uint64(1); h < n; h++ {
+			cur := c.Decode(h)
+			diff := uint32(0)
+			for i := range cur {
+				diff += absDiff(cur[i], prev[i])
+			}
+			if diff != 1 {
+				t.Fatalf("dims=%d bits=%d: steps %d→%d move %d cells (%v → %v)",
+					cfg.dims, cfg.bits, h-1, h, diff, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Property: round trip holds for random coordinates on larger grids.
+func TestRoundTripProperty(t *testing.T) {
+	c := MustNew(5, 12)
+	f := func(a, b, x, y, z uint32) bool {
+		coords := []uint32{a % 4096, b % 4096, x % 4096, y % 4096, z % 4096}
+		dec := c.Decode(c.Encode(coords))
+		for i := range coords {
+			if dec[i] != coords[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode with wrong dims did not panic")
+		}
+	}()
+	MustNew(2, 4).Encode([]uint32{1})
+}
+
+func TestMapper(t *testing.T) {
+	c := MustNew(2, 8)
+	m, err := NewMapper(c, []float64{0, 0}, []float64{10, 10})
+	if err != nil {
+		t.Fatalf("NewMapper: %v", err)
+	}
+	// Clamping: outside points map like boundary points.
+	if m.Index([]float64{-5, 0}) != m.Index([]float64{0, 0}) {
+		t.Error("low clamp failed")
+	}
+	if m.Index([]float64{15, 10}) != m.Index([]float64{10, 10}) {
+		t.Error("high clamp failed")
+	}
+	// Nearby points get nearby (often equal) grid cells: same corner maps
+	// to same index.
+	if m.Index([]float64{3, 3}) != m.Index([]float64{3.0000001, 3}) {
+		t.Error("tiny perturbation changed cell")
+	}
+	// Degenerate dimension is tolerated.
+	dm, err := NewMapper(MustNew(2, 4), []float64{0, 5}, []float64{10, 5})
+	if err != nil {
+		t.Fatalf("degenerate NewMapper: %v", err)
+	}
+	_ = dm.Index([]float64{3, 5})
+
+	if _, err := NewMapper(c, []float64{0}, []float64{1, 2}); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+}
+
+// TestMapperLocality: points close in space should have closer curve
+// indices, on average, than far-apart points — the property BUREL relies
+// on. Verified statistically over random pairs.
+func TestMapperLocality(t *testing.T) {
+	c := MustNew(2, 10)
+	m, _ := NewMapper(c, []float64{0, 0}, []float64{1, 1})
+	rng := rand.New(rand.NewSource(9))
+	var sumNear, sumFar float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		nearX := clamp01(x + (rng.Float64()-0.5)*0.01)
+		nearY := clamp01(y + (rng.Float64()-0.5)*0.01)
+		farX, farY := rng.Float64(), rng.Float64()
+		h := m.Index([]float64{x, y})
+		sumNear += absU64(h, m.Index([]float64{nearX, nearY}))
+		sumFar += absU64(h, m.Index([]float64{farX, farY}))
+	}
+	if sumNear >= sumFar/4 {
+		t.Errorf("locality too weak: near avg %v vs far avg %v", sumNear/trials, sumFar/trials)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func absU64(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}

@@ -1,0 +1,203 @@
+// Package incognito implements full-domain generalization in the style of
+// Incognito (LeFevre et al., SIGMOD 2005), the other family of
+// k-anonymization algorithms the paper's related work builds on (§2 cites
+// [17] alongside Mondrian [18] as the machinery behind the t-closeness
+// schemes of [20]). Where Mondrian partitions the data space adaptively,
+// full-domain recoding picks one generalization level per QI attribute and
+// applies it uniformly: numeric attributes are coarsened into fixed-width
+// bands, categorical attributes are cut at a hierarchy depth.
+//
+// The search enumerates the lattice of level vectors bottom-up (least
+// general first, in total-loss order) and returns the least-loss vector
+// whose induced equivalence classes satisfy the requested constraint — the
+// same pluggable constraints used by package mondrian, so Incognito can be
+// run under k-anonymity, ℓ-diversity, t-closeness, β-likeness, or
+// δ-disclosure.
+package incognito
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/microdata"
+	"repro/internal/mondrian"
+)
+
+// LevelVector assigns one generalization level per QI attribute: 0 keeps
+// raw values; for numeric attributes level ℓ merges the domain into
+// ⌈card/2^ℓ⌉-value bands; for categorical attributes level ℓ cuts the
+// hierarchy ℓ steps above the leaves.
+type LevelVector []int
+
+// Clone copies the vector.
+func (lv LevelVector) Clone() LevelVector { return append(LevelVector(nil), lv...) }
+
+// maxLevels returns the top level per attribute: for numeric attributes the
+// number of halvings to a single band; for categorical ones the hierarchy
+// height.
+func maxLevels(s *microdata.Schema) []int {
+	tops := make([]int, len(s.QI))
+	for j, a := range s.QI {
+		if a.Kind == microdata.Numeric {
+			card := a.Cardinality()
+			l := 0
+			for (1 << uint(l)) < card {
+				l++
+			}
+			tops[j] = l
+		} else {
+			tops[j] = a.Hierarchy.Height()
+		}
+	}
+	return tops
+}
+
+// groupKey computes the generalized group index of a tuple under a level
+// vector. Tuples with equal keys form one equivalence class.
+func groupKey(t *microdata.Table, tp microdata.Tuple, lv LevelVector) string {
+	key := make([]byte, 0, 4*len(lv))
+	for j, a := range t.Schema.QI {
+		var g int
+		if a.Kind == microdata.Numeric {
+			width := 1 << uint(lv[j])
+			g = int(tp.QI[j]-a.Min) / width
+		} else {
+			node := a.Hierarchy.Leaf(int(tp.QI[j]))
+			for l := 0; l < lv[j] && node.Parent() != nil; l++ {
+				node = node.Parent()
+			}
+			lo, _ := node.LeafRange()
+			g = lo
+		}
+		key = append(key, byte(g), byte(g>>8), byte(g>>16), '|')
+	}
+	return string(key)
+}
+
+// Result carries the chosen recoding and its induced partition.
+type Result struct {
+	Levels    LevelVector
+	Partition *microdata.Partition
+	// Loss is the schema-level information loss of the recoding: the
+	// mean over attributes of (band width − 1)/(domain − 1) for numeric
+	// and generalized-subtree leaf share for categorical attributes.
+	Loss float64
+}
+
+// Anonymize searches the full-domain lattice for the least-loss level
+// vector whose induced ECs all satisfy the constraint, and returns the
+// partition. An error is returned only if even the fully generalized table
+// (a single EC) fails — impossible for the distribution-based constraints,
+// which the root always satisfies.
+func Anonymize(t *microdata.Table, c mondrian.Constraint) (*Result, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("incognito: empty table")
+	}
+	tops := maxLevels(t.Schema)
+
+	// Enumerate all level vectors, cheapest loss first. Lattices here
+	// are small: Π (top_j + 1) with tops ≤ 7 per attribute.
+	var all []LevelVector
+	var walk func(prefix LevelVector, j int)
+	walk = func(prefix LevelVector, j int) {
+		if j == len(tops) {
+			all = append(all, prefix.Clone())
+			return
+		}
+		for l := 0; l <= tops[j]; l++ {
+			walk(append(prefix, l), j+1)
+		}
+	}
+	walk(make(LevelVector, 0, len(tops)), 0)
+	sort.Slice(all, func(a, b int) bool {
+		la, lb := recodingLoss(t.Schema, all[a]), recodingLoss(t.Schema, all[b])
+		if la != lb {
+			return la < lb
+		}
+		return lexLess(all[a], all[b])
+	})
+
+	m := len(t.Schema.SA.Values)
+	for _, lv := range all {
+		part, ok := tryVector(t, lv, c, m)
+		if ok {
+			return &Result{Levels: lv, Partition: part, Loss: recodingLoss(t.Schema, lv)}, nil
+		}
+	}
+	return nil, fmt.Errorf("incognito: no generalization level satisfies %s", c.Name())
+}
+
+// tryVector groups tuples under the vector and checks every EC.
+func tryVector(t *microdata.Table, lv LevelVector, c mondrian.Constraint, m int) (*microdata.Partition, bool) {
+	groups := make(map[string]*groupAgg)
+	for r, tp := range t.Tuples {
+		k := groupKey(t, tp, lv)
+		g := groups[k]
+		if g == nil {
+			g = &groupAgg{counts: make([]int, m)}
+			groups[k] = g
+		}
+		g.rows = append(g.rows, r)
+		g.counts[tp.SA]++
+	}
+	part := &microdata.Partition{Table: t}
+	for _, g := range groups {
+		if !c.Allow(g.counts, len(g.rows)) {
+			return nil, false
+		}
+		part.ECs = append(part.ECs, microdata.EC{Rows: g.rows})
+	}
+	part.SortECsBySize()
+	return part, true
+}
+
+type groupAgg struct {
+	rows   []int
+	counts []int
+}
+
+// recodingLoss is the schema-level loss of a level vector (independent of
+// the data): mean over attributes of the generalized cell extent share.
+func recodingLoss(s *microdata.Schema, lv LevelVector) float64 {
+	total := 0.0
+	for j, a := range s.QI {
+		if a.Kind == microdata.Numeric {
+			card := float64(a.Cardinality())
+			width := math.Min(float64(int(1)<<uint(lv[j])), card)
+			total += (width - 1) / (card - 1)
+		} else {
+			// Average leaf share of the depth-cut ancestors, weighted
+			// by subtree size.
+			h := a.Hierarchy
+			n := float64(h.NumLeaves())
+			if lv[j] == 0 {
+				continue
+			}
+			// Collect ancestor nodes at height lv[j] above leaves.
+			share := 0.0
+			for rank := 0; rank < h.NumLeaves(); {
+				node := h.Leaf(rank)
+				for l := 0; l < lv[j] && node.Parent() != nil; l++ {
+					node = node.Parent()
+				}
+				cnt := node.LeafCount()
+				if cnt > 1 {
+					share += float64(cnt) * float64(cnt) / n // Σ over leaves of |leaves(a)|/n
+				}
+				rank += cnt
+			}
+			total += share / n
+		}
+	}
+	return total / float64(len(s.QI))
+}
+
+func lexLess(a, b LevelVector) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

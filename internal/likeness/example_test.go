@@ -1,0 +1,46 @@
+package likeness_test
+
+import (
+	"fmt"
+
+	"repro/internal/likeness"
+	"repro/internal/microdata"
+)
+
+// ExampleModel_MaxFreq shows the Eq. 1 frequency cap on the paper's §6
+// reference points: with β = 1 the threshold e^{−β} ≈ 37% marks every
+// CENSUS salary class as "infrequent", so the most frequent value
+// (4.8402%) may at most double in any equivalence class.
+func ExampleModel_MaxFreq() {
+	m := &likeness.Model{Beta: 1, Variant: likeness.Enhanced}
+	fmt.Printf("f(0.048402) = %.4f\n", m.MaxFreq(0.048402))
+	fmt.Printf("f(0.002018) = %.6f\n", m.MaxFreq(0.002018))
+	// A frequent value (50%) is capped by the −ln p branch instead.
+	fmt.Printf("f(0.5)      = %.4f\n", m.MaxFreq(0.5))
+	// Output:
+	// f(0.048402) = 0.0968
+	// f(0.002018) = 0.004036
+	// f(0.5)      = 0.8466
+}
+
+// ExampleNewModel anonymity check on a toy two-value table.
+func ExampleNewModel() {
+	s := &microdata.Schema{
+		QI: []microdata.Attribute{microdata.NumericAttr("age", 0, 100)},
+		SA: microdata.SensitiveAttr{Name: "disease", Values: []string{"flu", "hiv"}},
+	}
+	t := microdata.NewTable(s)
+	for i := 0; i < 9; i++ {
+		t.MustAppend(microdata.Tuple{QI: []float64{float64(i * 10)}, SA: 0})
+	}
+	t.MustAppend(microdata.Tuple{QI: []float64{95}, SA: 1}) // 10% hiv
+
+	m, _ := likeness.NewModel(2, t)
+	// An EC where hiv rises to 25%: gain 1.5 ≤ β=2 and ≤ −ln 0.1 ≈ 2.3.
+	fmt.Println("q_hiv=0.25 ok:", m.CheckCounts([]int{3, 1}, 4))
+	// An EC where hiv rises to 50%: gain 4 > β.
+	fmt.Println("q_hiv=0.50 ok:", m.CheckCounts([]int{1, 1}, 2))
+	// Output:
+	// q_hiv=0.25 ok: true
+	// q_hiv=0.50 ok: false
+}

@@ -1,0 +1,121 @@
+package likeness
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/hierarchy"
+	"repro/internal/microdata"
+)
+
+// GroupedModel is the §7 extension of β-likeness to semantically grouped
+// SA values: when proximity is defined by a generalization hierarchy over
+// the SA domain, all values beneath the same cut nodes are treated as one
+// value, and β-likeness is enforced on the group frequencies instead of
+// the leaves. This hardens a categorical release against similarity
+// attacks (§2's G1 = {headache, epilepsy, brain tumors} example: the three
+// leaf frequencies may each be in bounds while "nervous diseases" is not).
+type GroupedModel struct {
+	Model *Model
+	// GroupOf maps each SA value index to its group index.
+	GroupOf []int
+	// GroupP is the overall frequency per group.
+	GroupP dist.Distribution
+	// Labels names each group (the cut nodes' labels).
+	Labels []string
+}
+
+// NewGroupedModel cuts the SA hierarchy at the given depth (nodes at depth
+// cutDepth, or leaves above it) and builds a β-likeness model over the
+// resulting groups. The table's SA domain must equal the hierarchy's leaf
+// order.
+func NewGroupedModel(beta float64, t *microdata.Table, h *hierarchy.Hierarchy, cutDepth int) (*GroupedModel, error) {
+	if h.NumLeaves() != len(t.Schema.SA.Values) {
+		return nil, fmt.Errorf("likeness: hierarchy has %d leaves, SA domain %d", h.NumLeaves(), len(t.Schema.SA.Values))
+	}
+	for i, v := range t.Schema.SA.Values {
+		if h.Leaf(i).Label != v {
+			return nil, fmt.Errorf("likeness: SA value %d is %q, hierarchy leaf is %q", i, v, h.Leaf(i).Label)
+		}
+	}
+	if cutDepth < 0 {
+		return nil, fmt.Errorf("likeness: negative cut depth")
+	}
+	gm := &GroupedModel{GroupOf: make([]int, h.NumLeaves())}
+	// Walk leaves; group = ancestor at cutDepth (or the leaf itself when
+	// shallower).
+	for rank := 0; rank < h.NumLeaves(); {
+		node := h.Leaf(rank)
+		for node.Depth() > cutDepth {
+			node = node.Parent()
+		}
+		lo, hi := node.LeafRange()
+		gi := len(gm.Labels)
+		gm.Labels = append(gm.Labels, node.Label)
+		for r := lo; r <= hi; r++ {
+			gm.GroupOf[r] = gi
+		}
+		rank = hi + 1
+	}
+	if len(gm.Labels) < 2 {
+		return nil, fmt.Errorf("likeness: cut depth %d yields a single group", cutDepth)
+	}
+	// Group frequencies from the table.
+	p := t.SADistribution()
+	gm.GroupP = make(dist.Distribution, len(gm.Labels))
+	for v, pv := range p {
+		gm.GroupP[gm.GroupOf[v]] += pv
+	}
+	if beta <= 0 {
+		return nil, fmt.Errorf("likeness: β must be positive, got %v", beta)
+	}
+	gm.Model = &Model{Beta: beta, Variant: Enhanced, P: gm.GroupP}
+	return gm, nil
+}
+
+// GroupCounts folds per-value SA counts into per-group counts.
+func (gm *GroupedModel) GroupCounts(saCounts []int) []int {
+	out := make([]int, len(gm.Labels))
+	for v, c := range saCounts {
+		out[gm.GroupOf[v]] += c
+	}
+	return out
+}
+
+// CheckCounts reports whether an EC satisfies grouped β-likeness.
+func (gm *GroupedModel) CheckCounts(saCounts []int, size int) bool {
+	return gm.Model.CheckCounts(gm.GroupCounts(saCounts), size)
+}
+
+// CheckPartition reports whether every EC satisfies the grouped model,
+// returning the first violating index otherwise.
+func (gm *GroupedModel) CheckPartition(p *microdata.Partition) (bool, int) {
+	for i := range p.ECs {
+		if !gm.CheckCounts(p.ECs[i].SACounts(p.Table), p.ECs[i].Len()) {
+			return false, i
+		}
+	}
+	return true, -1
+}
+
+// AchievedGroupBeta measures the maximum positive relative gain over
+// groups across the partition's ECs.
+func (gm *GroupedModel) AchievedGroupBeta(p *microdata.Partition) float64 {
+	worst := 0.0
+	for i := range p.ECs {
+		counts := gm.GroupCounts(p.ECs[i].SACounts(p.Table))
+		size := p.ECs[i].Len()
+		if size == 0 {
+			continue
+		}
+		for g, c := range counts {
+			q := float64(c) / float64(size)
+			if q > gm.GroupP[g] {
+				if d := dist.RelativeDistance(gm.GroupP[g], q); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst
+}

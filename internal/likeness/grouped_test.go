@@ -1,0 +1,112 @@
+package likeness
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/microdata"
+)
+
+func diseaseTable(t *testing.T) (*microdata.Table, *hierarchy.Hierarchy) {
+	t.Helper()
+	h := hierarchy.MustNew(hierarchy.N("disease",
+		hierarchy.N("nervous", hierarchy.N("headache"), hierarchy.N("epilepsy"), hierarchy.N("brain tumors")),
+		hierarchy.N("circulatory", hierarchy.N("anemia"), hierarchy.N("angina"), hierarchy.N("heart murmur")),
+	))
+	s := &microdata.Schema{
+		QI: []microdata.Attribute{microdata.NumericAttr("x", 0, 100)},
+		SA: microdata.SensitiveAttr{Name: "Disease", Values: h.LeafLabels()},
+	}
+	tb := microdata.NewTable(s)
+	// One of each disease: uniform leaves, two groups of mass 1/2.
+	for v := 0; v < 6; v++ {
+		tb.MustAppend(microdata.Tuple{QI: []float64{float64(v * 10)}, SA: v})
+	}
+	return tb, h
+}
+
+func TestNewGroupedModel(t *testing.T) {
+	tb, h := diseaseTable(t)
+	gm, err := NewGroupedModel(2, tb, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gm.Labels) != 2 || gm.Labels[0] != "nervous" || gm.Labels[1] != "circulatory" {
+		t.Fatalf("labels = %v", gm.Labels)
+	}
+	if gm.GroupP[0] != 0.5 || gm.GroupP[1] != 0.5 {
+		t.Fatalf("group P = %v", gm.GroupP)
+	}
+	for v := 0; v < 3; v++ {
+		if gm.GroupOf[v] != 0 || gm.GroupOf[v+3] != 1 {
+			t.Fatalf("GroupOf = %v", gm.GroupOf)
+		}
+	}
+}
+
+// TestSimilarityAttackDetected reproduces §2's similarity-attack example:
+// the 3-diverse grouping {headache, epilepsy, brain tumors} passes leaf-wise
+// checks at β = 2 but fails the grouped model — all three diseases are
+// nervous, so the group frequency doubles from ½ to 1.
+func TestSimilarityAttackDetected(t *testing.T) {
+	tb, h := diseaseTable(t)
+	leafModel, err := NewModel(2, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := NewGroupedModel(0.5, tb, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &microdata.Partition{Table: tb, ECs: []microdata.EC{
+		{Rows: []int{0, 1, 2}}, // all nervous
+		{Rows: []int{3, 4, 5}}, // all circulatory
+	}}
+	// Leaf-wise: each leaf has q = 1/3, p = 1/6, gain 1 ≤ 2: passes.
+	if ok, _ := leafModel.CheckPartition(p); !ok {
+		t.Fatal("leaf model should accept the 3-diverse grouping")
+	}
+	// Grouped: q_nervous = 1 vs p = 0.5, gain 1 > min{0.5, ln 2}: fails.
+	if ok, _ := gm.CheckPartition(p); ok {
+		t.Fatal("grouped model should reject the similarity-attack grouping")
+	}
+	if got := gm.AchievedGroupBeta(p); got != 1 {
+		t.Fatalf("achieved group β = %v, want 1", got)
+	}
+	// A cross-group EC passes both.
+	p2 := &microdata.Partition{Table: tb, ECs: []microdata.EC{
+		{Rows: []int{0, 3}}, {Rows: []int{1, 4}}, {Rows: []int{2, 5}},
+	}}
+	if ok, bad := gm.CheckPartition(p2); !ok {
+		t.Fatalf("balanced partition rejected at EC %d", bad)
+	}
+	if got := gm.AchievedGroupBeta(p2); got != 0 {
+		t.Fatalf("balanced achieved group β = %v", got)
+	}
+}
+
+func TestGroupedModelValidation(t *testing.T) {
+	tb, h := diseaseTable(t)
+	if _, err := NewGroupedModel(0, tb, h, 1); err == nil {
+		t.Error("β=0 accepted")
+	}
+	if _, err := NewGroupedModel(1, tb, h, -1); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := NewGroupedModel(1, tb, h, 0); err == nil {
+		t.Error("single-group cut accepted")
+	}
+	// Mismatched hierarchy.
+	other := hierarchy.Flat("root", "a", "b")
+	if _, err := NewGroupedModel(1, tb, other, 1); err == nil {
+		t.Error("mismatched hierarchy accepted")
+	}
+	// Deep cut degenerates to leaves: 6 groups, still valid.
+	gm, err := NewGroupedModel(1, tb, h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gm.Labels) != 6 {
+		t.Fatalf("deep cut groups = %d", len(gm.Labels))
+	}
+}

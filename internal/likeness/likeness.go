@@ -1,0 +1,318 @@
+// Package likeness implements the paper's privacy models: basic and
+// enhanced β-likeness (Definitions 2 and 3), the EC-frequency threshold
+// function f(p) of Eq. 1, and the cognate δ-disclosure-privacy model of
+// Brickell & Shmatikov used as a comparison point. It also provides the
+// measurement side: the β, t (EMD), and ℓ (distinct diversity) values a
+// published partition actually achieves, used throughout §6 and §7.
+package likeness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/microdata"
+)
+
+// Variant selects between the two definitions of β-likeness.
+type Variant int
+
+const (
+	// Enhanced β-likeness (Def. 3) bounds D(p,q) by min{β, −ln p}; it is
+	// the paper's default and caps every value's EC frequency below 1.
+	Enhanced Variant = iota
+	// Basic β-likeness (Def. 2) bounds D(p,q) by β alone; values with
+	// p ≥ 1/(1+β) are effectively unconstrained.
+	Basic
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Enhanced:
+		return "enhanced"
+	case Basic:
+		return "basic"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Model is a β-likeness privacy requirement against a fixed overall SA
+// distribution P.
+type Model struct {
+	Beta    float64
+	Variant Variant
+
+	// BoundNegative, when true, also bounds negative information gain
+	// symmetrically: q_i ≥ p_i / (1 + min{β, −ln p_i}). The paper (§3,
+	// §7) treats positive gain as the cardinal concern but notes the
+	// model extends straightforwardly to negative divergence, e.g. to
+	// further harden against deFinetti-style attacks.
+	BoundNegative bool
+
+	// P is the overall SA distribution in DB (public knowledge in the
+	// adversary model).
+	P dist.Distribution
+}
+
+// NewModel builds an enhanced β-likeness model over the table's overall SA
+// distribution.
+func NewModel(beta float64, t *microdata.Table) (*Model, error) {
+	if beta <= 0 {
+		return nil, fmt.Errorf("likeness: β must be positive, got %v", beta)
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("likeness: empty table")
+	}
+	return &Model{Beta: beta, Variant: Enhanced, P: t.SADistribution()}, nil
+}
+
+// MaxFreq returns f(p), the maximum frequency an SA value with overall
+// frequency p may assume in any EC (Eq. 1):
+//
+//	f(p) = p·(1+β)      for 0 < p ≤ e^{−β}   (infrequent values)
+//	f(p) = p·(1−ln p)   for e^{−β} ≤ p ≤ 1   (frequent values)
+//
+// Under the Basic variant, f(p) = p·(1+β) throughout (possibly > 1).
+// f(0) = 0: a value absent from DB may not appear in any EC.
+func (m *Model) MaxFreq(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if m.Variant == Basic {
+		return p * (1 + m.Beta)
+	}
+	bound := m.Beta
+	if nl := -math.Log(p); nl < bound {
+		bound = nl
+	}
+	return p * (1 + bound)
+}
+
+// MinFreq returns the lower frequency bound when BoundNegative is set,
+// otherwise 0.
+func (m *Model) MinFreq(p float64) float64 {
+	if !m.BoundNegative || p <= 0 {
+		return 0
+	}
+	bound := m.Beta
+	if m.Variant == Enhanced {
+		if nl := -math.Log(p); nl < bound {
+			bound = nl
+		}
+	}
+	return p / (1 + bound)
+}
+
+// CheckDistribution reports whether an EC with SA distribution q satisfies
+// the model against the overall distribution P.
+func (m *Model) CheckDistribution(q dist.Distribution) bool {
+	for i, qi := range q {
+		if qi > m.MaxFreq(m.P[i])+freqEps {
+			return false
+		}
+		if m.BoundNegative && qi < m.MinFreq(m.P[i])-freqEps {
+			return false
+		}
+	}
+	return true
+}
+
+// freqEps absorbs floating-point noise when comparing frequencies that are
+// ratios of small integers.
+const freqEps = 1e-12
+
+// CheckCounts reports whether an EC given by SA counts and size satisfies
+// the model. Faster than building the distribution when counts are at hand.
+func (m *Model) CheckCounts(counts []int, size int) bool {
+	if size == 0 {
+		return true
+	}
+	inv := 1 / float64(size)
+	for i, c := range counts {
+		if c == 0 {
+			if m.BoundNegative && m.MinFreq(m.P[i]) > freqEps {
+				return false
+			}
+			continue
+		}
+		q := float64(c) * inv
+		if q > m.MaxFreq(m.P[i])+freqEps {
+			return false
+		}
+		if m.BoundNegative && q < m.MinFreq(m.P[i])-freqEps {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckPartition reports whether every EC of the partition satisfies the
+// model, and if not, returns the index of the first violating EC.
+func (m *Model) CheckPartition(p *microdata.Partition) (bool, int) {
+	for i := range p.ECs {
+		if !m.CheckCounts(p.ECs[i].SACounts(p.Table), p.ECs[i].Len()) {
+			return false, i
+		}
+	}
+	return true, -1
+}
+
+// AchievedBeta returns the β-likeness a partition actually provides: the
+// maximum positive relative gain max{(q_i − p_i)/p_i : q_i > p_i} over all
+// ECs and SA values. A published table satisfies β-likeness (basic form)
+// for any β ≥ AchievedBeta. Returns +Inf if some EC contains a value with
+// overall frequency 0.
+func AchievedBeta(p *microdata.Partition) float64 {
+	overall := dist.Distribution(p.Table.SADistribution())
+	worst := 0.0
+	for i := range p.ECs {
+		q := dist.Distribution(p.ECs[i].SADistribution(p.Table))
+		if d := dist.MaxPositiveRelative(overall, q); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// AchievedEnhancedBeta returns the smallest β for which every EC satisfies
+// enhanced β-likeness, i.e. max over values with positive gain of
+// (q−p)/p restricted to values where the binding constraint is the β branch
+// (p ≤ e^{−β}). Because the −ln p branch is β-independent, enhanced
+// feasibility at β requires (q−p)/p ≤ β for every value with q > p and
+// additionally q ≤ p(1−ln p) for every value; when the latter is violated
+// no finite β suffices and +Inf is returned.
+func AchievedEnhancedBeta(p *microdata.Partition) float64 {
+	overall := dist.Distribution(p.Table.SADistribution())
+	worst := 0.0
+	for i := range p.ECs {
+		q := dist.Distribution(p.ECs[i].SADistribution(p.Table))
+		for j := range q {
+			if q[j] <= overall[j] {
+				continue
+			}
+			pj := overall[j]
+			if pj == 0 {
+				return math.Inf(1)
+			}
+			gain := (q[j] - pj) / pj
+			// The enhanced bound is min{β, −ln p}·p + p; if the
+			// −ln p cap alone is violated, no β helps.
+			if gain > -math.Log(pj)+freqEps {
+				return math.Inf(1)
+			}
+			if gain > worst {
+				worst = gain
+			}
+		}
+	}
+	return worst
+}
+
+// TMetric selects the ground distance for EMD-based t-closeness
+// measurement.
+type TMetric int
+
+const (
+	// OrderedEMD uses the |i−j|/(m−1) ground distance (numeric/ordinal
+	// SA, as for the paper's 50 salary classes).
+	OrderedEMD TMetric = iota
+	// EqualEMD uses the equal ground distance (nominal SA).
+	EqualEMD
+)
+
+// AchievedT returns the t-closeness a partition provides under the chosen
+// EMD metric: the maximum EMD between any EC's SA distribution and the
+// overall one. AvgT is the EC-size-weighted... no — the paper's "Avg t"
+// (§7 table) is the plain average over ECs; both are returned.
+func AchievedT(p *microdata.Partition, metric TMetric) (maxT, avgT float64) {
+	overall := dist.Distribution(p.Table.SADistribution())
+	if len(p.ECs) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for i := range p.ECs {
+		q := dist.Distribution(p.ECs[i].SADistribution(p.Table))
+		var t float64
+		if metric == OrderedEMD {
+			t = dist.EMDOrdered(overall, q)
+		} else {
+			t = dist.EMDEqual(overall, q)
+		}
+		sum += t
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT, sum / float64(len(p.ECs))
+}
+
+// AchievedL returns the distinct ℓ-diversity a partition provides: the
+// minimum and average number of distinct SA values per EC (§7 table).
+func AchievedL(p *microdata.Partition) (minL int, avgL float64) {
+	if len(p.ECs) == 0 {
+		return 0, 0
+	}
+	minL = math.MaxInt
+	sum := 0
+	for i := range p.ECs {
+		l := dist.Support(dist.Distribution(p.ECs[i].SADistribution(p.Table)))
+		sum += l
+		if l < minL {
+			minL = l
+		}
+	}
+	return minL, float64(sum) / float64(len(p.ECs))
+}
+
+// DeltaDisclosure is the δ-disclosure-privacy model of Brickell &
+// Shmatikov: every EC must satisfy |ln(q_i/p_i)| < δ for every SA value
+// v_i, which in particular forces q_i > 0 whenever p_i > 0 (every SA value
+// must occur in every EC).
+type DeltaDisclosure struct {
+	Delta float64
+	P     dist.Distribution
+}
+
+// DeltaForBeta returns the δ that makes δ-disclosure-privacy imply
+// β-likeness for the given overall distribution, as calibrated in §6.2:
+// δ = ln(1 + min{β, −ln(max_i p_i)}).
+func DeltaForBeta(beta float64, p dist.Distribution) float64 {
+	maxP := 0.0
+	for _, v := range p {
+		if v > maxP {
+			maxP = v
+		}
+	}
+	bound := beta
+	if maxP > 0 {
+		if nl := -math.Log(maxP); nl < bound {
+			bound = nl
+		}
+	}
+	return math.Log(1 + bound)
+}
+
+// CheckCounts reports whether an EC satisfies δ-disclosure-privacy.
+func (d *DeltaDisclosure) CheckCounts(counts []int, size int) bool {
+	if size == 0 {
+		return true
+	}
+	inv := 1 / float64(size)
+	for i, pi := range d.P {
+		if pi == 0 {
+			if counts[i] != 0 {
+				return false
+			}
+			continue
+		}
+		q := float64(counts[i]) * inv
+		if q == 0 {
+			return false // ln 0 undefined: value must appear
+		}
+		if math.Abs(math.Log(q/pi)) >= d.Delta {
+			return false
+		}
+	}
+	return true
+}

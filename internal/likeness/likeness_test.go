@@ -1,0 +1,401 @@
+package likeness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/hierarchy"
+	"repro/internal/microdata"
+)
+
+func twoValueTable(t *testing.T, n0, n1 int) *microdata.Table {
+	t.Helper()
+	s := &microdata.Schema{
+		QI: []microdata.Attribute{microdata.NumericAttr("x", 0, 100)},
+		SA: microdata.SensitiveAttr{Name: "d", Values: []string{"a", "b"}},
+	}
+	tb := microdata.NewTable(s)
+	for i := 0; i < n0; i++ {
+		tb.MustAppend(microdata.Tuple{QI: []float64{float64(i % 100)}, SA: 0})
+	}
+	for i := 0; i < n1; i++ {
+		tb.MustAppend(microdata.Tuple{QI: []float64{float64(i % 100)}, SA: 1})
+	}
+	return tb
+}
+
+func TestNewModelValidation(t *testing.T) {
+	tb := twoValueTable(t, 5, 5)
+	if _, err := NewModel(0, tb); err == nil {
+		t.Error("β=0 accepted")
+	}
+	if _, err := NewModel(-1, tb); err == nil {
+		t.Error("β<0 accepted")
+	}
+	empty := microdata.NewTable(tb.Schema)
+	if _, err := NewModel(1, empty); err == nil {
+		t.Error("empty table accepted")
+	}
+	m, err := NewModel(2, tb)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	if m.P[0] != 0.5 || m.P[1] != 0.5 {
+		t.Errorf("P = %v", m.P)
+	}
+}
+
+// TestMaxFreqShape verifies the Eq. 1 decomposition: linear branch below
+// e^{−β}, logarithmic branch above, continuity at the junction, f(0)=0,
+// f(1)=1, and strict monotonicity.
+func TestMaxFreqShape(t *testing.T) {
+	m := &Model{Beta: 2, Variant: Enhanced}
+	knee := math.Exp(-2)
+	if got := m.MaxFreq(0); got != 0 {
+		t.Errorf("f(0) = %v", got)
+	}
+	if got := m.MaxFreq(1); !almost(got, 1, 1e-12) {
+		t.Errorf("f(1) = %v, want 1", got)
+	}
+	// Linear branch: f(p) = 3p for p ≤ e^{-2}.
+	p := knee / 2
+	if got := m.MaxFreq(p); !almost(got, 3*p, 1e-12) {
+		t.Errorf("f(%v) = %v, want %v", p, got, 3*p)
+	}
+	// Log branch: f(p) = p(1 − ln p) for p ≥ e^{-2}.
+	p = 0.5
+	want := p * (1 - math.Log(p))
+	if got := m.MaxFreq(p); !almost(got, want, 1e-12) {
+		t.Errorf("f(0.5) = %v, want %v", got, want)
+	}
+	// Continuity at the knee.
+	lo := m.MaxFreq(knee * (1 - 1e-9))
+	hi := m.MaxFreq(knee * (1 + 1e-9))
+	if math.Abs(lo-hi) > 1e-8 {
+		t.Errorf("discontinuity at e^{-β}: %v vs %v", lo, hi)
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Property (paper §3, properties 1–4 of f): f(p) < 1 for p < 1, f is
+// strictly increasing, f(p) = (1+β)p on the infrequent branch, and
+// f(p) < (1+β)p on the frequent branch.
+func TestMaxFreqProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(betaRaw, p1Raw, p2Raw float64) bool {
+		beta := math.Abs(betaRaw)
+		if beta == 0 || beta > 50 {
+			beta = 1.5
+		}
+		m := &Model{Beta: beta, Variant: Enhanced}
+		p1 := math.Mod(math.Abs(p1Raw), 1)
+		p2 := math.Mod(math.Abs(p2Raw), 1)
+		if p1 == 0 || p2 == 0 || p1 == p2 {
+			return true
+		}
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		// Property 2: monotone.
+		if m.MaxFreq(p1) >= m.MaxFreq(p2) {
+			return false
+		}
+		// Property 1: below 1 for p < 1.
+		if m.MaxFreq(p2) >= 1 {
+			return false
+		}
+		// Properties 3 and 4.
+		knee := math.Exp(-beta)
+		for _, p := range []float64{p1, p2} {
+			if p <= knee {
+				if !almost(m.MaxFreq(p), (1+beta)*p, 1e-12) {
+					return false
+				}
+			} else if m.MaxFreq(p) >= (1+beta)*p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBasicVariantUnbounded(t *testing.T) {
+	m := &Model{Beta: 4, Variant: Basic}
+	// Basic likeness lets frequent values reach frequency 1: f can
+	// exceed 1 — the §3 motivation for the enhanced form.
+	if got := m.MaxFreq(0.5); got <= 1 {
+		t.Errorf("basic f(0.5) = %v, want > 1", got)
+	}
+	if got := m.MaxFreq(0.1); !almost(got, 0.5, 1e-12) {
+		t.Errorf("basic f(0.1) = %v, want 0.5", got)
+	}
+}
+
+func TestCheckDistribution(t *testing.T) {
+	m := &Model{Beta: 1, Variant: Enhanced, P: dist.Distribution{0.1, 0.9}}
+	// f(0.1) = 0.2, f(0.9) = 0.9(1 − ln 0.9) ≈ 0.9948.
+	if !m.CheckDistribution(dist.Distribution{0.2, 0.8}) {
+		t.Error("q at the bound rejected")
+	}
+	if m.CheckDistribution(dist.Distribution{0.21, 0.79}) {
+		t.Error("q above the bound accepted")
+	}
+	// Absent value is fine without BoundNegative.
+	if !m.CheckDistribution(dist.Distribution{0, 0.9}) {
+		t.Error("absent value rejected")
+	}
+}
+
+func TestBoundNegative(t *testing.T) {
+	m := &Model{Beta: 1, Variant: Enhanced, BoundNegative: true, P: dist.Distribution{0.2, 0.8}}
+	// Lower bound for p=0.2: 0.2/(1+1) = 0.1.
+	if m.CheckDistribution(dist.Distribution{0.05, 0.95}) {
+		t.Error("negative gain beyond bound accepted")
+	}
+	if !m.CheckDistribution(dist.Distribution{0.15, 0.85}) {
+		t.Error("acceptable distribution rejected")
+	}
+	if m.MinFreq(0.2) <= 0 {
+		t.Error("MinFreq should be positive when bounding negative gain")
+	}
+	m.BoundNegative = false
+	if m.MinFreq(0.2) != 0 {
+		t.Error("MinFreq should be 0 when not bounding negative gain")
+	}
+}
+
+func TestCheckCountsMatchesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := &Model{Beta: 2, Variant: Enhanced, P: dist.Distribution{0.05, 0.15, 0.3, 0.5}}
+	for trial := 0; trial < 500; trial++ {
+		counts := make([]int, 4)
+		size := 0
+		for i := range counts {
+			counts[i] = rng.Intn(8)
+			size += counts[i]
+		}
+		if size == 0 {
+			continue
+		}
+		q := dist.FromCounts(counts)
+		if m.CheckCounts(counts, size) != m.CheckDistribution(q) {
+			t.Fatalf("CheckCounts and CheckDistribution disagree on %v", counts)
+		}
+	}
+}
+
+// TestMonotonicityLemma verifies Lemma 1: merging two ECs cannot increase
+// the relative distance for any SA value.
+func TestMonotonicityLemma(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(6)
+		pi := r.Float64()*0.5 + 1e-3
+		// Random EC contents over m values.
+		c1 := make([]int, m)
+		c2 := make([]int, m)
+		n1, n2 := 0, 0
+		for i := 0; i < m; i++ {
+			c1[i], c2[i] = r.Intn(10), r.Intn(10)
+			n1, n2 = n1+c1[i], n2+c2[i]
+		}
+		if n1 == 0 || n2 == 0 {
+			return true
+		}
+		v := r.Intn(m)
+		q1 := float64(c1[v]) / float64(n1)
+		q2 := float64(c2[v]) / float64(n2)
+		q3 := float64(c1[v]+c2[v]) / float64(n1+n2)
+		d1 := dist.RelativeDistance(pi, q1)
+		d2 := dist.RelativeDistance(pi, q2)
+		d3 := dist.RelativeDistance(pi, q3)
+		return d3 <= math.Max(d1, d2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildPartition(tb *microdata.Table, ecs [][]int) *microdata.Partition {
+	p := &microdata.Partition{Table: tb}
+	for _, rows := range ecs {
+		p.ECs = append(p.ECs, microdata.EC{Rows: rows})
+	}
+	return p
+}
+
+func TestAchievedBeta(t *testing.T) {
+	tb := twoValueTable(t, 2, 6) // P = (0.25, 0.75)
+	// EC {0,1} has q=(1,0): gain on value a = (1-0.25)/0.25 = 3.
+	p := buildPartition(tb, [][]int{{0, 1}, {2, 3, 4, 5, 6, 7}})
+	if got := AchievedBeta(p); !almost(got, 3, 1e-12) {
+		t.Errorf("AchievedBeta = %v, want 3", got)
+	}
+	// Proportional ECs achieve β = 0.
+	p2 := buildPartition(tb, [][]int{{0, 2, 3, 4}, {1, 5, 6, 7}})
+	if got := AchievedBeta(p2); got != 0 {
+		t.Errorf("proportional AchievedBeta = %v, want 0", got)
+	}
+}
+
+func threeValueTable(t *testing.T, n0, n1, n2 int) *microdata.Table {
+	t.Helper()
+	s := &microdata.Schema{
+		QI: []microdata.Attribute{microdata.NumericAttr("x", 0, 100)},
+		SA: microdata.SensitiveAttr{Name: "d", Values: []string{"a", "b", "c"}},
+	}
+	tb := microdata.NewTable(s)
+	for i, n := range []int{n0, n1, n2} {
+		for j := 0; j < n; j++ {
+			tb.MustAppend(microdata.Tuple{QI: []float64{float64(j % 100)}, SA: i})
+		}
+	}
+	return tb
+}
+
+func TestAchievedEnhancedBeta(t *testing.T) {
+	// P = (0.25, 0.375, 0.375); rows: a=0,1 b=2,3,4 c=5,6,7.
+	tb := threeValueTable(t, 2, 3, 3)
+	// EC1 {a,a,b,c}: q_a = 0.5, gain 1 ≤ −ln 0.25 ≈ 1.386, so finite.
+	// EC2 {b,b,c,c}: q_b = 0.5, gain 1/3 ≤ −ln 0.375 ≈ 0.98.
+	p := buildPartition(tb, [][]int{{0, 1, 2, 5}, {3, 4, 6, 7}})
+	got := AchievedEnhancedBeta(p)
+	if !almost(got, 1, 1e-9) {
+		t.Errorf("AchievedEnhancedBeta = %v, want 1", got)
+	}
+	// An EC concentrated on one value exceeds the −ln p cap: the gain on
+	// b with q_b = 1 is 5/3 > −ln 0.375, infeasible for any β.
+	p2 := buildPartition(tb, [][]int{{2, 3, 4}, {0, 1, 5, 6, 7}})
+	if got := AchievedEnhancedBeta(p2); !math.IsInf(got, 1) {
+		t.Errorf("AchievedEnhancedBeta = %v, want +Inf", got)
+	}
+}
+
+func TestAchievedTAndL(t *testing.T) {
+	tb := twoValueTable(t, 4, 4)
+	p := buildPartition(tb, [][]int{{0, 1, 4, 5}, {2, 3, 6, 7}})
+	maxT, avgT := AchievedT(p, EqualEMD)
+	if maxT != 0 || avgT != 0 {
+		t.Errorf("balanced ECs: t = %v/%v, want 0", maxT, avgT)
+	}
+	minL, avgL := AchievedL(p)
+	if minL != 2 || avgL != 2 {
+		t.Errorf("ℓ = %d/%v, want 2/2", minL, avgL)
+	}
+	// Skewed ECs: {a,a,a,a} vs {b,b,b,b}: EMD_equal = 0.5 each.
+	p2 := buildPartition(tb, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	maxT, avgT = AchievedT(p2, EqualEMD)
+	if !almost(maxT, 0.5, 1e-12) || !almost(avgT, 0.5, 1e-12) {
+		t.Errorf("skewed t = %v/%v, want 0.5", maxT, avgT)
+	}
+	minL, _ = AchievedL(p2)
+	if minL != 1 {
+		t.Errorf("skewed ℓ = %d, want 1", minL)
+	}
+}
+
+func TestDeltaForBeta(t *testing.T) {
+	p := dist.Distribution{0.1, 0.9}
+	// max p = 0.9, −ln 0.9 ≈ 0.105 < β → δ = ln(1.105).
+	got := DeltaForBeta(4, p)
+	want := math.Log(1 - math.Log(0.9))
+	if !almost(got, want, 1e-12) {
+		t.Errorf("DeltaForBeta = %v, want %v", got, want)
+	}
+	// Small max p: β binds.
+	p2 := dist.Distribution{0.5, 0.5}
+	got2 := DeltaForBeta(0.3, p2)
+	if !almost(got2, math.Log(1.3), 1e-12) {
+		t.Errorf("DeltaForBeta = %v, want ln 1.3", got2)
+	}
+}
+
+func TestDeltaDisclosureCheck(t *testing.T) {
+	d := &DeltaDisclosure{Delta: math.Log(2), P: dist.Distribution{0.25, 0.75}}
+	// Missing value ⇒ reject (the paper's rigidity critique (1)).
+	if d.CheckCounts([]int{0, 4}, 4) {
+		t.Error("EC missing a value accepted under δ-disclosure")
+	}
+	// Within e^{±δ} bounds: q=(0.25,0.75) exactly → ok.
+	if !d.CheckCounts([]int{1, 3}, 4) {
+		t.Error("exact-proportional EC rejected")
+	}
+	// q_a = 0.75 vs p_a = 0.25: ratio 3 > e^δ = 2 → reject.
+	if d.CheckCounts([]int{3, 1}, 4) {
+		t.Error("3× gain accepted under δ = ln 2")
+	}
+	// Zero-frequency value present in EC ⇒ reject.
+	d2 := &DeltaDisclosure{Delta: 1, P: dist.Distribution{0, 1}}
+	if d2.CheckCounts([]int{1, 3}, 4) {
+		t.Error("EC with zero-frequency value accepted")
+	}
+	if !d2.CheckCounts([]int{0, 4}, 4) {
+		t.Error("valid EC rejected")
+	}
+}
+
+// TestBetaVsDeltaFlexibility documents the §3 comparison: β-likeness
+// accepts ECs from which a value is absent (as long as no other value's
+// frequency exceeds its cap) while δ-disclosure never does.
+func TestBetaVsDeltaFlexibility(t *testing.T) {
+	p := dist.Distribution{0.2, 0.4, 0.4}
+	m := &Model{Beta: 1, Variant: Enhanced, P: p}
+	dd := &DeltaDisclosure{Delta: DeltaForBeta(1, p), P: p}
+	// Value a absent; b and c at 0.5 each, below f(0.4) ≈ 0.766.
+	absent := []int{0, 5, 5}
+	if !m.CheckCounts(absent, 10) {
+		t.Error("β-likeness should accept an EC missing a value")
+	}
+	if dd.CheckCounts(absent, 10) {
+		t.Error("δ-disclosure should reject an EC missing a value")
+	}
+}
+
+// TestCategoricalTableMeasurement exercises the measurement path through a
+// table with a categorical QI, mirroring the paper's Table 1.
+func TestCategoricalTableMeasurement(t *testing.T) {
+	h := hierarchy.MustNew(hierarchy.N("disease",
+		hierarchy.N("nervous", hierarchy.N("headache"), hierarchy.N("epilepsy"), hierarchy.N("brain tumors")),
+		hierarchy.N("circulatory", hierarchy.N("anemia"), hierarchy.N("angina"), hierarchy.N("heart murmur")),
+	))
+	s := &microdata.Schema{
+		QI: []microdata.Attribute{
+			microdata.NumericAttr("Weight", 50, 80),
+			microdata.NumericAttr("Age", 40, 70),
+		},
+		SA: microdata.SensitiveAttr{Name: "Disease", Values: h.LeafLabels()},
+	}
+	tb := microdata.NewTable(s)
+	rows := []struct {
+		w, a float64
+		d    string
+	}{
+		{70, 40, "headache"}, {60, 60, "epilepsy"}, {50, 50, "brain tumors"},
+		{70, 50, "heart murmur"}, {80, 50, "anemia"}, {60, 70, "angina"},
+	}
+	for _, r := range rows {
+		idx, ok := s.SA.Index(r.d)
+		if !ok {
+			t.Fatalf("SA value %q missing", r.d)
+		}
+		tb.MustAppend(microdata.Tuple{QI: []float64{r.w, r.a}, SA: idx})
+	}
+	// The §2 similarity-attack grouping: G1 = first three (all nervous).
+	p := buildPartition(tb, [][]int{{0, 1, 2}, {3, 4, 5}})
+	minL, _ := AchievedL(p)
+	if minL != 3 {
+		t.Fatalf("ℓ = %d, want 3 (3-diverse)", minL)
+	}
+	// Each value has p=1/6, q=1/3 in its EC: gain (1/3−1/6)/(1/6) = 1.
+	if got := AchievedBeta(p); !almost(got, 1, 1e-12) {
+		t.Errorf("AchievedBeta = %v, want 1", got)
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/likeness"
+	"repro/internal/microdata"
+)
+
+func testPartition(t *testing.T) *microdata.Partition {
+	t.Helper()
+	s := &microdata.Schema{
+		QI: []microdata.Attribute{microdata.NumericAttr("x", 0, 10)},
+		SA: microdata.SensitiveAttr{Name: "s", Values: []string{"a", "b"}},
+	}
+	tb := microdata.NewTable(s)
+	for i := 0; i < 8; i++ {
+		tb.MustAppend(microdata.Tuple{QI: []float64{float64(i)}, SA: i % 2})
+	}
+	return &microdata.Partition{Table: tb, ECs: []microdata.EC{
+		{Rows: []int{0, 1, 2, 3}}, {Rows: []int{4, 5, 6, 7}},
+	}}
+}
+
+func TestEvaluate(t *testing.T) {
+	p := testPartition(t)
+	ev := Evaluate("test", p, likeness.EqualEMD, 5*time.Millisecond)
+	if ev.Algorithm != "test" || ev.NumECs != 2 || ev.MinECSize != 4 {
+		t.Fatalf("basic fields: %+v", ev)
+	}
+	// Balanced ECs: β = 0, t = 0, ℓ = 2.
+	if ev.AchievedBeta != 0 || ev.MaxT != 0 || ev.MinL != 2 {
+		t.Fatalf("privacy fields: %+v", ev)
+	}
+	if ev.AIL < 0 || ev.AIL > 1 {
+		t.Fatalf("AIL = %v", ev.AIL)
+	}
+	s := ev.String()
+	for _, want := range []string{"test", "ECs=2", "AIL="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestTimed(t *testing.T) {
+	v, d := Timed(func() int {
+		time.Sleep(2 * time.Millisecond)
+		return 42
+	})
+	if v != 42 {
+		t.Fatalf("value = %d", v)
+	}
+	if d < time.Millisecond {
+		t.Fatalf("duration = %v", d)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		Title:  "demo",
+		XLabel: "x",
+		X:      []float64{1, 2, 3},
+		Series: []Series{
+			{Label: "alpha", Y: []float64{0.1, 0.2, 0.3}},
+			{Label: "beta", Y: []float64{0.4, 0.5}}, // short series: renders "-"
+		},
+	}
+	out := f.Render()
+	for _, want := range []string{"demo", "alpha", "beta", "0.1000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+len(f.X) {
+		t.Errorf("line count = %d", len(lines))
+	}
+}

@@ -1,0 +1,156 @@
+package microdata
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the table with a header row. Numeric QI values print as
+// numbers, categorical ones as leaf labels, the SA as its value string.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Schema.QI)+1)
+	for _, a := range t.Schema.QI {
+		header = append(header, a.Name)
+	}
+	header = append(header, t.Schema.SA.Name)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, tp := range t.Tuples {
+		for j := range t.Schema.QI {
+			rec[j] = t.QIValueString(j, tp.QI[j])
+		}
+		rec[len(rec)-1] = t.Schema.SA.Values[tp.SA]
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table in WriteCSV's format against the given schema.
+// The header is used to map columns, so column order may differ from the
+// schema as long as all schema columns are present.
+func ReadCSV(r io.Reader, s *Schema) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("microdata: reading header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[name] = i
+	}
+	qiCols := make([]int, len(s.QI))
+	for j, a := range s.QI {
+		c, ok := col[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("microdata: column %q missing from CSV", a.Name)
+		}
+		qiCols[j] = c
+	}
+	saCol, ok := col[s.SA.Name]
+	if !ok {
+		return nil, fmt.Errorf("microdata: SA column %q missing from CSV", s.SA.Name)
+	}
+	saIdx := make(map[string]int, len(s.SA.Values))
+	for i, v := range s.SA.Values {
+		saIdx[v] = i
+	}
+	t := NewTable(s)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("microdata: line %d: %w", line+1, err)
+		}
+		line++
+		tp := Tuple{QI: make([]float64, len(s.QI))}
+		for j, a := range s.QI {
+			raw := rec[qiCols[j]]
+			switch a.Kind {
+			case Numeric:
+				v, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					return nil, fmt.Errorf("microdata: line %d: %s=%q not numeric", line, a.Name, raw)
+				}
+				tp.QI[j] = v
+			case Categorical:
+				rank, ok := a.Hierarchy.Rank(raw)
+				if !ok {
+					return nil, fmt.Errorf("microdata: line %d: %s=%q not a leaf of the hierarchy", line, a.Name, raw)
+				}
+				tp.QI[j] = float64(rank)
+			}
+		}
+		si, ok := saIdx[rec[saCol]]
+		if !ok {
+			return nil, fmt.Errorf("microdata: line %d: SA value %q outside domain", line, rec[saCol])
+		}
+		tp.SA = si
+		if err := t.Append(tp); err != nil {
+			return nil, fmt.Errorf("microdata: line %d: %w", line, err)
+		}
+	}
+	return t, nil
+}
+
+// WriteGeneralizedCSV emits the published (generalized) form of a partition:
+// one row per tuple, QI columns replaced by their generalized interval or
+// hierarchy label, plus the tuple's SA value.
+func WriteGeneralizedCSV(w io.Writer, p *Partition) error {
+	cw := csv.NewWriter(w)
+	t := p.Table
+	header := make([]string, 0, len(t.Schema.QI)+1)
+	for _, a := range t.Schema.QI {
+		header = append(header, a.Name)
+	}
+	header = append(header, t.Schema.SA.Name)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := range p.ECs {
+		g := &p.ECs[i]
+		b := g.BoundingBox(t)
+		cells := make([]string, len(t.Schema.QI))
+		for j, a := range t.Schema.QI {
+			switch a.Kind {
+			case Numeric:
+				if b.Lo[j] == b.Hi[j] {
+					cells[j] = trimFloat(b.Lo[j])
+				} else {
+					cells[j] = fmt.Sprintf("[%s-%s]", trimFloat(b.Lo[j]), trimFloat(b.Hi[j]))
+				}
+			case Categorical:
+				lo, hi := int(b.Lo[j]), int(b.Hi[j])
+				if lo == hi {
+					cells[j] = a.Hierarchy.Leaf(lo).Label
+				} else {
+					cells[j] = a.Hierarchy.LCAOfRankRange(lo, hi).Label
+				}
+			}
+		}
+		for _, r := range g.Rows {
+			copy(rec, cells)
+			rec[len(rec)-1] = t.Schema.SA.Values[t.Tuples[r].SA]
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,155 @@
+package mondrian
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/likeness"
+)
+
+// KAnonymity accepts ECs with at least K tuples (Samarati/Sweeney).
+type KAnonymity struct{ K int }
+
+// Allow implements Constraint.
+func (c KAnonymity) Allow(_ []int, size int) bool { return size >= c.K }
+
+// Name implements Constraint.
+func (c KAnonymity) Name() string { return fmt.Sprintf("%d-anonymity", c.K) }
+
+// DistinctLDiversity accepts ECs containing at least L distinct SA values
+// (the distinct instantiation of Machanavajjhala et al.'s ℓ-diversity).
+type DistinctLDiversity struct{ L int }
+
+// Allow implements Constraint.
+func (c DistinctLDiversity) Allow(saCounts []int, size int) bool {
+	if size == 0 {
+		return false
+	}
+	distinct := 0
+	for _, n := range saCounts {
+		if n > 0 {
+			distinct++
+			if distinct >= c.L {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Name implements Constraint.
+func (c DistinctLDiversity) Name() string { return fmt.Sprintf("distinct %d-diversity", c.L) }
+
+// EntropyLDiversity accepts ECs whose SA distribution has entropy at least
+// ln(L) — the entropy instantiation of ℓ-diversity from Machanavajjhala et
+// al., stricter than the distinct count.
+type EntropyLDiversity struct{ L float64 }
+
+// Allow implements Constraint.
+func (c EntropyLDiversity) Allow(saCounts []int, size int) bool {
+	if size == 0 {
+		return false
+	}
+	return dist.Entropy(dist.FromCounts(saCounts)) >= math.Log(c.L)-1e-12
+}
+
+// Name implements Constraint.
+func (c EntropyLDiversity) Name() string { return fmt.Sprintf("entropy %.4g-diversity", c.L) }
+
+// SmoothedJSCloseness accepts ECs whose kernel-smoothed Jensen–Shannon
+// divergence from the overall distribution is at most T — the alternative
+// t-closeness instantiation of Li et al. discussed in §2 (smoothing with
+// bandwidth H under the ordered ground distance, then J-S in nats).
+type SmoothedJSCloseness struct {
+	T float64
+	H float64
+	P dist.Distribution
+
+	smoothedP dist.Distribution
+}
+
+// NewSmoothedJSCloseness pre-smooths the overall distribution.
+func NewSmoothedJSCloseness(t, h float64, p dist.Distribution) *SmoothedJSCloseness {
+	return &SmoothedJSCloseness{T: t, H: h, P: p, smoothedP: dist.KernelSmooth(p, h)}
+}
+
+// Allow implements Constraint.
+func (c *SmoothedJSCloseness) Allow(saCounts []int, size int) bool {
+	if size == 0 {
+		return false
+	}
+	q := dist.KernelSmooth(dist.FromCounts(saCounts), c.H)
+	return dist.JS(c.smoothedP, q) <= c.T+1e-12
+}
+
+// Name implements Constraint.
+func (c *SmoothedJSCloseness) Name() string {
+	return fmt.Sprintf("%.4g-JS-closeness (h=%.4g)", c.T, c.H)
+}
+
+// TCloseness accepts ECs whose SA distribution is within EMD ≤ T of the
+// overall distribution P; with the metric chosen at construction. This is
+// the tMondrian comparator of §6.1.
+type TCloseness struct {
+	T      float64
+	P      dist.Distribution
+	Metric likeness.TMetric
+}
+
+// Allow implements Constraint.
+func (c TCloseness) Allow(saCounts []int, size int) bool {
+	if size == 0 {
+		return false
+	}
+	q := make(dist.Distribution, len(saCounts))
+	inv := 1 / float64(size)
+	for i, n := range saCounts {
+		q[i] = float64(n) * inv
+	}
+	var d float64
+	if c.Metric == likeness.OrderedEMD {
+		d = dist.EMDOrdered(c.P, q)
+	} else {
+		d = dist.EMDEqual(c.P, q)
+	}
+	return d <= c.T+1e-12
+}
+
+// Name implements Constraint.
+func (c TCloseness) Name() string { return fmt.Sprintf("%.4g-closeness", c.T) }
+
+// BetaLikeness accepts ECs satisfying the given β-likeness model; Mondrian
+// with this constraint is the paper's LMondrian comparator (§6.2).
+type BetaLikeness struct{ Model *likeness.Model }
+
+// Allow implements Constraint.
+func (c BetaLikeness) Allow(saCounts []int, size int) bool {
+	if size == 0 {
+		return false
+	}
+	return c.Model.CheckCounts(saCounts, size)
+}
+
+// Name implements Constraint.
+func (c BetaLikeness) Name() string {
+	return fmt.Sprintf("%.4g-likeness (%s)", c.Model.Beta, c.Model.Variant)
+}
+
+// DeltaDisclosure accepts ECs satisfying δ-disclosure-privacy; Mondrian with
+// this constraint is the paper's DMondrian comparator (§6.2), with δ
+// calibrated so that δ-disclosure implies β-likeness.
+type DeltaDisclosure struct{ Model *likeness.DeltaDisclosure }
+
+// Allow implements Constraint.
+func (c DeltaDisclosure) Allow(saCounts []int, size int) bool {
+	if size == 0 {
+		return false
+	}
+	return c.Model.CheckCounts(saCounts, size)
+}
+
+// Name implements Constraint.
+func (c DeltaDisclosure) Name() string {
+	return fmt.Sprintf("%.4g-disclosure", c.Model.Delta)
+}

@@ -1,0 +1,171 @@
+// Package mondrian implements the Mondrian multidimensional partitioning
+// algorithm of LeFevre et al. (ICDE 2006) with pluggable privacy
+// constraints. The β-likeness paper uses Mondrian adaptations as its
+// comparison points: tMondrian (t-closeness), LMondrian (β-likeness), and
+// DMondrian (δ-disclosure-privacy), following the conventional wisdom of
+// adapting a k-anonymization algorithm to a new model (§6.2).
+//
+// The algorithm recursively splits the set of tuples at the median of the
+// QI dimension with the widest normalized extent; a split is kept only if
+// both halves satisfy the constraint. Distribution constraints (t-closeness,
+// β-likeness, δ-disclosure) are trivially satisfied at the root, where the
+// EC distribution equals the overall one, so recursion is well-founded.
+package mondrian
+
+import (
+	"sort"
+
+	"repro/internal/microdata"
+)
+
+// Constraint decides whether a candidate equivalence class is acceptable.
+// Implementations receive the EC's SA counts (indexed by SA value) and its
+// size.
+type Constraint interface {
+	Allow(saCounts []int, size int) bool
+	Name() string
+}
+
+// Options tunes the partitioning strategy.
+type Options struct {
+	// RetryDimensions, when true, falls back to the next-widest QI
+	// dimension when the median cut on the widest one is disallowed.
+	// The original Mondrian (and hence the paper's tMondrian/LMondrian/
+	// DMondrian adaptations) gives up on the region instead; retrying is
+	// a strengthening we keep for ablation studies.
+	RetryDimensions bool
+}
+
+// Anonymize partitions the table under the constraint using the paper's
+// (original, non-retrying) Mondrian; see AnonymizeOpts for variants. The
+// whole table is returned as a single EC if no split is allowable at the
+// root.
+func Anonymize(t *microdata.Table, c Constraint) *microdata.Partition {
+	return AnonymizeOpts(t, c, Options{})
+}
+
+// AnonymizeOpts partitions the table under the constraint with explicit
+// strategy options.
+func AnonymizeOpts(t *microdata.Table, c Constraint, opts Options) *microdata.Partition {
+	part := &microdata.Partition{Table: t}
+	if t.Len() == 0 {
+		return part
+	}
+	rows := make([]int, t.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	m := len(t.Schema.SA.Values)
+	var recurse func(rows []int, counts []int)
+	recurse = func(rows []int, counts []int) {
+		if left, right := trySplit(t, rows, counts, c, m, opts); left != nil {
+			lc := saCounts(t, left, m)
+			rc := make([]int, m)
+			for i := range rc {
+				rc[i] = counts[i] - lc[i]
+			}
+			recurse(left, lc)
+			recurse(right, rc)
+			return
+		}
+		part.ECs = append(part.ECs, microdata.EC{Rows: rows})
+	}
+	recurse(rows, saCounts(t, rows, m))
+	return part
+}
+
+// trySplit attempts a median split along the QI dimension with the widest
+// normalized extent (and, only with RetryDimensions, subsequent dimensions
+// in decreasing-extent order); it returns the first split whose halves both
+// satisfy the constraint, or nil.
+func trySplit(t *microdata.Table, rows []int, counts []int, c Constraint, m int, opts Options) (left, right []int) {
+	if len(rows) < 2 {
+		return nil, nil
+	}
+	d := len(t.Schema.QI)
+	type dimExtent struct {
+		dim    int
+		extent float64
+	}
+	dims := make([]dimExtent, 0, d)
+	for j := 0; j < d; j++ {
+		loV, hiV := t.Tuples[rows[0]].QI[j], t.Tuples[rows[0]].QI[j]
+		for _, r := range rows[1:] {
+			v := t.Tuples[r].QI[j]
+			if v < loV {
+				loV = v
+			}
+			if v > hiV {
+				hiV = v
+			}
+		}
+		if hiV > loV {
+			dims = append(dims, dimExtent{j, (hiV - loV) / t.Schema.QI[j].DomainWidth()})
+		}
+	}
+	sort.Slice(dims, func(a, b int) bool {
+		if dims[a].extent != dims[b].extent {
+			return dims[a].extent > dims[b].extent
+		}
+		return dims[a].dim < dims[b].dim
+	})
+	for _, de := range dims {
+		l, r := medianSplit(t, rows, de.dim)
+		if l != nil {
+			lc := saCounts(t, l, m)
+			if c.Allow(lc, len(l)) {
+				rc := make([]int, m)
+				for i := range rc {
+					rc[i] = counts[i] - lc[i]
+				}
+				if c.Allow(rc, len(r)) {
+					return l, r
+				}
+			}
+		}
+		if !opts.RetryDimensions {
+			break
+		}
+	}
+	return nil, nil
+}
+
+// medianSplit orders rows by the dimension's value and cuts at the median
+// value, placing ties with the lower half (strict partitioning: tuples with
+// equal coordinates stay together is NOT required by Mondrian's relaxed
+// variant; we use the common value-based cut so that equal values never
+// straddle the boundary, which keeps published ranges honest).
+func medianSplit(t *microdata.Table, rows []int, dim int) (left, right []int) {
+	sorted := append([]int(nil), rows...)
+	sort.Slice(sorted, func(a, b int) bool {
+		va, vb := t.Tuples[sorted[a]].QI[dim], t.Tuples[sorted[b]].QI[dim]
+		if va != vb {
+			return va < vb
+		}
+		return sorted[a] < sorted[b]
+	})
+	mid := len(sorted) / 2
+	splitVal := t.Tuples[sorted[mid]].QI[dim]
+	// Cut after the last occurrence of values < splitVal, or after the
+	// last occurrence of splitVal if the lower side would be empty.
+	cut := sort.Search(len(sorted), func(i int) bool {
+		return t.Tuples[sorted[i]].QI[dim] >= splitVal
+	})
+	if cut == 0 {
+		cut = sort.Search(len(sorted), func(i int) bool {
+			return t.Tuples[sorted[i]].QI[dim] > splitVal
+		})
+	}
+	if cut == 0 || cut == len(sorted) {
+		return nil, nil
+	}
+	return sorted[:cut], sorted[cut:]
+}
+
+func saCounts(t *microdata.Table, rows []int, m int) []int {
+	counts := make([]int, m)
+	for _, r := range rows {
+		counts[t.Tuples[r].SA]++
+	}
+	return counts
+}

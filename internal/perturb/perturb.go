@@ -1,0 +1,211 @@
+// Package perturb implements the paper's perturbation-based β-likeness
+// scheme (§5): a randomized-response mechanism whose per-value retention
+// probabilities α_i are calibrated so that the adversary's posterior
+// confidence in any SA value v_i is at most f(p_i) — the per-value
+// adaptation of upward (ρ1, ρ2)-privacy (Definitions 6–7, Theorems 2–3).
+// QI values are published intact; only the SA is randomized.
+//
+// The package also implements the reconstruction side: the perturbation
+// matrix PM with X_i = γ_i·C^L_M on the diagonal and Y_j = (1−γ_j·C^L_M)/(m−1)
+// off it, and the estimator N′ = PM⁻¹·E′ used to answer aggregation queries
+// over perturbed data.
+package perturb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/likeness"
+	"repro/internal/matrix"
+	"repro/internal/microdata"
+)
+
+// Scheme is a calibrated perturbation mechanism for one table.
+type Scheme struct {
+	Model *likeness.Model
+
+	// Active lists the SA value indices with positive overall frequency;
+	// randomized replacement draws uniformly from these m′ values.
+	Active []int
+
+	// Gamma holds γ_i = (ρ2i/ρ1i)·(1−ρ1i)/(1−ρ2i) per active value.
+	Gamma []float64
+	// Alpha holds the retention probability α_i per active value.
+	Alpha []float64
+	// CLM is the lower bound C^L_M = 1/(γ_ℓ + m′ − 1) on the probability
+	// that any value is perturbed into any other.
+	CLM float64
+
+	// PM is the m′×m′ perturbation matrix: PM[i][j] = Pr(v_j → v_i).
+	PM *matrix.Matrix
+
+	pos []int // SA index -> position in Active, or -1
+	inv *matrix.Matrix
+}
+
+// NewScheme calibrates the mechanism for the table under enhanced
+// β-likeness: ρ1i = p_i and ρ2i = f(p_i) per Theorem 3.
+func NewScheme(t *microdata.Table, beta float64) (*Scheme, error) {
+	model, err := likeness.NewModel(beta, t)
+	if err != nil {
+		return nil, err
+	}
+	return NewSchemeFromModel(model, len(t.Schema.SA.Values))
+}
+
+// NewSchemeFromModel calibrates the mechanism from an existing model.
+// domain is the SA domain size (model.P must have that length).
+func NewSchemeFromModel(model *likeness.Model, domain int) (*Scheme, error) {
+	if len(model.P) != domain {
+		return nil, fmt.Errorf("perturb: model P has %d entries, domain %d", len(model.P), domain)
+	}
+	s := &Scheme{Model: model, pos: make([]int, domain)}
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	for i, p := range model.P {
+		if p > 0 {
+			s.pos[i] = len(s.Active)
+			s.Active = append(s.Active, i)
+		}
+	}
+	m := len(s.Active)
+	if m < 2 {
+		return nil, fmt.Errorf("perturb: need ≥2 SA values with positive frequency, got %d", m)
+	}
+
+	s.Gamma = make([]float64, m)
+	gammaMax := 0.0
+	for k, i := range s.Active {
+		rho1 := model.P[i]
+		rho2 := model.MaxFreq(rho1)
+		if rho2 >= 1 {
+			return nil, fmt.Errorf("perturb: ρ2 = f(%v) = %v ≥ 1 for value %d; use the enhanced variant", rho1, rho2, i)
+		}
+		s.Gamma[k] = (rho2 / rho1) * (1 - rho1) / (1 - rho2)
+		if s.Gamma[k] > gammaMax {
+			gammaMax = s.Gamma[k]
+		}
+	}
+	s.CLM = 1 / (gammaMax + float64(m-1))
+
+	s.Alpha = make([]float64, m)
+	for k := range s.Alpha {
+		s.Alpha[k] = (float64(m)*s.Gamma[k]*s.CLM - 1) / float64(m-1)
+		if s.Alpha[k] < 0 {
+			// Possible only under an extreme γ spread (a value with
+			// overall frequency very close to 1); the uniform
+			// mechanism cannot then honor Inequality (7) for the
+			// low-γ values. Refuse rather than silently weaken the
+			// guarantee.
+			return nil, fmt.Errorf("perturb: infeasible calibration: α_%d = %v < 0 (γ spread too large)", k, s.Alpha[k])
+		}
+		if s.Alpha[k] > 1 {
+			s.Alpha[k] = 1
+		}
+	}
+
+	// PM[i][j] = Pr(v_j → v_i): X_j = γ_j·C^L_M on the diagonal,
+	// Y_j = (1 − γ_j·C^L_M)/(m−1) elsewhere in column j.
+	s.PM = matrix.New(m, m)
+	for j := 0; j < m; j++ {
+		x := s.Gamma[j] * s.CLM
+		y := (1 - x) / float64(m-1)
+		for i := 0; i < m; i++ {
+			if i == j {
+				s.PM.Set(i, j, x)
+			} else {
+				s.PM.Set(i, j, y)
+			}
+		}
+	}
+	inv, err := matrix.Inverse(s.PM)
+	if err != nil {
+		return nil, fmt.Errorf("perturb: PM singular: %w", err)
+	}
+	s.inv = inv
+	return s, nil
+}
+
+// TransitionProb returns Pr(from → to) under the calibrated mechanism
+// (Eq. 12), for SA indices in the full domain. Zero-frequency values never
+// transition.
+func (s *Scheme) TransitionProb(from, to int) float64 {
+	kf, kt := s.pos[from], s.pos[to]
+	if kf < 0 || kt < 0 {
+		return 0
+	}
+	return s.PM.At(kt, kf)
+}
+
+// PerturbValue randomizes one SA value per Eq. 12: with probability α_i the
+// value is kept; otherwise it is replaced by a uniform draw from the active
+// domain (possibly itself).
+func (s *Scheme) PerturbValue(sa int, rng *rand.Rand) int {
+	k := s.pos[sa]
+	if k < 0 {
+		return sa
+	}
+	if rng.Float64() < s.Alpha[k] {
+		return sa
+	}
+	return s.Active[rng.Intn(len(s.Active))]
+}
+
+// Perturb returns a copy of the table with every tuple's SA value
+// randomized independently; QI values are untouched.
+func (s *Scheme) Perturb(t *microdata.Table, rng *rand.Rand) *microdata.Table {
+	out := microdata.NewTable(t.Schema)
+	out.Tuples = make([]microdata.Tuple, len(t.Tuples))
+	for i, tp := range t.Tuples {
+		out.Tuples[i] = microdata.Tuple{QI: tp.QI, SA: s.PerturbValue(tp.SA, rng)}
+	}
+	return out
+}
+
+// Reconstruct estimates the original per-value SA counts N′ = PM⁻¹·E′ from
+// observed counts over the full SA domain. The result is indexed by the
+// full domain; estimates may be negative for small samples (the standard
+// randomized-response estimator is unbiased, not non-negative).
+func (s *Scheme) Reconstruct(observed []int) ([]float64, error) {
+	if len(observed) != len(s.pos) {
+		return nil, fmt.Errorf("perturb: observed has %d entries, domain %d", len(observed), len(s.pos))
+	}
+	e := make([]float64, len(s.Active))
+	for i, c := range observed {
+		if k := s.pos[i]; k >= 0 {
+			e[k] = float64(c)
+		} else if c != 0 {
+			return nil, fmt.Errorf("perturb: observed count %d for zero-frequency value %d", c, i)
+		}
+	}
+	n, err := s.inv.MulVec(e)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(s.pos))
+	for k, i := range s.Active {
+		out[i] = n[k]
+	}
+	return out, nil
+}
+
+// PosteriorBound returns the calibrated posterior-confidence cap f(p_i)
+// for an SA index; the empirical posterior measured on perturbed output
+// should not exceed it (Theorem 3).
+func (s *Scheme) PosteriorBound(sa int) float64 {
+	return s.Model.MaxFreq(s.Model.P[sa])
+}
+
+// Posterior computes the exact adversarial posterior C(U = u | V = v) under
+// the mechanism and the prior P: Pr(u)·Pr(u→v) / Σ_w Pr(w)·Pr(w→v).
+func (s *Scheme) Posterior(u, v int) float64 {
+	den := 0.0
+	for _, w := range s.Active {
+		den += s.Model.P[w] * s.TransitionProb(w, v)
+	}
+	if den == 0 {
+		return 0
+	}
+	return s.Model.P[u] * s.TransitionProb(u, v) / den
+}

@@ -1,0 +1,369 @@
+package perturb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/census"
+	"repro/internal/likeness"
+	"repro/internal/microdata"
+)
+
+func sample(t *testing.T, n int) *microdata.Table {
+	t.Helper()
+	return census.Generate(census.Options{N: n, Seed: 42}).Project(3)
+}
+
+func TestCalibration(t *testing.T) {
+	tab := sample(t, 20000)
+	s, err := NewScheme(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(s.Active)
+	if m != 50 {
+		t.Fatalf("active values = %d, want 50", m)
+	}
+	for k := range s.Active {
+		if s.Alpha[k] < 0 || s.Alpha[k] > 1 {
+			t.Fatalf("α[%d] = %v outside [0,1]", k, s.Alpha[k])
+		}
+		if s.Gamma[k] <= 1 {
+			t.Fatalf("γ[%d] = %v, expected > 1 for β > 0", k, s.Gamma[k])
+		}
+	}
+	// PM columns are probability distributions.
+	for j := 0; j < m; j++ {
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			v := s.PM.At(i, j)
+			if v < 0 {
+				t.Fatalf("PM[%d,%d] = %v < 0", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("column %d sums to %v", j, sum)
+		}
+	}
+}
+
+// TestTheorem2Ratio verifies Inequality (7): for every pair (i, j) and every
+// output v, Pr(v_i → v)/Pr(v_j → v) ≤ γ_i.
+func TestTheorem2Ratio(t *testing.T) {
+	tab := sample(t, 20000)
+	s, err := NewScheme(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ki, vi := range s.Active {
+		for _, vj := range s.Active {
+			for _, v := range s.Active {
+				pj := s.TransitionProb(vj, v)
+				if pj == 0 {
+					t.Fatalf("zero transition prob %d→%d", vj, v)
+				}
+				ratio := s.TransitionProb(vi, v) / pj
+				if ratio > s.Gamma[ki]+1e-9 {
+					t.Fatalf("ratio %v > γ_%d = %v", ratio, ki, s.Gamma[ki])
+				}
+			}
+		}
+	}
+}
+
+// TestPosteriorBound verifies Definition 6 analytically: the exact
+// adversarial posterior C(U = v_i | V = v) never exceeds f(p_i).
+func TestPosteriorBound(t *testing.T) {
+	tab := sample(t, 20000)
+	for _, beta := range []float64{1, 2, 4} {
+		s, err := NewScheme(tab, beta)
+		if err != nil {
+			t.Fatalf("β=%v: %v", beta, err)
+		}
+		for _, u := range s.Active {
+			bound := s.PosteriorBound(u)
+			for _, v := range s.Active {
+				post := s.Posterior(u, v)
+				if post > bound+1e-9 {
+					t.Fatalf("β=%v: posterior C(%d|%d) = %v > f(p) = %v", beta, u, v, post, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestEmpiricalPosterior cross-checks the analytic posterior against a
+// simulated attack: perturb many tuples, group by observed value, and
+// measure the empirical share of each true value.
+func TestEmpiricalPosterior(t *testing.T) {
+	tab := sample(t, 50000)
+	s, err := NewScheme(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	pert := s.Perturb(tab, rng)
+	// joint[v][u] = count of tuples with true value u observed as v.
+	m := len(tab.Schema.SA.Values)
+	joint := make([][]int, m)
+	for i := range joint {
+		joint[i] = make([]int, m)
+	}
+	obsTotal := make([]int, m)
+	for i := range tab.Tuples {
+		u, v := tab.Tuples[i].SA, pert.Tuples[i].SA
+		joint[v][u]++
+		obsTotal[v]++
+	}
+	for v := 0; v < m; v++ {
+		if obsTotal[v] < 200 {
+			continue // too small for a stable estimate
+		}
+		for u := 0; u < m; u++ {
+			post := float64(joint[v][u]) / float64(obsTotal[v])
+			bound := s.PosteriorBound(u)
+			// Allow sampling slack: 5 absolute points.
+			if post > bound+0.05 {
+				t.Errorf("empirical posterior P(%d|%d) = %v ≫ bound %v", u, v, post, bound)
+			}
+		}
+	}
+}
+
+// TestPerturbPreservesQI: perturbation must not touch QI values.
+func TestPerturbPreservesQI(t *testing.T) {
+	tab := sample(t, 1000)
+	s, err := NewScheme(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert := s.Perturb(tab, rand.New(rand.NewSource(1)))
+	if pert.Len() != tab.Len() {
+		t.Fatal("length changed")
+	}
+	for i := range tab.Tuples {
+		for j := range tab.Tuples[i].QI {
+			if pert.Tuples[i].QI[j] != tab.Tuples[i].QI[j] {
+				t.Fatal("QI changed")
+			}
+		}
+	}
+}
+
+// TestReconstructionUnbiased: the randomized-response estimator has high
+// per-run variance (retention α is small when β caps posteriors tightly),
+// but it is unbiased — averaging reconstructions over independent
+// perturbations must converge to the true counts.
+func TestReconstructionUnbiased(t *testing.T) {
+	tab := sample(t, 50000)
+	s, err := NewScheme(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	true_ := tab.SACounts()
+	const runs = 30
+	avg := make([]float64, len(true_))
+	rng := rand.New(rand.NewSource(9))
+	for r := 0; r < runs; r++ {
+		pert := s.Perturb(tab, rng)
+		recon, err := s.Reconstruct(pert.SACounts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range avg {
+			avg[i] += recon[i] / runs
+		}
+	}
+	for i := range true_ {
+		diff := math.Abs(avg[i] - float64(true_[i]))
+		// √runs-reduced sampling noise: the per-run estimator std is
+		// ≈ 400 counts at this scale (amplification 1/(X−Y) ≈ 13),
+		// so the 30-run average has σ ≈ 75; allow a wide envelope.
+		if diff > 0.25*float64(true_[i])+300 {
+			t.Errorf("value %d: avg reconstruction %v vs true %d", i, avg[i], true_[i])
+		}
+	}
+	// Aggregate relative L1 error of the averaged estimate stays small.
+	l1, n := 0.0, 0.0
+	for i := range true_ {
+		l1 += math.Abs(avg[i] - float64(true_[i]))
+		n += float64(true_[i])
+	}
+	if l1/n > 0.10 {
+		t.Errorf("aggregate relative L1 of averaged reconstruction = %v", l1/n)
+	}
+}
+
+// TestReconstructExactOnExpectation: feeding the exact expected counts
+// E = PM·N must recover N to machine precision.
+func TestReconstructExactOnExpectation(t *testing.T) {
+	tab := sample(t, 10000)
+	s, err := NewScheme(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tab.SACounts()
+	e := make([]float64, len(s.Active))
+	for kj, j := range s.Active {
+		for ki, i := range s.Active {
+			_ = ki
+			e[s.pos[i]] += s.PM.At(s.pos[i], kj) * float64(n[j])
+		}
+	}
+	// Round-trip through integer observed counts loses precision, so use
+	// the float path directly via the inverse.
+	got, err := s.inv.MulVec(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range s.Active {
+		if math.Abs(got[k]-float64(n[i])) > 1e-6 {
+			t.Fatalf("value %d: %v vs %d", i, got[k], n[i])
+		}
+	}
+}
+
+func TestHigherBetaKeepsMoreValues(t *testing.T) {
+	tab := sample(t, 20000)
+	s1, err := NewScheme(tab, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := NewScheme(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average retention must grow with β (Fig. 9b utility trend).
+	avg := func(s *Scheme) float64 {
+		sum := 0.0
+		for _, a := range s.Alpha {
+			sum += a
+		}
+		return sum / float64(len(s.Alpha))
+	}
+	if avg(s4) <= avg(s1) {
+		t.Errorf("avg α at β=4 (%v) not above β=1 (%v)", avg(s4), avg(s1))
+	}
+}
+
+func TestSchemeErrors(t *testing.T) {
+	tab := sample(t, 1000)
+	if _, err := NewScheme(tab, 0); err == nil {
+		t.Error("β=0 accepted")
+	}
+	// Single-valued SA (after filtering) is rejected.
+	s := &microdata.Schema{
+		QI: []microdata.Attribute{microdata.NumericAttr("x", 0, 1)},
+		SA: microdata.SensitiveAttr{Name: "s", Values: []string{"a", "b"}},
+	}
+	tb := microdata.NewTable(s)
+	for i := 0; i < 5; i++ {
+		tb.MustAppend(microdata.Tuple{QI: []float64{0}, SA: 0})
+	}
+	if _, err := NewScheme(tb, 2); err == nil {
+		t.Error("single active value accepted")
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	tab := sample(t, 1000)
+	s, err := NewScheme(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reconstruct([]int{1, 2}); err == nil {
+		t.Error("wrong-length observed accepted")
+	}
+}
+
+func TestBasicVariantRejectedWhenFExceedsOne(t *testing.T) {
+	// A frequent value under the basic model can have f(p) ≥ 1, which
+	// breaks the γ calibration; the scheme must refuse.
+	s := &microdata.Schema{
+		QI: []microdata.Attribute{microdata.NumericAttr("x", 0, 1)},
+		SA: microdata.SensitiveAttr{Name: "s", Values: []string{"a", "b"}},
+	}
+	tb := microdata.NewTable(s)
+	for i := 0; i < 10; i++ {
+		sa := 0
+		if i < 2 {
+			sa = 1
+		}
+		tb.MustAppend(microdata.Tuple{QI: []float64{0}, SA: sa})
+	}
+	model, err := likeness.NewModel(4, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Variant = likeness.Basic // f(0.8) = 4 ≥ 1
+	if _, err := NewSchemeFromModel(model, 2); err == nil {
+		t.Error("basic model with f ≥ 1 accepted")
+	}
+}
+
+// TestCalibrationProperty: for random overall distributions and β values,
+// the calibrated mechanism always keeps every exact posterior within its
+// f(p) bound and every PM column stochastic (testing/quick).
+func TestCalibrationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(12)
+		counts := make([]int, m)
+		for i := range counts {
+			counts[i] = 1 + r.Intn(200)
+		}
+		beta := 0.3 + 5*r.Float64()
+		s := &microdata.Schema{
+			QI: []microdata.Attribute{microdata.NumericAttr("x", 0, 1)},
+			SA: microdata.SensitiveAttr{Name: "s", Values: names(m)},
+		}
+		tb := microdata.NewTable(s)
+		for v, c := range counts {
+			for j := 0; j < c; j++ {
+				tb.MustAppend(microdata.Tuple{QI: []float64{0}, SA: v})
+			}
+		}
+		sc, err := NewScheme(tb, beta)
+		if err != nil {
+			// Calibration may be legitimately infeasible (extreme γ
+			// spread); that is a documented refusal, not a failure.
+			return true
+		}
+		for j := 0; j < m; j++ {
+			sum := 0.0
+			for i := 0; i < m; i++ {
+				v := sc.PM.At(i, j)
+				if v < -1e-12 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		for _, u := range sc.Active {
+			bound := sc.PosteriorBound(u)
+			for _, v := range sc.Active {
+				if sc.Posterior(u, v) > bound+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func names(m int) []string {
+	out := make([]string, m)
+	for i := range out {
+		out[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+// Package query implements the aggregation-query utility benchmark of
+// §5/§6: COUNT(*) queries with range predicates on λ randomly selected QI
+// attributes and on the SA, generated for an expected selectivity θ, plus
+// the three estimators the paper evaluates — intersection-based estimation
+// over generalized ECs (§6.2), reconstruction-based estimation over
+// perturbed data (§5), and the Anatomy-style Baseline (§6.3) — and the
+// median-relative-error workload metric.
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/anatomy"
+	"repro/internal/microdata"
+	"repro/internal/perturb"
+)
+
+// Query is one COUNT(*) aggregation query: conjunctive range predicates
+// over a subset of QI attributes plus a range predicate over the SA
+// domain (SA values are treated as ordinal, like the paper's salary
+// classes; ranges are over value indices).
+type Query struct {
+	// Dims lists the QI attributes carrying predicates (λ = len(Dims)).
+	Dims []int
+	// Lo and Hi give the inclusive predicate range per entry of Dims.
+	Lo, Hi []float64
+	// SALo and SAHi give the inclusive SA index range.
+	SALo, SAHi int
+}
+
+// Generator produces random queries of a given shape.
+type Generator struct {
+	Schema *microdata.Schema
+	// Lambda is the number of QI predicates per query.
+	Lambda int
+	// Theta is the expected overall selectivity; each of the λ+1
+	// predicates selects a range of length |A|·θ^{1/(λ+1)} (§6.2).
+	Theta float64
+	Rng   *rand.Rand
+}
+
+// NewGenerator validates the shape and builds a generator.
+func NewGenerator(s *microdata.Schema, lambda int, theta float64, rng *rand.Rand) (*Generator, error) {
+	if lambda < 0 || lambda > len(s.QI) {
+		return nil, fmt.Errorf("query: λ=%d outside [0,%d]", lambda, len(s.QI))
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("query: θ=%v outside (0,1)", theta)
+	}
+	return &Generator{Schema: s, Lambda: lambda, Theta: theta, Rng: rng}, nil
+}
+
+// Next generates one query.
+func (g *Generator) Next() Query {
+	frac := math.Pow(g.Theta, 1/float64(g.Lambda+1))
+	q := Query{SALo: 0, SAHi: 0}
+	dims := g.Rng.Perm(len(g.Schema.QI))[:g.Lambda]
+	sort.Ints(dims)
+	for _, d := range dims {
+		a := g.Schema.QI[d]
+		var lo, hi, width float64
+		if a.Kind == microdata.Numeric {
+			width = (a.Max - a.Min) * frac
+			lo = a.Min + g.Rng.Float64()*(a.Max-a.Min-width)
+			hi = lo + width
+		} else {
+			n := float64(a.Hierarchy.NumLeaves())
+			span := math.Max(1, math.Round(n*frac))
+			start := float64(g.Rng.Intn(int(n-span) + 1))
+			lo, hi = start, start+span-1
+		}
+		q.Dims = append(q.Dims, d)
+		q.Lo = append(q.Lo, lo)
+		q.Hi = append(q.Hi, hi)
+	}
+	m := len(g.Schema.SA.Values)
+	span := int(math.Max(1, math.Round(float64(m)*frac)))
+	q.SALo = g.Rng.Intn(m - span + 1)
+	q.SAHi = q.SALo + span - 1
+	return q
+}
+
+// MatchesQI reports whether a tuple satisfies the query's QI predicates.
+func (q Query) MatchesQI(tp microdata.Tuple) bool {
+	for i, d := range q.Dims {
+		v := tp.QI[d]
+		if v < q.Lo[i] || v > q.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether a tuple satisfies all predicates including SA.
+func (q Query) Matches(tp microdata.Tuple) bool {
+	return tp.SA >= q.SALo && tp.SA <= q.SAHi && q.MatchesQI(tp)
+}
+
+// Exact evaluates the query on the original table.
+func Exact(t *microdata.Table, q Query) int {
+	n := 0
+	for _, tp := range t.Tuples {
+		if q.Matches(tp) {
+			n++
+		}
+	}
+	return n
+}
+
+// EstimateGeneralized estimates the query over a generalization-based
+// release: tuples are assumed uniformly distributed within each EC's
+// bounding box, so each EC contributes (QI-box overlap fraction) × (its
+// tuple count within the SA range) — the intersection estimator of §6.2.
+func EstimateGeneralized(schema *microdata.Schema, pub []microdata.PublishedEC, q Query) float64 {
+	est := 0.0
+	for _, ec := range pub {
+		frac := overlapFraction(schema, ec.Box, q)
+		if frac == 0 {
+			continue
+		}
+		cnt := 0
+		for i := q.SALo; i <= q.SAHi && i < len(ec.SACounts); i++ {
+			cnt += ec.SACounts[i]
+		}
+		est += frac * float64(cnt)
+	}
+	return est
+}
+
+// overlapFraction returns the fraction of an EC box that intersects the
+// query region, assuming a uniform spread of tuples over the box. Numeric
+// dimensions use interval-length ratios; categorical ones use discrete
+// leaf-rank counts.
+func overlapFraction(schema *microdata.Schema, box microdata.Box, q Query) float64 {
+	frac := 1.0
+	for i, d := range q.Dims {
+		lo, hi := box.Lo[d], box.Hi[d]
+		qlo, qhi := q.Lo[i], q.Hi[i]
+		if schema.QI[d].Kind == microdata.Categorical {
+			// Discrete overlap over leaf ranks.
+			olo, ohi := math.Max(lo, qlo), math.Min(hi, qhi)
+			if olo > ohi {
+				return 0
+			}
+			frac *= (ohi - olo + 1) / (hi - lo + 1)
+		} else {
+			if hi == lo {
+				if lo < qlo || lo > qhi {
+					return 0
+				}
+				continue // point box inside range: full overlap
+			}
+			olo, ohi := math.Max(lo, qlo), math.Min(hi, qhi)
+			if olo >= ohi {
+				// Allow grazing contact to count as zero.
+				if olo > ohi {
+					return 0
+				}
+				return 0
+			}
+			frac *= (ohi - olo) / (hi - lo)
+		}
+		if frac == 0 {
+			return 0
+		}
+	}
+	return frac
+}
+
+// EstimatePerturbed estimates the query over a perturbed release: the
+// tuples of the perturbed table satisfying the QI predicates have their
+// observed SA counts reconstructed through PM⁻¹, and the estimate sums the
+// reconstructed counts over the SA range (§5).
+func EstimatePerturbed(perturbed *microdata.Table, s *perturb.Scheme, q Query) (float64, error) {
+	observed := make([]int, len(perturbed.Schema.SA.Values))
+	for _, tp := range perturbed.Tuples {
+		if q.MatchesQI(tp) {
+			observed[tp.SA]++
+		}
+	}
+	n, err := s.Reconstruct(observed)
+	if err != nil {
+		return 0, err
+	}
+	est := 0.0
+	for i := q.SALo; i <= q.SAHi; i++ {
+		est += n[i]
+	}
+	return est, nil
+}
+
+// EstimateBaseline estimates the query over the Anatomy-style Baseline.
+func EstimateBaseline(pub *anatomy.Publication, q Query) (float64, error) {
+	matches := 0
+	for _, tp := range pub.Table.Tuples {
+		if q.MatchesQI(tp) {
+			matches++
+		}
+	}
+	return pub.EstimateCount(matches, q.SALo, q.SAHi)
+}
+
+// Estimator answers one query with an estimate.
+type Estimator func(Query) (float64, error)
+
+// MedianRelativeError runs a workload of n queries from the generator and
+// returns the median of |est − prec| / prec over queries with prec > 0
+// (zero-precision queries are dropped, as in §6.2). The second result is
+// the number of evaluated (non-dropped) queries.
+func MedianRelativeError(t *microdata.Table, gen *Generator, est Estimator, n int) (float64, int, error) {
+	errs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := gen.Next()
+		prec := Exact(t, q)
+		if prec == 0 {
+			continue
+		}
+		e, err := est(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		errs = append(errs, math.Abs(e-float64(prec))/float64(prec))
+	}
+	if len(errs) == 0 {
+		return 0, 0, nil
+	}
+	sort.Float64s(errs)
+	mid := len(errs) / 2
+	med := errs[mid]
+	if len(errs)%2 == 0 {
+		med = (errs[mid-1] + errs[mid]) / 2
+	}
+	return med, len(errs), nil
+}

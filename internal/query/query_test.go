@@ -1,0 +1,249 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/anatomy"
+	"repro/internal/burel"
+	"repro/internal/census"
+	"repro/internal/microdata"
+	"repro/internal/perturb"
+)
+
+func sample(t *testing.T, n, qi int) *microdata.Table {
+	t.Helper()
+	return census.Generate(census.Options{N: n, Seed: 42}).Project(qi)
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	tab := sample(t, 100, 3)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewGenerator(tab.Schema, 9, 0.1, rng); err == nil {
+		t.Error("λ > QI accepted")
+	}
+	if _, err := NewGenerator(tab.Schema, -1, 0.1, rng); err == nil {
+		t.Error("λ < 0 accepted")
+	}
+	if _, err := NewGenerator(tab.Schema, 2, 0, rng); err == nil {
+		t.Error("θ = 0 accepted")
+	}
+	if _, err := NewGenerator(tab.Schema, 2, 1, rng); err == nil {
+		t.Error("θ = 1 accepted")
+	}
+}
+
+// TestQueryShape: generated queries have λ distinct predicate dimensions,
+// ranges inside the attribute domains, and an SA range of the right length.
+func TestQueryShape(t *testing.T) {
+	tab := sample(t, 100, 5)
+	rng := rand.New(rand.NewSource(2))
+	g, err := NewGenerator(tab.Schema, 3, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := math.Pow(0.1, 1.0/4)
+	for i := 0; i < 200; i++ {
+		q := g.Next()
+		if len(q.Dims) != 3 {
+			t.Fatalf("λ = %d", len(q.Dims))
+		}
+		seen := map[int]bool{}
+		for k, d := range q.Dims {
+			if seen[d] {
+				t.Fatal("duplicate predicate dimension")
+			}
+			seen[d] = true
+			a := tab.Schema.QI[d]
+			if a.Kind == microdata.Numeric {
+				if q.Lo[k] < a.Min-1e-9 || q.Hi[k] > a.Max+1e-9 {
+					t.Fatalf("range [%v,%v] outside domain", q.Lo[k], q.Hi[k])
+				}
+				wantLen := (a.Max - a.Min) * frac
+				if math.Abs((q.Hi[k]-q.Lo[k])-wantLen) > 1e-6 {
+					t.Fatalf("range length %v, want %v", q.Hi[k]-q.Lo[k], wantLen)
+				}
+			} else {
+				if q.Lo[k] < 0 || q.Hi[k] > float64(a.Hierarchy.NumLeaves()-1) {
+					t.Fatal("categorical range outside domain")
+				}
+			}
+		}
+		if q.SALo < 0 || q.SAHi >= len(tab.Schema.SA.Values) || q.SALo > q.SAHi {
+			t.Fatalf("SA range [%d,%d]", q.SALo, q.SAHi)
+		}
+	}
+}
+
+// TestSelectivityApproximatesTheta: the empirical mean selectivity of
+// generated queries should be near θ on near-uniform data dimensions.
+func TestSelectivityApproximatesTheta(t *testing.T) {
+	tab := sample(t, 20000, 3)
+	rng := rand.New(rand.NewSource(3))
+	g, err := NewGenerator(tab.Schema, 2, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	const n = 300
+	for i := 0; i < n; i++ {
+		q := g.Next()
+		sum += float64(Exact(tab, q)) / float64(tab.Len())
+	}
+	mean := sum / n
+	// Real data is not uniform, so allow a broad factor-of-3 band.
+	if mean < 0.1/3 || mean > 0.1*3 {
+		t.Errorf("mean selectivity %v far from θ=0.1", mean)
+	}
+}
+
+// TestEstimateGeneralizedExactOnSingletonECs: with one tuple per EC the
+// intersection estimator degenerates to exact counting.
+func TestEstimateGeneralizedExactOnSingletonECs(t *testing.T) {
+	tab := sample(t, 500, 3)
+	p := &microdata.Partition{Table: tab}
+	for i := 0; i < tab.Len(); i++ {
+		p.ECs = append(p.ECs, microdata.EC{Rows: []int{i}})
+	}
+	pub := p.Publish()
+	rng := rand.New(rand.NewSource(5))
+	g, _ := NewGenerator(tab.Schema, 2, 0.15, rng)
+	for i := 0; i < 100; i++ {
+		q := g.Next()
+		prec := float64(Exact(tab, q))
+		est := EstimateGeneralized(tab.Schema, pub, q)
+		if math.Abs(est-prec) > 1e-6 {
+			t.Fatalf("singleton ECs: est %v ≠ exact %v", est, prec)
+		}
+	}
+}
+
+// TestEstimateGeneralizedMassConservation: a query covering the whole space
+// is answered exactly — the estimator conserves total mass.
+func TestEstimateGeneralizedMassConservation(t *testing.T) {
+	tab := sample(t, 5000, 3)
+	res, err := burel.Anonymize(tab, burel.Options{Beta: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := res.Partition.Publish()
+	full := Query{SALo: 0, SAHi: len(tab.Schema.SA.Values) - 1}
+	est := EstimateGeneralized(tab.Schema, pub, full)
+	if math.Abs(est-float64(tab.Len())) > 1e-6 {
+		t.Fatalf("full-space estimate %v ≠ %d", est, tab.Len())
+	}
+}
+
+// TestMedianRelativeErrorGeneralized: BUREL's published output answers a
+// workload with bounded median error, better than a single-EC publication.
+func TestMedianRelativeErrorGeneralized(t *testing.T) {
+	tab := sample(t, 20000, 3)
+	res, err := burel.Anonymize(tab, burel.Options{Beta: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := res.Partition.Publish()
+	g, _ := NewGenerator(tab.Schema, 2, 0.1, rand.New(rand.NewSource(7)))
+	med, n, err := MedianRelativeError(tab, g, func(q Query) (float64, error) {
+		return EstimateGeneralized(tab.Schema, pub, q), nil
+	}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("workload evaluated no queries")
+	}
+	if med > 1.0 {
+		t.Errorf("median relative error %v unreasonably high", med)
+	}
+
+	// Whole-table-as-one-EC should do worse.
+	one := &microdata.Partition{Table: tab, ECs: []microdata.EC{{Rows: allRows(tab.Len())}}}
+	onePub := one.Publish()
+	g2, _ := NewGenerator(tab.Schema, 2, 0.1, rand.New(rand.NewSource(7)))
+	medOne, _, err := MedianRelativeError(tab, g2, func(q Query) (float64, error) {
+		return EstimateGeneralized(tab.Schema, onePub, q), nil
+	}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med >= medOne {
+		t.Errorf("BUREL error %v not below single-EC error %v", med, medOne)
+	}
+}
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// TestPerturbedEstimatorBeatsBaseline reproduces the Fig. 9 headline: the
+// reconstruction-based estimator outperforms the Anatomy-style Baseline,
+// because it exploits the per-group observed SA counts while Baseline only
+// knows the global distribution.
+func TestPerturbedEstimatorBeatsBaseline(t *testing.T) {
+	tab := sample(t, 30000, 3)
+	scheme, err := perturb.NewScheme(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	pert := scheme.Perturb(tab, rng)
+	base := anatomy.Publish(tab, rng)
+
+	gp, _ := NewGenerator(tab.Schema, 2, 0.15, rand.New(rand.NewSource(13)))
+	medP, _, err := MedianRelativeError(tab, gp, func(q Query) (float64, error) {
+		return EstimatePerturbed(pert, scheme, q)
+	}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := NewGenerator(tab.Schema, 2, 0.15, rand.New(rand.NewSource(13)))
+	medB, _, err := MedianRelativeError(tab, gb, func(q Query) (float64, error) {
+		return EstimateBaseline(base, q)
+	}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if medP >= medB {
+		t.Errorf("perturbed error %v not below baseline %v", medP, medB)
+	}
+}
+
+func TestMatchesPredicates(t *testing.T) {
+	q := Query{Dims: []int{0}, Lo: []float64{10}, Hi: []float64{20}, SALo: 1, SAHi: 2}
+	in := microdata.Tuple{QI: []float64{15, 0, 0}, SA: 1}
+	outQI := microdata.Tuple{QI: []float64{25, 0, 0}, SA: 1}
+	outSA := microdata.Tuple{QI: []float64{15, 0, 0}, SA: 0}
+	if !q.Matches(in) {
+		t.Error("matching tuple rejected")
+	}
+	if q.Matches(outQI) {
+		t.Error("QI-miss accepted")
+	}
+	if q.Matches(outSA) {
+		t.Error("SA-miss accepted")
+	}
+	if !q.MatchesQI(outSA) {
+		t.Error("MatchesQI should ignore SA")
+	}
+}
+
+func TestMedianRelativeErrorDropsZeroPrec(t *testing.T) {
+	tab := sample(t, 50, 3)
+	// θ tiny: most queries select nothing and are dropped.
+	g, _ := NewGenerator(tab.Schema, 3, 0.001, rand.New(rand.NewSource(17)))
+	_, n, err := MedianRelativeError(tab, g, func(q Query) (float64, error) {
+		return 0, nil
+	}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 50 {
+		t.Skip("all queries matched; data too dense for the zero-drop check")
+	}
+}

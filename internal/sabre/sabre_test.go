@@ -1,0 +1,131 @@
+package sabre
+
+import (
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/likeness"
+	"repro/internal/microdata"
+)
+
+func sample(t *testing.T, n int) *microdata.Table {
+	t.Helper()
+	return census.Generate(census.Options{N: n, Seed: 42}).Project(3)
+}
+
+// TestSatisfiesTCloseness: the core guarantee — every EC's equal-distance
+// EMD from the overall SA distribution is within the budget.
+func TestSatisfiesTCloseness(t *testing.T) {
+	tab := sample(t, 10000)
+	for _, tv := range []float64{0.05, 0.1, 0.2, 0.4} {
+		res, err := Anonymize(tab, Options{T: tv, Seed: 1})
+		if err != nil {
+			t.Fatalf("t=%v: %v", tv, err)
+		}
+		if err := res.Partition.Validate(); err != nil {
+			t.Fatalf("t=%v: %v", tv, err)
+		}
+		maxT, _ := likeness.AchievedT(res.Partition, likeness.EqualEMD)
+		if maxT > tv+1e-9 {
+			t.Fatalf("t=%v: achieved EMD %v", tv, maxT)
+		}
+	}
+}
+
+// TestTighterTGivesMoreBucketsAndLoss: decreasing t refines the SA
+// bucketization and cannot improve information quality.
+func TestTighterTGivesMoreBucketsAndLoss(t *testing.T) {
+	tab := sample(t, 10000)
+	loose, err := Anonymize(tab, Options{T: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Anonymize(tab, Options{T: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight.Buckets) < len(loose.Buckets) {
+		t.Errorf("tight t has fewer buckets (%d) than loose (%d)", len(tight.Buckets), len(loose.Buckets))
+	}
+	if tight.Partition.AIL() < loose.Partition.AIL()-0.05 {
+		t.Errorf("tight t improved AIL: %v vs %v", tight.Partition.AIL(), loose.Partition.AIL())
+	}
+}
+
+// TestBucketsCoverDomain: every positive-frequency SA value appears in
+// exactly one bucket.
+func TestBucketsCoverDomain(t *testing.T) {
+	tab := sample(t, 5000)
+	res, err := Anonymize(tab, Options{T: 0.15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tab.SACounts()
+	seen := make(map[int]int)
+	for _, b := range res.Buckets {
+		for _, v := range b {
+			seen[v]++
+		}
+	}
+	for v, c := range counts {
+		want := 0
+		if c > 0 {
+			want = 1
+		}
+		if seen[v] != want {
+			t.Fatalf("value %d appears in %d buckets, want %d", v, seen[v], want)
+		}
+	}
+}
+
+// TestZeroT: t = 0 forces singleton buckets (exact proportionality); the
+// output must still be a valid partition with near-zero EMD.
+func TestZeroT(t *testing.T) {
+	tab := sample(t, 2000)
+	res, err := Anonymize(tab, Options{T: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Buckets {
+		if len(b) != 1 {
+			t.Fatalf("t=0 produced multi-value bucket %v", b)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tab := sample(t, 100)
+	if _, err := Anonymize(tab, Options{T: -0.1}); err == nil {
+		t.Error("negative t accepted")
+	}
+	empty := microdata.NewTable(tab.Schema)
+	if _, err := Anonymize(empty, Options{T: 0.1}); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tab := sample(t, 2000)
+	a, err := Anonymize(tab, Options{T: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anonymize(tab, Options{T: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Partition.ECs) != len(b.Partition.ECs) {
+		t.Fatalf("EC counts differ")
+	}
+	for i := range a.Partition.ECs {
+		ra, rb := a.Partition.ECs[i].Rows, b.Partition.ECs[i].Rows
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatal("partitions differ under same seed")
+			}
+		}
+	}
+}
