@@ -1,0 +1,60 @@
+// Command serve runs the anonymization/query HTTP service: upload a CSV
+// with anonymization parameters, poll the release as a worker pool builds
+// it, then issue COUNT(*) estimates answered through the per-release EC
+// index. See README.md for the API with curl examples.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-workers N] [-max-body-mb M]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/release"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", release.DefaultWorkers, "concurrent anonymization builds")
+	maxBodyMB := flag.Int64("max-body-mb", 256, "request body limit in MiB")
+	flag.Parse()
+
+	store := release.NewStore(*workers)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(store, server.Options{MaxBodyBytes: *maxBodyMB << 20}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (%d build workers)\n", *addr, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
+		}
+		store.Close()
+	}
+}

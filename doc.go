@@ -4,7 +4,8 @@
 // (ρ1i, ρ2i)-privacy perturbation scheme, and every comparator and
 // experiment of the paper's evaluation.
 //
-// The library lives under internal/; see README.md for the map, DESIGN.md
-// for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
-// record. The benchmarks in bench_test.go regenerate each table and figure.
+// The library lives under internal/; see README.md for the package map and
+// the HTTP API, and DESIGN.md for the system inventory and the architecture
+// of the release/serving layer. The benchmarks in bench_test.go regenerate
+// each table and figure; cmd/serve runs the anonymization/query service.
 package repro

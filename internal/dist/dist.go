@@ -1,0 +1,167 @@
+// Package dist provides the discrete-distribution primitives shared by the
+// privacy models: the β-likeness relative distance of Definition 1, the two
+// EMD ground distances of t-closeness, Shannon entropy for entropy
+// ℓ-diversity, and kernel-smoothed Jensen–Shannon divergence for the
+// alternative closeness instantiation discussed in §2.
+package dist
+
+import "math"
+
+// Distribution is a probability vector over an ordinal or nominal domain.
+// Entries are expected to be non-negative and sum to ~1, but no function in
+// this package enforces normalization; callers own that invariant.
+type Distribution []float64
+
+// FromCounts converts integer counts to a distribution. An all-zero (or
+// empty) count vector yields an all-zero distribution.
+func FromCounts(counts []int) Distribution {
+	d := make(Distribution, len(counts))
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return d
+	}
+	inv := 1 / float64(total)
+	for i, c := range counts {
+		d[i] = float64(c) * inv
+	}
+	return d
+}
+
+// Support returns the number of values with positive mass — the distinct
+// ℓ-diversity of an EC when applied to its SA distribution.
+func Support(d Distribution) int {
+	n := 0
+	for _, v := range d {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RelativeDistance is the paper's information-gain distance (Definition 1):
+// D(p, q) = (q − p) / p. It is positive when the value is over-represented
+// relative to the baseline p. p = 0 with q > 0 yields +Inf (unbounded gain);
+// p = q = 0 yields 0.
+func RelativeDistance(p, q float64) float64 {
+	if p == 0 {
+		if q == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (q - p) / p
+}
+
+// MaxPositiveRelative returns max_i D(p_i, q_i) over values with positive
+// gain (q_i > p_i), i.e. the basic β-likeness an EC with distribution q
+// achieves against the overall distribution p. Zero when no value gains.
+func MaxPositiveRelative(p, q Distribution) float64 {
+	worst := 0.0
+	for i, qi := range q {
+		if qi <= p[i] {
+			continue
+		}
+		if d := RelativeDistance(p[i], qi); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Entropy returns the Shannon entropy in nats, with 0·ln 0 = 0.
+func Entropy(d Distribution) float64 {
+	h := 0.0
+	for _, v := range d {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// EMDEqual is the earth mover's distance under the equal ground distance
+// (every pair of distinct values is at distance 1): the total variation
+// distance ½·Σ|p_i − q_i|.
+func EMDEqual(p, q Distribution) float64 {
+	sum := 0.0
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2
+}
+
+// EMDOrdered is the earth mover's distance under the ordered ground
+// distance d(i,j) = |i−j|/(m−1), the metric t-closeness uses for
+// numeric/ordinal attributes: Σ_i |Σ_{j≤i} (p_j − q_j)| / (m−1).
+func EMDOrdered(p, q Distribution) float64 {
+	m := len(p)
+	if m < 2 {
+		return 0
+	}
+	sum, carry := 0.0, 0.0
+	for i := 0; i < m; i++ {
+		carry += p[i] - q[i]
+		sum += math.Abs(carry)
+	}
+	return sum / float64(m-1)
+}
+
+// KL is the Kullback–Leibler divergence KL(p‖q) in nats; terms with
+// p_i = 0 contribute 0 and terms with q_i = 0 < p_i contribute +Inf.
+func KL(p, q Distribution) float64 {
+	sum := 0.0
+	for i, pi := range p {
+		if pi == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		sum += pi * math.Log(pi/q[i])
+	}
+	return sum
+}
+
+// JS is the Jensen–Shannon divergence in nats: ½KL(p‖m) + ½KL(q‖m) with
+// m = (p+q)/2. It is finite, symmetric, and bounded by ln 2.
+func JS(p, q Distribution) float64 {
+	m := make(Distribution, len(p))
+	for i := range p {
+		m[i] = (p[i] + q[i]) / 2
+	}
+	return (KL(p, m) + KL(q, m)) / 2
+}
+
+// KernelSmooth convolves the distribution with a Gaussian kernel of
+// bandwidth h over the normalized ordered ground distance |i−j|/(m−1),
+// then renormalizes to unit mass. h ≤ 0 returns a copy unchanged. This is
+// the pre-smoothing step of the smoothed-JS closeness instantiation.
+func KernelSmooth(d Distribution, h float64) Distribution {
+	m := len(d)
+	out := make(Distribution, m)
+	if h <= 0 || m < 2 {
+		copy(out, d)
+		return out
+	}
+	scale := float64(m - 1)
+	total := 0.0
+	for i := 0; i < m; i++ {
+		acc := 0.0
+		for j := 0; j < m; j++ {
+			x := float64(i-j) / scale / h
+			acc += d[j] * math.Exp(-x*x/2)
+		}
+		out[i] = acc
+		total += acc
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

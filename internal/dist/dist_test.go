@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestFromCounts(t *testing.T) {
+	d := FromCounts([]int{1, 3, 0, 4})
+	want := Distribution{0.125, 0.375, 0, 0.5}
+	for i := range want {
+		if !approx(d[i], want[i]) {
+			t.Fatalf("FromCounts[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+	z := FromCounts([]int{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("zero counts: %v", z)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	if got := Support(Distribution{0.5, 0, 0.25, 0.25}); got != 3 {
+		t.Fatalf("Support = %d, want 3", got)
+	}
+}
+
+func TestRelativeDistance(t *testing.T) {
+	if !approx(RelativeDistance(0.2, 0.3), 0.5) {
+		t.Fatal("D(0.2,0.3) != 0.5")
+	}
+	if !approx(RelativeDistance(0.2, 0.1), -0.5) {
+		t.Fatal("D(0.2,0.1) != -0.5")
+	}
+	if RelativeDistance(0, 0) != 0 {
+		t.Fatal("D(0,0) != 0")
+	}
+	if !math.IsInf(RelativeDistance(0, 0.1), 1) {
+		t.Fatal("D(0,0.1) not +Inf")
+	}
+}
+
+func TestMaxPositiveRelative(t *testing.T) {
+	p := Distribution{0.5, 0.3, 0.2}
+	q := Distribution{0.4, 0.45, 0.15}
+	// Only value 1 gains: (0.45-0.3)/0.3 = 0.5.
+	if got := MaxPositiveRelative(p, q); !approx(got, 0.5) {
+		t.Fatalf("MaxPositiveRelative = %v, want 0.5", got)
+	}
+	if got := MaxPositiveRelative(p, p); got != 0 {
+		t.Fatalf("identical distributions: %v", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy(Distribution{0.5, 0.5}); !approx(got, math.Log(2)) {
+		t.Fatalf("H(uniform 2) = %v, want ln 2", got)
+	}
+	if got := Entropy(Distribution{1, 0}); got != 0 {
+		t.Fatalf("H(point mass) = %v, want 0", got)
+	}
+}
+
+func TestEMD(t *testing.T) {
+	p := Distribution{1, 0, 0}
+	q := Distribution{0, 0, 1}
+	// Equal ground distance: total variation = 1.
+	if got := EMDEqual(p, q); !approx(got, 1) {
+		t.Fatalf("EMDEqual = %v, want 1", got)
+	}
+	// Ordered: all mass moves 2 of 2 normalized steps = 1.
+	if got := EMDOrdered(p, q); !approx(got, 1) {
+		t.Fatalf("EMDOrdered = %v, want 1", got)
+	}
+	// Adjacent move of half the mass: ordered EMD = 0.5·(1/2) = 0.25.
+	if got := EMDOrdered(Distribution{1, 0, 0}, Distribution{0.5, 0.5, 0}); !approx(got, 0.25) {
+		t.Fatalf("EMDOrdered adjacent = %v, want 0.25", got)
+	}
+	if got := EMDEqual(p, p); got != 0 {
+		t.Fatalf("EMDEqual self = %v", got)
+	}
+	if got := EMDOrdered(p, p); got != 0 {
+		t.Fatalf("EMDOrdered self = %v", got)
+	}
+}
+
+func TestJS(t *testing.T) {
+	p := Distribution{1, 0}
+	q := Distribution{0, 1}
+	// Disjoint supports: JS = ln 2.
+	if got := JS(p, q); !approx(got, math.Log(2)) {
+		t.Fatalf("JS(disjoint) = %v, want ln 2", got)
+	}
+	if got := JS(p, p); got != 0 {
+		t.Fatalf("JS self = %v", got)
+	}
+	if got := JS(p, q); !approx(got, JS(q, p)) {
+		t.Fatal("JS not symmetric")
+	}
+}
+
+func TestKernelSmooth(t *testing.T) {
+	p := Distribution{0, 1, 0, 0, 0}
+	s := KernelSmooth(p, 0.2)
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	if !approx(total, 1) {
+		t.Fatalf("smoothed mass = %v, want 1", total)
+	}
+	if s[1] <= s[2] || s[2] <= s[3] {
+		t.Fatalf("smoothing not peaked at the source: %v", s)
+	}
+	if s[0] == 0 || s[4] == 0 {
+		t.Fatalf("Gaussian kernel should spread everywhere: %v", s)
+	}
+	// h ≤ 0 is the identity.
+	id := KernelSmooth(p, 0)
+	for i := range p {
+		if id[i] != p[i] {
+			t.Fatalf("h=0 not identity: %v", id)
+		}
+	}
+}

@@ -155,6 +155,51 @@ type PublishedEC struct {
 	Box      Box
 	SACounts []int
 	Size     int
+
+	// SAPrefix caches the exclusive prefix sums of SACounts
+	// (SAPrefix[i] = Σ_{j<i} SACounts[j], length len(SACounts)+1), making
+	// SA-range counting O(1). Publish fills it; hand-built values may
+	// leave it nil and SARangeCount falls back to summing.
+	SAPrefix []int
+}
+
+// BuildSAPrefix (re)computes the cached prefix sums from SACounts. Call it
+// after constructing or mutating a PublishedEC by hand.
+func (e *PublishedEC) BuildSAPrefix() {
+	if cap(e.SAPrefix) < len(e.SACounts)+1 {
+		e.SAPrefix = make([]int, len(e.SACounts)+1)
+	} else {
+		e.SAPrefix = e.SAPrefix[:len(e.SACounts)+1]
+	}
+	sum := 0
+	e.SAPrefix[0] = 0
+	for i, c := range e.SACounts {
+		sum += c
+		e.SAPrefix[i+1] = sum
+	}
+}
+
+// SARangeCount returns the number of the EC's tuples whose SA index falls
+// in [lo, hi], clamped to the domain. O(1) when SAPrefix is built,
+// O(hi−lo) otherwise. An empty or inverted range counts zero.
+func (e *PublishedEC) SARangeCount(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(e.SACounts) {
+		hi = len(e.SACounts) - 1
+	}
+	if lo > hi {
+		return 0
+	}
+	if len(e.SAPrefix) == len(e.SACounts)+1 {
+		return e.SAPrefix[hi+1] - e.SAPrefix[lo]
+	}
+	cnt := 0
+	for i := lo; i <= hi; i++ {
+		cnt += e.SACounts[i]
+	}
+	return cnt
 }
 
 // Publish converts the partition into its release form. For categorical
@@ -175,7 +220,9 @@ func (p *Partition) Publish() []PublishedEC {
 				}
 			}
 		}
-		out = append(out, PublishedEC{Box: b, SACounts: g.SACounts(p.Table), Size: g.Len()})
+		ec := PublishedEC{Box: b, SACounts: g.SACounts(p.Table), Size: g.Len()}
+		ec.BuildSAPrefix()
+		out = append(out, ec)
 	}
 	return out
 }

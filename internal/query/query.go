@@ -116,25 +116,22 @@ func Exact(t *microdata.Table, q Query) int {
 // tuple count within the SA range) — the intersection estimator of §6.2.
 func EstimateGeneralized(schema *microdata.Schema, pub []microdata.PublishedEC, q Query) float64 {
 	est := 0.0
-	for _, ec := range pub {
-		frac := overlapFraction(schema, ec.Box, q)
+	for i := range pub {
+		ec := &pub[i]
+		frac := OverlapFraction(schema, ec.Box, q)
 		if frac == 0 {
 			continue
 		}
-		cnt := 0
-		for i := q.SALo; i <= q.SAHi && i < len(ec.SACounts); i++ {
-			cnt += ec.SACounts[i]
-		}
-		est += frac * float64(cnt)
+		est += frac * float64(ec.SARangeCount(q.SALo, q.SAHi))
 	}
 	return est
 }
 
-// overlapFraction returns the fraction of an EC box that intersects the
+// OverlapFraction returns the fraction of an EC box that intersects the
 // query region, assuming a uniform spread of tuples over the box. Numeric
 // dimensions use interval-length ratios; categorical ones use discrete
 // leaf-rank counts.
-func overlapFraction(schema *microdata.Schema, box microdata.Box, q Query) float64 {
+func OverlapFraction(schema *microdata.Schema, box microdata.Box, q Query) float64 {
 	frac := 1.0
 	for i, d := range q.Dims {
 		lo, hi := box.Lo[d], box.Hi[d]
@@ -155,10 +152,9 @@ func overlapFraction(schema *microdata.Schema, box microdata.Box, q Query) float
 			}
 			olo, ohi := math.Max(lo, qlo), math.Min(hi, qhi)
 			if olo >= ohi {
-				// Allow grazing contact to count as zero.
-				if olo > ohi {
-					return 0
-				}
+				// Grazing contact (olo == ohi) is a zero-measure
+				// intersection of a positive-width box, so it counts
+				// as no overlap, same as disjoint ranges.
 				return 0
 			}
 			frac *= (ohi - olo) / (hi - lo)

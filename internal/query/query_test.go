@@ -247,3 +247,40 @@ func TestMedianRelativeErrorDropsZeroPrec(t *testing.T) {
 		t.Skip("all queries matched; data too dense for the zero-drop check")
 	}
 }
+
+// TestOverlapFractionGrazing pins the grazing-contact semantics of
+// overlapFraction: a query range that only touches the edge of a
+// positive-width numeric box is a zero-measure intersection and counts as
+// no overlap, exactly like a disjoint range. Point boxes (lo == hi) are
+// the exception: edge contact there is full containment.
+func TestOverlapFractionGrazing(t *testing.T) {
+	schema := &microdata.Schema{
+		QI: []microdata.Attribute{microdata.NumericAttr("x", 0, 100)},
+		SA: microdata.SensitiveAttr{Name: "s", Values: []string{"a", "b"}},
+	}
+	box := microdata.Box{Lo: []float64{10}, Hi: []float64{20}}
+	mk := func(lo, hi float64) Query {
+		return Query{Dims: []int{0}, Lo: []float64{lo}, Hi: []float64{hi}}
+	}
+	cases := []struct {
+		name string
+		q    Query
+		box  microdata.Box
+		want float64
+	}{
+		{"disjoint below", mk(0, 5), box, 0},
+		{"disjoint above", mk(25, 30), box, 0},
+		{"grazing lower edge", mk(0, 10), box, 0},
+		{"grazing upper edge", mk(20, 30), box, 0},
+		{"half overlap", mk(15, 30), box, 0.5},
+		{"containment", mk(0, 100), box, 1},
+		{"point box inside", mk(10, 30), microdata.Box{Lo: []float64{15}, Hi: []float64{15}}, 1},
+		{"point box on query edge", mk(15, 30), microdata.Box{Lo: []float64{15}, Hi: []float64{15}}, 1},
+		{"point box outside", mk(20, 30), microdata.Box{Lo: []float64{15}, Hi: []float64{15}}, 0},
+	}
+	for _, tc := range cases {
+		if got := OverlapFraction(schema, tc.box, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: overlapFraction = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package release
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/microdata"
+	"repro/internal/query"
+)
+
+// ECIndex accelerates intersection-based COUNT estimation over a published
+// set of equivalence classes. Each QI dimension carries a uniform grid of
+// cells over the attribute domain; every cell lists the IDs of the ECs
+// whose bounding box overlaps it. A query picks the predicate dimension
+// with the fewest candidate ECs and verifies only those against the full
+// predicate set, pruning the non-overlapping bulk that the linear
+// estimator of query.EstimateGeneralized would scan — the data-skipping
+// idea of per-block summaries applied to EC bounding boxes.
+//
+// The index is immutable after Build and safe for concurrent queries.
+type ECIndex struct {
+	schema *microdata.Schema
+	ecs    []microdata.PublishedEC
+	dims   []dimGrid
+
+	// totalSA holds exclusive prefix sums of the whole release's SA
+	// counts, answering predicate-free (λ=0) queries in O(1).
+	totalSA []int
+
+	scratch sync.Pool
+}
+
+// dimGrid is the per-dimension cell directory.
+type dimGrid struct {
+	min, max float64
+	invW     float64 // cells per domain unit
+	cells    [][]int32
+}
+
+// MaxGridCells caps the per-dimension grid resolution (Params.Validate
+// enforces the same bound at the API boundary).
+const MaxGridCells = 4096
+
+// maxAvgSpan bounds the average number of cells an EC's box may span per
+// dimension: BuildIndex coarsens a dimension's grid until the average
+// span is within this budget, so the directory holds O(dims · |ECs|)
+// entries regardless of box widths or the requested resolution — wide
+// boxes get a coarser (less selective, but never memory-hungry) grid.
+const maxAvgSpan = 8
+
+// BuildIndex constructs the index over a published EC set. The slice is
+// retained (not copied); callers must not mutate it afterwards. Each EC's
+// SA prefix sums are built if absent so range counting is O(1) on the
+// verification path. cellsPerDim ≤ 0 selects √|ECs| clamped to [16, 512],
+// balancing directory size against pruning resolution; explicit values
+// are clamped to MaxGridCells.
+func BuildIndex(schema *microdata.Schema, ecs []microdata.PublishedEC, cellsPerDim int) *ECIndex {
+	if cellsPerDim <= 0 {
+		cellsPerDim = int(math.Sqrt(float64(len(ecs))))
+		if cellsPerDim < 16 {
+			cellsPerDim = 16
+		}
+		if cellsPerDim > 512 {
+			cellsPerDim = 512
+		}
+	}
+	if cellsPerDim > MaxGridCells {
+		cellsPerDim = MaxGridCells
+	}
+	ix := &ECIndex{schema: schema, ecs: ecs}
+	ix.scratch.New = func() any { return &markSet{} }
+
+	ix.totalSA = make([]int, len(schema.SA.Values)+1)
+	for i := range ecs {
+		ec := &ecs[i]
+		if len(ec.SAPrefix) != len(ec.SACounts)+1 {
+			ec.BuildSAPrefix()
+		}
+		for v, c := range ec.SACounts {
+			ix.totalSA[v+1] += c
+		}
+	}
+	for v := 1; v < len(ix.totalSA); v++ {
+		ix.totalSA[v] += ix.totalSA[v-1]
+	}
+
+	ix.dims = make([]dimGrid, len(schema.QI))
+	for d, a := range schema.QI {
+		var lo, hi float64
+		if a.Kind == microdata.Numeric {
+			lo, hi = a.Min, a.Max
+		} else {
+			lo, hi = 0, float64(a.Hierarchy.NumLeaves()-1)
+		}
+		// Coarsen until the directory for this dimension stays within
+		// the maxAvgSpan entry budget (wide boxes span proportionally
+		// fewer of a coarser grid's cells).
+		cells := cellsPerDim
+		for cells > 16 && len(ecs) > 0 {
+			g := dimGrid{min: lo, max: hi, cells: make([][]int32, cells)}
+			if hi > lo {
+				g.invW = float64(cells) / (hi - lo)
+			}
+			total := 0
+			for i := range ecs {
+				total += g.cell(ecs[i].Box.Hi[d]) - g.cell(ecs[i].Box.Lo[d]) + 1
+			}
+			if total <= maxAvgSpan*len(ecs) {
+				break
+			}
+			cells /= 2
+		}
+		g := dimGrid{min: lo, max: hi, cells: make([][]int32, cells)}
+		if hi > lo {
+			g.invW = float64(cells) / (hi - lo)
+		}
+		for i := range ecs {
+			c0 := g.cell(ecs[i].Box.Lo[d])
+			c1 := g.cell(ecs[i].Box.Hi[d])
+			for c := c0; c <= c1; c++ {
+				g.cells[c] = append(g.cells[c], int32(i))
+			}
+		}
+		ix.dims[d] = g
+	}
+	return ix
+}
+
+// cell maps a coordinate to its grid cell, clamped to the domain.
+func (g *dimGrid) cell(v float64) int {
+	c := int((v - g.min) * g.invW)
+	if c < 0 {
+		c = 0
+	}
+	if c >= len(g.cells) {
+		c = len(g.cells) - 1
+	}
+	return c
+}
+
+// markSet dedupes candidate EC IDs across the cells of a query range
+// without per-query allocation: IDs are stamped with an epoch that a reset
+// merely increments.
+type markSet struct {
+	mark  []uint32
+	epoch uint32
+}
+
+// reset advances the epoch by 2: epoch tags "seen in the first pass",
+// epoch+1 tags "already processed", so a two-pass intersection needs no
+// clearing between passes.
+func (m *markSet) reset(n int) {
+	if len(m.mark) < n {
+		m.mark = make([]uint32, n)
+		m.epoch = 1
+		return
+	}
+	m.epoch += 2
+	if m.epoch >= ^uint32(0)-1 { // wrapping next reset: clear and restart
+		for i := range m.mark {
+			m.mark[i] = 0
+		}
+		m.epoch = 1
+	}
+}
+
+func (m *markSet) visit(id int32) bool {
+	if m.mark[id] == m.epoch {
+		return false
+	}
+	m.mark[id] = m.epoch
+	return true
+}
+
+// NumECs returns the number of indexed equivalence classes.
+func (ix *ECIndex) NumECs() int { return len(ix.ecs) }
+
+// ECs returns the indexed EC slice; callers must treat it as read-only.
+func (ix *ECIndex) ECs() []microdata.PublishedEC { return ix.ecs }
+
+// predRange is one query predicate mapped onto its dimension's grid.
+type predRange struct {
+	pred   int // index into q.Dims
+	c0, c1 int
+	load   int // Σ cell list lengths over [c0, c1]; candidate-count proxy
+}
+
+// pruneDims maps every query predicate onto its grid and returns them
+// sorted by ascending load, so callers can intersect the most selective
+// dimensions first. Empty when the query carries no QI predicates.
+func (ix *ECIndex) pruneDims(q query.Query) []predRange {
+	prs := make([]predRange, len(q.Dims))
+	for i, d := range q.Dims {
+		g := &ix.dims[d]
+		lo, hi := g.cell(q.Lo[i]), g.cell(q.Hi[i])
+		load := 0
+		for c := lo; c <= hi; c++ {
+			load += len(g.cells[c])
+		}
+		prs[i] = predRange{pred: i, c0: lo, c1: hi, load: load}
+	}
+	sort.Slice(prs, func(a, b int) bool { return prs[a].load < prs[b].load })
+	return prs
+}
+
+// Estimate answers the COUNT(*) query with the same intersection
+// semantics as query.EstimateGeneralized, visiting only the ECs whose
+// bounding box can overlap the most selective predicate's grid range.
+func (ix *ECIndex) Estimate(q query.Query) float64 {
+	if len(q.Dims) == 0 {
+		// SA-only query: every EC overlaps fully; the release-wide
+		// prefix sums answer it without touching any EC.
+		lo, hi := q.SALo, q.SAHi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(ix.totalSA)-1 {
+			hi = len(ix.totalSA) - 2
+		}
+		if lo > hi {
+			return 0
+		}
+		return float64(ix.totalSA[hi+1] - ix.totalSA[lo])
+	}
+	ms := ix.scratch.Get().(*markSet)
+	est := 0.0
+	ix.forCandidates(q, ms, func(id int32) {
+		ec := &ix.ecs[id]
+		frac := query.OverlapFraction(ix.schema, ec.Box, q)
+		if frac == 0 {
+			return
+		}
+		est += frac * float64(ec.SARangeCount(q.SALo, q.SAHi))
+	})
+	ix.scratch.Put(ms)
+	return est
+}
+
+// forCandidates visits each distinct EC that survives grid pruning. With
+// one predicate it walks that dimension's cell range; with two or more it
+// intersects the two most selective ranges — an EC is visited only if its
+// box overlaps both grid ranges — before the exact per-box verification
+// the caller performs.
+func (ix *ECIndex) forCandidates(q query.Query, ms *markSet, fn func(id int32)) {
+	prs := ix.pruneDims(q)
+	ms.reset(len(ix.ecs))
+	a := prs[0]
+	ga := &ix.dims[q.Dims[a.pred]]
+	if len(prs) == 1 {
+		for c := a.c0; c <= a.c1; c++ {
+			for _, id := range ga.cells[c] {
+				if ms.visit(id) {
+					fn(id)
+				}
+			}
+		}
+		return
+	}
+	// Pass 1: tag everything in the most selective range with epoch.
+	for c := a.c0; c <= a.c1; c++ {
+		for _, id := range ga.cells[c] {
+			ms.mark[id] = ms.epoch
+		}
+	}
+	// Pass 2: visit ids of the second range already tagged, retagging
+	// with epoch+1 so duplicates across cells process once.
+	b := prs[1]
+	gb := &ix.dims[q.Dims[b.pred]]
+	for c := b.c0; c <= b.c1; c++ {
+		for _, id := range gb.cells[c] {
+			if ms.mark[id] == ms.epoch {
+				ms.mark[id] = ms.epoch + 1
+				fn(id)
+			}
+		}
+	}
+}
+
+// Candidates returns how many distinct ECs the index would verify for the
+// query — the pruning effectiveness the benchmarks measure. A query with
+// no QI predicates verifies none (the global prefix sums answer it).
+func (ix *ECIndex) Candidates(q query.Query) int {
+	if len(q.Dims) == 0 {
+		return 0
+	}
+	ms := ix.scratch.Get().(*markSet)
+	n := 0
+	ix.forCandidates(q, ms, func(int32) { n++ })
+	ix.scratch.Put(ms)
+	return n
+}

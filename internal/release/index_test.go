@@ -1,0 +1,196 @@
+package release
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/microdata"
+	"repro/internal/query"
+)
+
+// syntheticECs fabricates n published ECs with small random boxes over the
+// schema's QI domain — the shape a BUREL release of a large table takes —
+// so index tests don't pay for a full anonymization run.
+func syntheticECs(schema *microdata.Schema, n int, rng *rand.Rand) []microdata.PublishedEC {
+	m := len(schema.SA.Values)
+	ecs := make([]microdata.PublishedEC, n)
+	for i := range ecs {
+		lo := make([]float64, len(schema.QI))
+		hi := make([]float64, len(schema.QI))
+		for d, a := range schema.QI {
+			var dlo, dhi float64
+			if a.Kind == microdata.Numeric {
+				dlo, dhi = a.Min, a.Max
+			} else {
+				dlo, dhi = 0, float64(a.Hierarchy.NumLeaves()-1)
+			}
+			w := (dhi - dlo) * (0.01 + 0.05*rng.Float64())
+			c := dlo + rng.Float64()*(dhi-dlo-w)
+			lo[d], hi[d] = c, c+w
+		}
+		counts := make([]int, m)
+		size := 0
+		for k := 0; k < 4+rng.Intn(8); k++ {
+			counts[rng.Intn(m)]++
+			size++
+		}
+		ec := microdata.PublishedEC{Box: microdata.Box{Lo: lo, Hi: hi}, SACounts: counts, Size: size}
+		ec.BuildSAPrefix()
+		ecs[i] = ec
+	}
+	return ecs
+}
+
+// TestIndexMatchesLinear: the indexed estimator must agree with the linear
+// scan on every query, across λ and θ shapes, including λ=0 (SA-only).
+func TestIndexMatchesLinear(t *testing.T) {
+	schema := census.Schema().Project(3)
+	rng := rand.New(rand.NewSource(7))
+	ecs := syntheticECs(schema, 2000, rng)
+	ix := BuildIndex(schema, ecs, 0)
+
+	for _, shape := range []struct {
+		lambda int
+		theta  float64
+	}{{0, 0.1}, {1, 0.1}, {2, 0.01}, {3, 0.05}} {
+		gen, err := query.NewGenerator(schema, shape.lambda, shape.theta, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			q := gen.Next()
+			want := query.EstimateGeneralized(schema, ecs, q)
+			got := ix.Estimate(q)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("λ=%d θ=%v query %d: indexed %v != linear %v", shape.lambda, shape.theta, i, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexMatchesLinearOnBurel repeats the agreement check on a real
+// BUREL release, whose boxes are correlated rather than uniform.
+func TestIndexMatchesLinearOnBurel(t *testing.T) {
+	tab := census.Generate(census.Options{N: 3000, Seed: 5}).Project(3)
+	snap, err := build(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	gen, err := query.NewGenerator(tab.Schema, 2, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		q := gen.Next()
+		want := query.EstimateGeneralized(tab.Schema, snap.ECs, q)
+		got, err := snap.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("query %d: indexed %v != linear %v", i, got, want)
+		}
+	}
+}
+
+// TestIndexPrunes: at low selectivity the index must examine a small
+// fraction of the ECs — the deterministic counterpart of the wall-clock
+// benchmark (≥3× fewer candidates than the linear scan's |ECs|).
+func TestIndexPrunes(t *testing.T) {
+	schema := census.Schema().Project(3)
+	rng := rand.New(rand.NewSource(3))
+	ecs := syntheticECs(schema, 10000, rng)
+	ix := BuildIndex(schema, ecs, 0)
+	gen, err := query.NewGenerator(schema, 2, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalCand := 0
+	n := 100
+	for i := 0; i < n; i++ {
+		totalCand += ix.Candidates(gen.Next())
+	}
+	avg := float64(totalCand) / float64(n)
+	if ratio := float64(len(ecs)) / avg; ratio < 3 {
+		t.Fatalf("index examines %0.f of %d ECs on average (%.1f× pruning); want ≥3×", avg, len(ecs), ratio)
+	}
+}
+
+// TestQueryValidation: malformed network queries must error, not panic.
+func TestQueryValidation(t *testing.T) {
+	tab := census.Generate(census.Options{N: 500, Seed: 9}).Project(3)
+	snap, err := build(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []query.Query{
+		{Dims: []int{0}, Lo: nil, Hi: nil, SALo: 0, SAHi: 0},                            // missing bounds
+		{Dims: []int{9}, Lo: []float64{0}, Hi: []float64{1}, SALo: 0, SAHi: 0},          // dim out of range
+		{Dims: []int{0, 0}, Lo: []float64{0, 0}, Hi: []float64{1, 1}, SALo: 0, SAHi: 0}, // duplicate dim
+		{Dims: []int{0}, Lo: []float64{5}, Hi: []float64{1}, SALo: 0, SAHi: 0},          // inverted range
+		{SALo: -1, SAHi: 0},                                      // SA below domain
+		{SALo: 0, SAHi: len(tab.Schema.SA.Values)},               // SA past domain
+		{SALo: 3, SAHi: 1},                                       // inverted SA
+		{Dims: []int{1}, Lo: []float64{0.5}, Hi: []float64{1.5}}, // fractional categorical bounds
+	}
+	for i, q := range bad {
+		if _, err := snap.Estimate(q); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+// TestIndexWideBoxes: ECs spanning most of the domain must neither blow
+// up the directory (the grid coarsens to keep ~O(|ECs|) entries per
+// dimension) nor break agreement with the linear estimator.
+func TestIndexWideBoxes(t *testing.T) {
+	schema := census.Schema().Project(3)
+	rng := rand.New(rand.NewSource(13))
+	n := 5000
+	ecs := make([]microdata.PublishedEC, n)
+	m := len(schema.SA.Values)
+	for i := range ecs {
+		lo := make([]float64, len(schema.QI))
+		hi := make([]float64, len(schema.QI))
+		for d, a := range schema.QI {
+			var dlo, dhi float64
+			if a.Kind == microdata.Numeric {
+				dlo, dhi = a.Min, a.Max
+			} else {
+				dlo, dhi = 0, float64(a.Hierarchy.NumLeaves()-1)
+			}
+			w := (dhi - dlo) * (0.5 + 0.4*rng.Float64()) // 50-90% of the domain
+			c := dlo + rng.Float64()*(dhi-dlo-w)
+			lo[d], hi[d] = c, c+w
+		}
+		counts := make([]int, m)
+		counts[rng.Intn(m)] = 3
+		ecs[i] = microdata.PublishedEC{Box: microdata.Box{Lo: lo, Hi: hi}, SACounts: counts, Size: 3}
+	}
+	ix := BuildIndex(schema, ecs, MaxGridCells)
+	for d := range ix.dims {
+		entries := 0
+		for _, cell := range ix.dims[d].cells {
+			entries += len(cell)
+		}
+		// At the 16-cell floor a 90%-wide box spans ≤ 16 cells; the
+		// budget bounds well under the requested 4096-cell blowup.
+		if entries > 16*n {
+			t.Fatalf("dim %d holds %d entries for %d ECs; coarsening failed", d, entries, n)
+		}
+	}
+	gen, err := query.NewGenerator(schema, 2, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		q := gen.Next()
+		want := query.EstimateGeneralized(schema, ecs, q)
+		if got := ix.Estimate(q); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("query %d: indexed %v != linear %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package release is the serving layer of the repository: an in-memory,
+// versioned store of immutable published releases — BUREL generalizations,
+// Anatomy publications, and perturbed tables — built asynchronously by a
+// worker pool and addressable by ID, plus a query engine that answers
+// COUNT(*) estimates against a release through a per-dimension grid index
+// over EC bounding boxes instead of the linear EC scan of internal/query.
+package release
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/anatomy"
+	"repro/internal/burel"
+	"repro/internal/likeness"
+	"repro/internal/microdata"
+	"repro/internal/perturb"
+	"repro/internal/query"
+)
+
+// Kind names an anonymization mechanism a release was produced by.
+type Kind string
+
+const (
+	// KindGeneralized is a BUREL β-likeness generalization (§4).
+	KindGeneralized Kind = "generalized"
+	// KindAnatomy is an Anatomy-style publication (§6.3): the Baseline
+	// when Params.L == 0, the full ℓ-diverse two-table form when L ≥ 2.
+	KindAnatomy Kind = "anatomy"
+	// KindPerturbed is the (ρ1, ρ2)-privacy randomized response of §5.
+	KindPerturbed Kind = "perturbed"
+)
+
+// Status is a release's lifecycle state.
+type Status string
+
+const (
+	StatusPending  Status = "pending"
+	StatusBuilding Status = "building"
+	StatusReady    Status = "ready"
+	StatusFailed   Status = "failed"
+)
+
+// Params configures one anonymization job.
+type Params struct {
+	Kind Kind `json:"kind"`
+	// Beta is the β-likeness threshold (generalized and perturbed kinds).
+	Beta float64 `json:"beta,omitempty"`
+	// Basic selects basic instead of enhanced β-likeness.
+	Basic bool `json:"basic,omitempty"`
+	// L requests the full ℓ-diverse Anatomy publication; 0 keeps the
+	// Baseline form that withholds per-group SA data.
+	L int `json:"l,omitempty"`
+	// QI projects the table to its first QI attributes before
+	// anonymizing; 0 keeps all of them.
+	QI int `json:"qi,omitempty"`
+	// Seed drives every random choice of the build; builds are
+	// deterministic for a fixed seed and input.
+	Seed int64 `json:"seed,omitempty"`
+	// GridCells overrides the per-dimension index resolution (0 = auto).
+	GridCells int `json:"grid_cells,omitempty"`
+}
+
+// Validate rejects parameter combinations no builder accepts.
+func (p Params) Validate() error {
+	switch p.Kind {
+	case KindGeneralized, KindPerturbed:
+		if p.Beta <= 0 {
+			return fmt.Errorf("release: kind %q requires beta > 0, got %v", p.Kind, p.Beta)
+		}
+	case KindAnatomy:
+		if p.L != 0 && p.L < 2 {
+			return fmt.Errorf("release: anatomy ℓ must be 0 (baseline) or ≥ 2, got %d", p.L)
+		}
+	default:
+		return fmt.Errorf("release: unknown kind %q", p.Kind)
+	}
+	if p.QI < 0 {
+		return fmt.Errorf("release: qi must be ≥ 0, got %d", p.QI)
+	}
+	if p.GridCells < 0 || p.GridCells > MaxGridCells {
+		return fmt.Errorf("release: grid_cells must be in [0,%d], got %d", MaxGridCells, p.GridCells)
+	}
+	return nil
+}
+
+// Meta is the externally visible state of a release: everything but the
+// payload. Copies are safe to hand out; the store never mutates a Meta it
+// has returned.
+type Meta struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+	Params  Params `json:"params"`
+	Status  Status `json:"status"`
+	// Error carries the build failure message when Status is failed.
+	Error string `json:"error,omitempty"`
+	// Rows is the input table size; NumECs the published group count
+	// (generalized and ℓ-diverse anatomy kinds).
+	Rows   int `json:"rows"`
+	NumECs int `json:"num_ecs,omitempty"`
+	// AIL is the average information loss of a generalized release.
+	AIL       float64   `json:"ail,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	ReadyAt   time.Time `json:"ready_at,omitzero"`
+	// BuildMillis is the wall-clock build duration.
+	BuildMillis int64 `json:"build_ms,omitempty"`
+}
+
+// Snapshot is the immutable queryable payload of a ready release. All
+// fields are read-only after build; Estimate is safe for concurrent use.
+type Snapshot struct {
+	Kind   Kind
+	Schema *microdata.Schema
+
+	// Generalized releases.
+	ECs   []microdata.PublishedEC
+	Index *ECIndex
+
+	// Anatomy releases.
+	Baseline *anatomy.Publication
+	LDiverse *anatomy.LDiversePublication
+
+	// Perturbed releases.
+	Perturbed *microdata.Table
+	Scheme    *perturb.Scheme
+
+	// AIL is the average information loss of a generalized release
+	// (Eq. 5); 0 for other kinds.
+	AIL float64
+}
+
+// build runs the anonymization selected by p over t and returns the
+// queryable snapshot. It is executed on a store worker goroutine.
+func build(t *microdata.Table, p Params) (*Snapshot, error) {
+	if p.QI > 0 && p.QI < len(t.Schema.QI) {
+		t = t.Project(p.QI)
+	}
+	s := &Snapshot{Kind: p.Kind, Schema: t.Schema}
+	switch p.Kind {
+	case KindGeneralized:
+		opts := burel.Options{Beta: p.Beta, Seed: p.Seed}
+		if p.Basic {
+			opts.Variant = likeness.Basic
+		}
+		res, err := burel.Anonymize(t, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.ECs = res.Partition.Publish()
+		s.Index = BuildIndex(t.Schema, s.ECs, p.GridCells)
+		s.AIL = res.Partition.AIL()
+	case KindAnatomy:
+		rng := rand.New(rand.NewSource(p.Seed))
+		if p.L >= 2 {
+			pub, err := anatomy.PublishLDiverse(t, p.L, rng)
+			if err != nil {
+				return nil, err
+			}
+			s.LDiverse = pub
+		} else {
+			s.Baseline = anatomy.Publish(t, rng)
+		}
+	case KindPerturbed:
+		scheme, err := perturb.NewScheme(t, p.Beta)
+		if err != nil {
+			return nil, err
+		}
+		s.Scheme = scheme
+		s.Perturbed = scheme.Perturb(t, rand.New(rand.NewSource(p.Seed)))
+	default:
+		return nil, fmt.Errorf("release: unknown kind %q", p.Kind)
+	}
+	return s, nil
+}
+
+// NumECs returns the number of published groups, 0 for kinds without them.
+func (s *Snapshot) NumECs() int {
+	switch {
+	case s.Index != nil:
+		return s.Index.NumECs()
+	case s.LDiverse != nil:
+		return len(s.LDiverse.Groups)
+	}
+	return 0
+}
+
+// Estimate answers one COUNT(*) query against the release using the
+// estimator matching its kind: the indexed intersection estimator for
+// generalized releases, per-group intersection for ℓ-diverse Anatomy,
+// distribution scaling for the Baseline, and PM⁻¹ reconstruction for
+// perturbed releases.
+func (s *Snapshot) Estimate(q query.Query) (float64, error) {
+	if err := s.validateQuery(q); err != nil {
+		return 0, err
+	}
+	switch s.Kind {
+	case KindGeneralized:
+		return s.Index.Estimate(q), nil
+	case KindAnatomy:
+		if s.LDiverse != nil {
+			return estimateLDiverse(s.LDiverse, q), nil
+		}
+		return query.EstimateBaseline(s.Baseline, q)
+	case KindPerturbed:
+		return query.EstimatePerturbed(s.Perturbed, s.Scheme, q)
+	}
+	return 0, fmt.Errorf("release: kind %q is not queryable", s.Kind)
+}
+
+// validateQuery bounds-checks predicate dimensions and the SA range so a
+// malformed network query cannot panic an estimator.
+func (s *Snapshot) validateQuery(q query.Query) error {
+	if len(q.Lo) != len(q.Dims) || len(q.Hi) != len(q.Dims) {
+		return fmt.Errorf("release: query has %d dims but %d/%d bounds", len(q.Dims), len(q.Lo), len(q.Hi))
+	}
+	seen := make(map[int]bool, len(q.Dims))
+	for i, d := range q.Dims {
+		if d < 0 || d >= len(s.Schema.QI) {
+			return fmt.Errorf("release: predicate dimension %d outside schema of %d QI attributes", d, len(s.Schema.QI))
+		}
+		if seen[d] {
+			return fmt.Errorf("release: duplicate predicate on dimension %d", d)
+		}
+		seen[d] = true
+		if q.Lo[i] > q.Hi[i] {
+			return fmt.Errorf("release: predicate %d has lo %v > hi %v", i, q.Lo[i], q.Hi[i])
+		}
+		// Categorical predicates range over integer leaf ranks; the
+		// discrete overlap formula would silently count fractional
+		// ranges as nonzero, so reject them outright.
+		if s.Schema.QI[d].Kind == microdata.Categorical &&
+			(q.Lo[i] != math.Trunc(q.Lo[i]) || q.Hi[i] != math.Trunc(q.Hi[i])) {
+			return fmt.Errorf("release: predicate on categorical dimension %d has non-integer bounds [%v,%v]", d, q.Lo[i], q.Hi[i])
+		}
+	}
+	if m := len(s.Schema.SA.Values); q.SALo < 0 || q.SAHi >= m || q.SALo > q.SAHi {
+		return fmt.Errorf("release: SA range [%d,%d] outside domain of %d values", q.SALo, q.SAHi, m)
+	}
+	return nil
+}
+
+// estimateLDiverse answers a query over the full Anatomy publication:
+// each group's tuples keep exact QI values, so the QI predicates are
+// evaluated exactly and the group's published SA multiset supplies the
+// in-range mass proportionally: Σ_g matches_g · (inRange_g / |g|).
+func estimateLDiverse(pub *anatomy.LDiversePublication, q query.Query) float64 {
+	est := 0.0
+	for gi := range pub.Groups {
+		g := &pub.Groups[gi]
+		matches := 0
+		for _, r := range g.Rows {
+			if q.MatchesQI(pub.Table.Tuples[r]) {
+				matches++
+			}
+		}
+		if matches == 0 {
+			continue
+		}
+		inRange := 0
+		for v := q.SALo; v <= q.SAHi && v < len(pub.SACounts[gi]); v++ {
+			inRange += pub.SACounts[gi][v]
+		}
+		est += float64(matches) * float64(inRange) / float64(len(g.Rows))
+	}
+	return est
+}

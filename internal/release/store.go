@@ -1,0 +1,230 @@
+package release
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/microdata"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrNotFound reports an unknown release ID.
+	ErrNotFound = errors.New("release not found")
+	// ErrNotReady reports a release that exists but is not queryable yet
+	// (pending, building, or failed).
+	ErrNotReady = errors.New("release not ready")
+	// ErrQueueFull reports that the build queue is saturated; the
+	// submission was not accepted and the caller should retry later.
+	ErrQueueFull = errors.New("build queue full")
+	// ErrClosed reports a submission to a store that has shut down.
+	ErrClosed = errors.New("store is closed")
+)
+
+// Store is an in-memory, versioned catalog of releases. Submissions are
+// queued to a fixed pool of worker goroutines; once a build completes the
+// release's snapshot is immutable and served lock-free to any number of
+// concurrent readers. Every accepted submission gets a monotonically
+// increasing version and an ID derived from it, so releases are totally
+// ordered and addressable.
+type Store struct {
+	mu      sync.RWMutex
+	byID    map[string]*record
+	version uint64
+	closed  bool
+
+	jobs chan *record
+	wg   sync.WaitGroup
+}
+
+// record is the store's mutable view of one release. meta is guarded by
+// the store mutex; snap is written once by the building worker before the
+// status flips to ready and never after.
+type record struct {
+	meta  Meta
+	snap  *Snapshot
+	table *microdata.Table
+}
+
+// DefaultWorkers is the build concurrency used when NewStore is given
+// workers ≤ 0.
+const DefaultWorkers = 4
+
+// NewStore starts a store with the given build concurrency.
+func NewStore(workers int) *Store {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	s := &Store{
+		byID: make(map[string]*record),
+		jobs: make(chan *record, 64),
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting submissions and waits for in-flight builds to
+// finish. Queries against ready releases remain valid after Close.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// Submit validates the job, registers a pending release, and queues its
+// build, returning the assigned metadata. The table is not copied; callers
+// must not mutate it after submission.
+func (s *Store) Submit(t *microdata.Table, p Params) (Meta, error) {
+	if t == nil || t.Len() == 0 {
+		return Meta{}, fmt.Errorf("release: empty table")
+	}
+	if err := p.Validate(); err != nil {
+		return Meta{}, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Meta{}, fmt.Errorf("release: %w", ErrClosed)
+	}
+	s.version++
+	rec := &record{
+		meta: Meta{
+			ID:        fmt.Sprintf("r-%06d", s.version),
+			Version:   s.version,
+			Params:    p,
+			Status:    StatusPending,
+			Rows:      t.Len(),
+			CreatedAt: time.Now().UTC(),
+		},
+		table: t,
+	}
+	// Enqueue while still holding the mutex. Close sets the closed flag
+	// under this lock before it closes the channel, and the closed check
+	// above ran under the same lock, so no send can follow the close; the
+	// default arm keeps the send non-blocking. A full queue rejects the
+	// submission — building inline would both escape the pool's
+	// concurrency bound and turn the async contract blocking.
+	select {
+	case s.jobs <- rec:
+	default:
+		s.mu.Unlock()
+		return Meta{}, fmt.Errorf("%w (%d queued)", ErrQueueFull, cap(s.jobs))
+	}
+	s.byID[rec.meta.ID] = rec
+	meta := rec.meta
+	s.mu.Unlock()
+	return meta, nil
+}
+
+func (s *Store) worker() {
+	defer s.wg.Done()
+	for rec := range s.jobs {
+		s.runBuild(rec)
+	}
+}
+
+// runBuild transitions one record pending → building → ready/failed.
+func (s *Store) runBuild(rec *record) {
+	s.mu.Lock()
+	if rec.meta.Status != StatusPending {
+		s.mu.Unlock()
+		return
+	}
+	rec.meta.Status = StatusBuilding
+	p := rec.meta.Params
+	t := rec.table
+	s.mu.Unlock()
+
+	start := time.Now()
+	snap, err := build(t, p)
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	rec.meta.BuildMillis = elapsed.Milliseconds()
+	rec.table = nil // the snapshot owns what it needs; free the rest
+	if err != nil {
+		rec.meta.Status = StatusFailed
+		rec.meta.Error = err.Error()
+	} else {
+		rec.snap = snap
+		rec.meta.Status = StatusReady
+		rec.meta.ReadyAt = time.Now().UTC()
+		rec.meta.NumECs = snap.NumECs()
+		rec.meta.AIL = snap.AIL
+	}
+	s.mu.Unlock()
+}
+
+// Get returns a release's metadata snapshot.
+func (s *Store) Get(id string) (Meta, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.byID[id]
+	if !ok {
+		return Meta{}, false
+	}
+	return rec.meta, true
+}
+
+// Snapshot returns the queryable payload of a ready release. The error
+// wraps ErrNotFound for unknown IDs and ErrNotReady for releases that are
+// pending, building, or failed.
+func (s *Store) Snapshot(id string) (*Snapshot, error) {
+	s.mu.RLock()
+	rec, ok := s.byID[id]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	status := rec.meta.Status
+	snap := rec.snap
+	s.mu.RUnlock()
+	if status != StatusReady {
+		return nil, fmt.Errorf("%w: release %s is %s", ErrNotReady, id, status)
+	}
+	return snap, nil
+}
+
+// List returns metadata for every release, newest version first.
+func (s *Store) List() []Meta {
+	s.mu.RLock()
+	out := make([]Meta, 0, len(s.byID))
+	for _, rec := range s.byID {
+		out = append(out, rec.meta)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Version > out[j].Version })
+	return out
+}
+
+// WaitReady blocks until the release leaves the pending/building states or
+// the timeout elapses, returning the final metadata. Intended for tests
+// and CLIs; servers should poll Get instead.
+func (s *Store) WaitReady(id string, timeout time.Duration) (Meta, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		m, ok := s.Get(id)
+		if !ok {
+			return Meta{}, fmt.Errorf("release: no release %q", id)
+		}
+		if m.Status == StatusReady || m.Status == StatusFailed {
+			return m, nil
+		}
+		if time.Now().After(deadline) {
+			return m, fmt.Errorf("release: %s still %s after %v", id, m.Status, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,273 @@
+package release
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/query"
+)
+
+func TestStoreLifecycle(t *testing.T) {
+	s := NewStore(2)
+	defer s.Close()
+	tab := census.Generate(census.Options{N: 800, Seed: 4}).Project(3)
+
+	m, err := s.Submit(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID == "" || m.Version == 0 {
+		t.Fatalf("missing ID/version: %+v", m)
+	}
+	m, err = s.WaitReady(m.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != StatusReady {
+		t.Fatalf("status %s (%s), want ready", m.Status, m.Error)
+	}
+	if m.NumECs == 0 || m.Rows != 800 || m.AIL <= 0 {
+		t.Fatalf("bad metadata: %+v", m)
+	}
+	snap, err := s.Snapshot(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Estimate(query.Query{SALo: 0, SAHi: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreFailedBuild(t *testing.T) {
+	s := NewStore(1)
+	defer s.Close()
+	tab := census.Generate(census.Options{N: 50, Seed: 4}).Project(2)
+	// ℓ far above what the SA distribution supports → PublishLDiverse fails.
+	m, err := s.Submit(tab, Params{Kind: KindAnatomy, L: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = s.WaitReady(m.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != StatusFailed || m.Error == "" {
+		t.Fatalf("want failed status with error, got %+v", m)
+	}
+	if _, err := s.Snapshot(m.ID); err == nil {
+		t.Fatal("Snapshot of failed release succeeded")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := NewStore(1)
+	defer s.Close()
+	tab := census.Generate(census.Options{N: 50, Seed: 4}).Project(2)
+	bad := []Params{
+		{Kind: "nonsense"},
+		{Kind: KindGeneralized, Beta: 0},
+		{Kind: KindPerturbed, Beta: -1},
+		{Kind: KindAnatomy, L: 1},
+		{Kind: KindGeneralized, Beta: 2, QI: -1},
+		{Kind: KindGeneralized, Beta: 2, GridCells: -1},
+		{Kind: KindGeneralized, Beta: 2, GridCells: MaxGridCells + 1},
+	}
+	for i, p := range bad {
+		if _, err := s.Submit(tab, p); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+	if _, err := s.Submit(nil, Params{Kind: KindGeneralized, Beta: 2}); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, ok := s.Get("r-999999"); ok {
+		t.Error("Get of unknown ID succeeded")
+	}
+	if _, err := s.Snapshot("r-999999"); err == nil {
+		t.Error("Snapshot of unknown ID succeeded")
+	}
+}
+
+func TestStoreAllKinds(t *testing.T) {
+	s := NewStore(3)
+	defer s.Close()
+	tab := census.Generate(census.Options{N: 1000, Seed: 8}).Project(3)
+	params := []Params{
+		{Kind: KindGeneralized, Beta: 4, Seed: 1},
+		{Kind: KindAnatomy, Seed: 1},
+		{Kind: KindAnatomy, L: 3, Seed: 1},
+		{Kind: KindPerturbed, Beta: 4, Seed: 1},
+	}
+	ids := make([]string, len(params))
+	for i, p := range params {
+		m, err := s.Submit(tab, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Kind, err)
+		}
+		ids[i] = m.ID
+	}
+	rng := rand.New(rand.NewSource(2))
+	gen, err := query.NewGenerator(tab.Schema, 2, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		m, err := s.WaitReady(id, 60*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Status != StatusReady {
+			t.Fatalf("%s: %s (%s)", params[i].Kind, m.Status, m.Error)
+		}
+		snap, err := s.Snapshot(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 20; j++ {
+			if _, err := snap.Estimate(gen.Next()); err != nil {
+				t.Fatalf("%s: query %d: %v", params[i].Kind, j, err)
+			}
+		}
+	}
+	if got := len(s.List()); got != len(params) {
+		t.Fatalf("List returned %d releases, want %d", got, len(params))
+	}
+}
+
+// TestStoreConcurrent exercises parallel builds and parallel queries
+// against shared snapshots; run with -race.
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(4)
+	defer s.Close()
+	tab := census.Generate(census.Options{N: 600, Seed: 12}).Project(3)
+
+	const builders = 8
+	ids := make([]string, builders)
+	var wg sync.WaitGroup
+	errCh := make(chan error, builders*5)
+	for i := 0; i < builders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kind := []Kind{KindGeneralized, KindAnatomy, KindPerturbed}[i%3]
+			p := Params{Kind: kind, Beta: 4, Seed: int64(i)}
+			m, err := s.Submit(tab, p)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			ids[i] = m.ID
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Wait for all builds, then hammer the snapshots from many goroutines.
+	for _, id := range ids {
+		m, err := s.WaitReady(id, 60*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Status != StatusReady {
+			t.Fatalf("%s: %s (%s)", id, m.Status, m.Error)
+		}
+	}
+	const readers = 16
+	qerr := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			gen, err := query.NewGenerator(tab.Schema, 2, 0.1, rng)
+			if err != nil {
+				qerr <- err
+				return
+			}
+			for j := 0; j < 50; j++ {
+				id := ids[rng.Intn(len(ids))]
+				snap, err := s.Snapshot(id)
+				if err != nil {
+					qerr <- err
+					return
+				}
+				if _, err := snap.Estimate(gen.Next()); err != nil {
+					qerr <- fmt.Errorf("%s: %w", id, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(qerr)
+	for err := range qerr {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreClose(t *testing.T) {
+	s := NewStore(1)
+	tab := census.Generate(census.Options{N: 100, Seed: 1}).Project(2)
+	m, err := s.Submit(tab, Params{Kind: KindAnatomy, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Close waits for in-flight builds; the release must be terminal.
+	got, _ := s.Get(m.ID)
+	if got.Status != StatusReady && got.Status != StatusFailed {
+		t.Fatalf("release still %s after Close", got.Status)
+	}
+	if _, err := s.Submit(tab, Params{Kind: KindAnatomy, Seed: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+	s.Close() // second Close is a no-op
+}
+
+// TestStoreQueueFull: a saturated build queue rejects submissions with
+// ErrQueueFull instead of building inline (white-box: no workers drain
+// the queue).
+func TestStoreQueueFull(t *testing.T) {
+	s := &Store{byID: make(map[string]*record), jobs: make(chan *record, 1)}
+	tab := census.Generate(census.Options{N: 50, Seed: 1}).Project(2)
+	if _, err := s.Submit(tab, Params{Kind: KindAnatomy, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit(tab, Params{Kind: KindAnatomy, Seed: 1})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second submit: err = %v, want ErrQueueFull", err)
+	}
+	// The rejected submission must not be registered.
+	if got := len(s.List()); got != 1 {
+		t.Fatalf("store holds %d releases, want 1", got)
+	}
+}
+
+// TestStoreSnapshotErrors pins the sentinel errors the HTTP layer maps to
+// status codes.
+func TestStoreSnapshotErrors(t *testing.T) {
+	s := NewStore(1)
+	defer s.Close()
+	if _, err := s.Snapshot("r-000404"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id: %v, want ErrNotFound", err)
+	}
+	tab := census.Generate(census.Options{N: 50, Seed: 4}).Project(2)
+	m, err := s.Submit(tab, Params{Kind: KindAnatomy, L: 40, Seed: 1}) // will fail
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err = s.WaitReady(m.ID, 30*time.Second); err != nil || m.Status != StatusFailed {
+		t.Fatalf("want failed build, got %v / %v", m.Status, err)
+	}
+	if _, err := s.Snapshot(m.ID); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("failed release: %v, want ErrNotReady", err)
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics collects per-route request counters and latency sums and renders
+// them in Prometheus text exposition format. It is dependency-free by
+// design: the container bakes in no client library, and counters plus sums
+// are all the serving dashboards need.
+type Metrics struct {
+	mu     sync.Mutex
+	counts map[routeCode]uint64
+	lat    map[string]*latency
+	start  time.Time
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+type latency struct {
+	sum   float64 // seconds
+	count uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counts: make(map[routeCode]uint64),
+		lat:    make(map[string]*latency),
+		start:  time.Now(),
+	}
+}
+
+// Observe records one completed request.
+func (m *Metrics) Observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	m.counts[routeCode{route, code}]++
+	l := m.lat[route]
+	if l == nil {
+		l = &latency{}
+		m.lat[route] = l
+	}
+	l.sum += d.Seconds()
+	l.count++
+	m.mu.Unlock()
+}
+
+// releaseCounter lets the metrics endpoint report the store's release
+// states without importing the release package.
+type releaseCounter func() map[string]int
+
+// handler renders the registry. releases may be nil. The exposition is
+// rendered into a buffer first so no lock is held during the network
+// write (a stalled scraper must not serialize request completion).
+func (m *Metrics) handler(releases releaseCounter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		m.mu.Lock()
+		keys := make([]routeCode, 0, len(m.counts))
+		for k := range m.counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].route != keys[j].route {
+				return keys[i].route < keys[j].route
+			}
+			return keys[i].code < keys[j].code
+		})
+		fmt.Fprintln(&buf, "# HELP repro_http_requests_total Requests served, by route and status code.")
+		fmt.Fprintln(&buf, "# TYPE repro_http_requests_total counter")
+		for _, k := range keys {
+			fmt.Fprintf(&buf, "repro_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.counts[k])
+		}
+		routes := make([]string, 0, len(m.lat))
+		for r := range m.lat {
+			routes = append(routes, r)
+		}
+		sort.Strings(routes)
+		fmt.Fprintln(&buf, "# HELP repro_http_request_duration_seconds Request latency, by route.")
+		fmt.Fprintln(&buf, "# TYPE repro_http_request_duration_seconds summary")
+		for _, r := range routes {
+			l := m.lat[r]
+			fmt.Fprintf(&buf, "repro_http_request_duration_seconds_sum{route=%q} %g\n", r, l.sum)
+			fmt.Fprintf(&buf, "repro_http_request_duration_seconds_count{route=%q} %d\n", r, l.count)
+		}
+		uptime := time.Since(m.start).Seconds()
+		m.mu.Unlock()
+
+		if releases != nil {
+			counts := releases()
+			states := make([]string, 0, len(counts))
+			for s := range counts {
+				states = append(states, s)
+			}
+			sort.Strings(states)
+			fmt.Fprintln(&buf, "# HELP repro_releases Releases in the store, by status.")
+			fmt.Fprintln(&buf, "# TYPE repro_releases gauge")
+			for _, s := range states {
+				fmt.Fprintf(&buf, "repro_releases{status=%q} %d\n", s, counts[s])
+			}
+		}
+		fmt.Fprintln(&buf, "# HELP repro_uptime_seconds Seconds since the server started.")
+		fmt.Fprintln(&buf, "# TYPE repro_uptime_seconds gauge")
+		fmt.Fprintf(&buf, "repro_uptime_seconds %g\n", uptime)
+
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	}
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,239 @@
+// Package server exposes the release store over a JSON HTTP API:
+//
+//	POST /v1/releases            upload a CSV + anonymization parameters;
+//	                             returns 202 with the new release's ID
+//	GET  /v1/releases            list releases, newest first
+//	GET  /v1/releases/{id}       release status and metadata
+//	POST /v1/releases/{id}/query COUNT(*) estimate against a ready release
+//	GET  /healthz                liveness probe
+//	GET  /metrics                Prometheus-format counters
+//
+// Anonymization runs asynchronously on the store's worker pool; clients
+// poll the release until its status is "ready" and then issue queries,
+// which are answered through the per-release EC index.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/microdata"
+	"repro/internal/query"
+	"repro/internal/release"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Schema parses uploaded CSVs; nil selects the CENSUS schema of
+	// Table 3 (the format cmd/datagen emits).
+	Schema *microdata.Schema
+	// MaxBodyBytes caps request bodies; ≤ 0 selects 256 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP front end; it implements http.Handler.
+type Server struct {
+	store   *release.Store
+	schema  *microdata.Schema
+	metrics *Metrics
+	mux     *http.ServeMux
+	maxBody int64
+}
+
+// New wires the API around a store.
+func New(store *release.Store, opts Options) *Server {
+	s := &Server{
+		store:   store,
+		schema:  opts.Schema,
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		maxBody: opts.MaxBodyBytes,
+	}
+	if s.schema == nil {
+		s.schema = census.Schema()
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 256 << 20
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts)))
+	s.mux.HandleFunc("POST /v1/releases", s.instrument("create_release", s.handleCreate))
+	s.mux.HandleFunc("GET /v1/releases", s.instrument("list_releases", s.handleList))
+	s.mux.HandleFunc("GET /v1/releases/{id}", s.instrument("get_release", s.handleGet))
+	s.mux.HandleFunc("POST /v1/releases/{id}/query", s.instrument("query_release", s.handleQuery))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// instrument wraps a handler with request metrics.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.Observe(route, rec.code, time.Since(start))
+	}
+}
+
+func (s *Server) releaseCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, m := range s.store.List() {
+		counts[string(m.Status)]++
+	}
+	return counts
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// createRequest is the POST /v1/releases body: the anonymization
+// parameters plus the raw CSV in cmd/datagen's format. The qi field both
+// projects the table and relaxes parsing: only the first qi QI columns
+// need be present in the CSV.
+type createRequest struct {
+	Kind      string  `json:"kind"`
+	Beta      float64 `json:"beta,omitempty"`
+	Basic     bool    `json:"basic,omitempty"`
+	L         int     `json:"l,omitempty"`
+	QI        int     `json:"qi,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	GridCells int     `json:"grid_cells,omitempty"`
+	CSV       string  `json:"csv"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.CSV) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("csv field is empty"))
+		return
+	}
+	schema := s.schema
+	if req.QI > 0 && req.QI < len(schema.QI) {
+		schema = schema.Project(req.QI)
+	}
+	tab, err := microdata.ReadCSV(strings.NewReader(req.CSV), schema)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// QI is recorded for metadata fidelity; the table is already
+	// projected, so the build-time projection is a no-op.
+	p := release.Params{
+		Kind:      release.Kind(req.Kind),
+		Beta:      req.Beta,
+		Basic:     req.Basic,
+		L:         req.L,
+		QI:        req.QI,
+		Seed:      req.Seed,
+		GridCells: req.GridCells,
+	}
+	meta, err := s.store.Submit(tab, p)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, release.ErrQueueFull) || errors.Is(err, release.ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, meta)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"releases": s.store.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	meta, ok := s.store.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no release %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+// queryRequest is the POST /v1/releases/{id}/query body: range predicates
+// over QI attribute indices plus an SA value-index range, mirroring
+// query.Query.
+type queryRequest struct {
+	Dims []int     `json:"dims,omitempty"`
+	Lo   []float64 `json:"lo,omitempty"`
+	Hi   []float64 `json:"hi,omitempty"`
+	SALo int       `json:"sa_lo"`
+	SAHi int       `json:"sa_hi"`
+}
+
+// queryResponse carries the estimate. Estimates may be negative for
+// perturbed releases (the reconstruction estimator is unbiased, not
+// non-negative); clients clamp if they need counts.
+type queryResponse struct {
+	ReleaseID string  `json:"release_id"`
+	Estimate  float64 `json:"estimate"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.store.Snapshot(id)
+	switch {
+	case errors.Is(err, release.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, release.ErrNotReady):
+		writeErr(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	q := query.Query{Dims: req.Dims, Lo: req.Lo, Hi: req.Hi, SALo: req.SALo, SAHi: req.SAHi}
+	est, err := snap.Estimate(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{ReleaseID: id, Estimate: est})
+}
+
+// decodeStatus maps a body-decoding failure to its status code: 413 when
+// the body tripped MaxBytesReader, 400 otherwise.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/burel"
+	"repro/internal/census"
+	"repro/internal/microdata"
+	"repro/internal/query"
+	"repro/internal/release"
+)
+
+// testEnv is one server instance over a fresh store.
+type testEnv struct {
+	ts    *httptest.Server
+	store *release.Store
+}
+
+func newEnv(t *testing.T) *testEnv {
+	t.Helper()
+	store := release.NewStore(2)
+	ts := httptest.NewServer(New(store, Options{}))
+	t.Cleanup(func() {
+		ts.Close()
+		store.Close()
+	})
+	return &testEnv{ts: ts, store: store}
+}
+
+func (e *testEnv) post(t *testing.T, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(e.ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, data
+}
+
+func (e *testEnv) get(t *testing.T, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(e.ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, data
+}
+
+// pollReady polls GET /v1/releases/{id} until the release is terminal.
+func (e *testEnv) pollReady(t *testing.T, id string) release.Meta {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, data := e.get(t, "/v1/releases/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET release: %d: %s", resp.StatusCode, data)
+		}
+		var m release.Meta
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Status == release.StatusReady || m.Status == release.StatusFailed {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("release %s still %s", id, m.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func censusCSV(t *testing.T, n int, seed int64, qi int) (string, *microdata.Table) {
+	t.Helper()
+	tab := census.Generate(census.Options{N: n, Seed: seed}).Project(qi)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), tab
+}
+
+// TestEndToEnd is the acceptance flow: upload a generated table, poll the
+// release to completion, issue COUNT queries, and require each HTTP
+// estimate to match calling query.EstimateGeneralized directly on a local
+// run with identical parameters.
+func TestEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	csv, tab := censusCSV(t, 2000, 21, 3)
+
+	resp, data := e.post(t, "/v1/releases", createRequest{
+		Kind: "generalized", Beta: 4, QI: 3, Seed: 7, CSV: csv,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: %d: %s", resp.StatusCode, data)
+	}
+	var meta release.Meta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Status != release.StatusPending && meta.Status != release.StatusBuilding && meta.Status != release.StatusReady {
+		t.Fatalf("unexpected initial status %s", meta.Status)
+	}
+
+	meta = e.pollReady(t, meta.ID)
+	if meta.Status != release.StatusReady {
+		t.Fatalf("build failed: %s", meta.Error)
+	}
+	if meta.NumECs == 0 || meta.Rows != 2000 {
+		t.Fatalf("bad metadata: %+v", meta)
+	}
+
+	// The same anonymization locally: the server's estimates must agree
+	// with the direct estimator on the same release content.
+	res, err := burel.Anonymize(tab, burel.Options{Beta: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := res.Partition.Publish()
+
+	rng := rand.New(rand.NewSource(3))
+	gen, err := query.NewGenerator(tab.Schema, 2, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		q := gen.Next()
+		want := query.EstimateGeneralized(tab.Schema, pub, q)
+		resp, data := e.post(t, "/v1/releases/"+meta.ID+"/query", queryRequest{
+			Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %d: %s", i, resp.StatusCode, data)
+		}
+		var qr queryResponse
+		if err := json.Unmarshal(data, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(qr.Estimate-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("query %d: server %v, direct %v", i, qr.Estimate, want)
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	e := newEnv(t)
+	resp, data := e.get(t, "/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"ok"`) {
+		t.Fatalf("healthz: %d: %s", resp.StatusCode, data)
+	}
+	// Generate some traffic, then scrape.
+	e.get(t, "/v1/releases")
+	e.get(t, "/v1/releases/r-404404")
+	resp, data = e.get(t, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	body := string(data)
+	for _, want := range []string{
+		`repro_http_requests_total{route="healthz",code="200"} 1`,
+		`repro_http_requests_total{route="get_release",code="404"} 1`,
+		`repro_http_request_duration_seconds_count{route="list_releases"} 1`,
+		"repro_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	e := newEnv(t)
+	cases := []struct {
+		name string
+		body any
+		code int
+	}{
+		{"bad json", "{", http.StatusBadRequest},
+		{"empty csv", createRequest{Kind: "generalized", Beta: 4}, http.StatusBadRequest},
+		{"bad kind", createRequest{Kind: "nope", CSV: "Age\n1\n"}, http.StatusBadRequest},
+		{"bad csv", createRequest{Kind: "generalized", Beta: 4, CSV: "not,a,census\n1,2,3\n"}, http.StatusBadRequest},
+		{"bad beta", createRequest{Kind: "generalized", Beta: -1, CSV: "x"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		var data []byte
+		if s, ok := tc.body.(string); ok {
+			r, err := http.Post(e.ts.URL+"/v1/releases", "application/json", strings.NewReader(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ = io.ReadAll(r.Body)
+			r.Body.Close()
+			resp = r
+		} else {
+			resp, data = e.post(t, "/v1/releases", tc.body)
+		}
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: code %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, data)
+		}
+		if !strings.Contains(string(data), "error") {
+			t.Errorf("%s: no error field: %s", tc.name, data)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	e := newEnv(t)
+	if resp, _ := e.post(t, "/v1/releases/r-000404/query", queryRequest{}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: %d, want 404", resp.StatusCode)
+	}
+
+	csv, _ := censusCSV(t, 300, 2, 2)
+	_, data := e.post(t, "/v1/releases", createRequest{Kind: "anatomy", L: 40, Seed: 1, CSV: csv, QI: 2})
+	var meta release.Meta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatal(err)
+	}
+	meta = e.pollReady(t, meta.ID)
+	if meta.Status != release.StatusFailed {
+		t.Fatalf("expected failed build, got %s", meta.Status)
+	}
+	if resp, _ := e.post(t, "/v1/releases/"+meta.ID+"/query", queryRequest{}); resp.StatusCode != http.StatusConflict {
+		t.Errorf("query failed release: %d, want 409", resp.StatusCode)
+	}
+
+	// A ready release rejects malformed queries with 400.
+	_, data = e.post(t, "/v1/releases", createRequest{Kind: "generalized", Beta: 4, Seed: 1, CSV: csv, QI: 2})
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta = e.pollReady(t, meta.ID); meta.Status != release.StatusReady {
+		t.Fatalf("build failed: %s", meta.Error)
+	}
+	bad := []queryRequest{
+		{Dims: []int{5}, Lo: []float64{0}, Hi: []float64{1}},
+		{Dims: []int{0}},       // missing bounds
+		{SALo: 2, SAHi: 1},     // inverted SA
+		{SALo: 0, SAHi: 10000}, // SA out of domain
+	}
+	for i, q := range bad {
+		if resp, data := e.post(t, "/v1/releases/"+meta.ID+"/query", q); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad query %d: %d (%s)", i, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestConcurrentTraffic uploads several releases and queries them from
+// many goroutines at once; meaningful under -race.
+func TestConcurrentTraffic(t *testing.T) {
+	e := newEnv(t)
+	csv, tab := censusCSV(t, 800, 31, 3)
+
+	ids := make([]string, 3)
+	for i := range ids {
+		_, data := e.post(t, "/v1/releases", createRequest{
+			Kind: "generalized", Beta: 4, QI: 3, Seed: int64(i), CSV: csv,
+		})
+		var m release.Meta
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = m.ID
+	}
+	for _, id := range ids {
+		if m := e.pollReady(t, id); m.Status != release.StatusReady {
+			t.Fatalf("%s: %s", id, m.Error)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			gen, err := query.NewGenerator(tab.Schema, 2, 0.1, rng)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for j := 0; j < 25; j++ {
+				q := gen.Next()
+				resp, data := e.post(t, "/v1/releases/"+ids[rng.Intn(len(ids))]+"/query", queryRequest{
+					Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi,
+				})
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("worker %d query %d: %d: %s", w, j, resp.StatusCode, data)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
