@@ -1,0 +1,259 @@
+// Command loadgen drives query traffic against a running serve instance
+// and reports throughput, so the batch endpoint's speedup over
+// single-query round-trips is measurable from the command line.
+//
+// It generates a pool of distinct COUNT(*) queries of the paper's §6
+// workload shape (λ QI predicates, expected selectivity θ) and replays
+// them Zipf-distributed — the skewed repetition real dashboards exhibit
+// and the result cache exploits — from a set of concurrent workers, each
+// posting batches to /v1/query:batch (or single queries to
+// /v1/releases/{id}/query with -single).
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8080] [-release r-000001]
+//	        [-rows 20000] [-beta 4] [-qi 3] [-seed 1]
+//	        [-queries 10000] [-batch 64] [-concurrency 8] [-single]
+//	        [-lambda 2] [-theta 0.05] [-distinct 1024] [-zipf-s 1.2]
+//
+// Without -release it uploads a generated CENSUS table first and waits
+// for the build. The query generator assumes the release uses the CENSUS
+// schema projected to -qi attributes.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/query"
+	"repro/internal/release"
+)
+
+type queryJSON struct {
+	Dims []int     `json:"dims,omitempty"`
+	Lo   []float64 `json:"lo,omitempty"`
+	Hi   []float64 `json:"hi,omitempty"`
+	SALo int       `json:"sa_lo"`
+	SAHi int       `json:"sa_hi"`
+}
+
+func toJSON(q query.Query) queryJSON {
+	return queryJSON{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	releaseID := flag.String("release", "", "release ID to query (empty: upload a generated table first)")
+	rows := flag.Int("rows", 20000, "rows of the generated table (with empty -release)")
+	beta := flag.Float64("beta", 4, "β of the generated release")
+	qi := flag.Int("qi", 3, "QI attributes of the release's schema")
+	seed := flag.Int64("seed", 1, "workload seed")
+	queries := flag.Int("queries", 10000, "total queries to issue")
+	batch := flag.Int("batch", 64, "queries per batch request")
+	concurrency := flag.Int("concurrency", 8, "concurrent workers")
+	single := flag.Bool("single", false, "use the single-query endpoint instead of /v1/query:batch")
+	lambda := flag.Int("lambda", 2, "QI predicates per query (λ)")
+	theta := flag.Float64("theta", 0.05, "expected query selectivity (θ)")
+	distinct := flag.Int("distinct", 1024, "distinct queries in the replay pool")
+	zipfS := flag.Float64("zipf-s", 1.2, "Zipf exponent of query repetition (≤ 1: uniform)")
+	flag.Parse()
+	if *distinct < 1 || *batch < 1 || *concurrency < 1 || *queries < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -distinct, -batch, -concurrency, and -queries must be ≥ 1")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	schema := census.Schema().Project(*qi)
+
+	id := *releaseID
+	if id == "" {
+		var err error
+		if id, err = uploadRelease(client, *addr, *rows, *beta, *qi, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("release %s ready\n", id)
+	}
+
+	gen, err := query.NewGenerator(schema, *lambda, *theta, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	pool := make([]queryJSON, *distinct)
+	for i := range pool {
+		pool[i] = toJSON(gen.Next())
+	}
+
+	var (
+		done      atomic.Int64 // queries completed
+		issued    atomic.Int64 // queries claimed by workers
+		hits      atomic.Int64
+		requests  atomic.Int64
+		latNanos  atomic.Int64
+		failed    atomic.Int64
+		wg        sync.WaitGroup
+		batchSize = *batch
+	)
+	if *single {
+		batchSize = 1
+	}
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			var zipf *rand.Zipf
+			if *zipfS > 1 {
+				zipf = rand.NewZipf(rng, *zipfS, 1, uint64(len(pool)-1))
+			}
+			pick := func() queryJSON {
+				if zipf != nil {
+					return pool[zipf.Uint64()]
+				}
+				return pool[rng.Intn(len(pool))]
+			}
+			for {
+				n := int64(batchSize)
+				if claimed := issued.Add(n); claimed > int64(*queries) {
+					over := claimed - int64(*queries)
+					if n -= over; n <= 0 {
+						return
+					}
+				}
+				qs := make([]queryJSON, n)
+				for i := range qs {
+					qs[i] = pick()
+				}
+				t0 := time.Now()
+				h, err := post(client, *addr, id, qs, *single)
+				latNanos.Add(int64(time.Since(t0)))
+				requests.Add(1)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: worker %d: %v\n", w, err)
+					failed.Add(n)
+					continue
+				}
+				done.Add(n)
+				hits.Add(int64(h))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	n := done.Load()
+	qps := float64(n) / elapsed.Seconds()
+	fmt.Printf("queries:      %d (%d failed)\n", n, failed.Load())
+	fmt.Printf("elapsed:      %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput:   %.0f queries/sec\n", qps)
+	if r := requests.Load(); r > 0 {
+		fmt.Printf("requests:     %d (batch size %d, avg latency %v)\n",
+			r, batchSize, (time.Duration(latNanos.Load()) / time.Duration(r)).Round(time.Microsecond))
+	}
+	if n > 0 {
+		fmt.Printf("cache hits:   %d (%.1f%%)\n", hits.Load(), 100*float64(hits.Load())/float64(n))
+	}
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// uploadRelease generates a CENSUS table, submits a generalized release,
+// and polls until it is ready.
+func uploadRelease(client *http.Client, addr string, rows int, beta float64, qi int, seed int64) (string, error) {
+	tab := census.Generate(census.Options{N: rows, Seed: seed}).Project(qi)
+	var csv bytes.Buffer
+	if err := tab.WriteCSV(&csv); err != nil {
+		return "", err
+	}
+	body, _ := json.Marshal(map[string]any{
+		"kind": "generalized", "beta": beta, "qi": qi, "seed": seed, "csv": csv.String(),
+	})
+	resp, err := client.Post(addr+"/v1/releases", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("create release: %d: %s", resp.StatusCode, data)
+	}
+	var meta release.Meta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return "", err
+	}
+	for {
+		resp, err := client.Get(addr + "/v1/releases/" + meta.ID)
+		if err != nil {
+			return "", err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return "", err
+		}
+		switch meta.Status {
+		case release.StatusReady:
+			return meta.ID, nil
+		case release.StatusFailed:
+			return "", fmt.Errorf("build failed: %s", meta.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// post issues one request — a batch, or a single query when single is
+// set — and returns the reported cache-hit count.
+func post(client *http.Client, addr, id string, qs []queryJSON, single bool) (int, error) {
+	var (
+		url  string
+		body []byte
+	)
+	if single {
+		url = addr + "/v1/releases/" + id + "/query"
+		body, _ = json.Marshal(qs[0])
+	} else {
+		url = addr + "/v1/query:batch"
+		body, _ = json.Marshal(map[string]any{"release_id": id, "queries": qs})
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: %d: %s", url, resp.StatusCode, data)
+	}
+	if single {
+		var qr struct {
+			Cached bool `json:"cached"`
+		}
+		if err := json.Unmarshal(data, &qr); err != nil {
+			return 0, err
+		}
+		if qr.Cached {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	var br struct {
+		CacheHits int `json:"cache_hits"`
+	}
+	if err := json.Unmarshal(data, &br); err != nil {
+		return 0, err
+	}
+	return br.CacheHits, nil
+}

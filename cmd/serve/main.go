@@ -1,11 +1,14 @@
 // Command serve runs the anonymization/query HTTP service: upload a CSV
 // with anonymization parameters, poll the release as a worker pool builds
-// it, then issue COUNT(*) estimates answered through the per-release EC
-// index. See README.md for the API with curl examples.
+// it, then issue COUNT(*) estimates — singly or in batches through
+// POST /v1/query:batch — answered by the batch engine over the
+// per-release EC index with a sharded result cache. See README.md for
+// the API with curl examples.
 //
 // Usage:
 //
 //	serve [-addr :8080] [-workers N] [-max-body-mb M]
+//	      [-query-workers N] [-cache-capacity N] [-max-batch N]
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/release"
 	"repro/internal/server"
 )
@@ -27,12 +31,23 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", release.DefaultWorkers, "concurrent anonymization builds")
 	maxBodyMB := flag.Int64("max-body-mb", 256, "request body limit in MiB")
+	queryWorkers := flag.Int("query-workers", 0, "query engine pool size (0 = GOMAXPROCS)")
+	cacheCapacity := flag.Int("cache-capacity", 0, "result cache entries (0 = default, negative = disabled)")
+	maxBatch := flag.Int("max-batch", 0, "max queries per batch request (0 = default)")
 	flag.Parse()
 
 	store := release.NewStore(*workers)
+	api := server.New(store, server.Options{
+		MaxBodyBytes: *maxBodyMB << 20,
+		Engine: engine.Options{
+			Workers:       *queryWorkers,
+			CacheCapacity: *cacheCapacity,
+			MaxBatch:      *maxBatch,
+		},
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(store, server.Options{MaxBodyBytes: *maxBodyMB << 20}),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -55,6 +70,7 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
 		}
+		api.Close()
 		store.Close()
 	}
 }

@@ -1,0 +1,294 @@
+// Package engine is the batch query layer between the HTTP front end and
+// the release store: it executes batches of COUNT(*) queries against one
+// release by fanning them out across a fixed worker pool — each worker
+// owns the reusable scratch state of the indexed estimator — and serves
+// repeated queries from a sharded LRU result cache keyed by (release ID,
+// canonical query signature). Because release IDs name immutable
+// versions, cached results can never go stale and the cache needs no
+// invalidation protocol; eviction is purely capacity-driven.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/query"
+	"repro/internal/release"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrBatchTooLarge reports a batch exceeding Options.MaxBatch.
+	ErrBatchTooLarge = errors.New("batch too large")
+	// ErrClosed reports an Execute against a closed engine.
+	ErrClosed = errors.New("engine is closed")
+)
+
+// QueryError wraps a validation failure of one query in a batch with its
+// position, so the client learns which entry to fix.
+type QueryError struct {
+	Index int
+	Err   error
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("query %d: %v", e.Index, e.Err)
+}
+
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the estimator pool size; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// CacheCapacity is the total result-cache entry budget across all
+	// shards. 0 selects DefaultCacheCapacity; negative disables caching.
+	CacheCapacity int
+	// CacheShards is the shard count (rounded up to a power of two);
+	// ≤ 0 selects DefaultCacheShards.
+	CacheShards int
+	// MaxBatch caps the queries accepted per Execute call; ≤ 0 selects
+	// DefaultMaxBatch.
+	MaxBatch int
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultCacheCapacity = 1 << 16
+	DefaultCacheShards   = 16
+	DefaultMaxBatch      = 256
+)
+
+// Result is the outcome of one query of a batch.
+type Result struct {
+	// Estimate is the COUNT(*) estimate (may be negative for perturbed
+	// releases; the reconstruction estimator is unbiased, not
+	// non-negative).
+	Estimate float64 `json:"estimate"`
+	// Cached reports that the estimate was served from the result cache
+	// (or computed once for an identical earlier query in the same
+	// batch) rather than estimated for this entry.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// CacheHits and CacheMisses count per-query cache lookups; a hit
+	// includes batch-local duplicates answered by a single estimation.
+	CacheHits   uint64
+	CacheMisses uint64
+	// Batches and Queries count successful Execute calls and the
+	// queries they carried.
+	Batches uint64
+	Queries uint64
+	// MaxBatch is the largest batch executed so far.
+	MaxBatch uint64
+	// CacheEntries is the current number of cached results.
+	CacheEntries int
+}
+
+// Engine is the batch executor. It is safe for concurrent use; one engine
+// serves every release of the store it fronts.
+type Engine struct {
+	maxBatch int
+	cache    *resultCache
+
+	jobs chan job
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	batches  atomic.Uint64
+	queries  atomic.Uint64
+	maxSeen  atomic.Uint64
+	inflight sync.WaitGroup
+}
+
+// job is one uncached estimation dispatched to the pool. out and err are
+// owned by the job until wg.Done, which publishes them to the waiting
+// Execute call.
+type job struct {
+	snap *release.Snapshot
+	q    query.Query
+	out  *float64
+	err  *error
+	wg   *sync.WaitGroup
+}
+
+// New starts an engine with the given options.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	capacity := opts.CacheCapacity
+	if capacity == 0 {
+		capacity = DefaultCacheCapacity
+	}
+	shards := opts.CacheShards
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	e := &Engine{
+		maxBatch: maxBatch,
+		cache:    newResultCache(capacity, shards),
+		jobs:     make(chan job, 4*workers),
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the worker pool after in-flight batches drain. Execute
+// calls after Close fail with ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.inflight.Wait()
+	close(e.jobs)
+	e.wg.Wait()
+}
+
+// worker estimates jobs with a pool-resident scratch: the mark array is
+// allocated once per worker and reused for every query of every batch.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	sc := &release.Scratch{}
+	for j := range e.jobs {
+		*j.out, *j.err = j.snap.EstimateUnchecked(j.q, sc)
+		j.wg.Done()
+	}
+}
+
+// MaxBatch returns the configured per-call batch cap.
+func (e *Engine) MaxBatch() int { return e.maxBatch }
+
+// Stats returns a point-in-time snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		CacheHits:    e.hits.Load(),
+		CacheMisses:  e.misses.Load(),
+		Batches:      e.batches.Load(),
+		Queries:      e.queries.Load(),
+		MaxBatch:     e.maxSeen.Load(),
+		CacheEntries: e.cache.len(),
+	}
+}
+
+// Execute answers qs against one release, in order. The release ID keys
+// the cache and must be the store ID of the snapshot's release; the
+// snapshot is resolved by the caller so the engine stays independent of
+// the store's lifecycle states.
+//
+// Every query is validated before any estimation; the first invalid one
+// fails the whole batch with a *QueryError carrying its index. Cache
+// misses are deduplicated within the batch and fanned out across the
+// worker pool; a single miss is estimated inline on the caller's
+// goroutine, so single-query callers pay no handoff.
+func (e *Engine) Execute(releaseID string, snap *release.Snapshot, qs []query.Query) ([]Result, error) {
+	if len(qs) > e.maxBatch {
+		return nil, fmt.Errorf("%w: %d queries > limit %d", ErrBatchTooLarge, len(qs), e.maxBatch)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+
+	for i := range qs {
+		if err := snap.ValidateQuery(qs[i]); err != nil {
+			return nil, &QueryError{Index: i, Err: err}
+		}
+	}
+
+	results := make([]Result, len(qs))
+	type miss struct {
+		first int   // index computing the estimate
+		rest  []int // batch-local duplicates of the same signature
+		est   float64
+		err   error
+	}
+	keys := make([]string, len(qs))
+	var misses []*miss
+	bySig := make(map[string]*miss)
+	var hits, lookups uint64
+	for i := range qs {
+		keys[i] = signature(releaseID, qs[i])
+		lookups++
+		if est, ok := e.cache.get(keys[i]); ok {
+			results[i] = Result{Estimate: est, Cached: true}
+			hits++
+			continue
+		}
+		if m, ok := bySig[keys[i]]; ok {
+			// Identical query earlier in this batch: ride its
+			// estimation instead of recomputing.
+			m.rest = append(m.rest, i)
+			hits++
+			continue
+		}
+		m := &miss{first: i}
+		bySig[keys[i]] = m
+		misses = append(misses, m)
+	}
+
+	switch len(misses) {
+	case 0:
+	case 1:
+		m := misses[0]
+		m.est, m.err = snap.EstimateUnchecked(qs[m.first], nil)
+	default:
+		var wg sync.WaitGroup
+		wg.Add(len(misses))
+		for _, m := range misses {
+			e.jobs <- job{snap: snap, q: qs[m.first], out: &m.est, err: &m.err, wg: &wg}
+		}
+		wg.Wait()
+	}
+
+	for _, m := range misses {
+		if m.err != nil {
+			// Post-validation estimator failures are internal (e.g. a
+			// perturbed release whose reconstruction matrix is
+			// singular); surface the first one for the whole batch.
+			return nil, fmt.Errorf("query %d: %w", m.first, m.err)
+		}
+		results[m.first] = Result{Estimate: m.est}
+		for _, i := range m.rest {
+			results[i] = Result{Estimate: m.est, Cached: true}
+		}
+		e.cache.put(keys[m.first], m.est)
+	}
+
+	e.hits.Add(hits)
+	e.misses.Add(lookups - hits)
+	e.batches.Add(1)
+	e.queries.Add(uint64(len(qs)))
+	for {
+		cur := e.maxSeen.Load()
+		if uint64(len(qs)) <= cur || e.maxSeen.CompareAndSwap(cur, uint64(len(qs))) {
+			break
+		}
+	}
+	return results, nil
+}

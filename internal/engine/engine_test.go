@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/microdata"
+	"repro/internal/query"
+	"repro/internal/release"
+)
+
+// syntheticSnapshot plants a ready generalized release of n small-box
+// ECs over the 3-QI census schema (release.SyntheticECs' shape).
+func syntheticSnapshot(n int, seed int64) (*release.Snapshot, *microdata.Schema) {
+	schema := census.Schema().Project(3)
+	return release.SyntheticSnapshot(schema, n, rand.New(rand.NewSource(seed))), schema
+}
+
+func genQueries(t *testing.T, schema *microdata.Schema, n int, seed int64) []query.Query {
+	t.Helper()
+	gen, err := query.NewGenerator(schema, 2, 0.05, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]query.Query, n)
+	for i := range qs {
+		qs[i] = gen.Next()
+	}
+	return qs
+}
+
+// TestExecuteMatchesDirect: batch results must land in order and agree
+// exactly with per-query Snapshot.Estimate.
+func TestExecuteMatchesDirect(t *testing.T) {
+	snap, schema := syntheticSnapshot(2000, 1)
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	qs := genQueries(t, schema, 100, 2)
+	res, err := e.Execute("r-000001", snap, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(res), len(qs))
+	}
+	for i, q := range qs {
+		want, err := snap.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[i].Estimate != want {
+			t.Fatalf("query %d: engine %v, direct %v", i, res[i].Estimate, want)
+		}
+	}
+}
+
+// TestCacheHitsOnRepeat: a second identical batch must be answered fully
+// from the cache, and the counters must say so.
+func TestCacheHitsOnRepeat(t *testing.T) {
+	snap, schema := syntheticSnapshot(500, 3)
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	qs := genQueries(t, schema, 32, 4)
+	first, err := e.Execute("r-000001", snap, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i].Cached {
+			t.Fatalf("query %d cached on a cold cache", i)
+		}
+	}
+	second, err := e.Execute("r-000001", snap, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Fatalf("query %d not cached on repeat", i)
+		}
+		if second[i].Estimate != first[i].Estimate {
+			t.Fatalf("query %d: cached %v != computed %v", i, second[i].Estimate, first[i].Estimate)
+		}
+	}
+	st := e.Stats()
+	if st.CacheHits != 32 || st.CacheMisses != 32 {
+		t.Fatalf("stats hits=%d misses=%d, want 32/32", st.CacheHits, st.CacheMisses)
+	}
+	if st.Batches != 2 || st.Queries != 64 || st.MaxBatch != 32 {
+		t.Fatalf("stats batches=%d queries=%d max=%d", st.Batches, st.Queries, st.MaxBatch)
+	}
+}
+
+// TestBatchLocalDedup: N copies of one query in a single cold batch must
+// trigger exactly one estimation; the copies report Cached.
+func TestBatchLocalDedup(t *testing.T) {
+	snap, schema := syntheticSnapshot(500, 5)
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	q := genQueries(t, schema, 1, 6)[0]
+	qs := make([]query.Query, 16)
+	for i := range qs {
+		qs[i] = q
+	}
+	res, err := e.Execute("r-000001", snap, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := snap.Estimate(q)
+	for i := range res {
+		if res[i].Estimate != want {
+			t.Fatalf("query %d: %v want %v", i, res[i].Estimate, want)
+		}
+		if (i == 0) == res[i].Cached {
+			t.Fatalf("query %d: Cached=%v", i, res[i].Cached)
+		}
+	}
+	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 15 {
+		t.Fatalf("stats hits=%d misses=%d, want 15/1", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestSignatureCanonicalization: the same predicates listed in a
+// different dimension order must share one cache entry.
+func TestSignatureCanonicalization(t *testing.T) {
+	snap, _ := syntheticSnapshot(500, 7)
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	a := query.Query{Dims: []int{0, 2}, Lo: []float64{20, 1}, Hi: []float64{40, 8}, SALo: 0, SAHi: 9}
+	b := query.Query{Dims: []int{2, 0}, Lo: []float64{1, 20}, Hi: []float64{8, 40}, SALo: 0, SAHi: 9}
+	if _, err := e.Execute("r-000001", snap, []query.Query{a}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute("r-000001", snap, []query.Query{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Cached {
+		t.Fatal("permuted predicate order missed the cache")
+	}
+}
+
+// TestNoCrossReleaseHits: the same query against a different release ID
+// must not reuse the other release's entry.
+func TestNoCrossReleaseHits(t *testing.T) {
+	snapA, schema := syntheticSnapshot(500, 8)
+	snapB, _ := syntheticSnapshot(500, 9) // different content, same schema
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	qs := genQueries(t, schema, 16, 10)
+	ra, err := e.Execute("r-000001", snapA, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := e.Execute("r-000002", snapB, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if rb[i].Cached {
+			t.Fatalf("query %d: release B served from release A's cache", i)
+		}
+		wantA, _ := snapA.Estimate(qs[i])
+		wantB, _ := snapB.Estimate(qs[i])
+		if ra[i].Estimate != wantA || rb[i].Estimate != wantB {
+			t.Fatalf("query %d: got (%v,%v) want (%v,%v)", i, ra[i].Estimate, rb[i].Estimate, wantA, wantB)
+		}
+	}
+}
+
+// TestErrors: oversized batches, invalid queries (with index), and closed
+// engines must fail with their sentinel errors.
+func TestErrors(t *testing.T) {
+	snap, schema := syntheticSnapshot(100, 11)
+	e := New(Options{Workers: 1, MaxBatch: 4})
+	qs := genQueries(t, schema, 5, 12)
+	if _, err := e.Execute("r-000001", snap, qs); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+	bad := []query.Query{qs[0], {Dims: []int{99}, Lo: []float64{0}, Hi: []float64{1}}}
+	_, err := e.Execute("r-000001", snap, bad)
+	var qe *QueryError
+	if !errors.As(err, &qe) || qe.Index != 1 {
+		t.Fatalf("invalid query: %v", err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Execute("r-000001", snap, qs[:1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed engine: %v", err)
+	}
+}
+
+// TestCacheDisabled: negative capacity turns caching off without
+// affecting results.
+func TestCacheDisabled(t *testing.T) {
+	snap, schema := syntheticSnapshot(500, 13)
+	e := New(Options{Workers: 2, CacheCapacity: -1})
+	defer e.Close()
+	qs := genQueries(t, schema, 8, 14)
+	for round := 0; round < 2; round++ {
+		res, err := e.Execute("r-000001", snap, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			if res[i].Cached {
+				t.Fatalf("round %d query %d cached with cache disabled", round, i)
+			}
+			want, _ := snap.Estimate(qs[i])
+			if res[i].Estimate != want {
+				t.Fatalf("round %d query %d: %v want %v", round, i, res[i].Estimate, want)
+			}
+		}
+	}
+	if st := e.Stats(); st.CacheEntries != 0 || st.CacheHits != 0 {
+		t.Fatalf("disabled cache recorded entries=%d hits=%d", st.CacheEntries, st.CacheHits)
+	}
+}
+
+// TestCacheEviction: a capacity far below the workload keeps the entry
+// count bounded and the answers correct.
+func TestCacheEviction(t *testing.T) {
+	snap, schema := syntheticSnapshot(500, 15)
+	e := New(Options{Workers: 2, CacheCapacity: 32, CacheShards: 4})
+	defer e.Close()
+	qs := genQueries(t, schema, 200, 16)
+	if _, err := e.Execute("r-000001", snap, qs[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("r-000001", snap, qs[100:]); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Stats().CacheEntries; n > 32+4 { // per-shard rounding slack
+		t.Fatalf("cache holds %d entries, capacity 32", n)
+	}
+	res, err := e.Execute("r-000001", snap, qs[190:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		want, _ := snap.Estimate(qs[190+i])
+		if math.Abs(r.Estimate-want) != 0 {
+			t.Fatalf("post-eviction query %d: %v want %v", i, r.Estimate, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/query"
+)
+
+// signature renders the canonical cache key of one query against one
+// release. Two textually different requests that denote the same query
+// must share a key, so predicates are ordered by dimension before
+// rendering (the estimators are order-insensitive up to float rounding,
+// and the wire format lets clients list dimensions in any order).
+// Float bounds are rendered as their exact IEEE-754 bit patterns: no
+// formatting round-trip, and distinct floats never collide.
+func signature(releaseID string, q query.Query) string {
+	buf := make([]byte, 0, len(releaseID)+16+34*len(q.Dims))
+	buf = append(buf, releaseID...)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(q.SALo), 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(q.SAHi), 10)
+	if len(q.Dims) == 0 {
+		return string(buf)
+	}
+	ord := make([]int, len(q.Dims))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return q.Dims[ord[a]] < q.Dims[ord[b]] })
+	for _, i := range ord {
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(q.Dims[i]), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, math.Float64bits(q.Lo[i]), 16)
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, math.Float64bits(q.Hi[i]), 16)
+	}
+	return string(buf)
+}

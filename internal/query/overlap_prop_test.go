@@ -1,0 +1,195 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/microdata"
+)
+
+// propSchema builds a random mixed numeric/categorical schema for the
+// OverlapFraction property tests.
+func propSchema(nd int, rng *rand.Rand) *microdata.Schema {
+	qi := make([]microdata.Attribute, nd)
+	for d := range qi {
+		name := fmt.Sprintf("q%d", d)
+		if rng.Intn(2) == 0 {
+			lo := float64(rng.Intn(50))
+			qi[d] = microdata.NumericAttr(name, lo, lo+1+float64(rng.Intn(200)))
+		} else {
+			leaves := make([]string, 2+rng.Intn(10))
+			for i := range leaves {
+				leaves[i] = fmt.Sprintf("q%d v%d", d, i)
+			}
+			qi[d] = microdata.CategoricalAttr(name, hierarchy.Flat(name, leaves...))
+		}
+	}
+	return &microdata.Schema{QI: qi, SA: microdata.SensitiveAttr{Name: "sa", Values: []string{"a", "b"}}}
+}
+
+// propBox draws a random box over the schema's QI domain; numeric
+// dimensions collapse to a point box with probability ~1/8 to exercise
+// the hi == lo branch.
+func propBox(s *microdata.Schema, rng *rand.Rand) microdata.Box {
+	lo := make([]float64, len(s.QI))
+	hi := make([]float64, len(s.QI))
+	for d, a := range s.QI {
+		if a.Kind == microdata.Numeric {
+			x := a.Min + rng.Float64()*(a.Max-a.Min)
+			y := a.Min + rng.Float64()*(a.Max-a.Min)
+			if x > y {
+				x, y = y, x
+			}
+			if rng.Intn(8) == 0 {
+				y = x
+			}
+			lo[d], hi[d] = x, y
+		} else {
+			n := a.Hierarchy.NumLeaves()
+			x, y := rng.Intn(n), rng.Intn(n)
+			if x > y {
+				x, y = y, x
+			}
+			lo[d], hi[d] = float64(x), float64(y)
+		}
+	}
+	return microdata.Box{Lo: lo, Hi: hi}
+}
+
+// propQuery draws a random query touching a random subset of dimensions,
+// sometimes re-using box edges so grazing contact occurs.
+func propQuery(s *microdata.Schema, box microdata.Box, rng *rand.Rand) Query {
+	q := Query{SALo: 0, SAHi: 1}
+	for d, a := range s.QI {
+		if rng.Intn(3) == 0 {
+			continue // leave this dimension unconstrained
+		}
+		var lo, hi float64
+		if a.Kind == microdata.Numeric {
+			span := a.Max - a.Min
+			lo = a.Min - span/4 + rng.Float64()*span
+			hi = lo + rng.Float64()*span
+			switch rng.Intn(6) {
+			case 0:
+				lo, hi = box.Hi[d], box.Hi[d]+1 // graze upper edge
+			case 1:
+				lo, hi = box.Lo[d]-1, box.Lo[d] // graze lower edge
+			}
+		} else {
+			n := a.Hierarchy.NumLeaves()
+			x, y := rng.Intn(n), rng.Intn(n)
+			if x > y {
+				x, y = y, x
+			}
+			lo, hi = float64(x), float64(y)
+		}
+		q.Dims = append(q.Dims, d)
+		q.Lo = append(q.Lo, lo)
+		q.Hi = append(q.Hi, hi)
+	}
+	return q
+}
+
+// TestOverlapFractionRange: the fraction is always a finite value in
+// [0, 1], whatever the box and query shapes.
+func TestOverlapFractionRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for iter := 0; iter < 5000; iter++ {
+		s := propSchema(1+rng.Intn(4), rng)
+		box := propBox(s, rng)
+		q := propQuery(s, box, rng)
+		frac := OverlapFraction(s, box, q)
+		if math.IsNaN(frac) || frac < 0 || frac > 1 {
+			t.Fatalf("iter %d: OverlapFraction=%v outside [0,1] for box %+v query %+v", iter, frac, box, q)
+		}
+	}
+}
+
+// TestOverlapFractionContainment: a query whose range contains the box on
+// every constrained dimension overlaps it fully — exactly 1, no rounding.
+func TestOverlapFractionContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for iter := 0; iter < 5000; iter++ {
+		s := propSchema(1+rng.Intn(4), rng)
+		box := propBox(s, rng)
+		q := Query{SALo: 0, SAHi: 1}
+		for d := range s.QI {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			q.Dims = append(q.Dims, d)
+			pad := float64(rng.Intn(3)) // containment includes exact equality
+			q.Lo = append(q.Lo, box.Lo[d]-pad)
+			q.Hi = append(q.Hi, box.Hi[d]+pad)
+		}
+		if frac := OverlapFraction(s, box, q); frac != 1 {
+			t.Fatalf("iter %d: containing query gives %v, want exactly 1 (box %+v query %+v)", iter, frac, box, q)
+		}
+	}
+}
+
+// TestOverlapFractionMonotone: widening any one predicate range never
+// decreases the fraction. Exact, not approximate: each per-dimension
+// factor is monotone in the query bounds and float multiplication by a
+// non-negative constant preserves order.
+func TestOverlapFractionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for iter := 0; iter < 5000; iter++ {
+		s := propSchema(1+rng.Intn(4), rng)
+		box := propBox(s, rng)
+		q := propQuery(s, box, rng)
+		if len(q.Dims) == 0 {
+			continue
+		}
+		base := OverlapFraction(s, box, q)
+		i := rng.Intn(len(q.Dims))
+		wide := Query{
+			Dims: q.Dims,
+			Lo:   append([]float64(nil), q.Lo...),
+			Hi:   append([]float64(nil), q.Hi...),
+			SALo: q.SALo, SAHi: q.SAHi,
+		}
+		wide.Lo[i] -= float64(1 + rng.Intn(4))
+		wide.Hi[i] += float64(1 + rng.Intn(4))
+		if wider := OverlapFraction(s, box, wide); wider < base {
+			t.Fatalf("iter %d: widening dim %d shrank overlap %v -> %v (box %+v query %+v)",
+				iter, q.Dims[i], base, wider, box, q)
+		}
+	}
+}
+
+// TestOverlapFractionPermutationSymmetric: the fraction is independent of
+// the order predicates are listed in, up to float rounding of the
+// product.
+func TestOverlapFractionPermutationSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for iter := 0; iter < 5000; iter++ {
+		s := propSchema(2+rng.Intn(3), rng)
+		box := propBox(s, rng)
+		q := propQuery(s, box, rng)
+		if len(q.Dims) < 2 {
+			continue
+		}
+		base := OverlapFraction(s, box, q)
+		perm := rng.Perm(len(q.Dims))
+		shuf := Query{
+			Dims: make([]int, len(q.Dims)),
+			Lo:   make([]float64, len(q.Dims)),
+			Hi:   make([]float64, len(q.Dims)),
+			SALo: q.SALo, SAHi: q.SAHi,
+		}
+		for to, from := range perm {
+			shuf.Dims[to] = q.Dims[from]
+			shuf.Lo[to] = q.Lo[from]
+			shuf.Hi[to] = q.Hi[from]
+		}
+		got := OverlapFraction(s, box, shuf)
+		if math.Abs(got-base) > 1e-12*(1+math.Abs(base)) {
+			t.Fatalf("iter %d: permuted predicates give %v != %v (box %+v query %+v perm %v)",
+				iter, got, base, box, q, perm)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package release
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/microdata"
+	"repro/internal/query"
+)
+
+// FuzzEstimateEquivalence differentially fuzzes the two generalized-release
+// estimators: for random schemas, tables, partitions, and queries, the
+// grid-indexed ECIndex.Estimate must agree with the linear scan of
+// query.EstimateGeneralized to within float-rounding tolerance. The two
+// implementations share only OverlapFraction and SARangeCount, so a bug
+// in grid construction, candidate pruning, the two-pass mark-set
+// intersection, or the SA-only prefix-sum path surfaces as a divergence.
+func FuzzEstimateEquivalence(f *testing.F) {
+	// Seed corpus spanning the structural knobs: dimension counts, mixes
+	// of numeric/categorical attributes, point boxes, tiny and larger
+	// tables, explicit grid resolutions, and SA-only query shapes.
+	f.Add(int64(1), uint8(1), uint8(8), uint8(4), uint8(0))
+	f.Add(int64(2), uint8(2), uint8(40), uint8(8), uint8(0))
+	f.Add(int64(3), uint8(3), uint8(96), uint8(16), uint8(64))
+	f.Add(int64(4), uint8(4), uint8(128), uint8(32), uint8(3))
+	f.Add(int64(-7), uint8(2), uint8(17), uint8(1), uint8(255))
+	f.Add(int64(99), uint8(3), uint8(64), uint8(31), uint8(16))
+
+	f.Fuzz(func(t *testing.T, seed int64, dimByte, rowByte, ecByte, gridByte uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + int(dimByte)%4
+		nRows := 4 + int(rowByte)%125
+		nECs := 1 + int(ecByte)%32
+		if nECs > nRows {
+			nECs = nRows
+		}
+		gridCells := int(gridByte) // 0 = auto resolution
+
+		schema := fuzzSchema(nd, rng)
+		tab := fuzzTable(schema, nRows, rng)
+		part := fuzzPartition(tab, nECs, rng)
+		pub := part.Publish()
+		ix := BuildIndex(schema, pub, gridCells)
+
+		check := func(q query.Query, origin string) {
+			t.Helper()
+			want := query.EstimateGeneralized(schema, pub, q)
+			got := ix.Estimate(q)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("%s query %+v: indexed %v != linear %v (schema %d dims, %d ECs, grid %d)",
+					origin, q, got, want, nd, nECs, gridCells)
+			}
+		}
+
+		// Workload-shaped queries across λ, including λ=0 (SA-only).
+		for lambda := 0; lambda <= nd; lambda++ {
+			theta := 0.01 + 0.6*rng.Float64()
+			gen, err := query.NewGenerator(schema, lambda, theta, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				check(gen.Next(), "generated")
+			}
+		}
+
+		// Adversarial queries whose bounds coincide exactly with published
+		// box edges: grazing contact, point ranges, and full containment —
+		// the branches random floats almost never hit.
+		for i := 0; i < 8 && len(pub) > 0; i++ {
+			ec := &pub[rng.Intn(len(pub))]
+			d := rng.Intn(nd)
+			lo, hi := ec.Box.Lo[d], ec.Box.Hi[d]
+			var qlo, qhi float64
+			switch rng.Intn(4) {
+			case 0: // graze the upper edge
+				qlo, qhi = hi, hi+1
+			case 1: // graze the lower edge
+				qlo, qhi = lo-1, lo
+			case 2: // exact box range
+				qlo, qhi = lo, hi
+			default: // strict containment
+				qlo, qhi = lo-1, hi+1
+			}
+			if qlo > qhi {
+				qlo, qhi = qhi, qlo
+			}
+			if schema.QI[d].Kind == microdata.Categorical {
+				qlo, qhi = math.Trunc(qlo), math.Trunc(qhi)
+			}
+			m := len(schema.SA.Values)
+			salo := rng.Intn(m)
+			check(query.Query{
+				Dims: []int{d}, Lo: []float64{qlo}, Hi: []float64{qhi},
+				SALo: salo, SAHi: salo + rng.Intn(m-salo),
+			}, "edge")
+		}
+	})
+}
+
+// fuzzSchema builds a random schema of nd QI attributes — a mix of
+// numeric domains and flat categorical hierarchies — plus a small SA.
+func fuzzSchema(nd int, rng *rand.Rand) *microdata.Schema {
+	qi := make([]microdata.Attribute, nd)
+	for d := range qi {
+		name := fmt.Sprintf("q%d", d)
+		if rng.Intn(2) == 0 {
+			lo := float64(rng.Intn(100))
+			qi[d] = microdata.NumericAttr(name, lo, lo+1+float64(rng.Intn(500)))
+		} else {
+			leaves := make([]string, 2+rng.Intn(12))
+			for i := range leaves {
+				leaves[i] = fmt.Sprintf("q%d v%d", d, i)
+			}
+			qi[d] = microdata.CategoricalAttr(name, hierarchy.Flat(name+" root", leaves...))
+		}
+	}
+	m := 2 + rng.Intn(8)
+	values := make([]string, m)
+	for i := range values {
+		values[i] = fmt.Sprintf("sa%d", i)
+	}
+	return &microdata.Schema{QI: qi, SA: microdata.SensitiveAttr{Name: "sa", Values: values}}
+}
+
+// fuzzTable fills n tuples with in-domain values; numeric coordinates are
+// integer-snapped half the time so point boxes and exact-edge overlaps
+// occur.
+func fuzzTable(schema *microdata.Schema, n int, rng *rand.Rand) *microdata.Table {
+	tab := &microdata.Table{Schema: schema}
+	for i := 0; i < n; i++ {
+		tp := microdata.Tuple{QI: make([]float64, len(schema.QI)), SA: rng.Intn(len(schema.SA.Values))}
+		for d, a := range schema.QI {
+			if a.Kind == microdata.Numeric {
+				v := a.Min + rng.Float64()*(a.Max-a.Min)
+				if rng.Intn(2) == 0 {
+					v = math.Round(v)
+				}
+				tp.QI[d] = v
+			} else {
+				tp.QI[d] = float64(rng.Intn(a.Hierarchy.NumLeaves()))
+			}
+		}
+		tab.Tuples = append(tab.Tuples, tp)
+	}
+	return tab
+}
+
+// fuzzPartition splits the table's rows into k non-empty ECs at random.
+func fuzzPartition(tab *microdata.Table, k int, rng *rand.Rand) *microdata.Partition {
+	rows := rng.Perm(tab.Len())
+	ecs := make([]microdata.EC, k)
+	for i := 0; i < k; i++ { // one row each so no EC is empty
+		ecs[i].Rows = append(ecs[i].Rows, rows[i])
+	}
+	for _, r := range rows[k:] {
+		g := rng.Intn(k)
+		ecs[g].Rows = append(ecs[g].Rows, r)
+	}
+	return &microdata.Partition{Table: tab, ECs: ecs}
+}

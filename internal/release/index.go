@@ -173,6 +173,17 @@ func (m *markSet) visit(id int32) bool {
 	return true
 }
 
+// Scratch is reusable per-caller estimator state: the candidate-dedup
+// mark set that Estimate otherwise borrows from an internal pool. A
+// long-lived worker (the batch engine of internal/engine) owns one
+// Scratch and passes it to EstimateScratch on every call, so the hot
+// path never touches the pool and the mark array is reused across
+// queries and releases of any size. The zero value is ready to use; a
+// Scratch must not be shared between concurrent calls.
+type Scratch struct {
+	ms markSet
+}
+
 // NumECs returns the number of indexed equivalence classes.
 func (ix *ECIndex) NumECs() int { return len(ix.ecs) }
 
@@ -209,21 +220,41 @@ func (ix *ECIndex) pruneDims(q query.Query) []predRange {
 // bounding box can overlap the most selective predicate's grid range.
 func (ix *ECIndex) Estimate(q query.Query) float64 {
 	if len(q.Dims) == 0 {
-		// SA-only query: every EC overlaps fully; the release-wide
-		// prefix sums answer it without touching any EC.
-		lo, hi := q.SALo, q.SAHi
-		if lo < 0 {
-			lo = 0
-		}
-		if hi >= len(ix.totalSA)-1 {
-			hi = len(ix.totalSA) - 2
-		}
-		if lo > hi {
-			return 0
-		}
-		return float64(ix.totalSA[hi+1] - ix.totalSA[lo])
+		return ix.estimateSAOnly(q)
 	}
 	ms := ix.scratch.Get().(*markSet)
+	est := ix.estimate(q, ms)
+	ix.scratch.Put(ms)
+	return est
+}
+
+// EstimateScratch answers like Estimate but reuses caller-owned scratch
+// state instead of the internal pool; see Scratch.
+func (ix *ECIndex) EstimateScratch(q query.Query, sc *Scratch) float64 {
+	if len(q.Dims) == 0 {
+		return ix.estimateSAOnly(q)
+	}
+	return ix.estimate(q, &sc.ms)
+}
+
+// estimateSAOnly answers a λ=0 query: every EC overlaps fully, so the
+// release-wide prefix sums answer it without touching any EC or scratch.
+func (ix *ECIndex) estimateSAOnly(q query.Query) float64 {
+	lo, hi := q.SALo, q.SAHi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(ix.totalSA)-1 {
+		hi = len(ix.totalSA) - 2
+	}
+	if lo > hi {
+		return 0
+	}
+	return float64(ix.totalSA[hi+1] - ix.totalSA[lo])
+}
+
+// estimate is the λ ≥ 1 path; ms must be non-nil.
+func (ix *ECIndex) estimate(q query.Query, ms *markSet) float64 {
 	est := 0.0
 	ix.forCandidates(q, ms, func(id int32) {
 		ec := &ix.ecs[id]
@@ -233,7 +264,6 @@ func (ix *ECIndex) Estimate(q query.Query) float64 {
 		}
 		est += frac * float64(ec.SARangeCount(q.SALo, q.SAHi))
 	})
-	ix.scratch.Put(ms)
 	return est
 }
 

@@ -18,7 +18,7 @@ func benchSetup(b *testing.B, numECs int) (*ECIndex, []query.Query) {
 	b.Helper()
 	schema := benchSchema()
 	rng := rand.New(rand.NewSource(99))
-	ecs := syntheticECs(schema, numECs, rng)
+	ecs := SyntheticECs(schema, numECs, rng)
 	ix := BuildIndex(schema, ecs, 0)
 	gen, err := query.NewGenerator(schema, 2, 0.01, rng)
 	if err != nil {
@@ -72,7 +72,7 @@ func BenchmarkEstimateIndexed50kECs(b *testing.B) {
 func BenchmarkBuildIndex10kECs(b *testing.B) {
 	schema := benchSchema()
 	rng := rand.New(rand.NewSource(99))
-	ecs := syntheticECs(schema, 10000, rng)
+	ecs := SyntheticECs(schema, 10000, rng)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildIndex(schema, ecs, 0)

@@ -10,45 +10,12 @@ import (
 	"repro/internal/query"
 )
 
-// syntheticECs fabricates n published ECs with small random boxes over the
-// schema's QI domain — the shape a BUREL release of a large table takes —
-// so index tests don't pay for a full anonymization run.
-func syntheticECs(schema *microdata.Schema, n int, rng *rand.Rand) []microdata.PublishedEC {
-	m := len(schema.SA.Values)
-	ecs := make([]microdata.PublishedEC, n)
-	for i := range ecs {
-		lo := make([]float64, len(schema.QI))
-		hi := make([]float64, len(schema.QI))
-		for d, a := range schema.QI {
-			var dlo, dhi float64
-			if a.Kind == microdata.Numeric {
-				dlo, dhi = a.Min, a.Max
-			} else {
-				dlo, dhi = 0, float64(a.Hierarchy.NumLeaves()-1)
-			}
-			w := (dhi - dlo) * (0.01 + 0.05*rng.Float64())
-			c := dlo + rng.Float64()*(dhi-dlo-w)
-			lo[d], hi[d] = c, c+w
-		}
-		counts := make([]int, m)
-		size := 0
-		for k := 0; k < 4+rng.Intn(8); k++ {
-			counts[rng.Intn(m)]++
-			size++
-		}
-		ec := microdata.PublishedEC{Box: microdata.Box{Lo: lo, Hi: hi}, SACounts: counts, Size: size}
-		ec.BuildSAPrefix()
-		ecs[i] = ec
-	}
-	return ecs
-}
-
 // TestIndexMatchesLinear: the indexed estimator must agree with the linear
 // scan on every query, across λ and θ shapes, including λ=0 (SA-only).
 func TestIndexMatchesLinear(t *testing.T) {
 	schema := census.Schema().Project(3)
 	rng := rand.New(rand.NewSource(7))
-	ecs := syntheticECs(schema, 2000, rng)
+	ecs := SyntheticECs(schema, 2000, rng)
 	ix := BuildIndex(schema, ecs, 0)
 
 	for _, shape := range []struct {
@@ -102,7 +69,7 @@ func TestIndexMatchesLinearOnBurel(t *testing.T) {
 func TestIndexPrunes(t *testing.T) {
 	schema := census.Schema().Project(3)
 	rng := rand.New(rand.NewSource(3))
-	ecs := syntheticECs(schema, 10000, rng)
+	ecs := SyntheticECs(schema, 10000, rng)
 	ix := BuildIndex(schema, ecs, 0)
 	gen, err := query.NewGenerator(schema, 2, 0.01, rng)
 	if err != nil {

@@ -192,11 +192,29 @@ func (s *Snapshot) NumECs() int {
 // distribution scaling for the Baseline, and PM⁻¹ reconstruction for
 // perturbed releases.
 func (s *Snapshot) Estimate(q query.Query) (float64, error) {
-	if err := s.validateQuery(q); err != nil {
+	return s.EstimateWith(q, nil)
+}
+
+// EstimateWith answers like Estimate but lets the caller supply reusable
+// scratch state for the indexed estimator. A nil scratch falls back to
+// the index's internal pool; kinds other than generalized ignore it.
+func (s *Snapshot) EstimateWith(q query.Query, sc *Scratch) (float64, error) {
+	if err := s.ValidateQuery(q); err != nil {
 		return 0, err
 	}
+	return s.EstimateUnchecked(q, sc)
+}
+
+// EstimateUnchecked answers without re-running ValidateQuery: the entry
+// point for batch executors that validate a whole batch up front. The
+// caller must have validated q against this snapshot — a malformed query
+// may panic an estimator.
+func (s *Snapshot) EstimateUnchecked(q query.Query, sc *Scratch) (float64, error) {
 	switch s.Kind {
 	case KindGeneralized:
+		if sc != nil {
+			return s.Index.EstimateScratch(q, sc), nil
+		}
 		return s.Index.Estimate(q), nil
 	case KindAnatomy:
 		if s.LDiverse != nil {
@@ -209,9 +227,11 @@ func (s *Snapshot) Estimate(q query.Query) (float64, error) {
 	return 0, fmt.Errorf("release: kind %q is not queryable", s.Kind)
 }
 
-// validateQuery bounds-checks predicate dimensions and the SA range so a
-// malformed network query cannot panic an estimator.
-func (s *Snapshot) validateQuery(q query.Query) error {
+// ValidateQuery bounds-checks predicate dimensions and the SA range so a
+// malformed network query cannot panic an estimator. Estimate runs it on
+// every call; batch executors may run it separately to reject a bad
+// query before any fan-out.
+func (s *Snapshot) ValidateQuery(q query.Query) error {
 	if len(q.Lo) != len(q.Dims) || len(q.Hi) != len(q.Dims) {
 		return fmt.Errorf("release: query has %d dims but %d/%d bounds", len(q.Dims), len(q.Lo), len(q.Hi))
 	}

@@ -128,6 +128,73 @@ func (s *Store) Submit(t *microdata.Table, p Params) (Meta, error) {
 	return meta, nil
 }
 
+// Register installs an externally built snapshot as an immediately ready
+// release, bypassing the build queue: the restore path for snapshots
+// materialized out of process, and the way benchmarks and tests plant
+// synthetic releases of arbitrary size. The snapshot is retained (not
+// copied) and must not be mutated after registration. Params are recorded
+// as metadata only; they are not validated against the snapshot.
+func (s *Store) Register(snap *Snapshot, p Params) (Meta, error) {
+	if snap == nil || snap.Schema == nil {
+		return Meta{}, fmt.Errorf("release: nil snapshot")
+	}
+	// A payload inconsistent with its kind would not fail here but as a
+	// nil dereference on a query worker goroutine, taking down the whole
+	// process; reject it at the boundary instead.
+	switch snap.Kind {
+	case KindGeneralized:
+		if snap.Index == nil {
+			return Meta{}, fmt.Errorf("release: generalized snapshot without index")
+		}
+	case KindAnatomy:
+		if snap.Baseline == nil && snap.LDiverse == nil {
+			return Meta{}, fmt.Errorf("release: anatomy snapshot without publication")
+		}
+	case KindPerturbed:
+		if snap.Perturbed == nil || snap.Scheme == nil {
+			return Meta{}, fmt.Errorf("release: perturbed snapshot without table or scheme")
+		}
+	default:
+		return Meta{}, fmt.Errorf("release: unknown kind %q", snap.Kind)
+	}
+	rows := 0
+	switch {
+	case snap.Perturbed != nil:
+		rows = snap.Perturbed.Len()
+	case snap.Baseline != nil:
+		rows = snap.Baseline.Table.Len()
+	case snap.LDiverse != nil:
+		rows = snap.LDiverse.Table.Len()
+	default:
+		for i := range snap.ECs {
+			rows += snap.ECs[i].Size
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Meta{}, fmt.Errorf("release: %w", ErrClosed)
+	}
+	s.version++
+	now := time.Now().UTC()
+	rec := &record{
+		meta: Meta{
+			ID:        fmt.Sprintf("r-%06d", s.version),
+			Version:   s.version,
+			Params:    p,
+			Status:    StatusReady,
+			Rows:      rows,
+			NumECs:    snap.NumECs(),
+			AIL:       snap.AIL,
+			CreatedAt: now,
+			ReadyAt:   now,
+		},
+		snap: snap,
+	}
+	s.byID[rec.meta.ID] = rec
+	return rec.meta, nil
+}
+
 func (s *Store) worker() {
 	defer s.wg.Done()
 	for rec := range s.jobs {

@@ -271,3 +271,51 @@ func TestStoreSnapshotErrors(t *testing.T) {
 		t.Fatalf("failed release: %v, want ErrNotReady", err)
 	}
 }
+
+// TestStoreRegister: a pre-built snapshot becomes an immediately ready,
+// queryable release with derived metadata, interleaved in the same
+// version sequence as submitted builds.
+func TestStoreRegister(t *testing.T) {
+	s := NewStore(1)
+	defer s.Close()
+
+	tab := census.Generate(census.Options{N: 400, Seed: 3}).Project(2)
+	snap, err := build(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Register(snap, Params{Kind: KindGeneralized, Beta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Status != StatusReady {
+		t.Fatalf("registered release is %s, want ready", meta.Status)
+	}
+	if meta.Rows != tab.Len() || meta.NumECs != snap.NumECs() {
+		t.Fatalf("metadata rows=%d ecs=%d, want %d/%d", meta.Rows, meta.NumECs, tab.Len(), snap.NumECs())
+	}
+	got, err := s.Snapshot(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != snap {
+		t.Fatal("Snapshot returned a different snapshot than registered")
+	}
+
+	// Version sequence is shared with Submit.
+	m2, err := s.Submit(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != meta.Version+1 {
+		t.Fatalf("submitted version %d after registered %d", m2.Version, meta.Version)
+	}
+
+	if _, err := s.Register(nil, Params{}); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	s.Close()
+	if _, err := s.Register(snap, Params{Kind: KindGeneralized, Beta: 4}); err == nil {
+		t.Fatal("closed store accepted a registration")
+	}
+}

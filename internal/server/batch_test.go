@@ -1,0 +1,243 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/release"
+)
+
+// readyRelease uploads a small generated table and polls it to ready.
+func readyRelease(t *testing.T, e *testEnv, n int, seed int64) (release.Meta, string) {
+	t.Helper()
+	csv, _ := censusCSV(t, n, seed, 3)
+	_, data := e.post(t, "/v1/releases", createRequest{Kind: "generalized", Beta: 4, QI: 3, Seed: seed, CSV: csv})
+	var meta release.Meta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatal(err)
+	}
+	meta = e.pollReady(t, meta.ID)
+	if meta.Status != release.StatusReady {
+		t.Fatalf("build failed: %s", meta.Error)
+	}
+	return meta, csv
+}
+
+// TestBatchQueryEndToEnd: a batch must return results in request order
+// that match the direct estimator, and repeating it must be answered
+// from the cache with the hit tally reported.
+func TestBatchQueryEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	meta, _ := readyRelease(t, e, 1500, 17)
+	snap, err := e.store.Snapshot(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := query.NewGenerator(census.Schema().Project(3), 2, 0.05, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]queryRequest, 24)
+	for i := range qs {
+		q := gen.Next()
+		qs[i] = queryRequest{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+	}
+	qs[20] = qs[3] // batch-local duplicate
+
+	var br batchQueryResponse
+	resp, data := e.post(t, "/v1/query:batch", batchQueryRequest{ReleaseID: meta.ID, Queries: qs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(br.Results), len(qs))
+	}
+	for i, qr := range qs {
+		want, err := snap.Estimate(qr.toQuery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(br.Results[i].Estimate-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("query %d: batch %v, direct %v", i, br.Results[i].Estimate, want)
+		}
+	}
+	if br.CacheHits != 1 { // only the duplicate
+		t.Fatalf("cold batch reported %d hits, want 1", br.CacheHits)
+	}
+
+	resp, data = e.post(t, "/v1/query:batch", batchQueryRequest{ReleaseID: meta.ID, Queries: qs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm batch: %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.CacheHits != len(qs) {
+		t.Fatalf("warm batch reported %d hits, want %d", br.CacheHits, len(qs))
+	}
+
+	// The single-query route shares the engine and therefore the cache.
+	resp, data = e.post(t, "/v1/releases/"+meta.ID+"/query", qs[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single after batch: %d: %s", resp.StatusCode, data)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Cached {
+		t.Fatal("single-query route missed the cache after a batch warmed it")
+	}
+}
+
+// TestErrorMatrix is the table-driven status-code contract of the query
+// routes: every row posts a body to a path and requires one exact code.
+func TestErrorMatrix(t *testing.T) {
+	e := newEnvOpts(t, Options{
+		MaxBodyBytes: 1 << 20,
+		Engine:       engine.Options{MaxBatch: 8},
+	}, 1)
+
+	ready, csv := readyRelease(t, e, 800, 23)
+
+	// A build that fails: ℓ-diverse anatomy with ℓ far beyond the SA
+	// diversity of a small table.
+	_, data := e.post(t, "/v1/releases", createRequest{Kind: "anatomy", L: 40, Seed: 1, CSV: csv, QI: 3})
+	var failed release.Meta
+	if err := json.Unmarshal(data, &failed); err != nil {
+		t.Fatal(err)
+	}
+	if failed = e.pollReady(t, failed.ID); failed.Status != release.StatusFailed {
+		t.Fatalf("expected failed build, got %s", failed.Status)
+	}
+
+	// A release that stays pending for the duration of one request: the
+	// store has a single build worker, so a submission queued directly
+	// behind several full builds cannot start before we query it (the
+	// fillers bypass HTTP so the queue fills faster than it drains).
+	bigTab := census.Generate(census.Options{N: 30000, Seed: 29}).Project(3)
+	for i := 0; i < 6; i++ {
+		if _, err := e.store.Submit(bigTab, release.Params{Kind: release.KindGeneralized, Beta: 4, Seed: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending, err := e.store.Submit(bigTab, release.Params{Kind: release.KindGeneralized, Beta: 4, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	okQuery := queryRequest{SALo: 0, SAHi: 3}
+	batchOf := func(id string, n int, q queryRequest) batchQueryRequest {
+		qs := make([]queryRequest, n)
+		for i := range qs {
+			qs[i] = q
+		}
+		return batchQueryRequest{ReleaseID: id, Queries: qs}
+	}
+
+	cases := []struct {
+		name string
+		path string
+		body any
+		code int
+	}{
+		// 503 first: these rows must run while the release queued behind
+		// the filler builds is still pending.
+		{"batch pending release", "/v1/query:batch", batchOf(pending.ID, 1, okQuery), http.StatusServiceUnavailable},
+		{"single pending release", "/v1/releases/" + pending.ID + "/query", okQuery, http.StatusServiceUnavailable},
+		// 400: malformed or invalid requests.
+		{"batch bad json", "/v1/query:batch", "{", http.StatusBadRequest},
+		{"batch no release_id", "/v1/query:batch", batchOf("", 1, okQuery), http.StatusBadRequest},
+		{"batch empty queries", "/v1/query:batch", batchQueryRequest{ReleaseID: ready.ID}, http.StatusBadRequest},
+		{"batch bad dim", "/v1/query:batch", batchOf(ready.ID, 1, queryRequest{Dims: []int{9}, Lo: []float64{0}, Hi: []float64{1}}), http.StatusBadRequest},
+		{"batch inverted sa", "/v1/query:batch", batchOf(ready.ID, 1, queryRequest{SALo: 3, SAHi: 1}), http.StatusBadRequest},
+		{"batch fractional categorical", "/v1/query:batch", batchOf(ready.ID, 1, queryRequest{Dims: []int{1}, Lo: []float64{0.5}, Hi: []float64{1.5}}), http.StatusBadRequest},
+		{"single bad query", "/v1/releases/" + ready.ID + "/query", queryRequest{Dims: []int{9}, Lo: []float64{0}, Hi: []float64{1}}, http.StatusBadRequest},
+		{"create bad kind", "/v1/releases", createRequest{Kind: "nope", CSV: "Age\n1\n"}, http.StatusBadRequest},
+		// 404: unknown release.
+		{"batch unknown release", "/v1/query:batch", batchOf("r-404404", 1, okQuery), http.StatusNotFound},
+		{"single unknown release", "/v1/releases/r-404404/query", okQuery, http.StatusNotFound},
+		// 409: permanently failed release.
+		{"batch failed release", "/v1/query:batch", batchOf(failed.ID, 1, okQuery), http.StatusConflict},
+		{"single failed release", "/v1/releases/" + failed.ID + "/query", okQuery, http.StatusConflict},
+		// 413: oversized batch.
+		{"batch too large", "/v1/query:batch", batchOf(ready.ID, 9, okQuery), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		var data []byte
+		if s, ok := tc.body.(string); ok {
+			r, err := http.Post(e.ts.URL+tc.path, "application/json", strings.NewReader(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ = io.ReadAll(r.Body)
+			r.Body.Close()
+			resp = r
+		} else {
+			resp, data = e.post(t, tc.path, tc.body)
+		}
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: code %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, data)
+		}
+		if !strings.Contains(string(data), "error") {
+			t.Errorf("%s: no error field: %s", tc.name, data)
+		}
+		if tc.code == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s: 503 without Retry-After", tc.name)
+		}
+	}
+}
+
+// TestBatchBodyTooLarge: a batch request body beyond MaxBodyBytes maps to
+// 413 via the decoder, before any queries are parsed.
+func TestBatchBodyTooLarge(t *testing.T) {
+	e := newEnvOpts(t, Options{MaxBodyBytes: 4 << 10}, 1)
+	big := `{"release_id":"r-000001","queries":[` + strings.Repeat(`{"sa_lo":0,"sa_hi":1},`, 4096) + `{"sa_lo":0,"sa_hi":1}]}`
+	resp, err := http.Post(e.ts.URL+"/v1/query:batch", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestMetricsExposeEngineCounters: the engine's cache and batch counters
+// must surface on /metrics after batch traffic.
+func TestMetricsExposeEngineCounters(t *testing.T) {
+	e := newEnv(t)
+	meta, _ := readyRelease(t, e, 600, 31)
+	qs := []queryRequest{{SALo: 0, SAHi: 5}, {SALo: 0, SAHi: 5}, {SALo: 1, SAHi: 2}}
+	if resp, data := e.post(t, "/v1/query:batch", batchQueryRequest{ReleaseID: meta.ID, Queries: qs}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d: %s", resp.StatusCode, data)
+	}
+	_, data := e.get(t, "/metrics")
+	body := string(data)
+	for _, want := range []string{
+		"repro_engine_cache_hits_total 1", // the in-batch duplicate
+		"repro_engine_cache_misses_total 2",
+		"repro_engine_batches_total 1",
+		"repro_engine_batch_queries_total 3",
+		"repro_engine_batch_size_max 3",
+		"repro_engine_cache_entries 2",
+		`repro_http_requests_total{route="batch_query",code="200"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/release"
+)
+
+// benchServer plants a 10k-EC release in a fresh server and returns the
+// test server, the release ID, and a 256-query λ=2/θ=0.01 pool.
+func benchServer(b *testing.B, opts Options) (*httptest.Server, string, []queryRequest) {
+	b.Helper()
+	store := release.NewStore(1)
+	srv := New(store, opts)
+	ts := httptest.NewServer(srv)
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		store.Close()
+	})
+	snap := release.SyntheticSnapshot(census.Schema().Project(3), 10000, rand.New(rand.NewSource(99)))
+	meta, err := store.Register(snap, release.Params{Kind: release.KindGeneralized, Beta: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := query.NewGenerator(census.Schema().Project(3), 2, 0.01, rand.New(rand.NewSource(7)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := make([]queryRequest, 256)
+	for i := range pool {
+		q := gen.Next()
+		pool[i] = queryRequest{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+	}
+	return ts, meta.ID, pool
+}
+
+func benchPost(b *testing.B, client *http.Client, url string, body any) []byte {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("%s: %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+// BenchmarkHTTPSingleQuery10kECs is the PR-1 serving baseline: one
+// uncached estimate per HTTP round-trip (the cache is disabled to keep
+// repeated pool queries honest). Compare queries/sec with the batch
+// benchmark below; the acceptance bar is ≥3× at batch size 64.
+func BenchmarkHTTPSingleQuery10kECs(b *testing.B) {
+	ts, id, pool := benchServer(b, Options{Engine: engine.Options{CacheCapacity: -1}})
+	client := ts.Client()
+	url := ts.URL + "/v1/releases/" + id + "/query"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, client, url, pool[i%len(pool)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkHTTPBatch64WarmCache10kECs: 64 queries per POST /v1/query:batch
+// against a warmed result cache — the steady state of a dashboard-style
+// workload replaying a familiar query set.
+func BenchmarkHTTPBatch64WarmCache10kECs(b *testing.B) {
+	ts, id, pool := benchServer(b, Options{})
+	client := ts.Client()
+	url := ts.URL + "/v1/query:batch"
+	batch := batchQueryRequest{ReleaseID: id, Queries: pool[:64]}
+	benchPost(b, client, url, batch) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, client, url, batch)
+	}
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkHTTPBatch64Cold10kECs: the same batch shape with the cache
+// disabled — what batching alone (fan-out plus one round-trip) buys.
+func BenchmarkHTTPBatch64Cold10kECs(b *testing.B) {
+	ts, id, pool := benchServer(b, Options{Engine: engine.Options{CacheCapacity: -1}})
+	client := ts.Client()
+	url := ts.URL + "/v1/query:batch"
+	batch := batchQueryRequest{ReleaseID: id, Queries: pool[:64]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, client, url, batch)
+	}
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "queries/sec")
+}

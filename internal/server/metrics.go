@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // Metrics collects per-route request counters and latency sums and renders
@@ -57,10 +59,14 @@ func (m *Metrics) Observe(route string, code int, d time.Duration) {
 // states without importing the release package.
 type releaseCounter func() map[string]int
 
-// handler renders the registry. releases may be nil. The exposition is
-// rendered into a buffer first so no lock is held during the network
-// write (a stalled scraper must not serialize request completion).
-func (m *Metrics) handler(releases releaseCounter) http.HandlerFunc {
+// engineStats supplies the batch engine's cache and batch counters.
+type engineStats func() engine.Stats
+
+// handler renders the registry. releases and engStats may be nil. The
+// exposition is rendered into a buffer first so no lock is held during
+// the network write (a stalled scraper must not serialize request
+// completion).
+func (m *Metrics) handler(releases releaseCounter, engStats engineStats) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		m.mu.Lock()
@@ -106,6 +112,27 @@ func (m *Metrics) handler(releases releaseCounter) http.HandlerFunc {
 			for _, s := range states {
 				fmt.Fprintf(&buf, "repro_releases{status=%q} %d\n", s, counts[s])
 			}
+		}
+		if engStats != nil {
+			st := engStats()
+			fmt.Fprintln(&buf, "# HELP repro_engine_cache_hits_total Query-engine result-cache hits (including batch-local duplicates).")
+			fmt.Fprintln(&buf, "# TYPE repro_engine_cache_hits_total counter")
+			fmt.Fprintf(&buf, "repro_engine_cache_hits_total %d\n", st.CacheHits)
+			fmt.Fprintln(&buf, "# HELP repro_engine_cache_misses_total Query-engine result-cache misses.")
+			fmt.Fprintln(&buf, "# TYPE repro_engine_cache_misses_total counter")
+			fmt.Fprintf(&buf, "repro_engine_cache_misses_total %d\n", st.CacheMisses)
+			fmt.Fprintln(&buf, "# HELP repro_engine_batches_total Batches executed by the query engine.")
+			fmt.Fprintln(&buf, "# TYPE repro_engine_batches_total counter")
+			fmt.Fprintf(&buf, "repro_engine_batches_total %d\n", st.Batches)
+			fmt.Fprintln(&buf, "# HELP repro_engine_batch_queries_total Queries executed across all batches.")
+			fmt.Fprintln(&buf, "# TYPE repro_engine_batch_queries_total counter")
+			fmt.Fprintf(&buf, "repro_engine_batch_queries_total %d\n", st.Queries)
+			fmt.Fprintln(&buf, "# HELP repro_engine_batch_size_max Largest batch executed so far.")
+			fmt.Fprintln(&buf, "# TYPE repro_engine_batch_size_max gauge")
+			fmt.Fprintf(&buf, "repro_engine_batch_size_max %d\n", st.MaxBatch)
+			fmt.Fprintln(&buf, "# HELP repro_engine_cache_entries Current result-cache entry count.")
+			fmt.Fprintln(&buf, "# TYPE repro_engine_cache_entries gauge")
+			fmt.Fprintf(&buf, "repro_engine_cache_entries %d\n", st.CacheEntries)
 		}
 		fmt.Fprintln(&buf, "# HELP repro_uptime_seconds Seconds since the server started.")
 		fmt.Fprintln(&buf, "# TYPE repro_uptime_seconds gauge")

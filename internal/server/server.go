@@ -5,12 +5,16 @@
 //	GET  /v1/releases            list releases, newest first
 //	GET  /v1/releases/{id}       release status and metadata
 //	POST /v1/releases/{id}/query COUNT(*) estimate against a ready release
+//	POST /v1/query:batch         N COUNT(*) estimates against one release
 //	GET  /healthz                liveness probe
 //	GET  /metrics                Prometheus-format counters
 //
 // Anonymization runs asynchronously on the store's worker pool; clients
-// poll the release until its status is "ready" and then issue queries,
-// which are answered through the per-release EC index.
+// poll the release until its status is "ready" and then issue queries.
+// Both query routes go through the batch engine of internal/engine (a
+// single query is a batch of one): estimates come from the per-release
+// EC index, fanned out across a worker pool and memoized in a sharded
+// LRU result cache keyed by the immutable release ID.
 package server
 
 import (
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/census"
+	"repro/internal/engine"
 	"repro/internal/microdata"
 	"repro/internal/query"
 	"repro/internal/release"
@@ -34,21 +39,33 @@ type Options struct {
 	Schema *microdata.Schema
 	// MaxBodyBytes caps request bodies; ≤ 0 selects 256 MiB.
 	MaxBodyBytes int64
+	// Engine configures the batch query engine (worker pool size,
+	// result-cache capacity, per-request batch cap); the zero value
+	// selects the engine defaults.
+	Engine engine.Options
 }
 
 // Server is the HTTP front end; it implements http.Handler.
 type Server struct {
 	store   *release.Store
+	engine  *engine.Engine
 	schema  *microdata.Schema
 	metrics *Metrics
 	mux     *http.ServeMux
 	maxBody int64
+	// Query-route body caps, bounded independently of maxBody: that
+	// limit is sized for CSV uploads, and letting a query route decode a
+	// CSV-sized JSON body of predicate arrays would amplify a few MB of
+	// text into GBs of slices before any validation could reject it.
+	maxQueryBody, maxBatchBody int64
 }
 
-// New wires the API around a store.
+// New wires the API around a store. Call Close to stop the server's
+// query engine when done.
 func New(store *release.Store, opts Options) *Server {
 	s := &Server{
 		store:   store,
+		engine:  engine.New(opts.Engine),
 		schema:  opts.Schema,
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
@@ -60,14 +77,21 @@ func New(store *release.Store, opts Options) *Server {
 	if s.maxBody <= 0 {
 		s.maxBody = 256 << 20
 	}
+	s.maxQueryBody = min(1<<20, s.maxBody)
+	s.maxBatchBody = min(8<<20, s.maxBody)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts)))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts, s.engine.Stats)))
 	s.mux.HandleFunc("POST /v1/releases", s.instrument("create_release", s.handleCreate))
 	s.mux.HandleFunc("GET /v1/releases", s.instrument("list_releases", s.handleList))
 	s.mux.HandleFunc("GET /v1/releases/{id}", s.instrument("get_release", s.handleGet))
 	s.mux.HandleFunc("POST /v1/releases/{id}/query", s.instrument("query_release", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/query:batch", s.instrument("batch_query", s.handleBatchQuery))
 	return s
 }
+
+// Close stops the query engine's worker pool. The store's lifecycle is
+// owned by the caller.
+func (s *Server) Close() { s.engine.Close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -186,34 +210,133 @@ type queryRequest struct {
 type queryResponse struct {
 	ReleaseID string  `json:"release_id"`
 	Estimate  float64 `json:"estimate"`
+	// Cached reports a result-cache hit.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// toQuery converts the wire form to the internal query type.
+func (r queryRequest) toQuery() query.Query {
+	return query.Query{Dims: r.Dims, Lo: r.Lo, Hi: r.Hi, SALo: r.SALo, SAHi: r.SAHi}
+}
+
+// resolveSnapshot maps a release ID to its queryable snapshot or to the
+// HTTP status describing why it cannot be queried: 404 for unknown IDs,
+// 409 for failed builds (a permanent condition for that ID), 503 with
+// Retry-After for pending/building releases (the client should poll).
+func (s *Server) resolveSnapshot(w http.ResponseWriter, id string) (*release.Snapshot, bool) {
+	meta, ok := s.store.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", release.ErrNotFound, id))
+		return nil, false
+	}
+	switch meta.Status {
+	case release.StatusPending, release.StatusBuilding:
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("%w: release %s is %s", release.ErrNotReady, id, meta.Status))
+		return nil, false
+	case release.StatusFailed:
+		writeErr(w, http.StatusConflict, fmt.Errorf("%w: release %s failed: %s", release.ErrNotReady, id, meta.Error))
+		return nil, false
+	}
+	snap, err := s.store.Snapshot(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return nil, false
+	}
+	return snap, true
+}
+
+// executeErr maps an engine.Execute failure to its status code.
+func executeErr(w http.ResponseWriter, err error) {
+	var qe *engine.QueryError
+	switch {
+	case errors.As(err, &qe):
+		writeErr(w, http.StatusBadRequest, err)
+	case errors.Is(err, engine.ErrBatchTooLarge):
+		writeErr(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, engine.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	snap, err := s.store.Snapshot(id)
-	switch {
-	case errors.Is(err, release.ErrNotFound):
-		writeErr(w, http.StatusNotFound, err)
-		return
-	case errors.Is(err, release.ErrNotReady):
-		writeErr(w, http.StatusConflict, err)
-		return
-	case err != nil:
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
+	// Decode before resolving the release, matching the batch route:
+	// structural checks on the request precede checks on the target.
 	var req queryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxQueryBody)).Decode(&req); err != nil {
 		writeErr(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	q := query.Query{Dims: req.Dims, Lo: req.Lo, Hi: req.Hi, SALo: req.SALo, SAHi: req.SAHi}
-	est, err := snap.Estimate(q)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	snap, ok := s.resolveSnapshot(w, id)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{ReleaseID: id, Estimate: est})
+	res, err := s.engine.Execute(id, snap, []query.Query{req.toQuery()})
+	if err != nil {
+		executeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{ReleaseID: id, Estimate: res[0].Estimate, Cached: res[0].Cached})
+}
+
+// batchQueryRequest is the POST /v1/query:batch body: one release ID and
+// up to MaxBatch queries answered in order.
+type batchQueryRequest struct {
+	ReleaseID string         `json:"release_id"`
+	Queries   []queryRequest `json:"queries"`
+}
+
+// batchQueryResponse carries the per-query results in request order plus
+// the batch's cache tallies.
+type batchQueryResponse struct {
+	ReleaseID string          `json:"release_id"`
+	Results   []engine.Result `json:"results"`
+	CacheHits int             `json:"cache_hits"`
+}
+
+func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	var req batchQueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBatchBody)).Decode(&req); err != nil {
+		writeErr(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.ReleaseID == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("release_id is required"))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("queries is empty"))
+		return
+	}
+	// Reject oversized batches before resolving the release: the cap is
+	// structural, not a property of the target.
+	if limit := s.engine.MaxBatch(); len(req.Queries) > limit {
+		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("%w: %d queries > limit %d", engine.ErrBatchTooLarge, len(req.Queries), limit))
+		return
+	}
+	snap, ok := s.resolveSnapshot(w, req.ReleaseID)
+	if !ok {
+		return
+	}
+	qs := make([]query.Query, len(req.Queries))
+	for i, qr := range req.Queries {
+		qs[i] = qr.toQuery()
+	}
+	res, err := s.engine.Execute(req.ReleaseID, snap, qs)
+	if err != nil {
+		executeErr(w, err)
+		return
+	}
+	hits := 0
+	for i := range res {
+		if res[i].Cached {
+			hits++
+		}
+	}
+	writeJSON(w, http.StatusOK, batchQueryResponse{ReleaseID: req.ReleaseID, Results: res, CacheHits: hits})
 }
 
 // decodeStatus maps a body-decoding failure to its status code: 413 when

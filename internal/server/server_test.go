@@ -28,11 +28,17 @@ type testEnv struct {
 }
 
 func newEnv(t *testing.T) *testEnv {
+	return newEnvOpts(t, Options{}, 2)
+}
+
+func newEnvOpts(t *testing.T, opts Options, workers int) *testEnv {
 	t.Helper()
-	store := release.NewStore(2)
-	ts := httptest.NewServer(New(store, Options{}))
+	store := release.NewStore(workers)
+	srv := New(store, opts)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
+		srv.Close()
 		store.Close()
 	})
 	return &testEnv{ts: ts, store: store}
