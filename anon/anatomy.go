@@ -1,0 +1,89 @@
+package anon
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/anatomy"
+)
+
+// MethodAnatomy names the Anatomy-style publication method (§6.3): the
+// Baseline form when L is 0, the full ℓ-diverse two-table form when
+// L ≥ 2.
+const MethodAnatomy = "anatomy"
+
+// AnatomyParams configures an Anatomy publication.
+type AnatomyParams struct {
+	// L requests the full ℓ-diverse publication; 0 keeps the Baseline
+	// form that withholds per-group SA data. 1 is invalid.
+	L int `json:"l,omitempty"`
+	// Seed drives the SA scrambling / group assignment randomness.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// AnatomyOption mutates AnatomyParams during construction.
+type AnatomyOption func(*AnatomyParams)
+
+// AnatomyL requests the full ℓ-diverse publication.
+func AnatomyL(l int) AnatomyOption { return func(p *AnatomyParams) { p.L = l } }
+
+// AnatomySeed sets the run seed.
+func AnatomySeed(seed int64) AnatomyOption { return func(p *AnatomyParams) { p.Seed = seed } }
+
+// NewAnatomyParams returns Anatomy params at the defaults (Baseline
+// form), with options applied in order.
+func NewAnatomyParams(opts ...AnatomyOption) *AnatomyParams {
+	p := &AnatomyParams{}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Method implements Params.
+func (p *AnatomyParams) Method() string { return MethodAnatomy }
+
+// Validate implements Params. A typed-nil receiver is invalid, not a
+// panic: interface nil checks upstream cannot see it.
+func (p *AnatomyParams) Validate() error {
+	if p == nil {
+		return fmt.Errorf("anatomy: nil params")
+	}
+	if p.L != 0 && p.L < 2 {
+		return fmt.Errorf("anatomy: ℓ must be 0 (baseline) or ≥ 2, got %d", p.L)
+	}
+	return nil
+}
+
+// anatomyMethod adapts internal/anatomy to the Method interface.
+type anatomyMethod struct{}
+
+func init() { MustRegister(anatomyMethod{}) }
+
+func (anatomyMethod) Name() string { return MethodAnatomy }
+
+// NewParams implements ParamsFactory.
+func (anatomyMethod) NewParams() Params { return NewAnatomyParams() }
+
+func (anatomyMethod) Anonymize(ctx context.Context, t *Table, p Params) (*Release, error) {
+	ap, ok := p.(*AnatomyParams)
+	if !ok {
+		return nil, paramsTypeError(MethodAnatomy, p)
+	}
+	if err := checkRun(ctx, t, p); err != nil {
+		return nil, err
+	}
+	rel := &Release{Method: MethodAnatomy, Schema: t.Schema, Rows: t.Len()}
+	rng := rand.New(rand.NewSource(ap.Seed))
+	if ap.L >= 2 {
+		pub, err := anatomy.PublishLDiverse(t, ap.L, rng)
+		if err != nil {
+			return nil, err
+		}
+		rel.LDiverse = pub
+	} else {
+		rel.Baseline = anatomy.Publish(t, rng)
+	}
+	return rel, ctx.Err()
+}

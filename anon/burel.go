@@ -1,0 +1,106 @@
+package anon
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/burel"
+	"repro/internal/likeness"
+)
+
+// MethodBUREL names the BUREL β-likeness generalization method (§4).
+const MethodBUREL = "burel"
+
+// DefaultBeta is the β threshold the params constructors default to — the
+// β = 4 of the paper's §6 evaluation.
+const DefaultBeta = 4
+
+// BURELParams configures a BUREL run.
+type BURELParams struct {
+	// Beta is the β-likeness threshold (> 0).
+	Beta float64 `json:"beta"`
+	// Basic selects basic instead of enhanced β-likeness.
+	Basic bool `json:"basic,omitempty"`
+	// BoundNegative additionally bounds negative information gain (the
+	// §3/§7 extension); expect much larger equivalence classes.
+	BoundNegative bool `json:"bound_negative,omitempty"`
+	// Seed drives every random choice of the run; runs are deterministic
+	// for a fixed seed and input.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// BURELOption mutates BURELParams during construction.
+type BURELOption func(*BURELParams)
+
+// BURELBeta sets the β-likeness threshold.
+func BURELBeta(beta float64) BURELOption { return func(p *BURELParams) { p.Beta = beta } }
+
+// BURELBasic selects basic instead of enhanced β-likeness.
+func BURELBasic() BURELOption { return func(p *BURELParams) { p.Basic = true } }
+
+// BURELBoundNegative additionally bounds negative information gain.
+func BURELBoundNegative() BURELOption { return func(p *BURELParams) { p.BoundNegative = true } }
+
+// BURELSeed sets the run seed.
+func BURELSeed(seed int64) BURELOption { return func(p *BURELParams) { p.Seed = seed } }
+
+// NewBURELParams returns BUREL params at the paper's defaults (enhanced
+// β-likeness, β = 4), with options applied in order.
+func NewBURELParams(opts ...BURELOption) *BURELParams {
+	p := &BURELParams{Beta: DefaultBeta}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Method implements Params.
+func (p *BURELParams) Method() string { return MethodBUREL }
+
+// Validate implements Params. A typed-nil receiver is invalid, not a
+// panic: interface nil checks upstream cannot see it.
+func (p *BURELParams) Validate() error {
+	if p == nil {
+		return fmt.Errorf("burel: nil params")
+	}
+	if p.Beta <= 0 {
+		return fmt.Errorf("burel: beta must be > 0, got %v", p.Beta)
+	}
+	return nil
+}
+
+// burelMethod adapts internal/burel to the Method interface.
+type burelMethod struct{}
+
+func init() { MustRegister(burelMethod{}) }
+
+func (burelMethod) Name() string { return MethodBUREL }
+
+// NewParams implements ParamsFactory.
+func (burelMethod) NewParams() Params { return NewBURELParams() }
+
+func (burelMethod) Anonymize(ctx context.Context, t *Table, p Params) (*Release, error) {
+	bp, ok := p.(*BURELParams)
+	if !ok {
+		return nil, paramsTypeError(MethodBUREL, p)
+	}
+	if err := checkRun(ctx, t, p); err != nil {
+		return nil, err
+	}
+	opts := burel.Options{Beta: bp.Beta, Seed: bp.Seed, BoundNegative: bp.BoundNegative}
+	if bp.Basic {
+		opts.Variant = likeness.Basic
+	}
+	res, err := burel.AnonymizeContext(ctx, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Release{
+		Method:    MethodBUREL,
+		Schema:    t.Schema,
+		Rows:      t.Len(),
+		ECs:       res.Partition.Publish(),
+		Partition: res.Partition,
+		AIL:       res.Partition.AIL(),
+	}, nil
+}

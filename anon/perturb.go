@@ -1,0 +1,88 @@
+package anon
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/perturb"
+)
+
+// MethodPerturb names the (ρ1, ρ2)-privacy randomized-response method
+// (§5): QI values are published intact, the SA column is randomized under
+// per-value retention probabilities calibrated to β-likeness.
+const MethodPerturb = "perturb"
+
+// PerturbParams configures a perturbation run.
+type PerturbParams struct {
+	// Beta is the β-likeness threshold the mechanism is calibrated to
+	// (> 0).
+	Beta float64 `json:"beta"`
+	// Seed drives the per-tuple randomization.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// PerturbOption mutates PerturbParams during construction.
+type PerturbOption func(*PerturbParams)
+
+// PerturbBeta sets the β-likeness threshold.
+func PerturbBeta(beta float64) PerturbOption { return func(p *PerturbParams) { p.Beta = beta } }
+
+// PerturbSeed sets the randomization seed.
+func PerturbSeed(seed int64) PerturbOption { return func(p *PerturbParams) { p.Seed = seed } }
+
+// NewPerturbParams returns perturbation params at the paper's defaults
+// (β = 4), with options applied in order.
+func NewPerturbParams(opts ...PerturbOption) *PerturbParams {
+	p := &PerturbParams{Beta: DefaultBeta}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Method implements Params.
+func (p *PerturbParams) Method() string { return MethodPerturb }
+
+// Validate implements Params. A typed-nil receiver is invalid, not a
+// panic: interface nil checks upstream cannot see it.
+func (p *PerturbParams) Validate() error {
+	if p == nil {
+		return fmt.Errorf("perturb: nil params")
+	}
+	if p.Beta <= 0 {
+		return fmt.Errorf("perturb: beta must be > 0, got %v", p.Beta)
+	}
+	return nil
+}
+
+// perturbMethod adapts internal/perturb to the Method interface.
+type perturbMethod struct{}
+
+func init() { MustRegister(perturbMethod{}) }
+
+func (perturbMethod) Name() string { return MethodPerturb }
+
+// NewParams implements ParamsFactory.
+func (perturbMethod) NewParams() Params { return NewPerturbParams() }
+
+func (perturbMethod) Anonymize(ctx context.Context, t *Table, p Params) (*Release, error) {
+	pp, ok := p.(*PerturbParams)
+	if !ok {
+		return nil, paramsTypeError(MethodPerturb, p)
+	}
+	if err := checkRun(ctx, t, p); err != nil {
+		return nil, err
+	}
+	scheme, err := perturb.NewScheme(t, pp.Beta)
+	if err != nil {
+		return nil, err
+	}
+	return &Release{
+		Method:    MethodPerturb,
+		Schema:    t.Schema,
+		Rows:      t.Len(),
+		Scheme:    scheme,
+		Perturbed: scheme.Perturb(t, rand.New(rand.NewSource(pp.Seed))),
+	}, ctx.Err()
+}

@@ -1,0 +1,136 @@
+package anon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps method names to implementations. The zero value is not
+// usable; call NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	methods map[string]Method
+}
+
+// NewRegistry returns an empty registry. Most callers want the package's
+// default registry (Register/Lookup/Methods), which the built-in methods
+// populate at init time; a private registry isolates tests and embedders
+// that need their own method set.
+func NewRegistry() *Registry {
+	return &Registry{methods: make(map[string]Method)}
+}
+
+// Register adds a method under its Name. Empty names and duplicates are
+// rejected — a duplicate registration is almost always two packages
+// fighting over one name, which must surface at startup rather than as
+// one silently shadowing the other.
+func (r *Registry) Register(m Method) error {
+	if m == nil {
+		return fmt.Errorf("anon: Register(nil)")
+	}
+	name := m.Name()
+	if name == "" {
+		return fmt.Errorf("anon: method with empty name (%T)", m)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.methods[name]; exists {
+		return fmt.Errorf("%w: %q", ErrDuplicateMethod, name)
+	}
+	r.methods[name] = m
+	return nil
+}
+
+// Lookup returns the method registered under name. The error wraps
+// ErrUnknownMethod and lists the known names, so a typo on the wire comes
+// back actionable.
+func (r *Registry) Lookup(name string) (Method, error) {
+	r.mu.RLock()
+	m, ok := r.methods[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownMethod, name, r.Names())
+	}
+	return m, nil
+}
+
+// Names returns the registered method names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.methods))
+	for name := range r.methods {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// NewParams returns a fresh Params value carrying the method's defaults.
+// It fails for unknown methods and for methods that do not implement
+// ParamsFactory.
+func (r *Registry) NewParams(name string) (Params, error) {
+	m, err := r.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	pf, ok := m.(ParamsFactory)
+	if !ok {
+		return nil, fmt.Errorf("anon: method %q does not expose a params factory", name)
+	}
+	return pf.NewParams(), nil
+}
+
+// UnmarshalParams decodes wire params for a method into its typed Params
+// value, starting from the method's defaults. Unknown JSON fields are
+// rejected — on a public API a silently dropped field is a
+// misconfiguration shipped to production. Empty input keeps the
+// defaults. The result is validated.
+func (r *Registry) UnmarshalParams(method string, data []byte) (Params, error) {
+	p, err := r.NewParams(method)
+	if err != nil {
+		return nil, err
+	}
+	if len(bytes.TrimSpace(data)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("%w: method %q: %v", ErrInvalidParams, method, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	return p, nil
+}
+
+// defaultRegistry is the process-wide registry the built-in methods join
+// at init time.
+var defaultRegistry = NewRegistry()
+
+// Register adds a method to the default registry.
+func Register(m Method) error { return defaultRegistry.Register(m) }
+
+// MustRegister is Register, panicking on error: the init-time form.
+func MustRegister(m Method) {
+	if err := Register(m); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a method in the default registry.
+func Lookup(name string) (Method, error) { return defaultRegistry.Lookup(name) }
+
+// Methods returns the default registry's method names, sorted.
+func Methods() []string { return defaultRegistry.Names() }
+
+// NewParams mints default params for a method of the default registry.
+func NewParams(name string) (Params, error) { return defaultRegistry.NewParams(name) }
+
+// UnmarshalParams decodes wire params against the default registry.
+func UnmarshalParams(method string, data []byte) (Params, error) {
+	return defaultRegistry.UnmarshalParams(method, data)
+}

@@ -1,0 +1,159 @@
+package anon
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stubMethod is a minimal Method for registry tests.
+type stubMethod struct{ name string }
+
+func (m stubMethod) Name() string { return m.name }
+func (m stubMethod) Anonymize(context.Context, *Table, Params) (*Release, error) {
+	return &Release{Method: m.name}, nil
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(stubMethod{name: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(stubMethod{name: "beta"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Lookup("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "alpha" {
+		t.Fatalf("Lookup returned %q", m.Name())
+	}
+	if got, want := r.Names(), []string{"alpha", "beta"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryDuplicateRejected(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(stubMethod{name: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Register(stubMethod{name: "alpha"})
+	if !errors.Is(err, ErrDuplicateMethod) {
+		t.Fatalf("duplicate Register: %v, want ErrDuplicateMethod", err)
+	}
+	if err := r.Register(nil); err == nil {
+		t.Fatal("Register(nil) accepted")
+	}
+	if err := r.Register(stubMethod{}); err == nil {
+		t.Fatal("empty-name method accepted")
+	}
+}
+
+func TestRegistryUnknownMethod(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(stubMethod{name: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Lookup("nope")
+	if !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("Lookup(nope): %v, want ErrUnknownMethod", err)
+	}
+	// The error must name the known methods so a wire typo is actionable.
+	if !strings.Contains(err.Error(), "alpha") {
+		t.Fatalf("error %q does not list known methods", err)
+	}
+	if _, err := Lookup("nope"); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("default Lookup(nope): %v", err)
+	}
+}
+
+func TestDefaultRegistryHasBuiltins(t *testing.T) {
+	want := []string{MethodAnatomy, MethodBUREL, MethodPerturb}
+	if got := Methods(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Methods() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		m, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != name {
+			t.Fatalf("method registered as %q reports Name %q", name, m.Name())
+		}
+		p, err := NewParams(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Method() != name {
+			t.Fatalf("NewParams(%q).Method() = %q", name, p.Method())
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("default params of %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestNewParamsUnknownAndNoFactory(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.NewParams("nope"); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("NewParams(nope): %v", err)
+	}
+	// stubMethod has no factory.
+	if err := r.Register(stubMethod{name: "bare"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewParams("bare"); err == nil {
+		t.Fatal("NewParams of factory-less method succeeded")
+	}
+}
+
+func TestUnmarshalParams(t *testing.T) {
+	// Wire params land on the typed struct, starting from defaults.
+	p, err := UnmarshalParams(MethodBUREL, []byte(`{"beta": 2.5, "basic": true, "seed": 9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, ok := p.(*BURELParams)
+	if !ok {
+		t.Fatalf("got %T", p)
+	}
+	if bp.Beta != 2.5 || !bp.Basic || bp.Seed != 9 {
+		t.Fatalf("decoded %+v", bp)
+	}
+
+	// Empty input keeps the defaults.
+	p, err = UnmarshalParams(MethodBUREL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(*BURELParams).Beta != DefaultBeta {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+
+	// Unknown fields are a client bug, not a silent drop.
+	if _, err := UnmarshalParams(MethodBUREL, []byte(`{"betta": 2}`)); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("unknown field: %v, want ErrInvalidParams", err)
+	}
+	// Malformed JSON.
+	if _, err := UnmarshalParams(MethodBUREL, []byte(`{`)); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("bad json: %v, want ErrInvalidParams", err)
+	}
+	// Validation failures surface as ErrInvalidParams.
+	for method, body := range map[string]string{
+		MethodBUREL:   `{"beta": -1}`,
+		MethodPerturb: `{"beta": 0}`,
+		MethodAnatomy: `{"l": 1}`,
+	} {
+		if _, err := UnmarshalParams(method, []byte(body)); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("%s %s: %v, want ErrInvalidParams", method, body, err)
+		}
+	}
+	// Unknown method.
+	if _, err := UnmarshalParams("nope", nil); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("unknown method: %v", err)
+	}
+}

@@ -12,13 +12,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/burel"
+	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/likeness"
 	"repro/internal/metrics"
@@ -50,12 +52,16 @@ func main() {
 	}
 	table = table.Project(*qi)
 
-	opts := burel.Options{Beta: *beta, Seed: *seed}
+	popts := []anon.BURELOption{anon.BURELBeta(*beta), anon.BURELSeed(*seed)}
 	if *basic {
-		opts.Variant = likeness.Basic
+		popts = append(popts, anon.BURELBasic())
 	}
+	// Ctrl-C aborts the anonymization mid-run instead of being ignored
+	// until the next write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	res, err := burel.Anonymize(table, opts)
+	rel, err := anon.Anonymize(ctx, table, anon.NewBURELParams(popts...))
 	if err != nil {
 		die(err)
 	}
@@ -71,14 +77,14 @@ func main() {
 		w = f
 	}
 	bw := bufio.NewWriter(w)
-	if err := microdata.WriteGeneralizedCSV(bw, res.Partition); err != nil {
+	if err := microdata.WriteGeneralizedCSV(bw, rel.Partition); err != nil {
 		die(err)
 	}
 	if err := bw.Flush(); err != nil {
 		die(err)
 	}
 	if *stats {
-		ev := metrics.Evaluate("BUREL", res.Partition, likeness.EqualEMD, elapsed)
+		ev := metrics.Evaluate("BUREL", rel.Partition, likeness.EqualEMD, elapsed)
 		fmt.Fprintln(os.Stderr, ev.String())
 	}
 }

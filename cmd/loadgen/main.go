@@ -2,12 +2,16 @@
 // and reports throughput, so the batch endpoint's speedup over
 // single-query round-trips is measurable from the command line.
 //
+// It is built entirely on the typed Go SDK (repro/pkg/client): releases
+// are created with typed anon params, the build is awaited through
+// WaitReady, and the workers post batches through QueryBatch (or single
+// queries through Query with -single), with the SDK's bounded
+// 503/Retry-After retry absorbing the pending window.
+//
 // It generates a pool of distinct COUNT(*) queries of the paper's §6
 // workload shape (λ QI predicates, expected selectivity θ) and replays
 // them Zipf-distributed — the skewed repetition real dashboards exhibit
-// and the result cache exploits — from a set of concurrent workers, each
-// posting batches to /v1/query:batch (or single queries to
-// /v1/releases/{id}/query with -single).
+// and the result cache exploits — from a set of concurrent workers.
 //
 // Usage:
 //
@@ -23,32 +27,24 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
-	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/query"
-	"repro/internal/release"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
-type queryJSON struct {
-	Dims []int     `json:"dims,omitempty"`
-	Lo   []float64 `json:"lo,omitempty"`
-	Hi   []float64 `json:"hi,omitempty"`
-	SALo int       `json:"sa_lo"`
-	SAHi int       `json:"sa_hi"`
-}
-
-func toJSON(q query.Query) queryJSON {
-	return queryJSON{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+func toAPI(q query.Query) api.Query {
+	return api.Query{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
 }
 
 func main() {
@@ -72,13 +68,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	client := &http.Client{Timeout: 60 * time.Second}
+	ctx := context.Background()
+	c := client.New(*addr)
 	schema := census.Schema().Project(*qi)
 
 	id := *releaseID
 	if id == "" {
 		var err error
-		if id, err = uploadRelease(client, *addr, *rows, *beta, *qi, *seed); err != nil {
+		if id, err = uploadRelease(ctx, c, *rows, *beta, *qi, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -90,9 +87,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
-	pool := make([]queryJSON, *distinct)
+	pool := make([]api.Query, *distinct)
 	for i := range pool {
-		pool[i] = toJSON(gen.Next())
+		pool[i] = toAPI(gen.Next())
 	}
 
 	var (
@@ -118,7 +115,7 @@ func main() {
 			if *zipfS > 1 {
 				zipf = rand.NewZipf(rng, *zipfS, 1, uint64(len(pool)-1))
 			}
-			pick := func() queryJSON {
+			pick := func() api.Query {
 				if zipf != nil {
 					return pool[zipf.Uint64()]
 				}
@@ -132,12 +129,12 @@ func main() {
 						return
 					}
 				}
-				qs := make([]queryJSON, n)
+				qs := make([]api.Query, n)
 				for i := range qs {
 					qs[i] = pick()
 				}
 				t0 := time.Now()
-				h, err := post(client, *addr, id, qs, *single)
+				h, err := post(ctx, c, id, qs, *single)
 				latNanos.Add(int64(time.Since(t0)))
 				requests.Add(1)
 				if err != nil {
@@ -170,89 +167,44 @@ func main() {
 	}
 }
 
-// uploadRelease generates a CENSUS table, submits a generalized release,
-// and polls until it is ready.
-func uploadRelease(client *http.Client, addr string, rows int, beta float64, qi int, seed int64) (string, error) {
+// uploadRelease generates a CENSUS table, submits a generalized release
+// through the SDK, and waits until it is ready.
+func uploadRelease(ctx context.Context, c *client.Client, rows int, beta float64, qi int, seed int64) (string, error) {
 	tab := census.Generate(census.Options{N: rows, Seed: seed}).Project(qi)
 	var csv bytes.Buffer
 	if err := tab.WriteCSV(&csv); err != nil {
 		return "", err
 	}
-	body, _ := json.Marshal(map[string]any{
-		"kind": "generalized", "beta": beta, "qi": qi, "seed": seed, "csv": csv.String(),
+	rel, err := c.CreateRelease(ctx, client.CreateSpec{
+		Method: anon.MethodBUREL,
+		Params: anon.NewBURELParams(anon.BURELBeta(beta), anon.BURELSeed(seed)),
+		QI:     qi,
+		CSV:    csv.String(),
 	})
-	resp, err := client.Post(addr+"/v1/releases", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return "", err
 	}
-	data, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return "", fmt.Errorf("create release: %d: %s", resp.StatusCode, data)
-	}
-	var meta release.Meta
-	if err := json.Unmarshal(data, &meta); err != nil {
+	if rel, err = c.WaitReady(ctx, rel.ID, 0); err != nil {
 		return "", err
 	}
-	for {
-		resp, err := client.Get(addr + "/v1/releases/" + meta.ID)
-		if err != nil {
-			return "", err
-		}
-		data, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err := json.Unmarshal(data, &meta); err != nil {
-			return "", err
-		}
-		switch meta.Status {
-		case release.StatusReady:
-			return meta.ID, nil
-		case release.StatusFailed:
-			return "", fmt.Errorf("build failed: %s", meta.Error)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	return rel.ID, nil
 }
 
 // post issues one request — a batch, or a single query when single is
 // set — and returns the reported cache-hit count.
-func post(client *http.Client, addr, id string, qs []queryJSON, single bool) (int, error) {
-	var (
-		url  string
-		body []byte
-	)
+func post(ctx context.Context, c *client.Client, id string, qs []api.Query, single bool) (int, error) {
 	if single {
-		url = addr + "/v1/releases/" + id + "/query"
-		body, _ = json.Marshal(qs[0])
-	} else {
-		url = addr + "/v1/query:batch"
-		body, _ = json.Marshal(map[string]any{"release_id": id, "queries": qs})
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	data, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("%s: %d: %s", url, resp.StatusCode, data)
-	}
-	if single {
-		var qr struct {
-			Cached bool `json:"cached"`
-		}
-		if err := json.Unmarshal(data, &qr); err != nil {
+		res, err := c.Query(ctx, id, qs[0])
+		if err != nil {
 			return 0, err
 		}
-		if qr.Cached {
+		if res.Cached {
 			return 1, nil
 		}
 		return 0, nil
 	}
-	var br struct {
-		CacheHits int `json:"cache_hits"`
-	}
-	if err := json.Unmarshal(data, &br); err != nil {
+	br, err := c.QueryBatch(ctx, id, qs)
+	if err != nil {
 		return 0, err
 	}
 	return br.CacheHits, nil

@@ -10,15 +10,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
+	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/microdata"
-	"repro/internal/perturb"
 )
 
 func main() {
@@ -43,11 +43,12 @@ func main() {
 		die(err)
 	}
 
-	scheme, err := perturb.NewScheme(table, *beta)
+	rel, err := anon.Anonymize(context.Background(), table,
+		anon.NewPerturbParams(anon.PerturbBeta(*beta), anon.PerturbSeed(*seed)))
 	if err != nil {
 		die(err)
 	}
-	pert := scheme.Perturb(table, rand.New(rand.NewSource(*seed)))
+	scheme, pert := rel.Scheme, rel.Perturbed
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

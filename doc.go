@@ -4,8 +4,12 @@
 // (ρ1i, ρ2i)-privacy perturbation scheme, and every comparator and
 // experiment of the paper's evaluation.
 //
-// The library lives under internal/; see README.md for the package map and
-// the HTTP API, and DESIGN.md for the system inventory and the architecture
-// of the release/serving layer. The benchmarks in bench_test.go regenerate
-// each table and figure; cmd/serve runs the anonymization/query service.
+// The supported programmatic surface is the top-level anon package (the
+// Method registry with typed params over every publication scheme) and
+// pkg/client (the typed Go SDK for the HTTP service, with pkg/api as the
+// wire contract); the algorithm internals live under internal/. See
+// README.md for the package map and the HTTP API, and DESIGN.md for the
+// system inventory and the architecture of the public API and the
+// release/serving layer. The benchmarks in bench_test.go regenerate each
+// table and figure; cmd/serve runs the anonymization/query service.
 package repro

@@ -12,11 +12,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/burel"
+	"repro/anon"
 	"repro/internal/dist"
 	"repro/internal/likeness"
 	"repro/internal/metrics"
@@ -47,12 +48,13 @@ func main() {
 	tPart := mondrian.Anonymize(table, mondrian.TCloseness{T: 0.15, P: overall, Metric: likeness.EqualEMD})
 	report("0.15-closeness (tMondrian)", table, tPart, hiv, cap)
 
-	// 3. β-likeness via BUREL.
-	res, err := burel.Anonymize(table, burel.Options{Beta: beta, Seed: 1})
+	// 3. β-likeness via BUREL, through the public anon API.
+	rel, err := anon.Anonymize(context.Background(), table,
+		anon.NewBURELParams(anon.BURELBeta(beta), anon.BURELSeed(1)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(fmt.Sprintf("%.0f-likeness (BUREL)", beta), table, res.Partition, hiv, cap)
+	report(fmt.Sprintf("%.0f-likeness (BUREL)", beta), table, rel.Partition, hiv, cap)
 }
 
 // report prints the adversary's best posterior for HIV under a release.

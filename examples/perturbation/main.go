@@ -7,25 +7,30 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
 
-	"repro/internal/anatomy"
+	"repro/anon"
 	"repro/internal/census"
-	"repro/internal/perturb"
 	"repro/internal/query"
 )
 
 func main() {
 	const beta = 4.0
+	ctx := context.Background()
 	table := census.Generate(census.Options{N: 100000, Seed: 42}).Project(3)
 
-	scheme, err := perturb.NewScheme(table, beta)
+	// Publish by SA randomization through the public anon API; the
+	// release carries both the perturbed table and the calibrated scheme.
+	rel, err := anon.Anonymize(ctx, table,
+		anon.NewPerturbParams(anon.PerturbBeta(beta), anon.PerturbSeed(9)))
 	if err != nil {
 		log.Fatal(err)
 	}
+	scheme := rel.Scheme
 	fmt.Printf("calibrated (ρ1i, ρ2i)-privacy mechanism for β=%.0f:\n", beta)
 	fmt.Printf("  active SA values: %d, C^L_M = %.5f\n", len(scheme.Active), scheme.CLM)
 	minA, maxA := 1.0, 0.0
@@ -48,8 +53,7 @@ func main() {
 	}
 	fmt.Printf("  worst posterior/bound ratio: %.4f (must be ≤ 1)\n\n", worstRatio)
 
-	rng := rand.New(rand.NewSource(9))
-	pert := scheme.Perturb(table, rng)
+	pert := rel.Perturbed
 
 	// Reconstruction: N' = PM⁻¹ · E' approximates the true counts.
 	recon, err := scheme.Reconstruct(pert.SACounts())
@@ -64,27 +68,33 @@ func main() {
 	}
 	fmt.Printf("whole-table reconstruction: relative L1 error %.2f%%\n\n", 100*l1/n)
 
-	// Aggregation queries: perturbed + reconstruction vs Baseline.
-	base := anatomy.Publish(table, rng)
+	// Aggregation queries: perturbed + reconstruction vs the Anatomy
+	// Baseline — both releases built through the same anon.Method
+	// registry, both answered through Release.Estimate.
+	baseRel, err := anon.Anonymize(ctx, table, anon.NewAnatomyParams(anon.AnatomySeed(9)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, theta := range []float64{0.05, 0.1, 0.2} {
-		gp, err := query.NewGenerator(table.Schema, 2, theta, rand.New(rand.NewSource(11)))
+		gp, err := newGen(table.Schema, theta)
 		if err != nil {
 			log.Fatal(err)
 		}
-		medP, _, err := query.MedianRelativeError(table, gp, func(q query.Query) (float64, error) {
-			return query.EstimatePerturbed(pert, scheme, q)
-		}, 500)
+		medP, _, err := query.MedianRelativeError(table, gp, rel.Estimate, 500)
 		if err != nil {
 			log.Fatal(err)
 		}
-		gb, _ := query.NewGenerator(table.Schema, 2, theta, rand.New(rand.NewSource(11)))
-		medB, _, err := query.MedianRelativeError(table, gb, func(q query.Query) (float64, error) {
-			return query.EstimateBaseline(base, q)
-		}, 500)
+		gb, _ := newGen(table.Schema, theta)
+		medB, _, err := query.MedianRelativeError(table, gb, baseRel.Estimate, 500)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("θ=%.2f: (ρ1i,ρ2i)-privacy %.2f%%  Baseline %.2f%%\n",
 			theta, 100*medP, 100*medB)
 	}
+}
+
+// newGen builds the fixed-seed workload generator both estimators share.
+func newGen(schema *anon.Schema, theta float64) (*query.Generator, error) {
+	return query.NewGenerator(schema, 2, theta, rand.New(rand.NewSource(11)))
 }

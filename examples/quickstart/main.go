@@ -5,11 +5,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/burel"
+	"repro/anon"
 	"repro/internal/hierarchy"
 	"repro/internal/likeness"
 	"repro/internal/microdata"
@@ -55,24 +56,33 @@ func main() {
 		table.MustAppend(microdata.Tuple{QI: []float64{p.weight, p.age}, SA: sa})
 	}
 
-	// Anonymize under enhanced 2-likeness: no disease's in-class
-	// frequency may exceed f(p) = p·(1+min{2, −ln p}).
-	res, err := burel.Anonymize(table, burel.Options{Beta: 2, Seed: 1})
+	// Anonymize under enhanced 2-likeness through the public anon API:
+	// no disease's in-class frequency may exceed f(p) = p·(1+min{2, −ln p}).
+	rel, err := anon.Anonymize(context.Background(), table,
+		anon.NewBURELParams(anon.BURELBeta(2), anon.BURELSeed(1)))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("Generalized release (one row per tuple):")
-	if err := microdata.WriteGeneralizedCSV(os.Stdout, res.Partition); err != nil {
+	if err := microdata.WriteGeneralizedCSV(os.Stdout, rel.Partition); err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nequivalence classes: %d\n", res.NumECs)
-	fmt.Printf("average information loss (Eq. 5): %.3f\n", res.Partition.AIL())
+	fmt.Printf("\nequivalence classes: %d\n", rel.NumECs())
+	fmt.Printf("average information loss (Eq. 5): %.3f\n", rel.AIL)
 	fmt.Printf("achieved β (max positive relative gain): %.3f\n",
-		likeness.AchievedBeta(res.Partition))
-	maxT, _ := likeness.AchievedT(res.Partition, likeness.EqualEMD)
+		likeness.AchievedBeta(rel.Partition))
+	maxT, _ := likeness.AchievedT(rel.Partition, likeness.EqualEMD)
 	fmt.Printf("incidental t-closeness (equal-distance EMD): %.3f\n", maxT)
-	minL, _ := likeness.AchievedL(res.Partition)
+	minL, _ := likeness.AchievedL(rel.Partition)
 	fmt.Printf("incidental distinct ℓ-diversity: %d\n", minL)
+
+	// The same release answers COUNT(*) queries directly: how many
+	// patients aged [45, 65] have a nervous disease (leaf ranks 0-2)?
+	est, err := rel.Estimate(anon.Query{Dims: []int{1}, Lo: []float64{45}, Hi: []float64{65}, SALo: 0, SAHi: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated patients aged 45-65 with a nervous disease: %.2f\n", est)
 }

@@ -8,12 +8,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"math/rand"
-	"repro/internal/burel"
+
+	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/dist"
 	"repro/internal/likeness"
@@ -36,12 +38,13 @@ func main() {
 	var releases []release
 
 	start := time.Now()
-	res, err := burel.Anonymize(table, burel.Options{Beta: beta, Seed: 1})
+	rel, err := anon.Anonymize(context.Background(), table,
+		anon.NewBURELParams(anon.BURELBeta(beta), anon.BURELSeed(1)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(metrics.Evaluate("BUREL", res.Partition, likeness.EqualEMD, time.Since(start)))
-	releases = append(releases, release{"BUREL", res.Partition})
+	fmt.Println(metrics.Evaluate("BUREL", rel.Partition, likeness.EqualEMD, time.Since(start)))
+	releases = append(releases, release{"BUREL", rel.Partition})
 
 	model, err := likeness.NewModel(beta, table)
 	if err != nil {

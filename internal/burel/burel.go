@@ -1,6 +1,7 @@
 package burel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -52,6 +53,14 @@ type Result struct {
 // Anonymize runs BUREL end-to-end on the table and returns a partition into
 // equivalence classes, each of which satisfies β-likeness by Theorem 1.
 func Anonymize(t *microdata.Table, opts Options) (*Result, error) {
+	return AnonymizeContext(context.Background(), t, opts)
+}
+
+// AnonymizeContext is Anonymize with cooperative cancellation: ctx is
+// checked between phases and once per materialized EC during the
+// reallocation phase, so a canceled build (store shutdown, abandoned
+// request) stops burning CPU instead of running to completion.
+func AnonymizeContext(ctx context.Context, t *microdata.Table, opts Options) (*Result, error) {
 	model, err := likeness.NewModel(opts.Beta, t)
 	if err != nil {
 		return nil, err
@@ -72,6 +81,9 @@ func Anonymize(t *microdata.Table, opts Options) (*Result, error) {
 		headroom = 0
 	}
 	fDP := func(p float64) float64 { return model.MaxFreq(p) * (1 - headroom) }
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sp, err := DPPartition(model.P, fDP)
 	if err != nil {
 		return nil, err
@@ -105,10 +117,16 @@ func Anonymize(t *microdata.Table, opts Options) (*Result, error) {
 	}
 
 	// Phase 2: determine EC sizes (biSplit over the ECTree).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	leaves := BiSplit(sizes, minFreq, model.MaxFreq)
 
 	// Phase 3: materialize ECs as curve slabs repaired to eligibility.
-	ecs := MaterializeSlabsModel(t, leaves, model, opts.HilbertBits)
+	ecs, err := MaterializeSlabsModelContext(ctx, t, leaves, model, opts.HilbertBits)
+	if err != nil {
+		return nil, err
+	}
 	// Hard guarantee: merge any still-violating EC into its neighbour
 	// (Lemma 1 monotonicity makes this converge); in practice the slab
 	// repair already complies and this is a no-op.

@@ -1,6 +1,7 @@
 package burel
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/likeness"
@@ -26,23 +27,32 @@ import (
 // trailing remainder joins the last EC; Anonymize's merge repair (Lemma 1)
 // covers any residual violation.
 func MaterializeSlabs(t *microdata.Table, leaves []ECSizes, saFreq []float64, f func(float64) float64, bits int) []microdata.EC {
-	return materializeSlabs(t, leaves, saFreq, f, nil, bits)
+	ecs, _ := materializeSlabs(context.Background(), t, leaves, saFreq, f, nil, bits)
+	return ecs
 }
 
 // MaterializeSlabsModel materializes slabs against a full likeness model,
 // honoring its BoundNegative floors in addition to the f(p) caps.
 func MaterializeSlabsModel(t *microdata.Table, leaves []ECSizes, model *likeness.Model, bits int) []microdata.EC {
+	ecs, _ := MaterializeSlabsModelContext(context.Background(), t, leaves, model, bits)
+	return ecs
+}
+
+// MaterializeSlabsModelContext is MaterializeSlabsModel with cooperative
+// cancellation: ctx is checked once per materialized EC, and a canceled
+// run returns the ctx error instead of the slabs.
+func MaterializeSlabsModelContext(ctx context.Context, t *microdata.Table, leaves []ECSizes, model *likeness.Model, bits int) ([]microdata.EC, error) {
 	var minf func(float64) float64
 	if model.BoundNegative {
 		minf = model.MinFreq
 	}
-	return materializeSlabs(t, leaves, model.P, model.MaxFreq, minf, bits)
+	return materializeSlabs(ctx, t, leaves, model.P, model.MaxFreq, minf, bits)
 }
 
-func materializeSlabs(t *microdata.Table, leaves []ECSizes, saFreq []float64, f func(float64) float64, minf func(float64) float64, bits int) []microdata.EC {
+func materializeSlabs(ctx context.Context, t *microdata.Table, leaves []ECSizes, saFreq []float64, f func(float64) float64, minf func(float64) float64, bits int) ([]microdata.EC, error) {
 	n := t.Len()
 	if n == 0 || len(leaves) == 0 {
-		return nil
+		return nil, nil
 	}
 	mapper, err := qiMapper(t, bits)
 	if err != nil {
@@ -51,7 +61,7 @@ func materializeSlabs(t *microdata.Table, leaves []ECSizes, saFreq []float64, f 
 		for i := range all {
 			all[i] = i
 		}
-		return []microdata.EC{{Rows: all}}
+		return []microdata.EC{{Rows: all}}, nil
 	}
 	order := make([]int, n)
 	keys := make([]uint64, n)
@@ -84,6 +94,9 @@ func materializeSlabs(t *microdata.Table, leaves []ECSizes, saFreq []float64, f 
 	var ecs []microdata.EC
 	pos := 0
 	for li := 0; li < len(leaves) && pos < n; li++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		target := leaves[li].Total()
 		if target <= 0 {
 			continue
@@ -113,7 +126,7 @@ func materializeSlabs(t *microdata.Table, leaves []ECSizes, saFreq []float64, f 
 		last := &ecs[len(ecs)-1]
 		last.Rows = append(last.Rows, order[pos:]...)
 	}
-	return ecs
+	return ecs, nil
 }
 
 // aboveFloors checks count_v ≥ floor_v·g for every SA value (no-op when

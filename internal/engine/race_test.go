@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/query"
 	"repro/internal/release"
@@ -33,7 +35,7 @@ func TestConcurrentStoreAndCache(t *testing.T) {
 	var schema = census.Schema().Project(3)
 	for i := range ids {
 		snap, _ := syntheticSnapshot(800, int64(100+i))
-		meta, err := store.Register(snap, release.Params{Kind: release.KindGeneralized, Beta: 4})
+		meta, err := store.Register(snap, release.Spec{Method: anon.MethodBUREL, Params: anon.NewBURELParams()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +75,7 @@ func TestConcurrentStoreAndCache(t *testing.T) {
 				return
 			default:
 			}
-			_, _ = store.Submit(tab, release.Params{Kind: release.KindGeneralized, Beta: 4, Seed: int64(i)})
+			_, _ = store.Submit(context.Background(), tab, release.Spec{Method: anon.MethodBUREL, Params: anon.NewBURELParams(anon.BURELSeed(int64(i)))})
 			time.Sleep(time.Millisecond)
 		}
 	}()

@@ -99,6 +99,41 @@ func (q Query) Matches(tp microdata.Tuple) bool {
 	return tp.SA >= q.SALo && tp.SA <= q.SAHi && q.MatchesQI(tp)
 }
 
+// Validate bounds-checks a query against a schema — predicate dimension
+// indices, bound arity and ordering, integrality of categorical bounds,
+// and the SA range — so malformed (e.g. network) input errors instead of
+// panicking an estimator. It is the shared gate of the public anon API
+// and the serving layer's snapshot estimators.
+func Validate(schema *microdata.Schema, q Query) error {
+	if len(q.Lo) != len(q.Dims) || len(q.Hi) != len(q.Dims) {
+		return fmt.Errorf("query: %d dims but %d/%d bounds", len(q.Dims), len(q.Lo), len(q.Hi))
+	}
+	seen := make(map[int]bool, len(q.Dims))
+	for i, d := range q.Dims {
+		if d < 0 || d >= len(schema.QI) {
+			return fmt.Errorf("query: predicate dimension %d outside schema of %d QI attributes", d, len(schema.QI))
+		}
+		if seen[d] {
+			return fmt.Errorf("query: duplicate predicate on dimension %d", d)
+		}
+		seen[d] = true
+		if q.Lo[i] > q.Hi[i] {
+			return fmt.Errorf("query: predicate %d has lo %v > hi %v", i, q.Lo[i], q.Hi[i])
+		}
+		// Categorical predicates range over integer leaf ranks; the
+		// discrete overlap formula would silently count fractional
+		// ranges as nonzero, so reject them outright.
+		if schema.QI[d].Kind == microdata.Categorical &&
+			(q.Lo[i] != math.Trunc(q.Lo[i]) || q.Hi[i] != math.Trunc(q.Hi[i])) {
+			return fmt.Errorf("query: predicate on categorical dimension %d has non-integer bounds [%v,%v]", d, q.Lo[i], q.Hi[i])
+		}
+	}
+	if m := len(schema.SA.Values); q.SALo < 0 || q.SAHi >= m || q.SALo > q.SAHi {
+		return fmt.Errorf("query: SA range [%d,%d] outside domain of %d values", q.SALo, q.SAHi, m)
+	}
+	return nil
+}
+
 // Exact evaluates the query on the original table.
 func Exact(t *microdata.Table, q Query) int {
 	n := 0
@@ -197,6 +232,33 @@ func EstimateBaseline(pub *anatomy.Publication, q Query) (float64, error) {
 		}
 	}
 	return pub.EstimateCount(matches, q.SALo, q.SAHi)
+}
+
+// EstimateLDiverse answers a query over the full ℓ-diverse Anatomy
+// publication: each group's tuples keep exact QI values, so the QI
+// predicates are evaluated exactly and the group's published SA multiset
+// supplies the in-range mass proportionally:
+// Σ_g matches_g · (inRange_g / |g|).
+func EstimateLDiverse(pub *anatomy.LDiversePublication, q Query) float64 {
+	est := 0.0
+	for gi := range pub.Groups {
+		g := &pub.Groups[gi]
+		matches := 0
+		for _, r := range g.Rows {
+			if q.MatchesQI(pub.Table.Tuples[r]) {
+				matches++
+			}
+		}
+		if matches == 0 {
+			continue
+		}
+		inRange := 0
+		for v := q.SALo; v <= q.SAHi && v < len(pub.SACounts[gi]); v++ {
+			inRange += pub.SACounts[gi][v]
+		}
+		est += float64(matches) * float64(inRange) / float64(len(g.Rows))
+	}
+	return est
 }
 
 // Estimator answers one query with an estimate.

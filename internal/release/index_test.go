@@ -1,6 +1,7 @@
 package release
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -41,7 +42,7 @@ func TestIndexMatchesLinear(t *testing.T) {
 // BUREL release, whose boxes are correlated rather than uniform.
 func TestIndexMatchesLinearOnBurel(t *testing.T) {
 	tab := census.Generate(census.Options{N: 3000, Seed: 5}).Project(3)
-	snap, err := build(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 1})
+	snap, err := build(context.Background(), tab, burelSpec(4, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestIndexMatchesLinearOnBurel(t *testing.T) {
 	}
 	for i := 0; i < 200; i++ {
 		q := gen.Next()
-		want := query.EstimateGeneralized(tab.Schema, snap.ECs, q)
+		want := query.EstimateGeneralized(tab.Schema, snap.Release.ECs, q)
 		got, err := snap.Estimate(q)
 		if err != nil {
 			t.Fatal(err)
@@ -89,7 +90,7 @@ func TestIndexPrunes(t *testing.T) {
 // TestQueryValidation: malformed network queries must error, not panic.
 func TestQueryValidation(t *testing.T) {
 	tab := census.Generate(census.Options{N: 500, Seed: 9}).Project(3)
-	snap, err := build(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 1})
+	snap, err := build(context.Background(), tab, burelSpec(4, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,33 +1,36 @@
 // Package release is the serving layer of the repository: an in-memory,
-// versioned store of immutable published releases — BUREL generalizations,
-// Anatomy publications, and perturbed tables — built asynchronously by a
-// worker pool and addressable by ID, plus a query engine that answers
+// versioned store of immutable published releases built asynchronously by
+// a worker pool and addressable by ID, plus a query engine that answers
 // COUNT(*) estimates against a release through a per-dimension grid index
 // over EC bounding boxes instead of the linear EC scan of internal/query.
+//
+// Anonymization itself is dispatched through the public anon registry: a
+// build names a method ("burel", "anatomy", "perturb", ...) plus its
+// typed params, so a new publication scheme becomes a registry entry and
+// the store serves it unchanged.
 package release
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
-	"math"
-	"math/rand"
 	"time"
 
-	"repro/internal/anatomy"
-	"repro/internal/burel"
-	"repro/internal/likeness"
+	"repro/anon"
 	"repro/internal/microdata"
-	"repro/internal/perturb"
 	"repro/internal/query"
 )
 
-// Kind names an anonymization mechanism a release was produced by.
+// Kind names the queryable shape of a release's payload, derived from the
+// producing method's output.
 type Kind string
 
 const (
-	// KindGeneralized is a BUREL β-likeness generalization (§4).
+	// KindGeneralized is an EC-partition release (BUREL §4), served
+	// through the grid index.
 	KindGeneralized Kind = "generalized"
 	// KindAnatomy is an Anatomy-style publication (§6.3): the Baseline
-	// when Params.L == 0, the full ℓ-diverse two-table form when L ≥ 2.
+	// or the full ℓ-diverse two-table form.
 	KindAnatomy Kind = "anatomy"
 	// KindPerturbed is the (ρ1, ρ2)-privacy randomized response of §5.
 	KindPerturbed Kind = "perturbed"
@@ -43,45 +46,83 @@ const (
 	StatusFailed   Status = "failed"
 )
 
-// Params configures one anonymization job.
-type Params struct {
-	Kind Kind `json:"kind"`
-	// Beta is the β-likeness threshold (generalized and perturbed kinds).
-	Beta float64 `json:"beta,omitempty"`
-	// Basic selects basic instead of enhanced β-likeness.
-	Basic bool `json:"basic,omitempty"`
-	// L requests the full ℓ-diverse Anatomy publication; 0 keeps the
-	// Baseline form that withholds per-group SA data.
-	L int `json:"l,omitempty"`
+// Spec configures one anonymization job: the method name and typed params
+// dispatched through the anon registry, plus the store-level knobs that
+// are not the method's business — input projection and index resolution.
+type Spec struct {
+	// Method is the anon registry name of the scheme to run.
+	Method string
+	// Params configures the method; nil selects the method's defaults.
+	Params anon.Params
 	// QI projects the table to its first QI attributes before
 	// anonymizing; 0 keeps all of them.
-	QI int `json:"qi,omitempty"`
-	// Seed drives every random choice of the build; builds are
-	// deterministic for a fixed seed and input.
-	Seed int64 `json:"seed,omitempty"`
+	QI int
 	// GridCells overrides the per-dimension index resolution (0 = auto).
-	GridCells int `json:"grid_cells,omitempty"`
+	GridCells int
 }
 
-// Validate rejects parameter combinations no builder accepts.
-func (p Params) Validate() error {
-	switch p.Kind {
-	case KindGeneralized, KindPerturbed:
-		if p.Beta <= 0 {
-			return fmt.Errorf("release: kind %q requires beta > 0, got %v", p.Kind, p.Beta)
+// specJSON is the wire form of a Spec; Params stays raw until the method
+// is known.
+type specJSON struct {
+	Method    string          `json:"method"`
+	Params    json.RawMessage `json:"params,omitempty"`
+	QI        int             `json:"qi,omitempty"`
+	GridCells int             `json:"grid_cells,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	var raw json.RawMessage
+	if s.Params != nil {
+		data, err := json.Marshal(s.Params)
+		if err != nil {
+			return nil, err
 		}
-	case KindAnatomy:
-		if p.L != 0 && p.L < 2 {
-			return fmt.Errorf("release: anatomy ℓ must be 0 (baseline) or ≥ 2, got %d", p.L)
+		raw = data
+	}
+	return json.Marshal(specJSON{Method: s.Method, Params: raw, QI: s.QI, GridCells: s.GridCells})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, decoding params into the
+// method's typed params value via the anon registry.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var w specJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	p, err := anon.UnmarshalParams(w.Method, w.Params)
+	if err != nil {
+		return err
+	}
+	*s = Spec{Method: w.Method, Params: p, QI: w.QI, GridCells: w.GridCells}
+	return nil
+}
+
+// Normalize fills nil Params with the method's defaults and validates the
+// whole spec. It must pass before a build is accepted.
+func (s *Spec) Normalize() error {
+	if s.Params == nil {
+		p, err := anon.NewParams(s.Method)
+		if err != nil {
+			return err
 		}
-	default:
-		return fmt.Errorf("release: unknown kind %q", p.Kind)
+		s.Params = p
+	} else {
+		if _, err := anon.Lookup(s.Method); err != nil {
+			return err
+		}
+		if got := s.Params.Method(); got != s.Method {
+			return fmt.Errorf("release: spec method %q carries params for %q", s.Method, got)
+		}
+		if err := s.Params.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", anon.ErrInvalidParams, err)
+		}
 	}
-	if p.QI < 0 {
-		return fmt.Errorf("release: qi must be ≥ 0, got %d", p.QI)
+	if s.QI < 0 {
+		return fmt.Errorf("release: qi must be ≥ 0, got %d", s.QI)
 	}
-	if p.GridCells < 0 || p.GridCells > MaxGridCells {
-		return fmt.Errorf("release: grid_cells must be in [0,%d], got %d", MaxGridCells, p.GridCells)
+	if s.GridCells < 0 || s.GridCells > MaxGridCells {
+		return fmt.Errorf("release: grid_cells must be in [0,%d], got %d", MaxGridCells, s.GridCells)
 	}
 	return nil
 }
@@ -92,7 +133,7 @@ func (p Params) Validate() error {
 type Meta struct {
 	ID      string `json:"id"`
 	Version uint64 `json:"version"`
-	Params  Params `json:"params"`
+	Spec    Spec   `json:"spec"`
 	Status  Status `json:"status"`
 	// Error carries the build failure message when Status is failed.
 	Error string `json:"error,omitempty"`
@@ -108,80 +149,79 @@ type Meta struct {
 	BuildMillis int64 `json:"build_ms,omitempty"`
 }
 
-// Snapshot is the immutable queryable payload of a ready release. All
-// fields are read-only after build; Estimate is safe for concurrent use.
+// Snapshot is the immutable queryable payload of a ready release: the
+// anon.Release produced by the method, plus the serving-side index for
+// generalized payloads. All fields are read-only after build; Estimate is
+// safe for concurrent use.
 type Snapshot struct {
 	Kind   Kind
 	Schema *microdata.Schema
 
-	// Generalized releases.
-	ECs   []microdata.PublishedEC
+	// Release is the method output backing this snapshot (the published
+	// ECs of a generalized release live in Release.ECs).
+	Release *anon.Release
+
+	// Index is the serving-side grid index over a generalized release's
+	// EC bounding boxes.
 	Index *ECIndex
-
-	// Anatomy releases.
-	Baseline *anatomy.Publication
-	LDiverse *anatomy.LDiversePublication
-
-	// Perturbed releases.
-	Perturbed *microdata.Table
-	Scheme    *perturb.Scheme
-
-	// AIL is the average information loss of a generalized release
-	// (Eq. 5); 0 for other kinds.
-	AIL float64
 }
 
-// build runs the anonymization selected by p over t and returns the
-// queryable snapshot. It is executed on a store worker goroutine.
-func build(t *microdata.Table, p Params) (*Snapshot, error) {
-	if p.QI > 0 && p.QI < len(t.Schema.QI) {
-		t = t.Project(p.QI)
+// NewSnapshot wraps a method's release in its serving form, building the
+// grid index for generalized payloads. gridCells overrides the index's
+// per-dimension resolution (0 = auto).
+func NewSnapshot(rel *anon.Release, gridCells int) (*Snapshot, error) {
+	if rel == nil || rel.Schema == nil {
+		return nil, fmt.Errorf("release: nil release")
 	}
-	s := &Snapshot{Kind: p.Kind, Schema: t.Schema}
-	switch p.Kind {
-	case KindGeneralized:
-		opts := burel.Options{Beta: p.Beta, Seed: p.Seed}
-		if p.Basic {
-			opts.Variant = likeness.Basic
-		}
-		res, err := burel.Anonymize(t, opts)
-		if err != nil {
-			return nil, err
-		}
-		s.ECs = res.Partition.Publish()
-		s.Index = BuildIndex(t.Schema, s.ECs, p.GridCells)
-		s.AIL = res.Partition.AIL()
-	case KindAnatomy:
-		rng := rand.New(rand.NewSource(p.Seed))
-		if p.L >= 2 {
-			pub, err := anatomy.PublishLDiverse(t, p.L, rng)
-			if err != nil {
-				return nil, err
-			}
-			s.LDiverse = pub
-		} else {
-			s.Baseline = anatomy.Publish(t, rng)
-		}
-	case KindPerturbed:
-		scheme, err := perturb.NewScheme(t, p.Beta)
-		if err != nil {
-			return nil, err
-		}
-		s.Scheme = scheme
-		s.Perturbed = scheme.Perturb(t, rand.New(rand.NewSource(p.Seed)))
+	s := &Snapshot{Schema: rel.Schema, Release: rel}
+	switch {
+	case rel.ECs != nil:
+		s.Kind = KindGeneralized
+		s.Index = BuildIndex(rel.Schema, rel.ECs, gridCells)
+	case rel.Baseline != nil || rel.LDiverse != nil:
+		s.Kind = KindAnatomy
+	case rel.Perturbed != nil && rel.Scheme != nil:
+		s.Kind = KindPerturbed
 	default:
-		return nil, fmt.Errorf("release: unknown kind %q", p.Kind)
+		return nil, fmt.Errorf("release: method %q produced no queryable payload", rel.Method)
 	}
 	return s, nil
 }
 
+// build runs the anonymization selected by spec over t and returns the
+// queryable snapshot. It is executed on a store worker goroutine; ctx
+// aborts the run.
+func build(ctx context.Context, t *microdata.Table, spec Spec) (*Snapshot, error) {
+	if spec.QI > 0 && spec.QI < len(t.Schema.QI) {
+		t = t.Project(spec.QI)
+	}
+	m, err := anon.Lookup(spec.Method)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := m.Anonymize(ctx, t, spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	return NewSnapshot(rel, spec.GridCells)
+}
+
 // NumECs returns the number of published groups, 0 for kinds without them.
 func (s *Snapshot) NumECs() int {
-	switch {
-	case s.Index != nil:
+	if s.Index != nil {
 		return s.Index.NumECs()
-	case s.LDiverse != nil:
-		return len(s.LDiverse.Groups)
+	}
+	if s.Release != nil {
+		return s.Release.NumECs()
+	}
+	return 0
+}
+
+// AIL returns the average information loss of a generalized release, 0
+// for other kinds.
+func (s *Snapshot) AIL() float64 {
+	if s.Release != nil {
+		return s.Release.AIL
 	}
 	return 0
 }
@@ -217,12 +257,12 @@ func (s *Snapshot) EstimateUnchecked(q query.Query, sc *Scratch) (float64, error
 		}
 		return s.Index.Estimate(q), nil
 	case KindAnatomy:
-		if s.LDiverse != nil {
-			return estimateLDiverse(s.LDiverse, q), nil
+		if s.Release.LDiverse != nil {
+			return query.EstimateLDiverse(s.Release.LDiverse, q), nil
 		}
-		return query.EstimateBaseline(s.Baseline, q)
+		return query.EstimateBaseline(s.Release.Baseline, q)
 	case KindPerturbed:
-		return query.EstimatePerturbed(s.Perturbed, s.Scheme, q)
+		return query.EstimatePerturbed(s.Release.Perturbed, s.Release.Scheme, q)
 	}
 	return 0, fmt.Errorf("release: kind %q is not queryable", s.Kind)
 }
@@ -232,57 +272,5 @@ func (s *Snapshot) EstimateUnchecked(q query.Query, sc *Scratch) (float64, error
 // every call; batch executors may run it separately to reject a bad
 // query before any fan-out.
 func (s *Snapshot) ValidateQuery(q query.Query) error {
-	if len(q.Lo) != len(q.Dims) || len(q.Hi) != len(q.Dims) {
-		return fmt.Errorf("release: query has %d dims but %d/%d bounds", len(q.Dims), len(q.Lo), len(q.Hi))
-	}
-	seen := make(map[int]bool, len(q.Dims))
-	for i, d := range q.Dims {
-		if d < 0 || d >= len(s.Schema.QI) {
-			return fmt.Errorf("release: predicate dimension %d outside schema of %d QI attributes", d, len(s.Schema.QI))
-		}
-		if seen[d] {
-			return fmt.Errorf("release: duplicate predicate on dimension %d", d)
-		}
-		seen[d] = true
-		if q.Lo[i] > q.Hi[i] {
-			return fmt.Errorf("release: predicate %d has lo %v > hi %v", i, q.Lo[i], q.Hi[i])
-		}
-		// Categorical predicates range over integer leaf ranks; the
-		// discrete overlap formula would silently count fractional
-		// ranges as nonzero, so reject them outright.
-		if s.Schema.QI[d].Kind == microdata.Categorical &&
-			(q.Lo[i] != math.Trunc(q.Lo[i]) || q.Hi[i] != math.Trunc(q.Hi[i])) {
-			return fmt.Errorf("release: predicate on categorical dimension %d has non-integer bounds [%v,%v]", d, q.Lo[i], q.Hi[i])
-		}
-	}
-	if m := len(s.Schema.SA.Values); q.SALo < 0 || q.SAHi >= m || q.SALo > q.SAHi {
-		return fmt.Errorf("release: SA range [%d,%d] outside domain of %d values", q.SALo, q.SAHi, m)
-	}
-	return nil
-}
-
-// estimateLDiverse answers a query over the full Anatomy publication:
-// each group's tuples keep exact QI values, so the QI predicates are
-// evaluated exactly and the group's published SA multiset supplies the
-// in-range mass proportionally: Σ_g matches_g · (inRange_g / |g|).
-func estimateLDiverse(pub *anatomy.LDiversePublication, q query.Query) float64 {
-	est := 0.0
-	for gi := range pub.Groups {
-		g := &pub.Groups[gi]
-		matches := 0
-		for _, r := range g.Rows {
-			if q.MatchesQI(pub.Table.Tuples[r]) {
-				matches++
-			}
-		}
-		if matches == 0 {
-			continue
-		}
-		inRange := 0
-		for v := q.SALo; v <= q.SAHi && v < len(pub.SACounts[gi]); v++ {
-			inRange += pub.SACounts[gi][v]
-		}
-		est += float64(matches) * float64(inRange) / float64(len(g.Rows))
-	}
-	return est
+	return query.Validate(s.Schema, q)
 }

@@ -1,6 +1,7 @@
 package release
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -36,17 +37,27 @@ type Store struct {
 	version uint64
 	closed  bool
 
+	// root is canceled by Close; every build context descends from it,
+	// so shutdown aborts in-flight anonymization instead of waiting for
+	// it to run to completion.
+	root   context.Context
+	cancel context.CancelFunc
+
 	jobs chan *record
 	wg   sync.WaitGroup
 }
 
 // record is the store's mutable view of one release. meta is guarded by
 // the store mutex; snap is written once by the building worker before the
-// status flips to ready and never after.
+// status flips to ready and never after. ctx governs the build: it is
+// canceled when the submitter's context is canceled or the store closes,
+// and done releases its resources once the build is terminal.
 type record struct {
 	meta  Meta
 	snap  *Snapshot
 	table *microdata.Table
+	ctx   context.Context
+	done  func()
 }
 
 // DefaultWorkers is the build concurrency used when NewStore is given
@@ -58,9 +69,12 @@ func NewStore(workers int) *Store {
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
+	root, cancel := context.WithCancel(context.Background())
 	s := &Store{
-		byID: make(map[string]*record),
-		jobs: make(chan *record, 64),
+		byID:   make(map[string]*record),
+		root:   root,
+		cancel: cancel,
+		jobs:   make(chan *record, 64),
 	}
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -69,8 +83,9 @@ func NewStore(workers int) *Store {
 	return s
 }
 
-// Close stops accepting submissions and waits for in-flight builds to
-// finish. Queries against ready releases remain valid after Close.
+// Close stops accepting submissions, cancels in-flight and queued builds,
+// and waits for the workers to drain. Canceled builds end failed with the
+// context error; queries against ready releases remain valid after Close.
 func (s *Store) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -79,19 +94,25 @@ func (s *Store) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.cancel()
 	close(s.jobs)
 	s.wg.Wait()
 }
 
 // Submit validates the job, registers a pending release, and queues its
 // build, returning the assigned metadata. The table is not copied; callers
-// must not mutate it after submission.
-func (s *Store) Submit(t *microdata.Table, p Params) (Meta, error) {
+// must not mutate it after submission. Canceling ctx aborts the build (a
+// terminal failed state); it does not un-register the release. Callers
+// that just want fire-and-forget semantics pass context.Background().
+func (s *Store) Submit(ctx context.Context, t *microdata.Table, spec Spec) (Meta, error) {
 	if t == nil || t.Len() == 0 {
 		return Meta{}, fmt.Errorf("release: empty table")
 	}
-	if err := p.Validate(); err != nil {
+	if err := spec.Normalize(); err != nil {
 		return Meta{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -99,16 +120,25 @@ func (s *Store) Submit(t *microdata.Table, p Params) (Meta, error) {
 		return Meta{}, fmt.Errorf("release: %w", ErrClosed)
 	}
 	s.version++
+	// The build context dies with the submitter's ctx OR the store: the
+	// AfterFunc relays root cancellation into the per-build context.
+	bctx, bcancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(s.root, bcancel)
 	rec := &record{
 		meta: Meta{
 			ID:        fmt.Sprintf("r-%06d", s.version),
 			Version:   s.version,
-			Params:    p,
+			Spec:      spec,
 			Status:    StatusPending,
 			Rows:      t.Len(),
 			CreatedAt: time.Now().UTC(),
 		},
 		table: t,
+		ctx:   bctx,
+		done: func() {
+			stop()
+			bcancel()
+		},
 	}
 	// Enqueue while still holding the mutex. Close sets the closed flag
 	// under this lock before it closes the channel, and the closed check
@@ -120,6 +150,7 @@ func (s *Store) Submit(t *microdata.Table, p Params) (Meta, error) {
 	case s.jobs <- rec:
 	default:
 		s.mu.Unlock()
+		rec.done()
 		return Meta{}, fmt.Errorf("%w (%d queued)", ErrQueueFull, cap(s.jobs))
 	}
 	s.byID[rec.meta.ID] = rec
@@ -132,10 +163,10 @@ func (s *Store) Submit(t *microdata.Table, p Params) (Meta, error) {
 // release, bypassing the build queue: the restore path for snapshots
 // materialized out of process, and the way benchmarks and tests plant
 // synthetic releases of arbitrary size. The snapshot is retained (not
-// copied) and must not be mutated after registration. Params are recorded
-// as metadata only; they are not validated against the snapshot.
-func (s *Store) Register(snap *Snapshot, p Params) (Meta, error) {
-	if snap == nil || snap.Schema == nil {
+// copied) and must not be mutated after registration. The spec is
+// recorded as metadata only; it is not validated against the snapshot.
+func (s *Store) Register(snap *Snapshot, spec Spec) (Meta, error) {
+	if snap == nil || snap.Schema == nil || snap.Release == nil {
 		return Meta{}, fmt.Errorf("release: nil snapshot")
 	}
 	// A payload inconsistent with its kind would not fail here but as a
@@ -147,28 +178,15 @@ func (s *Store) Register(snap *Snapshot, p Params) (Meta, error) {
 			return Meta{}, fmt.Errorf("release: generalized snapshot without index")
 		}
 	case KindAnatomy:
-		if snap.Baseline == nil && snap.LDiverse == nil {
+		if snap.Release.Baseline == nil && snap.Release.LDiverse == nil {
 			return Meta{}, fmt.Errorf("release: anatomy snapshot without publication")
 		}
 	case KindPerturbed:
-		if snap.Perturbed == nil || snap.Scheme == nil {
+		if snap.Release.Perturbed == nil || snap.Release.Scheme == nil {
 			return Meta{}, fmt.Errorf("release: perturbed snapshot without table or scheme")
 		}
 	default:
 		return Meta{}, fmt.Errorf("release: unknown kind %q", snap.Kind)
-	}
-	rows := 0
-	switch {
-	case snap.Perturbed != nil:
-		rows = snap.Perturbed.Len()
-	case snap.Baseline != nil:
-		rows = snap.Baseline.Table.Len()
-	case snap.LDiverse != nil:
-		rows = snap.LDiverse.Table.Len()
-	default:
-		for i := range snap.ECs {
-			rows += snap.ECs[i].Size
-		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -181,11 +199,11 @@ func (s *Store) Register(snap *Snapshot, p Params) (Meta, error) {
 		meta: Meta{
 			ID:        fmt.Sprintf("r-%06d", s.version),
 			Version:   s.version,
-			Params:    p,
+			Spec:      spec,
 			Status:    StatusReady,
-			Rows:      rows,
+			Rows:      snap.Release.Rows,
 			NumECs:    snap.NumECs(),
-			AIL:       snap.AIL,
+			AIL:       snap.AIL(),
 			CreatedAt: now,
 			ReadyAt:   now,
 		},
@@ -204,18 +222,19 @@ func (s *Store) worker() {
 
 // runBuild transitions one record pending → building → ready/failed.
 func (s *Store) runBuild(rec *record) {
+	defer rec.done()
 	s.mu.Lock()
 	if rec.meta.Status != StatusPending {
 		s.mu.Unlock()
 		return
 	}
 	rec.meta.Status = StatusBuilding
-	p := rec.meta.Params
+	spec := rec.meta.Spec
 	t := rec.table
 	s.mu.Unlock()
 
 	start := time.Now()
-	snap, err := build(t, p)
+	snap, err := build(rec.ctx, t, spec)
 	elapsed := time.Since(start)
 
 	s.mu.Lock()
@@ -229,7 +248,7 @@ func (s *Store) runBuild(rec *record) {
 		rec.meta.Status = StatusReady
 		rec.meta.ReadyAt = time.Now().UTC()
 		rec.meta.NumECs = snap.NumECs()
-		rec.meta.AIL = snap.AIL
+		rec.meta.AIL = snap.AIL()
 	}
 	s.mu.Unlock()
 }

@@ -1,23 +1,35 @@
 package release
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/query"
 )
+
+// burelSpec is the generalized-release spec the tests submit most.
+func burelSpec(beta float64, seed int64) Spec {
+	return Spec{Method: anon.MethodBUREL, Params: anon.NewBURELParams(anon.BURELBeta(beta), anon.BURELSeed(seed))}
+}
+
+func anatomySpec(l int, seed int64) Spec {
+	return Spec{Method: anon.MethodAnatomy, Params: anon.NewAnatomyParams(anon.AnatomyL(l), anon.AnatomySeed(seed))}
+}
 
 func TestStoreLifecycle(t *testing.T) {
 	s := NewStore(2)
 	defer s.Close()
 	tab := census.Generate(census.Options{N: 800, Seed: 4}).Project(3)
 
-	m, err := s.Submit(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 1})
+	m, err := s.Submit(context.Background(), tab, burelSpec(4, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +60,7 @@ func TestStoreFailedBuild(t *testing.T) {
 	defer s.Close()
 	tab := census.Generate(census.Options{N: 50, Seed: 4}).Project(2)
 	// ℓ far above what the SA distribution supports → PublishLDiverse fails.
-	m, err := s.Submit(tab, Params{Kind: KindAnatomy, L: 40, Seed: 1})
+	m, err := s.Submit(context.Background(), tab, anatomySpec(40, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,22 +79,25 @@ func TestStoreFailedBuild(t *testing.T) {
 func TestStoreValidation(t *testing.T) {
 	s := NewStore(1)
 	defer s.Close()
+	ctx := context.Background()
 	tab := census.Generate(census.Options{N: 50, Seed: 4}).Project(2)
-	bad := []Params{
-		{Kind: "nonsense"},
-		{Kind: KindGeneralized, Beta: 0},
-		{Kind: KindPerturbed, Beta: -1},
-		{Kind: KindAnatomy, L: 1},
-		{Kind: KindGeneralized, Beta: 2, QI: -1},
-		{Kind: KindGeneralized, Beta: 2, GridCells: -1},
-		{Kind: KindGeneralized, Beta: 2, GridCells: MaxGridCells + 1},
+	bad := []Spec{
+		{Method: "nonsense"},
+		{Method: anon.MethodBUREL, Params: &anon.BURELParams{Beta: 0}},
+		{Method: anon.MethodPerturb, Params: &anon.PerturbParams{Beta: -1}},
+		{Method: anon.MethodAnatomy, Params: &anon.AnatomyParams{L: 1}},
+		// Params of one method under another's name.
+		{Method: anon.MethodAnatomy, Params: anon.NewBURELParams()},
+		{Method: anon.MethodBUREL, Params: anon.NewBURELParams(), QI: -1},
+		{Method: anon.MethodBUREL, Params: anon.NewBURELParams(), GridCells: -1},
+		{Method: anon.MethodBUREL, Params: anon.NewBURELParams(), GridCells: MaxGridCells + 1},
 	}
-	for i, p := range bad {
-		if _, err := s.Submit(tab, p); err == nil {
-			t.Errorf("params %d accepted: %+v", i, p)
+	for i, spec := range bad {
+		if _, err := s.Submit(ctx, tab, spec); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
 		}
 	}
-	if _, err := s.Submit(nil, Params{Kind: KindGeneralized, Beta: 2}); err == nil {
+	if _, err := s.Submit(ctx, nil, burelSpec(2, 0)); err == nil {
 		t.Error("nil table accepted")
 	}
 	if _, ok := s.Get("r-999999"); ok {
@@ -93,21 +108,39 @@ func TestStoreValidation(t *testing.T) {
 	}
 }
 
-func TestStoreAllKinds(t *testing.T) {
+// TestStoreNilParamsDefaults: a spec without params builds with the
+// method's defaults.
+func TestStoreNilParamsDefaults(t *testing.T) {
+	s := NewStore(1)
+	defer s.Close()
+	tab := census.Generate(census.Options{N: 300, Seed: 9}).Project(2)
+	m, err := s.Submit(context.Background(), tab, Spec{Method: anon.MethodAnatomy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec.Params == nil {
+		t.Fatal("Normalize did not fill default params")
+	}
+	if m, err = s.WaitReady(m.ID, 30*time.Second); err != nil || m.Status != StatusReady {
+		t.Fatalf("default-params build: %v / %+v", err, m)
+	}
+}
+
+func TestStoreAllMethods(t *testing.T) {
 	s := NewStore(3)
 	defer s.Close()
 	tab := census.Generate(census.Options{N: 1000, Seed: 8}).Project(3)
-	params := []Params{
-		{Kind: KindGeneralized, Beta: 4, Seed: 1},
-		{Kind: KindAnatomy, Seed: 1},
-		{Kind: KindAnatomy, L: 3, Seed: 1},
-		{Kind: KindPerturbed, Beta: 4, Seed: 1},
+	specs := []Spec{
+		burelSpec(4, 1),
+		anatomySpec(0, 1),
+		anatomySpec(3, 1),
+		{Method: anon.MethodPerturb, Params: anon.NewPerturbParams(anon.PerturbBeta(4), anon.PerturbSeed(1))},
 	}
-	ids := make([]string, len(params))
-	for i, p := range params {
-		m, err := s.Submit(tab, p)
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		m, err := s.Submit(context.Background(), tab, spec)
 		if err != nil {
-			t.Fatalf("%s: %v", p.Kind, err)
+			t.Fatalf("%s: %v", spec.Method, err)
 		}
 		ids[i] = m.ID
 	}
@@ -122,7 +155,7 @@ func TestStoreAllKinds(t *testing.T) {
 			t.Fatal(err)
 		}
 		if m.Status != StatusReady {
-			t.Fatalf("%s: %s (%s)", params[i].Kind, m.Status, m.Error)
+			t.Fatalf("%s: %s (%s)", specs[i].Method, m.Status, m.Error)
 		}
 		snap, err := s.Snapshot(id)
 		if err != nil {
@@ -130,12 +163,12 @@ func TestStoreAllKinds(t *testing.T) {
 		}
 		for j := 0; j < 20; j++ {
 			if _, err := snap.Estimate(gen.Next()); err != nil {
-				t.Fatalf("%s: query %d: %v", params[i].Kind, j, err)
+				t.Fatalf("%s: query %d: %v", specs[i].Method, j, err)
 			}
 		}
 	}
-	if got := len(s.List()); got != len(params) {
-		t.Fatalf("List returned %d releases, want %d", got, len(params))
+	if got := len(s.List()); got != len(specs) {
+		t.Fatalf("List returned %d releases, want %d", got, len(specs))
 	}
 }
 
@@ -154,9 +187,16 @@ func TestStoreConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			kind := []Kind{KindGeneralized, KindAnatomy, KindPerturbed}[i%3]
-			p := Params{Kind: kind, Beta: 4, Seed: int64(i)}
-			m, err := s.Submit(tab, p)
+			var spec Spec
+			switch i % 3 {
+			case 0:
+				spec = burelSpec(4, int64(i))
+			case 1:
+				spec = anatomySpec(0, int64(i))
+			default:
+				spec = Spec{Method: anon.MethodPerturb, Params: anon.NewPerturbParams(anon.PerturbSeed(int64(i)))}
+			}
+			m, err := s.Submit(context.Background(), tab, spec)
 			if err != nil {
 				errCh <- err
 				return
@@ -216,32 +256,103 @@ func TestStoreConcurrent(t *testing.T) {
 func TestStoreClose(t *testing.T) {
 	s := NewStore(1)
 	tab := census.Generate(census.Options{N: 100, Seed: 1}).Project(2)
-	m, err := s.Submit(tab, Params{Kind: KindAnatomy, Seed: 1})
+	m, err := s.Submit(context.Background(), tab, anatomySpec(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
-	// Close waits for in-flight builds; the release must be terminal.
+	// Close drains the queue; every accepted release must be terminal
+	// (ready if the build won the race, failed-with-cancel otherwise).
 	got, _ := s.Get(m.ID)
 	if got.Status != StatusReady && got.Status != StatusFailed {
 		t.Fatalf("release still %s after Close", got.Status)
 	}
-	if _, err := s.Submit(tab, Params{Kind: KindAnatomy, Seed: 1}); !errors.Is(err, ErrClosed) {
+	if _, err := s.Submit(context.Background(), tab, anatomySpec(0, 1)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
 	}
 	s.Close() // second Close is a no-op
+}
+
+// TestStoreCloseAbortsInFlight: Close cancels the context of builds that
+// have not finished, so a long anonymization aborts instead of running to
+// completion. The single worker is saturated with large BUREL builds;
+// after Close at least the queued ones must be failed with a context
+// error, not ready.
+func TestStoreCloseAbortsInFlight(t *testing.T) {
+	s := NewStore(1)
+	tab := census.Generate(census.Options{N: 60000, Seed: 5}).Project(3)
+	ids := make([]string, 4)
+	for i := range ids {
+		m, err := s.Submit(context.Background(), tab, burelSpec(4, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = m.ID
+	}
+	start := time.Now()
+	s.Close()
+	elapsed := time.Since(start)
+
+	canceled := 0
+	for _, id := range ids {
+		m, _ := s.Get(id)
+		switch m.Status {
+		case StatusFailed:
+			if !strings.Contains(m.Error, context.Canceled.Error()) {
+				t.Fatalf("%s failed with %q, want a context error", id, m.Error)
+			}
+			canceled++
+		case StatusReady:
+			// The build that was already running may have won the race.
+		default:
+			t.Fatalf("%s still %s after Close", id, m.Status)
+		}
+	}
+	if canceled == 0 {
+		t.Fatalf("no build was canceled by Close (elapsed %v)", elapsed)
+	}
+}
+
+// TestStoreSubmitCancellation: canceling the submitter's context aborts
+// that build alone.
+func TestStoreSubmitCancellation(t *testing.T) {
+	s := NewStore(1)
+	defer s.Close()
+	tab := census.Generate(census.Options{N: 40000, Seed: 6}).Project(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	m, err := s.Submit(ctx, tab, burelSpec(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	got, err := s.WaitReady(m.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusFailed || !strings.Contains(got.Error, context.Canceled.Error()) {
+		t.Fatalf("canceled submission ended %s (%q), want failed with context error", got.Status, got.Error)
+	}
+
+	// The store remains usable for other submissions.
+	m2, err := s.Submit(context.Background(), tab.Project(2), anatomySpec(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.WaitReady(m2.ID, 30*time.Second); err != nil || got.Status != StatusReady {
+		t.Fatalf("follow-up build: %v / %+v", err, got)
+	}
 }
 
 // TestStoreQueueFull: a saturated build queue rejects submissions with
 // ErrQueueFull instead of building inline (white-box: no workers drain
 // the queue).
 func TestStoreQueueFull(t *testing.T) {
-	s := &Store{byID: make(map[string]*record), jobs: make(chan *record, 1)}
+	s := &Store{byID: make(map[string]*record), root: context.Background(), jobs: make(chan *record, 1)}
 	tab := census.Generate(census.Options{N: 50, Seed: 1}).Project(2)
-	if _, err := s.Submit(tab, Params{Kind: KindAnatomy, Seed: 1}); err != nil {
+	if _, err := s.Submit(context.Background(), tab, anatomySpec(0, 1)); err != nil {
 		t.Fatal(err)
 	}
-	_, err := s.Submit(tab, Params{Kind: KindAnatomy, Seed: 1})
+	_, err := s.Submit(context.Background(), tab, anatomySpec(0, 1))
 	if !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("second submit: err = %v, want ErrQueueFull", err)
 	}
@@ -260,7 +371,7 @@ func TestStoreSnapshotErrors(t *testing.T) {
 		t.Fatalf("unknown id: %v, want ErrNotFound", err)
 	}
 	tab := census.Generate(census.Options{N: 50, Seed: 4}).Project(2)
-	m, err := s.Submit(tab, Params{Kind: KindAnatomy, L: 40, Seed: 1}) // will fail
+	m, err := s.Submit(context.Background(), tab, anatomySpec(40, 1)) // will fail
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,11 +391,11 @@ func TestStoreRegister(t *testing.T) {
 	defer s.Close()
 
 	tab := census.Generate(census.Options{N: 400, Seed: 3}).Project(2)
-	snap, err := build(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 1})
+	snap, err := build(context.Background(), tab, burelSpec(4, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	meta, err := s.Register(snap, Params{Kind: KindGeneralized, Beta: 4})
+	meta, err := s.Register(snap, burelSpec(4, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +414,7 @@ func TestStoreRegister(t *testing.T) {
 	}
 
 	// Version sequence is shared with Submit.
-	m2, err := s.Submit(tab, Params{Kind: KindGeneralized, Beta: 4, Seed: 2})
+	m2, err := s.Submit(context.Background(), tab, burelSpec(4, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,11 +422,47 @@ func TestStoreRegister(t *testing.T) {
 		t.Fatalf("submitted version %d after registered %d", m2.Version, meta.Version)
 	}
 
-	if _, err := s.Register(nil, Params{}); err == nil {
+	if _, err := s.Register(nil, Spec{}); err == nil {
 		t.Fatal("nil snapshot accepted")
 	}
 	s.Close()
-	if _, err := s.Register(snap, Params{Kind: KindGeneralized, Beta: 4}); err == nil {
+	if _, err := s.Register(snap, burelSpec(4, 1)); err == nil {
 		t.Fatal("closed store accepted a registration")
+	}
+}
+
+// TestSpecJSONRoundTrip: Meta (and its Spec) must survive the wire, with
+// params decoded back into their typed form.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{
+		Method:    anon.MethodBUREL,
+		Params:    anon.NewBURELParams(anon.BURELBeta(2.5), anon.BURELBasic(), anon.BURELSeed(7)),
+		QI:        3,
+		GridCells: 64,
+	}
+	data, err := spec.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Spec
+	if err := got.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	bp, ok := got.Params.(*anon.BURELParams)
+	if !ok {
+		t.Fatalf("params decoded as %T", got.Params)
+	}
+	if got.Method != spec.Method || got.QI != 3 || got.GridCells != 64 ||
+		bp.Beta != 2.5 || !bp.Basic || bp.Seed != 7 {
+		t.Fatalf("round trip mangled spec: %+v / %+v", got, bp)
+	}
+
+	// Unknown methods and malformed params fail the decode.
+	var bad Spec
+	if err := bad.UnmarshalJSON([]byte(`{"method":"nope"}`)); !errors.Is(err, anon.ErrUnknownMethod) {
+		t.Fatalf("unknown method: %v", err)
+	}
+	if err := bad.UnmarshalJSON([]byte(`{"method":"burel","params":{"beta":-1}}`)); !errors.Is(err, anon.ErrInvalidParams) {
+		t.Fatalf("invalid params: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package release
 import (
 	"math/rand"
 
+	"repro/anon"
 	"repro/internal/microdata"
 )
 
@@ -46,10 +47,14 @@ func SyntheticECs(schema *microdata.Schema, n int, rng *rand.Rand) []microdata.P
 // generalized snapshot with its grid index built.
 func SyntheticSnapshot(schema *microdata.Schema, n int, rng *rand.Rand) *Snapshot {
 	ecs := SyntheticECs(schema, n, rng)
+	rows := 0
+	for i := range ecs {
+		rows += ecs[i].Size
+	}
 	return &Snapshot{
-		Kind:   KindGeneralized,
-		Schema: schema,
-		ECs:    ecs,
-		Index:  BuildIndex(schema, ecs, 0),
+		Kind:    KindGeneralized,
+		Schema:  schema,
+		Release: &anon.Release{Method: anon.MethodBUREL, Schema: schema, Rows: rows, ECs: ecs},
+		Index:   BuildIndex(schema, ecs, 0),
 	}
 }

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -9,23 +11,25 @@ import (
 	"strings"
 	"testing"
 
+	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/release"
+	"repro/pkg/api"
 )
 
 // readyRelease uploads a small generated table and polls it to ready.
-func readyRelease(t *testing.T, e *testEnv, n int, seed int64) (release.Meta, string) {
+func readyRelease(t *testing.T, e *testEnv, n int, seed int64) (api.Release, string) {
 	t.Helper()
 	csv, _ := censusCSV(t, n, seed, 3)
-	_, data := e.post(t, "/v1/releases", createRequest{Kind: "generalized", Beta: 4, QI: 3, Seed: seed, CSV: csv})
-	var meta release.Meta
+	_, data := e.post(t, "/v1/releases", createReq("burel", fmt.Sprintf(`{"beta": 4, "seed": %d}`, seed), csv, 3))
+	var meta api.Release
 	if err := json.Unmarshal(data, &meta); err != nil {
 		t.Fatal(err)
 	}
 	meta = e.pollReady(t, meta.ID)
-	if meta.Status != release.StatusReady {
+	if meta.Status != api.StatusReady {
 		t.Fatalf("build failed: %s", meta.Error)
 	}
 	return meta, csv
@@ -46,15 +50,15 @@ func TestBatchQueryEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	qs := make([]queryRequest, 24)
+	qs := make([]api.Query, 24)
 	for i := range qs {
 		q := gen.Next()
-		qs[i] = queryRequest{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+		qs[i] = api.Query{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
 	}
 	qs[20] = qs[3] // batch-local duplicate
 
-	var br batchQueryResponse
-	resp, data := e.post(t, "/v1/query:batch", batchQueryRequest{ReleaseID: meta.ID, Queries: qs})
+	var br api.BatchQueryResponse
+	resp, data := e.post(t, "/v1/query:batch", api.BatchQueryRequest{ReleaseID: meta.ID, Queries: qs})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch: %d: %s", resp.StatusCode, data)
 	}
@@ -65,7 +69,7 @@ func TestBatchQueryEndToEnd(t *testing.T) {
 		t.Fatalf("got %d results for %d queries", len(br.Results), len(qs))
 	}
 	for i, qr := range qs {
-		want, err := snap.Estimate(qr.toQuery())
+		want, err := snap.Estimate(toQuery(qr))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +81,7 @@ func TestBatchQueryEndToEnd(t *testing.T) {
 		t.Fatalf("cold batch reported %d hits, want 1", br.CacheHits)
 	}
 
-	resp, data = e.post(t, "/v1/query:batch", batchQueryRequest{ReleaseID: meta.ID, Queries: qs})
+	resp, data = e.post(t, "/v1/query:batch", api.BatchQueryRequest{ReleaseID: meta.ID, Queries: qs})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("warm batch: %d: %s", resp.StatusCode, data)
 	}
@@ -93,7 +97,7 @@ func TestBatchQueryEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("single after batch: %d: %s", resp.StatusCode, data)
 	}
-	var qr queryResponse
+	var qr api.QueryResponse
 	if err := json.Unmarshal(data, &qr); err != nil {
 		t.Fatal(err)
 	}
@@ -114,12 +118,12 @@ func TestErrorMatrix(t *testing.T) {
 
 	// A build that fails: ℓ-diverse anatomy with ℓ far beyond the SA
 	// diversity of a small table.
-	_, data := e.post(t, "/v1/releases", createRequest{Kind: "anatomy", L: 40, Seed: 1, CSV: csv, QI: 3})
-	var failed release.Meta
+	_, data := e.post(t, "/v1/releases", createReq("anatomy", `{"l": 40, "seed": 1}`, csv, 3))
+	var failed api.Release
 	if err := json.Unmarshal(data, &failed); err != nil {
 		t.Fatal(err)
 	}
-	if failed = e.pollReady(t, failed.ID); failed.Status != release.StatusFailed {
+	if failed = e.pollReady(t, failed.ID); failed.Status != api.StatusFailed {
 		t.Fatalf("expected failed build, got %s", failed.Status)
 	}
 
@@ -128,23 +132,26 @@ func TestErrorMatrix(t *testing.T) {
 	// behind several full builds cannot start before we query it (the
 	// fillers bypass HTTP so the queue fills faster than it drains).
 	bigTab := census.Generate(census.Options{N: 30000, Seed: 29}).Project(3)
+	burelAt := func(seed int64) release.Spec {
+		return release.Spec{Method: anon.MethodBUREL, Params: anon.NewBURELParams(anon.BURELSeed(seed))}
+	}
 	for i := 0; i < 6; i++ {
-		if _, err := e.store.Submit(bigTab, release.Params{Kind: release.KindGeneralized, Beta: 4, Seed: int64(i)}); err != nil {
+		if _, err := e.store.Submit(context.Background(), bigTab, burelAt(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	pending, err := e.store.Submit(bigTab, release.Params{Kind: release.KindGeneralized, Beta: 4, Seed: 99})
+	pending, err := e.store.Submit(context.Background(), bigTab, burelAt(99))
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	okQuery := queryRequest{SALo: 0, SAHi: 3}
-	batchOf := func(id string, n int, q queryRequest) batchQueryRequest {
-		qs := make([]queryRequest, n)
+	okQuery := api.Query{SALo: 0, SAHi: 3}
+	batchOf := func(id string, n int, q api.Query) api.BatchQueryRequest {
+		qs := make([]api.Query, n)
 		for i := range qs {
 			qs[i] = q
 		}
-		return batchQueryRequest{ReleaseID: id, Queries: qs}
+		return api.BatchQueryRequest{ReleaseID: id, Queries: qs}
 	}
 
 	cases := []struct {
@@ -160,12 +167,12 @@ func TestErrorMatrix(t *testing.T) {
 		// 400: malformed or invalid requests.
 		{"batch bad json", "/v1/query:batch", "{", http.StatusBadRequest},
 		{"batch no release_id", "/v1/query:batch", batchOf("", 1, okQuery), http.StatusBadRequest},
-		{"batch empty queries", "/v1/query:batch", batchQueryRequest{ReleaseID: ready.ID}, http.StatusBadRequest},
-		{"batch bad dim", "/v1/query:batch", batchOf(ready.ID, 1, queryRequest{Dims: []int{9}, Lo: []float64{0}, Hi: []float64{1}}), http.StatusBadRequest},
-		{"batch inverted sa", "/v1/query:batch", batchOf(ready.ID, 1, queryRequest{SALo: 3, SAHi: 1}), http.StatusBadRequest},
-		{"batch fractional categorical", "/v1/query:batch", batchOf(ready.ID, 1, queryRequest{Dims: []int{1}, Lo: []float64{0.5}, Hi: []float64{1.5}}), http.StatusBadRequest},
-		{"single bad query", "/v1/releases/" + ready.ID + "/query", queryRequest{Dims: []int{9}, Lo: []float64{0}, Hi: []float64{1}}, http.StatusBadRequest},
-		{"create bad kind", "/v1/releases", createRequest{Kind: "nope", CSV: "Age\n1\n"}, http.StatusBadRequest},
+		{"batch empty queries", "/v1/query:batch", api.BatchQueryRequest{ReleaseID: ready.ID}, http.StatusBadRequest},
+		{"batch bad dim", "/v1/query:batch", batchOf(ready.ID, 1, api.Query{Dims: []int{9}, Lo: []float64{0}, Hi: []float64{1}}), http.StatusBadRequest},
+		{"batch inverted sa", "/v1/query:batch", batchOf(ready.ID, 1, api.Query{SALo: 3, SAHi: 1}), http.StatusBadRequest},
+		{"batch fractional categorical", "/v1/query:batch", batchOf(ready.ID, 1, api.Query{Dims: []int{1}, Lo: []float64{0.5}, Hi: []float64{1.5}}), http.StatusBadRequest},
+		{"single bad query", "/v1/releases/" + ready.ID + "/query", api.Query{Dims: []int{9}, Lo: []float64{0}, Hi: []float64{1}}, http.StatusBadRequest},
+		{"create bad method", "/v1/releases", createReq("nope", "", "Age\n1\n", 0), http.StatusBadRequest},
 		// 404: unknown release.
 		{"batch unknown release", "/v1/query:batch", batchOf("r-404404", 1, okQuery), http.StatusNotFound},
 		{"single unknown release", "/v1/releases/r-404404/query", okQuery, http.StatusNotFound},
@@ -192,8 +199,9 @@ func TestErrorMatrix(t *testing.T) {
 		if resp.StatusCode != tc.code {
 			t.Errorf("%s: code %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, data)
 		}
-		if !strings.Contains(string(data), "error") {
-			t.Errorf("%s: no error field: %s", tc.name, data)
+		var env api.Envelope
+		if err := json.Unmarshal(data, &env); err != nil || env.Error.Code == "" || env.Error.Message == "" {
+			t.Errorf("%s: body is not a structured error envelope: %s", tc.name, data)
 		}
 		if tc.code == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
 			t.Errorf("%s: 503 without Retry-After", tc.name)
@@ -221,8 +229,8 @@ func TestBatchBodyTooLarge(t *testing.T) {
 func TestMetricsExposeEngineCounters(t *testing.T) {
 	e := newEnv(t)
 	meta, _ := readyRelease(t, e, 600, 31)
-	qs := []queryRequest{{SALo: 0, SAHi: 5}, {SALo: 0, SAHi: 5}, {SALo: 1, SAHi: 2}}
-	if resp, data := e.post(t, "/v1/query:batch", batchQueryRequest{ReleaseID: meta.ID, Queries: qs}); resp.StatusCode != http.StatusOK {
+	qs := []api.Query{{SALo: 0, SAHi: 5}, {SALo: 0, SAHi: 5}, {SALo: 1, SAHi: 2}}
+	if resp, data := e.post(t, "/v1/query:batch", api.BatchQueryRequest{ReleaseID: meta.ID, Queries: qs}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch: %d: %s", resp.StatusCode, data)
 	}
 	_, data := e.get(t, "/metrics")

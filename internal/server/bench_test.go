@@ -9,15 +9,17 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/release"
+	"repro/pkg/api"
 )
 
 // benchServer plants a 10k-EC release in a fresh server and returns the
 // test server, the release ID, and a 256-query λ=2/θ=0.01 pool.
-func benchServer(b *testing.B, opts Options) (*httptest.Server, string, []queryRequest) {
+func benchServer(b *testing.B, opts Options) (*httptest.Server, string, []api.Query) {
 	b.Helper()
 	store := release.NewStore(1)
 	srv := New(store, opts)
@@ -28,7 +30,7 @@ func benchServer(b *testing.B, opts Options) (*httptest.Server, string, []queryR
 		store.Close()
 	})
 	snap := release.SyntheticSnapshot(census.Schema().Project(3), 10000, rand.New(rand.NewSource(99)))
-	meta, err := store.Register(snap, release.Params{Kind: release.KindGeneralized, Beta: 4})
+	meta, err := store.Register(snap, release.Spec{Method: anon.MethodBUREL, Params: anon.NewBURELParams()})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -36,10 +38,10 @@ func benchServer(b *testing.B, opts Options) (*httptest.Server, string, []queryR
 	if err != nil {
 		b.Fatal(err)
 	}
-	pool := make([]queryRequest, 256)
+	pool := make([]api.Query, 256)
 	for i := range pool {
 		q := gen.Next()
-		pool[i] = queryRequest{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+		pool[i] = api.Query{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
 	}
 	return ts, meta.ID, pool
 }
@@ -84,7 +86,7 @@ func BenchmarkHTTPBatch64WarmCache10kECs(b *testing.B) {
 	ts, id, pool := benchServer(b, Options{})
 	client := ts.Client()
 	url := ts.URL + "/v1/query:batch"
-	batch := batchQueryRequest{ReleaseID: id, Queries: pool[:64]}
+	batch := api.BatchQueryRequest{ReleaseID: id, Queries: pool[:64]}
 	benchPost(b, client, url, batch) // warm the cache
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -99,7 +101,7 @@ func BenchmarkHTTPBatch64Cold10kECs(b *testing.B) {
 	ts, id, pool := benchServer(b, Options{Engine: engine.Options{CacheCapacity: -1}})
 	client := ts.Client()
 	url := ts.URL + "/v1/query:batch"
-	batch := batchQueryRequest{ReleaseID: id, Queries: pool[:64]}
+	batch := api.BatchQueryRequest{ReleaseID: id, Queries: pool[:64]}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchPost(b, client, url, batch)

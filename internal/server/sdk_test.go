@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/anon"
+	"repro/internal/census"
+	"repro/internal/query"
+	"repro/internal/release"
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// TestSDKEndToEnd drives the real server through the typed SDK: create a
+// release with typed anon params, wait for the build, and require query
+// and batch estimates to match the direct in-process estimator.
+func TestSDKEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	ctx := context.Background()
+	c := client.New(e.ts.URL)
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	csv, tab := censusCSV(t, 1500, 19, 3)
+	rel, err := c.CreateRelease(ctx, client.CreateSpec{
+		Method: anon.MethodBUREL,
+		Params: anon.NewBURELParams(anon.BURELBeta(4), anon.BURELSeed(7)),
+		QI:     3,
+		CSV:    csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.ID == "" || rel.Spec.Method != anon.MethodBUREL {
+		t.Fatalf("created release %+v", rel)
+	}
+	rel, err = c.WaitReady(ctx, rel.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumECs == 0 || rel.Rows != 1500 {
+		t.Fatalf("ready metadata %+v", rel)
+	}
+
+	// Same anonymization in-process: the SDK's estimates must agree.
+	direct, err := anon.Anonymize(ctx, tab, anon.NewBURELParams(anon.BURELBeta(4), anon.BURELSeed(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := query.NewGenerator(tab.Schema, 2, 0.05, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]api.Query, 32)
+	want := make([]float64, len(qs))
+	for i := range qs {
+		q := gen.Next()
+		qs[i] = api.Query{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+		if want[i], err = direct.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range qs[:8] {
+		res, err := c.Query(ctx, rel.ID, qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Estimate-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("query %d: SDK %v, direct %v", i, res.Estimate, want[i])
+		}
+	}
+	br, err := c.QueryBatch(ctx, rel.ID, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(br.Results), len(qs))
+	}
+	for i := range br.Results {
+		if math.Abs(br.Results[i].Estimate-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("batch query %d: SDK %v, direct %v", i, br.Results[i].Estimate, want[i])
+		}
+	}
+	// The first 8 queries were warmed by the single-query route.
+	if br.CacheHits < 8 {
+		t.Fatalf("batch reported %d cache hits, want ≥ 8", br.CacheHits)
+	}
+
+	list, err := c.ListReleases(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != rel.ID {
+		t.Fatalf("list %+v", list)
+	}
+}
+
+// TestSDKAllMethods: every registered scheme is creatable through
+// POST /v1/releases {method, params} and queryable once ready — the
+// acceptance check that the HTTP surface is method-generic.
+func TestSDKAllMethods(t *testing.T) {
+	e := newEnv(t)
+	ctx := context.Background()
+	c := client.New(e.ts.URL)
+	csv, _ := censusCSV(t, 800, 11, 3)
+
+	specs := []client.CreateSpec{
+		{Method: anon.MethodBUREL, Params: anon.NewBURELParams(anon.BURELBeta(4), anon.BURELSeed(1)), QI: 3, CSV: csv},
+		{Method: anon.MethodAnatomy, Params: anon.NewAnatomyParams(anon.AnatomySeed(1)), QI: 3, CSV: csv},
+		{Method: anon.MethodAnatomy, Params: anon.NewAnatomyParams(anon.AnatomyL(3), anon.AnatomySeed(1)), QI: 3, CSV: csv},
+		{Method: anon.MethodPerturb, Params: anon.NewPerturbParams(anon.PerturbBeta(4), anon.PerturbSeed(1)), QI: 3, CSV: csv},
+	}
+	for i, spec := range specs {
+		rel, err := c.CreateRelease(ctx, spec)
+		if err != nil {
+			t.Fatalf("create %s: %v", spec.Method, err)
+		}
+		if rel.Spec.Method != spec.Method {
+			t.Fatalf("spec %d: method %q, want %q", i, rel.Spec.Method, spec.Method)
+		}
+		if rel, err = c.WaitReady(ctx, rel.ID, 0); err != nil {
+			t.Fatalf("build %s: %v", spec.Method, err)
+		}
+		res, err := c.Query(ctx, rel.ID, api.Query{Dims: []int{0}, Lo: []float64{20}, Hi: []float64{60}, SALo: 0, SAHi: 10})
+		if err != nil {
+			t.Fatalf("query %s: %v", spec.Method, err)
+		}
+		if math.IsNaN(res.Estimate) || math.IsInf(res.Estimate, 0) {
+			t.Fatalf("%s estimate %v", spec.Method, res.Estimate)
+		}
+	}
+}
+
+// TestSDKTypedErrors: the server's error envelope surfaces through the
+// SDK as classified typed errors on every failure shape.
+func TestSDKTypedErrors(t *testing.T) {
+	e := newEnv(t)
+	ctx := context.Background()
+	c := client.New(e.ts.URL, client.WithMaxRetries(0))
+	csv, _ := censusCSV(t, 200, 5, 2)
+
+	if _, err := c.GetRelease(ctx, "r-000404"); !client.IsNotFound(err) {
+		t.Fatalf("unknown id: %v", err)
+	}
+	if _, err := c.Query(ctx, "r-000404", api.Query{}); !client.IsNotFound(err) {
+		t.Fatalf("query unknown id: %v", err)
+	}
+	if _, err := c.CreateRelease(ctx, client.CreateSpec{Method: "nope", CSV: csv}); !client.IsInvalid(err) {
+		t.Fatalf("unknown method: %v", err)
+	}
+	if _, err := c.CreateRelease(ctx, client.CreateSpec{
+		Method: anon.MethodBUREL,
+		Params: map[string]any{"beta": -1},
+		CSV:    csv,
+	}); !client.IsInvalid(err) {
+		t.Fatalf("invalid params: %v", err)
+	}
+
+	// A failing build: WaitReady classifies it as build_failed.
+	rel, err := c.CreateRelease(ctx, client.CreateSpec{
+		Method: anon.MethodAnatomy,
+		Params: anon.NewAnatomyParams(anon.AnatomyL(40)),
+		QI:     2,
+		CSV:    csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitReady(ctx, rel.ID, 0); !client.IsBuildFailed(err) {
+		t.Fatalf("failed build: %v", err)
+	}
+	// Querying it directly is a conflict, not a retryable 503.
+	if _, err := c.Query(ctx, rel.ID, api.Query{}); !client.IsBuildFailed(err) {
+		t.Fatalf("query failed release: %v", err)
+	}
+}
+
+// TestSDKRetryAfterAgainstServer: a query against a release that is
+// still building gets the server's 503 + Retry-After and the SDK retries
+// until the build completes — no caller-side polling loop.
+func TestSDKRetryAfterAgainstServer(t *testing.T) {
+	// One build worker, saturated with filler builds so the target
+	// release stays pending while the first queries arrive.
+	e := newEnvOpts(t, Options{}, 1)
+	ctx := context.Background()
+	fill := census.Generate(census.Options{N: 150000, Seed: 31}).Project(3)
+	for i := 0; i < 4; i++ {
+		spec := release.Spec{Method: anon.MethodBUREL, Params: anon.NewBURELParams(anon.BURELSeed(int64(i)))}
+		if _, err := e.store.Submit(ctx, fill, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	csv, _ := censusCSV(t, 400, 23, 2)
+	c := client.New(e.ts.URL,
+		client.WithMaxRetries(600),
+		client.WithMaxRetryWait(25*time.Millisecond)) // cap the server's 1s suggestion for test speed
+	rel, err := c.CreateRelease(ctx, client.CreateSpec{
+		Method: anon.MethodBUREL,
+		Params: anon.NewBURELParams(anon.BURELBeta(4), anon.BURELSeed(9)),
+		QI:     2,
+		CSV:    csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.GetRelease(ctx, rel.ID); got.Status == api.StatusReady {
+		t.Skip("build finished before the query could observe a pending release")
+	}
+	// No WaitReady: the retry loop itself must carry the query through
+	// the pending window.
+	res, err := c.Query(ctx, rel.ID, api.Query{SALo: 0, SAHi: 3})
+	if err != nil {
+		t.Fatalf("query through pending window: %v", err)
+	}
+	if res.Estimate < 0 {
+		t.Fatalf("estimate %v", res.Estimate)
+	}
+}

@@ -1,6 +1,6 @@
 // Package server exposes the release store over a JSON HTTP API:
 //
-//	POST /v1/releases            upload a CSV + anonymization parameters;
+//	POST /v1/releases            upload a CSV + {method, params};
 //	                             returns 202 with the new release's ID
 //	GET  /v1/releases            list releases, newest first
 //	GET  /v1/releases/{id}       release status and metadata
@@ -8,6 +8,11 @@
 //	POST /v1/query:batch         N COUNT(*) estimates against one release
 //	GET  /healthz                liveness probe
 //	GET  /metrics                Prometheus-format counters
+//
+// Wire types live in repro/pkg/api; anonymization methods are resolved
+// through the repro/anon registry, so the server serves any registered
+// scheme without a per-method switch. Every error response, on every
+// route, is the api.Envelope {"error": {code, message, details}}.
 //
 // Anonymization runs asynchronously on the store's worker pool; clients
 // poll the release until its status is "ready" and then issue queries.
@@ -18,6 +23,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,11 +31,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/engine"
 	"repro/internal/microdata"
 	"repro/internal/query"
 	"repro/internal/release"
+	"repro/pkg/api"
 )
 
 // Options configures a Server.
@@ -121,30 +129,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// createRequest is the POST /v1/releases body: the anonymization
-// parameters plus the raw CSV in cmd/datagen's format. The qi field both
-// projects the table and relaxes parsing: only the first qi QI columns
-// need be present in the CSV.
-type createRequest struct {
-	Kind      string  `json:"kind"`
-	Beta      float64 `json:"beta,omitempty"`
-	Basic     bool    `json:"basic,omitempty"`
-	L         int     `json:"l,omitempty"`
-	QI        int     `json:"qi,omitempty"`
-	Seed      int64   `json:"seed,omitempty"`
-	GridCells int     `json:"grid_cells,omitempty"`
-	CSV       string  `json:"csv"`
+// metaToAPI converts store metadata to its wire form. The typed params
+// are re-marshaled into the raw JSON object the client sees.
+func metaToAPI(m release.Meta) api.Release {
+	var raw api.RawParams
+	if m.Spec.Params != nil {
+		raw, _ = json.Marshal(m.Spec.Params)
+	}
+	return api.Release{
+		ID:      m.ID,
+		Version: m.Version,
+		Spec: api.ReleaseSpec{
+			Method:    m.Spec.Method,
+			Params:    raw,
+			QI:        m.Spec.QI,
+			GridCells: m.Spec.GridCells,
+		},
+		Status:      string(m.Status),
+		Error:       m.Error,
+		Rows:        m.Rows,
+		NumECs:      m.NumECs,
+		AIL:         m.AIL,
+		CreatedAt:   m.CreatedAt,
+		ReadyAt:     m.ReadyAt,
+		BuildMillis: m.BuildMillis,
+	}
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req createRequest
+	var req api.CreateReleaseRequest
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeErr(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
+		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("decoding request: %w", err), nil)
+		return
+	}
+	if strings.TrimSpace(req.Method) == "" {
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, fmt.Errorf("method field is empty"), map[string]any{"methods": anon.Methods()})
 		return
 	}
 	if strings.TrimSpace(req.CSV) == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("csv field is empty"))
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, fmt.Errorf("csv field is empty"), nil)
+		return
+	}
+	// Resolve the method and decode its typed params before touching the
+	// CSV: a bad method name should not cost a table parse.
+	params, err := anon.UnmarshalParams(req.Method, req.Params)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, anonCode(err), err, map[string]any{"method": req.Method})
 		return
 	}
 	schema := s.schema
@@ -153,69 +184,48 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	tab, err := microdata.ReadCSV(strings.NewReader(req.CSV), schema)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, err, nil)
 		return
 	}
 	// QI is recorded for metadata fidelity; the table is already
-	// projected, so the build-time projection is a no-op.
-	p := release.Params{
-		Kind:      release.Kind(req.Kind),
-		Beta:      req.Beta,
-		Basic:     req.Basic,
-		L:         req.L,
-		QI:        req.QI,
-		Seed:      req.Seed,
-		GridCells: req.GridCells,
-	}
-	meta, err := s.store.Submit(tab, p)
+	// projected, so the build-time projection is a no-op. The build is
+	// intentionally detached from the request context: the 202 contract
+	// means the client walks away while the build proceeds.
+	spec := release.Spec{Method: req.Method, Params: params, QI: req.QI, GridCells: req.GridCells}
+	meta, err := s.store.Submit(context.WithoutCancel(r.Context()), tab, spec)
 	if err != nil {
-		code := http.StatusBadRequest
 		if errors.Is(err, release.ErrQueueFull) || errors.Is(err, release.ErrClosed) {
-			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, api.CodeUnavailable, err, nil)
+			return
 		}
-		writeErr(w, code, err)
+		writeErr(w, http.StatusBadRequest, anonCode(err), err, nil)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, meta)
+	writeJSON(w, http.StatusAccepted, metaToAPI(meta))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"releases": s.store.List()})
+	metas := s.store.List()
+	out := api.ListReleasesResponse{Releases: make([]api.Release, len(metas))}
+	for i, m := range metas {
+		out.Releases[i] = metaToAPI(m)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	meta, ok := s.store.Get(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no release %q", id))
+		writeErr(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("no release %q", id), nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, meta)
-}
-
-// queryRequest is the POST /v1/releases/{id}/query body: range predicates
-// over QI attribute indices plus an SA value-index range, mirroring
-// query.Query.
-type queryRequest struct {
-	Dims []int     `json:"dims,omitempty"`
-	Lo   []float64 `json:"lo,omitempty"`
-	Hi   []float64 `json:"hi,omitempty"`
-	SALo int       `json:"sa_lo"`
-	SAHi int       `json:"sa_hi"`
-}
-
-// queryResponse carries the estimate. Estimates may be negative for
-// perturbed releases (the reconstruction estimator is unbiased, not
-// non-negative); clients clamp if they need counts.
-type queryResponse struct {
-	ReleaseID string  `json:"release_id"`
-	Estimate  float64 `json:"estimate"`
-	// Cached reports a result-cache hit.
-	Cached bool `json:"cached,omitempty"`
+	writeJSON(w, http.StatusOK, metaToAPI(meta))
 }
 
 // toQuery converts the wire form to the internal query type.
-func (r queryRequest) toQuery() query.Query {
+func toQuery(r api.Query) query.Query {
 	return query.Query{Dims: r.Dims, Lo: r.Lo, Hi: r.Hi, SALo: r.SALo, SAHi: r.SAHi}
 }
 
@@ -226,38 +236,42 @@ func (r queryRequest) toQuery() query.Query {
 func (s *Server) resolveSnapshot(w http.ResponseWriter, id string) (*release.Snapshot, bool) {
 	meta, ok := s.store.Get(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", release.ErrNotFound, id))
+		writeErr(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("%w: %q", release.ErrNotFound, id), nil)
 		return nil, false
 	}
 	switch meta.Status {
 	case release.StatusPending, release.StatusBuilding:
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("%w: release %s is %s", release.ErrNotReady, id, meta.Status))
+		writeErr(w, http.StatusServiceUnavailable, api.CodeNotReady,
+			fmt.Errorf("%w: release %s is %s", release.ErrNotReady, id, meta.Status),
+			map[string]any{"status": string(meta.Status)})
 		return nil, false
 	case release.StatusFailed:
-		writeErr(w, http.StatusConflict, fmt.Errorf("%w: release %s failed: %s", release.ErrNotReady, id, meta.Error))
+		writeErr(w, http.StatusConflict, api.CodeBuildFailed,
+			fmt.Errorf("%w: release %s failed: %s", release.ErrNotReady, id, meta.Error), nil)
 		return nil, false
 	}
 	snap, err := s.store.Snapshot(id)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err, nil)
 		return nil, false
 	}
 	return snap, true
 }
 
-// executeErr maps an engine.Execute failure to its status code.
+// executeErr maps an engine.Execute failure to its status and code.
 func executeErr(w http.ResponseWriter, err error) {
 	var qe *engine.QueryError
 	switch {
 	case errors.As(err, &qe):
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidQuery, err, map[string]any{"query": qe.Index})
 	case errors.Is(err, engine.ErrBatchTooLarge):
-		writeErr(w, http.StatusRequestEntityTooLarge, err)
+		writeErr(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge, err, nil)
 	case errors.Is(err, engine.ErrClosed):
-		writeErr(w, http.StatusServiceUnavailable, err)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, api.CodeUnavailable, err, nil)
 	default:
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err, nil)
 	}
 }
 
@@ -265,56 +279,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	// Decode before resolving the release, matching the batch route:
 	// structural checks on the request precede checks on the target.
-	var req queryRequest
+	var req api.Query
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxQueryBody)).Decode(&req); err != nil {
-		writeErr(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
+		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("decoding request: %w", err), nil)
 		return
 	}
 	snap, ok := s.resolveSnapshot(w, id)
 	if !ok {
 		return
 	}
-	res, err := s.engine.Execute(id, snap, []query.Query{req.toQuery()})
+	res, err := s.engine.Execute(id, snap, []query.Query{toQuery(req)})
 	if err != nil {
 		executeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{ReleaseID: id, Estimate: res[0].Estimate, Cached: res[0].Cached})
-}
-
-// batchQueryRequest is the POST /v1/query:batch body: one release ID and
-// up to MaxBatch queries answered in order.
-type batchQueryRequest struct {
-	ReleaseID string         `json:"release_id"`
-	Queries   []queryRequest `json:"queries"`
-}
-
-// batchQueryResponse carries the per-query results in request order plus
-// the batch's cache tallies.
-type batchQueryResponse struct {
-	ReleaseID string          `json:"release_id"`
-	Results   []engine.Result `json:"results"`
-	CacheHits int             `json:"cache_hits"`
+	writeJSON(w, http.StatusOK, api.QueryResponse{ReleaseID: id, Estimate: res[0].Estimate, Cached: res[0].Cached})
 }
 
 func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
-	var req batchQueryRequest
+	var req api.BatchQueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBatchBody)).Decode(&req); err != nil {
-		writeErr(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
+		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("decoding request: %w", err), nil)
 		return
 	}
 	if req.ReleaseID == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("release_id is required"))
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, fmt.Errorf("release_id is required"), nil)
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("queries is empty"))
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, fmt.Errorf("queries is empty"), nil)
 		return
 	}
 	// Reject oversized batches before resolving the release: the cap is
 	// structural, not a property of the target.
 	if limit := s.engine.MaxBatch(); len(req.Queries) > limit {
-		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("%w: %d queries > limit %d", engine.ErrBatchTooLarge, len(req.Queries), limit))
+		writeErr(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+			fmt.Errorf("%w: %d queries > limit %d", engine.ErrBatchTooLarge, len(req.Queries), limit),
+			map[string]any{"limit": limit})
 		return
 	}
 	snap, ok := s.resolveSnapshot(w, req.ReleaseID)
@@ -323,20 +324,32 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	qs := make([]query.Query, len(req.Queries))
 	for i, qr := range req.Queries {
-		qs[i] = qr.toQuery()
+		qs[i] = toQuery(qr)
 	}
 	res, err := s.engine.Execute(req.ReleaseID, snap, qs)
 	if err != nil {
 		executeErr(w, err)
 		return
 	}
-	hits := 0
+	out := api.BatchQueryResponse{ReleaseID: req.ReleaseID, Results: make([]api.QueryResult, len(res))}
 	for i := range res {
+		out.Results[i] = api.QueryResult{Estimate: res[i].Estimate, Cached: res[i].Cached}
 		if res[i].Cached {
-			hits++
+			out.CacheHits++
 		}
 	}
-	writeJSON(w, http.StatusOK, batchQueryResponse{ReleaseID: req.ReleaseID, Results: res, CacheHits: hits})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// anonCode maps an anon registry/params error to its wire code.
+func anonCode(err error) string {
+	switch {
+	case errors.Is(err, anon.ErrUnknownMethod):
+		return api.CodeUnknownMethod
+	case errors.Is(err, anon.ErrInvalidParams):
+		return api.CodeInvalidParams
+	}
+	return api.CodeInvalidRequest
 }
 
 // decodeStatus maps a body-decoding failure to its status code: 413 when
@@ -349,6 +362,15 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// decodeCode is decodeStatus's error-code twin.
+func decodeCode(err error) string {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return api.CodeTooLarge
+	}
+	return api.CodeInvalidRequest
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -357,6 +379,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeErr emits the structured error envelope every route shares.
+func writeErr(w http.ResponseWriter, status int, code string, err error, details map[string]any) {
+	writeJSON(w, status, api.Envelope{Error: api.Error{Code: code, Message: err.Error(), Details: details}})
 }

@@ -19,7 +19,13 @@ import (
 	"repro/internal/microdata"
 	"repro/internal/query"
 	"repro/internal/release"
+	"repro/pkg/api"
 )
+
+// createReq assembles a create-release request from raw params JSON.
+func createReq(method, params, csv string, qi int) api.CreateReleaseRequest {
+	return api.CreateReleaseRequest{Method: method, Params: api.RawParams(params), CSV: csv, QI: qi}
+}
 
 // testEnv is one server instance over a fresh store.
 type testEnv struct {
@@ -71,7 +77,7 @@ func (e *testEnv) get(t *testing.T, path string) (*http.Response, []byte) {
 }
 
 // pollReady polls GET /v1/releases/{id} until the release is terminal.
-func (e *testEnv) pollReady(t *testing.T, id string) release.Meta {
+func (e *testEnv) pollReady(t *testing.T, id string) api.Release {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for {
@@ -79,11 +85,11 @@ func (e *testEnv) pollReady(t *testing.T, id string) release.Meta {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET release: %d: %s", resp.StatusCode, data)
 		}
-		var m release.Meta
+		var m api.Release
 		if err := json.Unmarshal(data, &m); err != nil {
 			t.Fatal(err)
 		}
-		if m.Status == release.StatusReady || m.Status == release.StatusFailed {
+		if m.Status == api.StatusReady || m.Status == api.StatusFailed {
 			return m
 		}
 		if time.Now().After(deadline) {
@@ -111,22 +117,23 @@ func TestEndToEnd(t *testing.T) {
 	e := newEnv(t)
 	csv, tab := censusCSV(t, 2000, 21, 3)
 
-	resp, data := e.post(t, "/v1/releases", createRequest{
-		Kind: "generalized", Beta: 4, QI: 3, Seed: 7, CSV: csv,
-	})
+	resp, data := e.post(t, "/v1/releases", createReq("burel", `{"beta": 4, "seed": 7}`, csv, 3))
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("create: %d: %s", resp.StatusCode, data)
 	}
-	var meta release.Meta
+	var meta api.Release
 	if err := json.Unmarshal(data, &meta); err != nil {
 		t.Fatal(err)
 	}
-	if meta.Status != release.StatusPending && meta.Status != release.StatusBuilding && meta.Status != release.StatusReady {
+	if meta.Status != api.StatusPending && meta.Status != api.StatusBuilding && meta.Status != api.StatusReady {
 		t.Fatalf("unexpected initial status %s", meta.Status)
+	}
+	if meta.Spec.Method != "burel" {
+		t.Fatalf("spec method %q, want burel", meta.Spec.Method)
 	}
 
 	meta = e.pollReady(t, meta.ID)
-	if meta.Status != release.StatusReady {
+	if meta.Status != api.StatusReady {
 		t.Fatalf("build failed: %s", meta.Error)
 	}
 	if meta.NumECs == 0 || meta.Rows != 2000 {
@@ -149,13 +156,13 @@ func TestEndToEnd(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		q := gen.Next()
 		want := query.EstimateGeneralized(tab.Schema, pub, q)
-		resp, data := e.post(t, "/v1/releases/"+meta.ID+"/query", queryRequest{
+		resp, data := e.post(t, "/v1/releases/"+meta.ID+"/query", api.Query{
 			Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi,
 		})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("query %d: %d: %s", i, resp.StatusCode, data)
 		}
-		var qr queryResponse
+		var qr api.QueryResponse
 		if err := json.Unmarshal(data, &qr); err != nil {
 			t.Fatal(err)
 		}
@@ -194,15 +201,18 @@ func TestHealthzAndMetrics(t *testing.T) {
 func TestCreateValidation(t *testing.T) {
 	e := newEnv(t)
 	cases := []struct {
-		name string
-		body any
-		code int
+		name    string
+		body    any
+		code    int
+		errCode string
 	}{
-		{"bad json", "{", http.StatusBadRequest},
-		{"empty csv", createRequest{Kind: "generalized", Beta: 4}, http.StatusBadRequest},
-		{"bad kind", createRequest{Kind: "nope", CSV: "Age\n1\n"}, http.StatusBadRequest},
-		{"bad csv", createRequest{Kind: "generalized", Beta: 4, CSV: "not,a,census\n1,2,3\n"}, http.StatusBadRequest},
-		{"bad beta", createRequest{Kind: "generalized", Beta: -1, CSV: "x"}, http.StatusBadRequest},
+		{"bad json", "{", http.StatusBadRequest, api.CodeInvalidRequest},
+		{"no method", createReq("", "", "Age\n1\n", 0), http.StatusBadRequest, api.CodeInvalidRequest},
+		{"empty csv", createReq("burel", `{"beta": 4}`, "", 0), http.StatusBadRequest, api.CodeInvalidRequest},
+		{"unknown method", createReq("nope", "", "Age\n1\n", 0), http.StatusBadRequest, api.CodeUnknownMethod},
+		{"bad csv", createReq("burel", `{"beta": 4}`, "not,a,census\n1,2,3\n", 0), http.StatusBadRequest, api.CodeInvalidRequest},
+		{"bad beta", createReq("burel", `{"beta": -1}`, "x", 0), http.StatusBadRequest, api.CodeInvalidParams},
+		{"unknown param field", createReq("burel", `{"betta": 4}`, "x", 0), http.StatusBadRequest, api.CodeInvalidParams},
 	}
 	for _, tc := range cases {
 		var resp *http.Response
@@ -221,41 +231,46 @@ func TestCreateValidation(t *testing.T) {
 		if resp.StatusCode != tc.code {
 			t.Errorf("%s: code %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, data)
 		}
-		if !strings.Contains(string(data), "error") {
-			t.Errorf("%s: no error field: %s", tc.name, data)
+		var env api.Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Errorf("%s: body is not an error envelope: %s", tc.name, data)
+			continue
+		}
+		if env.Error.Code != tc.errCode || env.Error.Message == "" {
+			t.Errorf("%s: envelope %+v, want code %q", tc.name, env.Error, tc.errCode)
 		}
 	}
 }
 
 func TestQueryErrors(t *testing.T) {
 	e := newEnv(t)
-	if resp, _ := e.post(t, "/v1/releases/r-000404/query", queryRequest{}); resp.StatusCode != http.StatusNotFound {
+	if resp, _ := e.post(t, "/v1/releases/r-000404/query", api.Query{}); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown id: %d, want 404", resp.StatusCode)
 	}
 
 	csv, _ := censusCSV(t, 300, 2, 2)
-	_, data := e.post(t, "/v1/releases", createRequest{Kind: "anatomy", L: 40, Seed: 1, CSV: csv, QI: 2})
-	var meta release.Meta
+	_, data := e.post(t, "/v1/releases", createReq("anatomy", `{"l": 40, "seed": 1}`, csv, 2))
+	var meta api.Release
 	if err := json.Unmarshal(data, &meta); err != nil {
 		t.Fatal(err)
 	}
 	meta = e.pollReady(t, meta.ID)
-	if meta.Status != release.StatusFailed {
+	if meta.Status != api.StatusFailed {
 		t.Fatalf("expected failed build, got %s", meta.Status)
 	}
-	if resp, _ := e.post(t, "/v1/releases/"+meta.ID+"/query", queryRequest{}); resp.StatusCode != http.StatusConflict {
+	if resp, _ := e.post(t, "/v1/releases/"+meta.ID+"/query", api.Query{}); resp.StatusCode != http.StatusConflict {
 		t.Errorf("query failed release: %d, want 409", resp.StatusCode)
 	}
 
 	// A ready release rejects malformed queries with 400.
-	_, data = e.post(t, "/v1/releases", createRequest{Kind: "generalized", Beta: 4, Seed: 1, CSV: csv, QI: 2})
+	_, data = e.post(t, "/v1/releases", createReq("burel", `{"beta": 4, "seed": 1}`, csv, 2))
 	if err := json.Unmarshal(data, &meta); err != nil {
 		t.Fatal(err)
 	}
-	if meta = e.pollReady(t, meta.ID); meta.Status != release.StatusReady {
+	if meta = e.pollReady(t, meta.ID); meta.Status != api.StatusReady {
 		t.Fatalf("build failed: %s", meta.Error)
 	}
-	bad := []queryRequest{
+	bad := []api.Query{
 		{Dims: []int{5}, Lo: []float64{0}, Hi: []float64{1}},
 		{Dims: []int{0}},       // missing bounds
 		{SALo: 2, SAHi: 1},     // inverted SA
@@ -276,17 +291,15 @@ func TestConcurrentTraffic(t *testing.T) {
 
 	ids := make([]string, 3)
 	for i := range ids {
-		_, data := e.post(t, "/v1/releases", createRequest{
-			Kind: "generalized", Beta: 4, QI: 3, Seed: int64(i), CSV: csv,
-		})
-		var m release.Meta
+		_, data := e.post(t, "/v1/releases", createReq("burel", fmt.Sprintf(`{"beta": 4, "seed": %d}`, i), csv, 3))
+		var m api.Release
 		if err := json.Unmarshal(data, &m); err != nil {
 			t.Fatal(err)
 		}
 		ids[i] = m.ID
 	}
 	for _, id := range ids {
-		if m := e.pollReady(t, id); m.Status != release.StatusReady {
+		if m := e.pollReady(t, id); m.Status != api.StatusReady {
 			t.Fatalf("%s: %s", id, m.Error)
 		}
 	}
@@ -304,7 +317,7 @@ func TestConcurrentTraffic(t *testing.T) {
 			}
 			for j := 0; j < 25; j++ {
 				q := gen.Next()
-				resp, data := e.post(t, "/v1/releases/"+ids[rng.Intn(len(ids))]+"/query", queryRequest{
+				resp, data := e.post(t, "/v1/releases/"+ids[rng.Intn(len(ids))]+"/query", api.Query{
 					Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi,
 				})
 				if resp.StatusCode != http.StatusOK {

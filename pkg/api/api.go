@@ -1,0 +1,169 @@
+// Package api defines the wire types of the anonymization service's
+// HTTP API (v1), shared by internal/server and the Go client SDK
+// (repro/pkg/client):
+//
+//	POST /v1/releases            CreateReleaseRequest → Release (202)
+//	GET  /v1/releases            ListReleasesResponse
+//	GET  /v1/releases/{id}       Release
+//	POST /v1/releases/{id}/query Query → QueryResponse
+//	POST /v1/query:batch         BatchQueryRequest → BatchQueryResponse
+//
+// Every error response, on every route, is one Envelope:
+//
+//	{"error": {"code": "...", "message": "...", "details": {...}}}
+//
+// with a stable machine-readable Code<...> constant and a human-readable
+// message. 503 responses carry a Retry-After header; the client SDK
+// honors it with bounded retry.
+//
+// The package has no dependencies beyond the standard library, so
+// non-Go-SDK consumers can vendor it as the wire contract.
+package api
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Error is the structured error payload every route uses.
+type Error struct {
+	// Code is a stable, machine-readable error class (Code... constants).
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Details carries optional error-specific context (e.g. the release
+	// status behind a not_ready, the limit behind a too_large).
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// Envelope wraps Error on the wire.
+type Envelope struct {
+	Error Error `json:"error"`
+}
+
+// Error codes. The HTTP status narrows the transport semantics; the code
+// names the cause.
+const (
+	// CodeInvalidRequest is a malformed body or missing required field (400).
+	CodeInvalidRequest = "invalid_request"
+	// CodeInvalidQuery is a query failing validation against the release
+	// schema (400).
+	CodeInvalidQuery = "invalid_query"
+	// CodeUnknownMethod names an anonymization method with no registry
+	// entry (400).
+	CodeUnknownMethod = "unknown_method"
+	// CodeInvalidParams is a params object the method rejects (400).
+	CodeInvalidParams = "invalid_params"
+	// CodeNotFound is an unknown release ID (404).
+	CodeNotFound = "not_found"
+	// CodeNotReady is a release still pending or building (503 +
+	// Retry-After; poll and retry).
+	CodeNotReady = "not_ready"
+	// CodeBuildFailed is a release whose build failed — a permanent
+	// condition for that ID (409).
+	CodeBuildFailed = "build_failed"
+	// CodeTooLarge is an oversized body or batch (413).
+	CodeTooLarge = "too_large"
+	// CodeUnavailable is a saturated build queue or a server shutting
+	// down (503 + Retry-After).
+	CodeUnavailable = "unavailable"
+	// CodeInternal is an unexpected server-side failure (500).
+	CodeInternal = "internal"
+)
+
+// Release lifecycle states, mirroring the store's.
+const (
+	StatusPending  = "pending"
+	StatusBuilding = "building"
+	StatusReady    = "ready"
+	StatusFailed   = "failed"
+)
+
+// ReleaseSpec is the anonymization job description: the method name plus
+// its raw params object (typed per method; see repro/anon for the
+// canonical param schemas), and the store-level projection/index knobs.
+type ReleaseSpec struct {
+	Method    string    `json:"method"`
+	Params    RawParams `json:"params,omitempty"`
+	QI        int       `json:"qi,omitempty"`
+	GridCells int       `json:"grid_cells,omitempty"`
+}
+
+// RawParams is an uninterpreted JSON object of method params.
+type RawParams = json.RawMessage
+
+// CreateReleaseRequest is the POST /v1/releases body: a spec plus the raw
+// CSV table. The qi field both projects the table and relaxes parsing:
+// only the first qi QI columns need be present in the CSV.
+type CreateReleaseRequest struct {
+	Method    string    `json:"method"`
+	Params    RawParams `json:"params,omitempty"`
+	QI        int       `json:"qi,omitempty"`
+	GridCells int       `json:"grid_cells,omitempty"`
+	CSV       string    `json:"csv"`
+}
+
+// Release is a release's externally visible state.
+type Release struct {
+	ID      string      `json:"id"`
+	Version uint64      `json:"version"`
+	Spec    ReleaseSpec `json:"spec"`
+	Status  string      `json:"status"`
+	// Error carries the build failure message when Status is failed.
+	Error string `json:"error,omitempty"`
+	// Rows is the input table size; NumECs the published group count.
+	Rows   int `json:"rows"`
+	NumECs int `json:"num_ecs,omitempty"`
+	// AIL is the average information loss of a generalized release.
+	AIL       float64   `json:"ail,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	ReadyAt   time.Time `json:"ready_at,omitzero"`
+	// BuildMillis is the wall-clock build duration.
+	BuildMillis int64 `json:"build_ms,omitempty"`
+}
+
+// ListReleasesResponse is the GET /v1/releases body.
+type ListReleasesResponse struct {
+	Releases []Release `json:"releases"`
+}
+
+// Query is one COUNT(*) aggregation query: range predicates over QI
+// attribute indices plus an SA value-index range.
+type Query struct {
+	Dims []int     `json:"dims,omitempty"`
+	Lo   []float64 `json:"lo,omitempty"`
+	Hi   []float64 `json:"hi,omitempty"`
+	SALo int       `json:"sa_lo"`
+	SAHi int       `json:"sa_hi"`
+}
+
+// QueryResult is the outcome of one query of a batch. Estimates may be
+// negative for perturbed releases (the reconstruction estimator is
+// unbiased, not non-negative); clients clamp if they need counts.
+type QueryResult struct {
+	Estimate float64 `json:"estimate"`
+	// Cached reports a result-cache hit.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// QueryResponse is the POST /v1/releases/{id}/query body.
+type QueryResponse struct {
+	ReleaseID string  `json:"release_id"`
+	Estimate  float64 `json:"estimate"`
+	Cached    bool    `json:"cached,omitempty"`
+}
+
+// BatchQueryRequest is the POST /v1/query:batch body: one release ID and
+// up to the server's batch cap of queries, answered in order.
+type BatchQueryRequest struct {
+	ReleaseID string  `json:"release_id"`
+	Queries   []Query `json:"queries"`
+}
+
+// BatchQueryResponse carries the per-query results in request order plus
+// the batch's cache tallies.
+type BatchQueryResponse struct {
+	ReleaseID string        `json:"release_id"`
+	Results   []QueryResult `json:"results"`
+	CacheHits int           `json:"cache_hits"`
+}
