@@ -5,9 +5,14 @@
 // per-release EC index with a sharded result cache. See README.md for
 // the API with curl examples.
 //
+// With -data-dir the store is durable: ready releases persist as
+// checksummed snapshot files plus an append-only manifest, and a restart
+// against the same directory recovers every release — serving identical
+// query answers with zero re-anonymization.
+//
 // Usage:
 //
-//	serve [-addr :8080] [-workers N] [-max-body-mb M]
+//	serve [-addr :8080] [-workers N] [-max-body-mb M] [-data-dir DIR]
 //	      [-query-workers N] [-cache-capacity N] [-max-batch N]
 package main
 
@@ -34,9 +39,22 @@ func main() {
 	queryWorkers := flag.Int("query-workers", 0, "query engine pool size (0 = GOMAXPROCS)")
 	cacheCapacity := flag.Int("cache-capacity", 0, "result cache entries (0 = default, negative = disabled)")
 	maxBatch := flag.Int("max-batch", 0, "max queries per batch request (0 = default)")
+	dataDir := flag.String("data-dir", "", "persist releases to this directory and recover them on restart (empty = memory-only)")
 	flag.Parse()
 
-	store := release.NewStore(*workers)
+	var store *release.Store
+	if *dataDir != "" {
+		var err error
+		if store, err = release.Open(*dataDir, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: opening data dir: %v\n", err)
+			os.Exit(1)
+		}
+		rec := store.Recovery()
+		fmt.Fprintf(os.Stderr, "serve: data dir %s: recovered %d ready, %d failed, %d interrupted, %d corrupt (%d bytes on disk)\n",
+			*dataDir, rec.Ready, rec.Failed, rec.Interrupted, rec.Corrupt, store.DiskSize())
+	} else {
+		store = release.NewStore(*workers)
+	}
 	api := server.New(store, server.Options{
 		MaxBodyBytes: *maxBodyMB << 20,
 		Engine: engine.Options{
@@ -53,7 +71,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (%d build workers)\n", *addr, *workers)
+	durability := "memory-only"
+	if store.Durable() {
+		durability = "durable: " + store.Dir()
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (%d build workers, %s)\n", *addr, *workers, durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -68,8 +68,12 @@ func main() {
 	} else if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ready after %v: %d rows → %d ECs, AIL %.3f\n\n",
-		time.Since(start).Round(time.Millisecond), rel.Rows, rel.NumECs, rel.AIL)
+	durability := "memory-only; lost on restart"
+	if rel.Persisted {
+		durability = "persisted; survives restart"
+	}
+	fmt.Printf("ready after %v: %d rows → %d ECs, AIL %.3f (%s)\n\n",
+		time.Since(start).Round(time.Millisecond), rel.Rows, rel.NumECs, rel.AIL, durability)
 
 	// 3. Single COUNT(*) queries of the §6 workload shape.
 	gen, err := query.NewGenerator(tab.Schema, 2, 0.05, rand.New(rand.NewSource(7)))

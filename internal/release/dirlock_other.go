@@ -1,0 +1,7 @@
+//go:build !unix
+
+package release
+
+// lockDataDir is a no-op on platforms without flock semantics; the
+// single-writer discipline is then the operator's responsibility.
+func lockDataDir(string) (func(), error) { return func() {}, nil }

@@ -1,0 +1,90 @@
+package release
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/census"
+)
+
+// benchDataDir persists one synthetic 10k-EC release into a fresh data
+// directory and returns it — the cold-start corpus every persistence
+// benchmark reopens.
+func benchDataDir(b *testing.B) string {
+	b.Helper()
+	dir := b.TempDir()
+	s, err := Open(dir, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := census.Schema().Project(3)
+	snap := SyntheticSnapshot(schema, 10_000, rand.New(rand.NewSource(42)))
+	if _, err := s.Register(snap, Spec{}); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+	return dir
+}
+
+// BenchmarkEncodeSnapshot10kECs measures serializing a 10k-EC release.
+func BenchmarkEncodeSnapshot10kECs(b *testing.B) {
+	schema := census.Schema().Project(3)
+	snap := SyntheticSnapshot(schema, 10_000, rand.New(rand.NewSource(42)))
+	data, err := EncodeSnapshot(snap, Spec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeSnapshot(snap, Spec{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeSnapshot10kECs measures parsing + validation + grid
+// index rebuild from snapshot bytes.
+func BenchmarkDecodeSnapshot10kECs(b *testing.B) {
+	schema := census.Schema().Project(3)
+	snap := SyntheticSnapshot(schema, 10_000, rand.New(rand.NewSource(42)))
+	data, err := EncodeSnapshot(snap, Spec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeSnapshot(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenColdStart10kECs measures the restart story end to end:
+// manifest replay plus snapshot load plus index rebuild for a 10k-EC
+// release, i.e. the time from process start to serving queries with
+// zero re-anonymization.
+func BenchmarkOpenColdStart10kECs(b *testing.B) {
+	dir := benchDataDir(b)
+	var size int64
+	if fi, err := os.Stat(filepath.Join(dir, snapshotFileName("r-000001"))); err == nil {
+		size = fi.Size()
+	}
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec := s.Recovery(); rec.Ready != 1 {
+			b.Fatalf("recovery stats %+v", rec)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}

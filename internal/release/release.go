@@ -1,8 +1,14 @@
-// Package release is the serving layer of the repository: an in-memory,
-// versioned store of immutable published releases built asynchronously by
-// a worker pool and addressable by ID, plus a query engine that answers
-// COUNT(*) estimates against a release through a per-dimension grid index
-// over EC bounding boxes instead of the linear EC scan of internal/query.
+// Package release is the serving layer of the repository: a versioned
+// store of immutable published releases built asynchronously by a worker
+// pool and addressable by ID, plus a query engine that answers COUNT(*)
+// estimates against a release through a per-dimension grid index over EC
+// bounding boxes instead of the linear EC scan of internal/query.
+//
+// The store is memory-only by default (NewStore); Open makes it durable
+// over a data directory — ready releases persist as versioned,
+// checksummed snapshot files (EncodeSnapshot/DecodeSnapshot) tracked by
+// an append-only manifest, and reopening the directory recovers every
+// release crash-safely with zero re-anonymization.
 //
 // Anonymization itself is dispatched through the public anon registry: a
 // build names a method ("burel", "anatomy", "perturb", ...) plus its
@@ -90,6 +96,13 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
+	// An empty method is a spec that was never filled in (snapshots planted
+	// through Register carry one); keep it empty rather than failing the
+	// registry lookup — Normalize still rejects it on any build path.
+	if w.Method == "" && len(w.Params) == 0 {
+		*s = Spec{QI: w.QI, GridCells: w.GridCells}
+		return nil
+	}
 	p, err := anon.UnmarshalParams(w.Method, w.Params)
 	if err != nil {
 		return err
@@ -147,6 +160,10 @@ type Meta struct {
 	ReadyAt   time.Time `json:"ready_at,omitzero"`
 	// BuildMillis is the wall-clock build duration.
 	BuildMillis int64 `json:"build_ms,omitempty"`
+	// Persisted reports that the release's snapshot is durably on disk in
+	// the store's data directory: it will survive a restart. Always false
+	// on a memory-only store.
+	Persisted bool `json:"persisted,omitempty"`
 }
 
 // Snapshot is the immutable queryable payload of a ready release: the

@@ -1,0 +1,549 @@
+package release
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/anon"
+	"repro/internal/anatomy"
+	"repro/internal/hierarchy"
+	"repro/internal/likeness"
+	"repro/internal/microdata"
+	"repro/internal/perturb"
+)
+
+// Snapshot wire format (version 1). A snapshot file is the durable form
+// of one ready release: everything the matching estimator needs, and
+// nothing more (the pre-publication Partition of a generalized release is
+// serving-irrelevant and is not persisted).
+//
+//	offset 0   magic "RPROSNAP" (8 bytes)
+//	offset 8   format version, uint32 big-endian
+//	           three sections, each uint32 big-endian length + bytes:
+//	             1. header JSON  {kind, method, rows, ail}
+//	             2. spec JSON    (the typed Spec wire form)
+//	             3. payload JSON (schema + per-kind estimator payload)
+//	trailer    CRC-32 (IEEE) of every preceding byte, uint32 big-endian
+//
+// All JSON is produced by encoding/json over fixed struct shapes, so
+// encoding is byte-deterministic for a given snapshot: golden files pin
+// it, and any change to the emitted bytes is a conscious format version
+// bump. Decoding rejects corrupt or truncated input with an error
+// wrapping ErrCorruptSnapshot — never a panic — and rebuilds the derived
+// state (SA prefix sums, the grid index, the calibrated perturbation
+// scheme) rather than persisting it.
+const (
+	snapshotMagic = "RPROSNAP"
+	// SnapshotFormatVersion is the current wire format version.
+	SnapshotFormatVersion = 1
+	// maxSnapshotSection caps one section's declared length so a corrupt
+	// header cannot make the decoder attempt a multi-GB allocation.
+	maxSnapshotSection = 1 << 31
+)
+
+// Typed codec errors. Decode failures wrap exactly one of these, so
+// recovery can distinguish "not a snapshot / damaged" from "a snapshot
+// from a future format".
+var (
+	// ErrCorruptSnapshot reports input that is not a well-formed snapshot
+	// of the supported version: bad magic, truncation, checksum mismatch,
+	// malformed JSON, or payload inconsistent with the schema.
+	ErrCorruptSnapshot = errors.New("corrupt snapshot")
+	// ErrSnapshotVersion reports a snapshot with a valid magic but a
+	// format version this build does not understand.
+	ErrSnapshotVersion = errors.New("unsupported snapshot format version")
+)
+
+// snapHeader is section 1: the release identity-free summary.
+type snapHeader struct {
+	Kind   Kind    `json:"kind"`
+	Method string  `json:"method"`
+	Rows   int     `json:"rows"`
+	AIL    float64 `json:"ail"`
+}
+
+// snapAttr serializes one QI attribute. Categorical hierarchies travel in
+// hierarchy.Parse's textual format, which String round-trips exactly.
+type snapAttr struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"` // "numeric" | "categorical"
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	Hierarchy string  `json:"hierarchy,omitempty"`
+}
+
+type snapSchema struct {
+	QI       []snapAttr `json:"qi"`
+	SAName   string     `json:"sa_name"`
+	SAValues []string   `json:"sa_values"`
+}
+
+// snapEC is one published equivalence class; SAPrefix is derived state
+// and rebuilt on decode.
+type snapEC struct {
+	Lo       []float64 `json:"lo"`
+	Hi       []float64 `json:"hi"`
+	SACounts []int     `json:"sa_counts"`
+	Size     int       `json:"size"`
+}
+
+// snapTuples is a column-major table body; the schema travels separately.
+type snapTuples struct {
+	QI [][]float64 `json:"qi"`
+	SA []int       `json:"sa"`
+}
+
+// snapModel is the β-likeness model a perturbation scheme is calibrated
+// from. The scheme itself (γ, α, PM, PM⁻¹) is derived state: rebuilt by
+// perturb.NewSchemeFromModel on decode, deterministically.
+type snapModel struct {
+	Beta          float64   `json:"beta"`
+	Variant       string    `json:"variant"` // "enhanced" | "basic"
+	BoundNegative bool      `json:"bound_negative,omitempty"`
+	P             []float64 `json:"p"`
+}
+
+// snapPayload is section 3. Exactly one payload group is populated,
+// matching the header kind: ECs (generalized), Tuples+P (anatomy
+// baseline), Tuples+Groups+GroupSACounts+L (anatomy ℓ-diverse), or
+// Tuples+Model (perturbed).
+type snapPayload struct {
+	Schema snapSchema `json:"schema"`
+
+	ECs []snapEC `json:"ecs,omitempty"`
+
+	Tuples *snapTuples `json:"tuples,omitempty"`
+
+	P []float64 `json:"p,omitempty"`
+
+	Groups        [][]int `json:"groups,omitempty"`
+	GroupSACounts [][]int `json:"group_sa_counts,omitempty"`
+	L             int     `json:"l,omitempty"`
+
+	Model *snapModel `json:"model,omitempty"`
+}
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
+}
+
+// EncodeSnapshot serializes a ready release's snapshot and the spec it
+// was built from into the version-1 wire format. The spec rides along so
+// a decoded snapshot can be re-registered with full metadata and so the
+// grid index is rebuilt at the resolution the release was served at.
+func EncodeSnapshot(snap *Snapshot, spec Spec) ([]byte, error) {
+	if snap == nil || snap.Schema == nil || snap.Release == nil {
+		return nil, fmt.Errorf("release: encode of nil snapshot")
+	}
+	header, err := json.Marshal(snapHeader{
+		Kind:   snap.Kind,
+		Method: snap.Release.Method,
+		Rows:   snap.Release.Rows,
+		AIL:    snap.Release.AIL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := encodePayload(snap)
+	if err != nil {
+		return nil, err
+	}
+	payloadJSON, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(snapshotMagic) + 4 + 3*4 + len(header) + len(specJSON) + len(payloadJSON) + 4
+	out := make([]byte, 0, n)
+	out = append(out, snapshotMagic...)
+	out = binary.BigEndian.AppendUint32(out, SnapshotFormatVersion)
+	for i, section := range [][]byte{header, specJSON, payloadJSON} {
+		// Refuse to emit what DecodeSnapshot would refuse to read: a
+		// section past the cap must fail the build loudly, not persist a
+		// file that every restart will demote to corrupt.
+		if int64(len(section)) >= maxSnapshotSection {
+			return nil, fmt.Errorf("release: snapshot section %d is %d bytes, beyond the format's %d limit", i+1, len(section), int64(maxSnapshotSection))
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(section)))
+		out = append(out, section...)
+	}
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out, nil
+}
+
+// encodePayload projects the snapshot onto its wire payload.
+func encodePayload(snap *Snapshot) (*snapPayload, error) {
+	p := &snapPayload{Schema: encodeSchema(snap.Schema)}
+	rel := snap.Release
+	switch snap.Kind {
+	case KindGeneralized:
+		if rel.ECs == nil {
+			return nil, fmt.Errorf("release: generalized snapshot without ECs")
+		}
+		p.ECs = make([]snapEC, len(rel.ECs))
+		for i := range rel.ECs {
+			ec := &rel.ECs[i]
+			p.ECs[i] = snapEC{Lo: ec.Box.Lo, Hi: ec.Box.Hi, SACounts: ec.SACounts, Size: ec.Size}
+		}
+	case KindAnatomy:
+		switch {
+		case rel.LDiverse != nil:
+			pub := rel.LDiverse
+			p.Tuples = encodeTuples(pub.Table)
+			p.Groups = make([][]int, len(pub.Groups))
+			for i := range pub.Groups {
+				p.Groups[i] = pub.Groups[i].Rows
+			}
+			p.GroupSACounts = pub.SACounts
+			p.L = pub.L
+		case rel.Baseline != nil:
+			p.Tuples = encodeTuples(rel.Baseline.Table)
+			p.P = rel.Baseline.P
+		default:
+			return nil, fmt.Errorf("release: anatomy snapshot without publication")
+		}
+	case KindPerturbed:
+		if rel.Perturbed == nil || rel.Scheme == nil || rel.Scheme.Model == nil {
+			return nil, fmt.Errorf("release: perturbed snapshot without table or scheme")
+		}
+		p.Tuples = encodeTuples(rel.Perturbed)
+		m := rel.Scheme.Model
+		p.Model = &snapModel{
+			Beta:          m.Beta,
+			Variant:       m.Variant.String(),
+			BoundNegative: m.BoundNegative,
+			P:             m.P,
+		}
+	default:
+		return nil, fmt.Errorf("release: unknown kind %q", snap.Kind)
+	}
+	return p, nil
+}
+
+func encodeSchema(s *microdata.Schema) snapSchema {
+	out := snapSchema{
+		QI:       make([]snapAttr, len(s.QI)),
+		SAName:   s.SA.Name,
+		SAValues: s.SA.Values,
+	}
+	for i, a := range s.QI {
+		sa := snapAttr{Name: a.Name, Kind: a.Kind.String()}
+		if a.Kind == microdata.Numeric {
+			sa.Min, sa.Max = a.Min, a.Max
+		} else {
+			sa.Hierarchy = a.Hierarchy.String()
+		}
+		out.QI[i] = sa
+	}
+	return out
+}
+
+func encodeTuples(t *microdata.Table) *snapTuples {
+	out := &snapTuples{QI: make([][]float64, len(t.Tuples)), SA: make([]int, len(t.Tuples))}
+	for i, tp := range t.Tuples {
+		out.QI[i] = tp.QI
+		out.SA[i] = tp.SA
+	}
+	return out
+}
+
+// DecodeSnapshot parses and validates a version-1 snapshot, returning
+// the queryable snapshot (grid index, SA prefix sums, and perturbation
+// scheme rebuilt) plus the spec it was encoded with. Malformed input of
+// any shape yields an error wrapping ErrCorruptSnapshot (or
+// ErrSnapshotVersion for a future format); it never panics.
+func DecodeSnapshot(data []byte) (*Snapshot, Spec, error) {
+	// Fixed minimum: magic (8) + version (4) + CRC trailer (4). Anything
+	// shorter cannot even be sliced safely, let alone checked.
+	if len(data) < len(snapshotMagic)+4+4 {
+		return nil, Spec{}, corrupt("%d bytes is shorter than the fixed header and checksum trailer", len(data))
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, Spec{}, corrupt("bad magic %q", data[:len(snapshotMagic)])
+	}
+	if v := binary.BigEndian.Uint32(data[len(snapshotMagic):]); v != SnapshotFormatVersion {
+		return nil, Spec{}, fmt.Errorf("%w: %d (this build reads %d)", ErrSnapshotVersion, v, SnapshotFormatVersion)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(trailer); got != want {
+		return nil, Spec{}, corrupt("checksum mismatch: computed %08x, recorded %08x", got, want)
+	}
+
+	rest := body[len(snapshotMagic)+4:]
+	sections := make([][]byte, 3)
+	for i := range sections {
+		if len(rest) < 4 {
+			return nil, Spec{}, corrupt("truncated before section %d length", i+1)
+		}
+		n := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		// Compare in int64: a hostile length near 2^31 must not overflow
+		// int on 32-bit platforms and sneak past the bounds check.
+		if n >= maxSnapshotSection || int64(n) > int64(len(rest)) {
+			return nil, Spec{}, corrupt("section %d claims %d bytes, %d remain", i+1, n, len(rest))
+		}
+		sections[i], rest = rest[:n], rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, Spec{}, corrupt("%d trailing bytes after the last section", len(rest))
+	}
+
+	var header snapHeader
+	if err := json.Unmarshal(sections[0], &header); err != nil {
+		return nil, Spec{}, corrupt("header: %v", err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(sections[1], &spec); err != nil {
+		// A spec whose params no longer resolve (its method was
+		// unregistered or renamed since encoding) must not fail the
+		// snapshot: the payload carries everything the kind-dispatched
+		// estimator needs, so keep the store-level knobs and drop the
+		// params — the same tolerance recovery applies to manifest
+		// metadata. Structurally broken JSON is still corrupt.
+		var w struct {
+			Method    string `json:"method"`
+			QI        int    `json:"qi"`
+			GridCells int    `json:"grid_cells"`
+		}
+		if jerr := json.Unmarshal(sections[1], &w); jerr != nil {
+			return nil, Spec{}, corrupt("spec: %v", err)
+		}
+		spec = Spec{Method: w.Method, QI: w.QI, GridCells: w.GridCells}
+	}
+	var payload snapPayload
+	if err := json.Unmarshal(sections[2], &payload); err != nil {
+		return nil, Spec{}, corrupt("payload: %v", err)
+	}
+
+	schema, err := decodeSchema(payload.Schema)
+	if err != nil {
+		return nil, Spec{}, err
+	}
+	if header.Rows < 0 || !isFinite(header.AIL) {
+		return nil, Spec{}, corrupt("header rows=%d ail=%v", header.Rows, header.AIL)
+	}
+
+	rel := &anon.Release{Method: header.Method, Schema: schema, Rows: header.Rows, AIL: header.AIL}
+	snap := &Snapshot{Kind: header.Kind, Schema: schema, Release: rel}
+	switch header.Kind {
+	case KindGeneralized:
+		ecs, err := decodeECs(payload.ECs, schema)
+		if err != nil {
+			return nil, Spec{}, err
+		}
+		rel.ECs = ecs
+		snap.Index = BuildIndex(schema, ecs, spec.GridCells)
+	case KindAnatomy:
+		if err := decodeAnatomy(&payload, schema, rel); err != nil {
+			return nil, Spec{}, err
+		}
+	case KindPerturbed:
+		if err := decodePerturbed(&payload, schema, rel); err != nil {
+			return nil, Spec{}, err
+		}
+	default:
+		return nil, Spec{}, corrupt("unknown kind %q", header.Kind)
+	}
+	return snap, spec, nil
+}
+
+func decodeSchema(s snapSchema) (*microdata.Schema, error) {
+	schema := &microdata.Schema{
+		QI: make([]microdata.Attribute, len(s.QI)),
+		SA: microdata.SensitiveAttr{Name: s.SAName, Values: s.SAValues},
+	}
+	for i, a := range s.QI {
+		switch a.Kind {
+		case "numeric":
+			schema.QI[i] = microdata.NumericAttr(a.Name, a.Min, a.Max)
+		case "categorical":
+			h, err := hierarchy.Parse(a.Hierarchy)
+			if err != nil {
+				return nil, corrupt("attribute %q hierarchy: %v", a.Name, err)
+			}
+			schema.QI[i] = microdata.CategoricalAttr(a.Name, h)
+		default:
+			return nil, corrupt("attribute %q has unknown kind %q", a.Name, a.Kind)
+		}
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, corrupt("schema: %v", err)
+	}
+	return schema, nil
+}
+
+func decodeECs(in []snapEC, schema *microdata.Schema) ([]microdata.PublishedEC, error) {
+	d, m := len(schema.QI), len(schema.SA.Values)
+	out := make([]microdata.PublishedEC, len(in))
+	for i, e := range in {
+		if len(e.Lo) != d || len(e.Hi) != d {
+			return nil, corrupt("EC %d box spans %d/%d dims, schema has %d", i, len(e.Lo), len(e.Hi), d)
+		}
+		for j := range e.Lo {
+			if !isFinite(e.Lo[j]) || !isFinite(e.Hi[j]) || e.Lo[j] > e.Hi[j] {
+				return nil, corrupt("EC %d dim %d has bad interval [%v,%v]", i, j, e.Lo[j], e.Hi[j])
+			}
+		}
+		if len(e.SACounts) != m {
+			return nil, corrupt("EC %d has %d SA counts, domain %d", i, len(e.SACounts), m)
+		}
+		sum := 0
+		for v, c := range e.SACounts {
+			if c < 0 {
+				return nil, corrupt("EC %d SA count %d is negative", i, v)
+			}
+			sum += c
+		}
+		if sum != e.Size || e.Size <= 0 {
+			return nil, corrupt("EC %d size %d disagrees with SA counts summing to %d", i, e.Size, sum)
+		}
+		ec := microdata.PublishedEC{Box: microdata.Box{Lo: e.Lo, Hi: e.Hi}, SACounts: e.SACounts, Size: e.Size}
+		ec.BuildSAPrefix()
+		out[i] = ec
+	}
+	return out, nil
+}
+
+// decodeTable rebuilds a table through Table.Append, which re-validates
+// every tuple against the schema: a corrupt body fails here instead of
+// panicking an estimator later.
+func decodeTable(in *snapTuples, schema *microdata.Schema) (*microdata.Table, error) {
+	if in == nil {
+		return nil, corrupt("payload is missing its tuples")
+	}
+	if len(in.QI) != len(in.SA) {
+		return nil, corrupt("tuple columns disagree: %d QI rows, %d SA rows", len(in.QI), len(in.SA))
+	}
+	t := microdata.NewTable(schema)
+	t.Tuples = make([]microdata.Tuple, 0, len(in.QI))
+	for i := range in.QI {
+		if err := t.Append(microdata.Tuple{QI: in.QI[i], SA: in.SA[i]}); err != nil {
+			return nil, corrupt("tuple %d: %v", i, err)
+		}
+	}
+	return t, nil
+}
+
+func decodeAnatomy(p *snapPayload, schema *microdata.Schema, rel *anon.Release) error {
+	t, err := decodeTable(p.Tuples, schema)
+	if err != nil {
+		return err
+	}
+	m := len(schema.SA.Values)
+	if p.Groups == nil {
+		// Baseline: the table plus the overall SA distribution.
+		if len(p.P) != m {
+			return corrupt("baseline P has %d entries, domain %d", len(p.P), m)
+		}
+		for i, v := range p.P {
+			if !isFinite(v) || v < 0 {
+				return corrupt("baseline P[%d] = %v", i, v)
+			}
+		}
+		rel.Baseline = &anatomy.Publication{Table: t, P: p.P}
+		return nil
+	}
+	if p.L < 2 {
+		return corrupt("ℓ-diverse payload with ℓ=%d", p.L)
+	}
+	if len(p.Groups) == 0 || len(p.Groups) != len(p.GroupSACounts) {
+		return corrupt("%d groups but %d SA multisets", len(p.Groups), len(p.GroupSACounts))
+	}
+	pub := &anatomy.LDiversePublication{Table: t, L: p.L, SACounts: p.GroupSACounts}
+	pub.Groups = make([]microdata.EC, len(p.Groups))
+	seen := make([]bool, t.Len())
+	for gi, rows := range p.Groups {
+		if len(rows) == 0 {
+			return corrupt("group %d is empty", gi)
+		}
+		for _, r := range rows {
+			if r < 0 || r >= t.Len() {
+				return corrupt("group %d references row %d outside table of %d", gi, r, t.Len())
+			}
+			if seen[r] {
+				return corrupt("row %d appears in more than one group", r)
+			}
+			seen[r] = true
+		}
+		if len(p.GroupSACounts[gi]) != m {
+			return corrupt("group %d has %d SA counts, domain %d", gi, len(p.GroupSACounts[gi]), m)
+		}
+		sum := 0
+		for v, c := range p.GroupSACounts[gi] {
+			if c < 0 {
+				return corrupt("group %d SA count %d is negative", gi, v)
+			}
+			sum += c
+		}
+		// The published multiset must describe exactly the group's rows;
+		// a mismatch would silently skew every estimate the group touches.
+		if sum != len(rows) {
+			return corrupt("group %d SA counts sum to %d for %d rows", gi, sum, len(rows))
+		}
+		pub.Groups[gi] = microdata.EC{Rows: rows}
+	}
+	// Together with the no-duplicates check above this makes the groups a
+	// partition of the table; a grouping that silently omits rows would
+	// undercount every query instead of failing.
+	for r, ok := range seen {
+		if !ok {
+			return corrupt("row %d belongs to no group", r)
+		}
+	}
+	rel.LDiverse = pub
+	return nil
+}
+
+func decodePerturbed(p *snapPayload, schema *microdata.Schema, rel *anon.Release) error {
+	t, err := decodeTable(p.Tuples, schema)
+	if err != nil {
+		return err
+	}
+	if p.Model == nil {
+		return corrupt("perturbed payload without model")
+	}
+	m := len(schema.SA.Values)
+	if len(p.Model.P) != m {
+		return corrupt("model P has %d entries, domain %d", len(p.Model.P), m)
+	}
+	for i, v := range p.Model.P {
+		if !isFinite(v) || v < 0 || v > 1 {
+			return corrupt("model P[%d] = %v", i, v)
+		}
+	}
+	if !(p.Model.Beta > 0) || !isFinite(p.Model.Beta) {
+		return corrupt("model β = %v", p.Model.Beta)
+	}
+	var variant likeness.Variant
+	switch p.Model.Variant {
+	case "enhanced":
+		variant = likeness.Enhanced
+	case "basic":
+		variant = likeness.Basic
+	default:
+		return corrupt("unknown model variant %q", p.Model.Variant)
+	}
+	model := &likeness.Model{
+		Beta:          p.Model.Beta,
+		Variant:       variant,
+		BoundNegative: p.Model.BoundNegative,
+		P:             p.Model.P,
+	}
+	scheme, err := perturb.NewSchemeFromModel(model, m)
+	if err != nil {
+		return corrupt("rebuilding perturbation scheme: %v", err)
+	}
+	rel.Perturbed = t
+	rel.Scheme = scheme
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
@@ -25,17 +26,35 @@ var (
 	ErrClosed = errors.New("store is closed")
 )
 
-// Store is an in-memory, versioned catalog of releases. Submissions are
-// queued to a fixed pool of worker goroutines; once a build completes the
-// release's snapshot is immutable and served lock-free to any number of
-// concurrent readers. Every accepted submission gets a monotonically
-// increasing version and an ID derived from it, so releases are totally
-// ordered and addressable.
+// Store is a versioned catalog of releases. Submissions are queued to a
+// fixed pool of worker goroutines; once a build completes the release's
+// snapshot is immutable and served lock-free to any number of concurrent
+// readers. Every accepted submission gets a monotonically increasing
+// version and an ID derived from it, so releases are totally ordered and
+// addressable. A store from NewStore is memory-only; one from Open
+// persists every release to a data directory and recovers them on the
+// next Open.
 type Store struct {
 	mu      sync.RWMutex
 	byID    map[string]*record
 	version uint64
 	closed  bool
+
+	// dir and man are set only on durable stores (Open): every accepted
+	// submission is logged to the manifest before Submit returns, builds
+	// write their snapshot file before flipping to ready, and recovery
+	// replays the manifest into the catalog. recovered is written once
+	// during Open and read-only after.
+	dir       string
+	man       *manifest
+	unlock    func() // releases the data dir lock; nil on memory stores
+	recovered RecoveryStats
+	// ioWG tracks durable I/O started outside the worker pool (Submit's
+	// manifest logging, Register's snapshot persist). Entries are added
+	// only under mu with closed observed false, and Close waits for it
+	// before retiring the manifest and the dir lock — so no snapshot
+	// write, removal, or manifest append can land after Close returns.
+	ioWG sync.WaitGroup
 
 	// root is canceled by Close; every build context descends from it,
 	// so shutdown aborts in-flight anonymization instead of waiting for
@@ -86,6 +105,10 @@ func NewStore(workers int) *Store {
 // Close stops accepting submissions, cancels in-flight and queued builds,
 // and waits for the workers to drain. Canceled builds end failed with the
 // context error; queries against ready releases remain valid after Close.
+// On a durable store, Close additionally waits for every in-flight
+// snapshot write to be flushed and fsyncs the manifest before returning:
+// when Close returns, the data directory reflects every state transition
+// the store ever reported.
 func (s *Store) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -96,7 +119,21 @@ func (s *Store) Close() {
 	s.mu.Unlock()
 	s.cancel()
 	close(s.jobs)
+	// Workers finish their terminal transitions — including snapshot file
+	// fsync+rename and the matching manifest append — before exiting, so
+	// the manifest can only be retired after the pool has drained; ioWG
+	// extends the same guarantee to Submit/Register I/O that runs off the
+	// pool.
 	s.wg.Wait()
+	s.ioWG.Wait()
+	if s.man != nil {
+		if err := s.man.close(); err != nil {
+			log.Printf("release: closing manifest: %v", err)
+		}
+	}
+	if s.unlock != nil {
+		s.unlock()
+	}
 }
 
 // Submit validates the job, registers a pending release, and queues its
@@ -119,6 +156,12 @@ func (s *Store) Submit(ctx context.Context, t *microdata.Table, spec Spec) (Meta
 		s.mu.Unlock()
 		return Meta{}, fmt.Errorf("release: %w", ErrClosed)
 	}
+	// Cheap saturation check before any durable I/O; the send below is
+	// the authoritative one.
+	if len(s.jobs) == cap(s.jobs) {
+		s.mu.Unlock()
+		return Meta{}, fmt.Errorf("%w (%d queued)", ErrQueueFull, cap(s.jobs))
+	}
 	s.version++
 	// The build context dies with the submitter's ctx OR the store: the
 	// AfterFunc relays root cancellation into the per-build context.
@@ -140,9 +183,42 @@ func (s *Store) Submit(ctx context.Context, t *microdata.Table, spec Spec) (Meta
 			bcancel()
 		},
 	}
-	// Enqueue while still holding the mutex. Close sets the closed flag
-	// under this lock before it closes the channel, and the closed check
-	// above ran under the same lock, so no send can follow the close; the
+	// Registered under mu with closed false: Close will wait for this
+	// submission's manifest I/O (including a rejection record) before
+	// retiring the manifest, so neither can hit a closed log.
+	if s.man != nil {
+		s.ioWG.Add(1)
+		defer s.ioWG.Done()
+	}
+	s.mu.Unlock()
+
+	// Log the acceptance before the release becomes visible, off-lock: a
+	// crash after Submit returns must leave a manifest record so recovery
+	// re-fails the interrupted build instead of forgetting the promised
+	// ID, but the fsync must not stall readers holding the catalog lock.
+	// Nothing is installed yet, so a failed append only burns the version.
+	if s.man != nil {
+		if err := s.appendSubmitted(rec.meta); err != nil {
+			rec.done()
+			// Unreachable while ioWG holds the manifest open, but a
+			// closed-manifest race maps to the store's own sentinel.
+			if errors.Is(err, errManifestClosed) {
+				return Meta{}, fmt.Errorf("release: %w", ErrClosed)
+			}
+			return Meta{}, fmt.Errorf("release: recording submission: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		rec.done()
+		s.rejectLogged(rec.meta, ErrClosed.Error())
+		return Meta{}, fmt.Errorf("release: %w", ErrClosed)
+	}
+	// Enqueue while holding the mutex. Close sets the closed flag under
+	// this lock before it closes the channel, and the closed check above
+	// ran under the same lock, so no send can follow the close; the
 	// default arm keeps the send non-blocking. A full queue rejects the
 	// submission — building inline would both escape the pool's
 	// concurrency bound and turn the async contract blocking.
@@ -151,12 +227,26 @@ func (s *Store) Submit(ctx context.Context, t *microdata.Table, spec Spec) (Meta
 	default:
 		s.mu.Unlock()
 		rec.done()
+		s.rejectLogged(rec.meta, ErrQueueFull.Error())
 		return Meta{}, fmt.Errorf("%w (%d queued)", ErrQueueFull, cap(s.jobs))
 	}
 	s.byID[rec.meta.ID] = rec
 	meta := rec.meta
 	s.mu.Unlock()
 	return meta, nil
+}
+
+// rejectLogged closes out a submission whose manifest record was already
+// written but which was refused before activation (store closed or queue
+// full in the re-check window): a best-effort rejected record makes
+// replay drop the ID entirely — Submit returned an error, so the release
+// must not materialize after a restart either.
+func (s *Store) rejectLogged(meta Meta, reason string) {
+	if s.man == nil {
+		return
+	}
+	meta.Error = reason
+	s.appendTerminal(eventRejected, meta)
 }
 
 // Register installs an externally built snapshot as an immediately ready
@@ -189,8 +279,8 @@ func (s *Store) Register(snap *Snapshot, spec Spec) (Meta, error) {
 		return Meta{}, fmt.Errorf("release: unknown kind %q", snap.Kind)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return Meta{}, fmt.Errorf("release: %w", ErrClosed)
 	}
 	s.version++
@@ -209,8 +299,35 @@ func (s *Store) Register(snap *Snapshot, spec Spec) (Meta, error) {
 		},
 		snap: snap,
 	}
+	if s.man == nil {
+		s.byID[rec.meta.ID] = rec
+		meta := rec.meta
+		s.mu.Unlock()
+		return meta, nil
+	}
+	// Durable store: the registered snapshot is persisted like a built one
+	// (the pre-built-corpus shipping path), off-lock so the encode and
+	// fsync do not stall readers. The ID is already reserved; a failure
+	// burns the version number but installs nothing. The ioWG entry
+	// (added under mu with closed false) makes Close wait for this write,
+	// so it cannot land in a directory another process has taken over.
+	s.ioWG.Add(1)
+	defer s.ioWG.Done()
+	s.mu.Unlock()
+	if err := s.finishDurable(&rec.meta, snap); err != nil {
+		return Meta{}, fmt.Errorf("release: %w", err)
+	}
+	// Deliberately no closed re-check here, unlike Submit: if Close raced
+	// in, the ready record is already durable (finishDurable completes
+	// before Close can retire the manifest, thanks to ioWG), so the next
+	// Open will serve this release — installing it and returning success
+	// is the truthful outcome, and queries against ready releases stay
+	// valid after Close.
+	s.mu.Lock()
 	s.byID[rec.meta.ID] = rec
-	return rec.meta, nil
+	meta := rec.meta
+	s.mu.Unlock()
+	return meta, nil
 }
 
 func (s *Store) worker() {
@@ -237,19 +354,39 @@ func (s *Store) runBuild(rec *record) {
 	snap, err := build(rec.ctx, t, spec)
 	elapsed := time.Since(start)
 
+	// The finished metadata is staged off-lock: on a durable store the
+	// snapshot file and its manifest record must be on disk before the
+	// status flip makes the release queryable, and that I/O must not
+	// stall readers holding the catalog lock. rec.meta is safe to copy
+	// here — only this worker mutates it while the status is building.
 	s.mu.Lock()
-	rec.meta.BuildMillis = elapsed.Milliseconds()
-	rec.table = nil // the snapshot owns what it needs; free the rest
-	if err != nil {
-		rec.meta.Status = StatusFailed
-		rec.meta.Error = err.Error()
-	} else {
-		rec.snap = snap
-		rec.meta.Status = StatusReady
-		rec.meta.ReadyAt = time.Now().UTC()
-		rec.meta.NumECs = snap.NumECs()
-		rec.meta.AIL = snap.AIL()
+	meta := rec.meta
+	s.mu.Unlock()
+	meta.BuildMillis = elapsed.Milliseconds()
+	if err == nil {
+		meta.Status = StatusReady
+		meta.ReadyAt = time.Now().UTC()
+		meta.NumECs = snap.NumECs()
+		meta.AIL = snap.AIL()
+		if s.man != nil {
+			err = s.finishDurable(&meta, snap)
+		}
 	}
+	if err != nil {
+		meta.Status = StatusFailed
+		meta.Persisted = false
+		meta.ReadyAt = time.Time{}
+		meta.Error = err.Error()
+		snap = nil
+		if s.man != nil {
+			s.appendTerminal(eventFailed, meta)
+		}
+	}
+
+	s.mu.Lock()
+	rec.meta = meta
+	rec.snap = snap
+	rec.table = nil // the snapshot owns what it needs; free the rest
 	s.mu.Unlock()
 }
 

@@ -62,11 +62,25 @@ type releaseCounter func() map[string]int
 // engineStats supplies the batch engine's cache and batch counters.
 type engineStats func() engine.Stats
 
-// handler renders the registry. releases and engStats may be nil. The
-// exposition is rendered into a buffer first so no lock is held during
-// the network write (a stalled scraper must not serialize request
+// PersistStats is the metrics-facing view of the store's durability
+// state, kept free of release-package types like releaseCounter is.
+type PersistStats struct {
+	// Durable reports whether the store persists to a data directory.
+	Durable bool
+	// DiskBytes is the total size of the data directory.
+	DiskBytes int64
+	// Recovered releases by outcome, from the last Open.
+	RecoveredReady, RecoveredInterrupted, RecoveredFailed, RecoveredCorrupt int
+}
+
+// persistStats supplies the store's durability gauges.
+type persistStats func() PersistStats
+
+// handler renders the registry. releases, engStats, and persist may be
+// nil. The exposition is rendered into a buffer first so no lock is held
+// during the network write (a stalled scraper must not serialize request
 // completion).
-func (m *Metrics) handler(releases releaseCounter, engStats engineStats) http.HandlerFunc {
+func (m *Metrics) handler(releases releaseCounter, engStats engineStats, persist persistStats) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		m.mu.Lock()
@@ -133,6 +147,27 @@ func (m *Metrics) handler(releases releaseCounter, engStats engineStats) http.Ha
 			fmt.Fprintln(&buf, "# HELP repro_engine_cache_entries Current result-cache entry count.")
 			fmt.Fprintln(&buf, "# TYPE repro_engine_cache_entries gauge")
 			fmt.Fprintf(&buf, "repro_engine_cache_entries %d\n", st.CacheEntries)
+		}
+		if persist != nil {
+			ps := persist()
+			durable := 0
+			if ps.Durable {
+				durable = 1
+			}
+			fmt.Fprintln(&buf, "# HELP repro_store_durable Whether the release store persists to a data directory.")
+			fmt.Fprintln(&buf, "# TYPE repro_store_durable gauge")
+			fmt.Fprintf(&buf, "repro_store_durable %d\n", durable)
+			if ps.Durable {
+				fmt.Fprintln(&buf, "# HELP repro_store_disk_bytes Total bytes in the store's data directory (snapshots plus manifest).")
+				fmt.Fprintln(&buf, "# TYPE repro_store_disk_bytes gauge")
+				fmt.Fprintf(&buf, "repro_store_disk_bytes %d\n", ps.DiskBytes)
+				fmt.Fprintln(&buf, "# HELP repro_store_recovered_releases Releases reconstructed by the last startup recovery, by outcome.")
+				fmt.Fprintln(&buf, "# TYPE repro_store_recovered_releases gauge")
+				fmt.Fprintf(&buf, "repro_store_recovered_releases{outcome=\"ready\"} %d\n", ps.RecoveredReady)
+				fmt.Fprintf(&buf, "repro_store_recovered_releases{outcome=\"interrupted\"} %d\n", ps.RecoveredInterrupted)
+				fmt.Fprintf(&buf, "repro_store_recovered_releases{outcome=\"failed\"} %d\n", ps.RecoveredFailed)
+				fmt.Fprintf(&buf, "repro_store_recovered_releases{outcome=\"corrupt\"} %d\n", ps.RecoveredCorrupt)
+			}
 		}
 		fmt.Fprintln(&buf, "# HELP repro_uptime_seconds Seconds since the server started.")
 		fmt.Fprintln(&buf, "# TYPE repro_uptime_seconds gauge")

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/anon"
+	"repro/internal/query"
+	"repro/internal/release"
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// restartEnv is a server whose store lives on a real data directory and
+// can be stopped and reincarnated against the same files.
+type restartEnv struct {
+	dir   string
+	store *release.Store
+	srv   *Server
+	ts    *httptest.Server
+}
+
+func startDurable(t *testing.T, dir string) *restartEnv {
+	t.Helper()
+	store, err := release.Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{})
+	return &restartEnv{dir: dir, store: store, srv: srv, ts: httptest.NewServer(srv)}
+}
+
+// stop tears the whole stack down gracefully, like a deploy would.
+func (e *restartEnv) stop() {
+	e.ts.Close()
+	e.srv.Close()
+	e.store.Close()
+}
+
+// TestRestartServesIdenticalAnswers is the acceptance-criteria test:
+// build releases for all three methods over HTTP through the SDK, stop
+// the server, reopen the store on the same directory, and require the
+// reincarnated server to serve the same releases with byte-equal
+// metadata where it matters and numerically identical query answers —
+// with zero re-anonymization, proven by the recovered build metadata and
+// the recovery counters on /metrics.
+func TestRestartServesIdenticalAnswers(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	e := startDurable(t, dir)
+	c := client.New(e.ts.URL)
+
+	csv, tab := censusCSV(t, 800, 17, 3)
+	specs := []client.CreateSpec{
+		{Method: anon.MethodBUREL, Params: anon.NewBURELParams(anon.BURELBeta(4), anon.BURELSeed(7)), QI: 3, CSV: csv},
+		{Method: anon.MethodAnatomy, Params: anon.NewAnatomyParams(anon.AnatomyL(2), anon.AnatomySeed(7)), QI: 3, CSV: csv},
+		{Method: anon.MethodPerturb, Params: anon.NewPerturbParams(anon.PerturbBeta(2), anon.PerturbSeed(7)), QI: 3, CSV: csv},
+	}
+	rels := make([]api.Release, len(specs))
+	for i, spec := range specs {
+		rel, err := c.CreateRelease(ctx, spec)
+		if err != nil {
+			t.Fatalf("create %s: %v", spec.Method, err)
+		}
+		rels[i] = rel
+	}
+	for i := range rels {
+		rel, err := c.WaitReady(ctx, rels[i].ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Status != api.StatusReady || !rel.Persisted {
+			t.Fatalf("release %s: status %s persisted %v", rel.ID, rel.Status, rel.Persisted)
+		}
+		rels[i] = rel
+	}
+
+	gen, err := query.NewGenerator(tab.Schema, 2, 0.05, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]api.Query, 24)
+	for i := range qs {
+		q := gen.Next()
+		qs[i] = api.Query{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+	}
+	before := make(map[string][]float64, len(rels))
+	for _, rel := range rels {
+		br, err := c.QueryBatch(ctx, rel.ID, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers := make([]float64, len(br.Results))
+		for i, r := range br.Results {
+			answers[i] = r.Estimate
+		}
+		before[rel.ID] = answers
+	}
+
+	e.stop()
+
+	// Reincarnate against the same directory: a fresh store, server, and
+	// client — nothing in memory survives but the files.
+	e2 := startDurable(t, dir)
+	defer e2.stop()
+	if rec := e2.store.Recovery(); rec.Ready != len(rels) || rec.Corrupt != 0 {
+		t.Fatalf("recovery stats %+v, want %d ready", rec, len(rels))
+	}
+	c2 := client.New(e2.ts.URL)
+	for _, want := range rels {
+		got, err := c2.GetRelease(ctx, want.ID)
+		if err != nil {
+			t.Fatalf("release %s lost across restart: %v", want.ID, err)
+		}
+		if got.Status != api.StatusReady || !got.Persisted {
+			t.Fatalf("release %s: status %s persisted %v after restart", got.ID, got.Status, got.Persisted)
+		}
+		// Zero re-anonymization: the recovered metadata is the recorded
+		// build, not a re-run (same EC count, AIL, duration, timestamps).
+		if got.NumECs != want.NumECs || got.AIL != want.AIL || got.BuildMillis != want.BuildMillis ||
+			!got.ReadyAt.Equal(want.ReadyAt) || !got.CreatedAt.Equal(want.CreatedAt) {
+			t.Fatalf("release %s rebuilt, not recovered:\n got %+v\nwant %+v", want.ID, got, want)
+		}
+		br, err := c2.QueryBatch(ctx, want.ID, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range br.Results {
+			w := before[want.ID][i]
+			if math.Abs(r.Estimate-w) > 1e-12*(1+math.Abs(w)) {
+				t.Fatalf("release %s query %d: %v after restart, %v before", want.ID, i, r.Estimate, w)
+			}
+		}
+	}
+
+	// The restarted server's /metrics must report the recovery.
+	resp, err := http.Get(e2.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"repro_store_durable 1",
+		fmt.Sprintf(`repro_store_recovered_releases{outcome="ready"} %d`, len(rels)),
+		`repro_store_recovered_releases{outcome="corrupt"} 0`,
+		"repro_store_disk_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestRestartRecoversCrashMidBuildOverHTTP pins the crash path at the
+// HTTP layer: a release whose build the crash interrupted (a manifest
+// with a submitted record and no terminal record — written here exactly
+// as the store writes it) must come back failed with 409/build_failed,
+// not hang clients in the 503 poll loop.
+func TestRestartRecoversCrashMidBuildOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate the post-crash directory: the manifest promised r-000001
+	// and the process died before any terminal record.
+	spec := release.Spec{Method: anon.MethodBUREL}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := json.Marshal(map[string]any{
+		"seq": 1, "time": time.Now().UTC().Format(time.RFC3339Nano),
+		"event": "submitted", "id": "r-000001", "version": 1,
+		"spec": json.RawMessage(specJSON), "rows": 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, release.ManifestName), append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e := startDurable(t, dir)
+	defer e.stop()
+	if rec := e.store.Recovery(); rec.Interrupted != 1 {
+		t.Fatalf("recovery stats %+v, want 1 interrupted", rec)
+	}
+	c := client.New(e.ts.URL, client.WithMaxRetries(0))
+	rel, err := c.GetRelease(context.Background(), "r-000001")
+	if err != nil {
+		t.Fatalf("interrupted release not addressable: %v", err)
+	}
+	if rel.Status != api.StatusFailed || !strings.Contains(rel.Error, "interrupted") {
+		t.Fatalf("recovered as %s (%q), want failed/interrupted", rel.Status, rel.Error)
+	}
+	// Querying it is a terminal 409, not a retryable 503: WaitReady and
+	// query loops terminate instead of hanging.
+	_, err = c.Query(context.Background(), "r-000001", api.Query{SALo: 0, SAHi: 1})
+	if !client.IsBuildFailed(err) {
+		t.Fatalf("query of interrupted release: %v, want build_failed", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.WaitReady(ctx, "r-000001", 10*time.Millisecond); !client.IsBuildFailed(err) {
+		t.Fatalf("WaitReady on interrupted release: %v, want terminal build_failed", err)
+	}
+}

@@ -88,7 +88,7 @@ func New(store *release.Store, opts Options) *Server {
 	s.maxQueryBody = min(1<<20, s.maxBody)
 	s.maxBatchBody = min(8<<20, s.maxBody)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts, s.engine.Stats)))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts, s.engine.Stats, s.persistStats)))
 	s.mux.HandleFunc("POST /v1/releases", s.instrument("create_release", s.handleCreate))
 	s.mux.HandleFunc("GET /v1/releases", s.instrument("list_releases", s.handleList))
 	s.mux.HandleFunc("GET /v1/releases/{id}", s.instrument("get_release", s.handleGet))
@@ -113,6 +113,19 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		s.metrics.Observe(route, rec.code, time.Since(start))
+	}
+}
+
+// persistStats projects the store's durability state for /metrics.
+func (s *Server) persistStats() PersistStats {
+	rec := s.store.Recovery()
+	return PersistStats{
+		Durable:              s.store.Durable(),
+		DiskBytes:            s.store.DiskSize(),
+		RecoveredReady:       rec.Ready,
+		RecoveredInterrupted: rec.Interrupted,
+		RecoveredFailed:      rec.Failed,
+		RecoveredCorrupt:     rec.Corrupt,
 	}
 }
 
@@ -153,6 +166,7 @@ func metaToAPI(m release.Meta) api.Release {
 		CreatedAt:   m.CreatedAt,
 		ReadyAt:     m.ReadyAt,
 		BuildMillis: m.BuildMillis,
+		Persisted:   m.Persisted,
 	}
 }
 

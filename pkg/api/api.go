@@ -120,6 +120,11 @@ type Release struct {
 	ReadyAt   time.Time `json:"ready_at,omitzero"`
 	// BuildMillis is the wall-clock build duration.
 	BuildMillis int64 `json:"build_ms,omitempty"`
+	// Persisted reports that the release's snapshot is durably on disk in
+	// the server's data directory and will survive a restart with
+	// identical query answers. Always false when the server runs without
+	// -data-dir.
+	Persisted bool `json:"persisted,omitempty"`
 }
 
 // ListReleasesResponse is the GET /v1/releases body.

@@ -12,6 +12,11 @@
 //     release, a saturated build queue), with context cancellation
 //     respected while waiting.
 //
+// A release's wire form carries Persisted: against a server running with
+// -data-dir, a ready release's snapshot is on disk and survives a server
+// restart with identical query answers (the release ID stays valid, so
+// clients may cache IDs across restarts of a durable server).
+//
 // Method params are passed as any JSON-marshalable value; the canonical
 // typed params live in repro/anon (e.g. anon.NewBURELParams(...)), and a
 // plain map works for non-Go callers of this package's conventions.
