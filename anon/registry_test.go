@@ -72,7 +72,7 @@ func TestRegistryUnknownMethod(t *testing.T) {
 }
 
 func TestDefaultRegistryHasBuiltins(t *testing.T) {
-	want := []string{MethodAnatomy, MethodBUREL, MethodPerturb}
+	want := []string{MethodAnatomy, MethodBUREL, MethodPerturb, MethodSABRE}
 	if got := Methods(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Methods() = %v, want %v", got, want)
 	}

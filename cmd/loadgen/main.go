@@ -20,9 +20,18 @@
 //	        [-queries 10000] [-batch 64] [-concurrency 8] [-single]
 //	        [-lambda 2] [-theta 0.05] [-distinct 1024] [-zipf-s 1.2]
 //
-// Without -release it uploads a generated CENSUS table first and waits
-// for the build. The query generator assumes the release uses the CENSUS
-// schema projected to -qi attributes.
+// -addr accepts a comma-separated endpoint list; workers are assigned
+// round-robin across the endpoints and throughput is reported both in
+// total and per endpoint, so a gateway-vs-direct-nodes comparison is one
+// command:
+//
+//	loadgen -addr http://gw:8090 -release n1-r-000001 ...
+//	loadgen -addr http://n1:8080,http://n2:8080 -release n1-r-000001 ...
+//
+// Without -release it uploads a generated CENSUS table first (through
+// the first endpoint) and waits for the build. The query generator
+// assumes the release uses the CENSUS schema projected to -qi
+// attributes.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,7 +58,7 @@ func toAPI(q query.Query) api.Query {
 }
 
 func main() {
-	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	addr := flag.String("addr", "http://localhost:8080", "server base URL(s), comma-separated; workers round-robin across them")
 	releaseID := flag.String("release", "", "release ID to query (empty: upload a generated table first)")
 	rows := flag.Int("rows", 20000, "rows of the generated table (with empty -release)")
 	beta := flag.Float64("beta", 4, "β of the generated release")
@@ -68,14 +78,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	var endpoints []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			endpoints = append(endpoints, a)
+		}
+	}
+	if len(endpoints) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -addr names no endpoints")
+		os.Exit(2)
+	}
+	clients := make([]*client.Client, len(endpoints))
+	for i, a := range endpoints {
+		clients[i] = client.New(a)
+	}
+
 	ctx := context.Background()
-	c := client.New(*addr)
 	schema := census.Schema().Project(*qi)
 
 	id := *releaseID
 	if id == "" {
 		var err error
-		if id, err = uploadRelease(ctx, c, *rows, *beta, *qi, *seed); err != nil {
+		if id, err = uploadRelease(ctx, clients[0], *rows, *beta, *qi, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -92,14 +116,19 @@ func main() {
 		pool[i] = toAPI(gen.Next())
 	}
 
+	// Per-endpoint tallies, indexed like endpoints; workers write only
+	// their endpoint's slot through atomics.
+	type endpointStats struct {
+		done     atomic.Int64 // queries completed
+		hits     atomic.Int64
+		requests atomic.Int64
+		latNanos atomic.Int64
+		failed   atomic.Int64
+	}
 	var (
-		done      atomic.Int64 // queries completed
 		issued    atomic.Int64 // queries claimed by workers
-		hits      atomic.Int64
-		requests  atomic.Int64
-		latNanos  atomic.Int64
-		failed    atomic.Int64
 		wg        sync.WaitGroup
+		stats     = make([]endpointStats, len(endpoints))
 		batchSize = *batch
 	)
 	if *single {
@@ -110,6 +139,8 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ep := w % len(endpoints)
+			c, st := clients[ep], &stats[ep]
 			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 			var zipf *rand.Zipf
 			if *zipfS > 1 {
@@ -135,34 +166,53 @@ func main() {
 				}
 				t0 := time.Now()
 				h, err := post(ctx, c, id, qs, *single)
-				latNanos.Add(int64(time.Since(t0)))
-				requests.Add(1)
+				st.latNanos.Add(int64(time.Since(t0)))
+				st.requests.Add(1)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "loadgen: worker %d: %v\n", w, err)
-					failed.Add(n)
+					fmt.Fprintf(os.Stderr, "loadgen: worker %d (%s): %v\n", w, endpoints[ep], err)
+					st.failed.Add(n)
 					continue
 				}
-				done.Add(n)
-				hits.Add(int64(h))
+				st.done.Add(n)
+				st.hits.Add(int64(h))
 			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	n := done.Load()
-	qps := float64(n) / elapsed.Seconds()
-	fmt.Printf("queries:      %d (%d failed)\n", n, failed.Load())
+	var done, hits, requests, latNanos, failed int64
+	for i := range stats {
+		done += stats[i].done.Load()
+		hits += stats[i].hits.Load()
+		requests += stats[i].requests.Load()
+		latNanos += stats[i].latNanos.Load()
+		failed += stats[i].failed.Load()
+	}
+	qps := float64(done) / elapsed.Seconds()
+	fmt.Printf("queries:      %d (%d failed)\n", done, failed)
 	fmt.Printf("elapsed:      %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput:   %.0f queries/sec\n", qps)
-	if r := requests.Load(); r > 0 {
+	if requests > 0 {
 		fmt.Printf("requests:     %d (batch size %d, avg latency %v)\n",
-			r, batchSize, (time.Duration(latNanos.Load()) / time.Duration(r)).Round(time.Microsecond))
+			requests, batchSize, (time.Duration(latNanos) / time.Duration(requests)).Round(time.Microsecond))
 	}
-	if n > 0 {
-		fmt.Printf("cache hits:   %d (%.1f%%)\n", hits.Load(), 100*float64(hits.Load())/float64(n))
+	if done > 0 {
+		fmt.Printf("cache hits:   %d (%.1f%%)\n", hits, 100*float64(hits)/float64(done))
 	}
-	if failed.Load() > 0 {
+	if len(endpoints) > 1 {
+		for i, a := range endpoints {
+			st := &stats[i]
+			n, r := st.done.Load(), st.requests.Load()
+			lat := time.Duration(0)
+			if r > 0 {
+				lat = (time.Duration(st.latNanos.Load()) / time.Duration(r)).Round(time.Microsecond)
+			}
+			fmt.Printf("endpoint %-32s %8.0f q/s  (%d queries, %d failed, avg latency %v)\n",
+				a+":", float64(n)/elapsed.Seconds(), n, st.failed.Load(), lat)
+		}
+	}
+	if failed > 0 {
 		os.Exit(1)
 	}
 }

@@ -10,10 +10,24 @@
 // against the same directory recovers every release — serving identical
 // query answers with zero re-anonymization.
 //
-// Usage:
+// With -node-id and -cluster-token the process is a cluster node: its
+// release IDs are node-prefixed (globally unique across the cluster) and
+// the authenticated internal snapshot-replication endpoints are enabled.
+//
+// With -gateway the process is instead a cluster front end: it serves
+// the same /v1 API by proxying over the nodes listed in -nodes,
+// replicating ready snapshots to -replication nodes and scattering
+// batch queries across live replicas. Node usage:
 //
 //	serve [-addr :8080] [-workers N] [-max-body-mb M] [-data-dir DIR]
 //	      [-query-workers N] [-cache-capacity N] [-max-batch N]
+//	      [-node-id n1] [-cluster-token TOK]
+//
+// Gateway usage:
+//
+//	serve -gateway -nodes n1=http://h1:8080,n2=http://h2:8080,... \
+//	      [-addr :8090] [-replication 2] [-cluster-token TOK] \
+//	      [-probe-interval 2s] [-reconcile-interval 15s]
 package main
 
 import (
@@ -24,9 +38,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/release"
 	"repro/internal/server"
@@ -40,12 +56,24 @@ func main() {
 	cacheCapacity := flag.Int("cache-capacity", 0, "result cache entries (0 = default, negative = disabled)")
 	maxBatch := flag.Int("max-batch", 0, "max queries per batch request (0 = default)")
 	dataDir := flag.String("data-dir", "", "persist releases to this directory and recover them on restart (empty = memory-only)")
+	nodeID := flag.String("node-id", "", "cluster node identity; prefixes minted release IDs (empty = single-node)")
+	clusterToken := flag.String("cluster-token", "", "shared secret for the internal snapshot-replication endpoints")
+	gateway := flag.Bool("gateway", false, "run as a cluster gateway over -nodes instead of a serving node")
+	nodes := flag.String("nodes", "", "gateway mode: comma-separated id=url cluster members")
+	replication := flag.Int("replication", 2, "gateway mode: replicas per release (R)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "gateway mode: /healthz probing cadence")
+	reconcileInterval := flag.Duration("reconcile-interval", 15*time.Second, "gateway mode: replication reconcile cadence")
 	flag.Parse()
 
+	if *gateway {
+		runGateway(*addr, *nodes, *replication, *clusterToken, *probeInterval, *reconcileInterval)
+		return
+	}
+
 	var store *release.Store
+	var err error
 	if *dataDir != "" {
-		var err error
-		if store, err = release.Open(*dataDir, *workers); err != nil {
+		if store, err = release.OpenNode(*dataDir, *workers, *nodeID); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: opening data dir: %v\n", err)
 			os.Exit(1)
 		}
@@ -53,10 +81,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serve: data dir %s: recovered %d ready, %d failed, %d interrupted, %d corrupt (%d bytes on disk)\n",
 			*dataDir, rec.Ready, rec.Failed, rec.Interrupted, rec.Corrupt, store.DiskSize())
 	} else {
-		store = release.NewStore(*workers)
+		if store, err = release.NewStoreNode(*workers, *nodeID); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	api := server.New(store, server.Options{
 		MaxBodyBytes: *maxBodyMB << 20,
+		ClusterToken: *clusterToken,
 		Engine: engine.Options{
 			Workers:       *queryWorkers,
 			CacheCapacity: *cacheCapacity,
@@ -75,7 +107,11 @@ func main() {
 	if store.Durable() {
 		durability = "durable: " + store.Dir()
 	}
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (%d build workers, %s)\n", *addr, *workers, durability)
+	role := ""
+	if *nodeID != "" {
+		role = fmt.Sprintf(", node %s", *nodeID)
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (%d build workers, %s%s)\n", *addr, *workers, durability, role)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -94,5 +130,76 @@ func main() {
 		}
 		api.Close()
 		store.Close()
+	}
+}
+
+// parseNodes decodes the -nodes flag: comma-separated id=url pairs.
+func parseNodes(spec string) ([]cluster.Node, error) {
+	var out []cluster.Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("node %q is not id=url", part)
+		}
+		out = append(out, cluster.Node{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-gateway needs -nodes id=url,...")
+	}
+	return out, nil
+}
+
+// runGateway serves the cluster gateway until interrupted.
+func runGateway(addr, nodesSpec string, replication int, token string, probe, reconcile time.Duration) {
+	members, err := parseNodes(nodesSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
+	gw, err := cluster.New(cluster.Options{
+		Nodes:             members,
+		Replication:       replication,
+		Token:             token,
+		ProbeInterval:     probe,
+		ReconcileInterval: reconcile,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	repl := "replication enabled"
+	if token == "" {
+		repl = "replication DISABLED (no -cluster-token)"
+	}
+	fmt.Fprintf(os.Stderr, "serve: gateway listening on %s over %d nodes (R=%d, %s)\n",
+		addr, len(members), gw.Replication(), repl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "serve: gateway shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
+		}
+		gw.Close()
 	}
 }

@@ -11,5 +11,8 @@
 // README.md for the package map and the HTTP API, and DESIGN.md for the
 // system inventory and the architecture of the public API and the
 // release/serving layer. The benchmarks in bench_test.go regenerate each
-// table and figure; cmd/serve runs the anonymization/query service.
+// table and figure; cmd/serve runs the anonymization/query service — as
+// a single durable node or, with -gateway/-node-id, as a sharded
+// multi-node cluster with snapshot replication and scatter/gather query
+// routing (internal/cluster).
 package repro

@@ -1,0 +1,217 @@
+// Package cluster scales the anonymization/query service horizontally: a
+// gateway HTTP front end serves the unchanged pkg/api contract over a
+// static set of serve nodes, so pkg/client works against a cluster
+// exactly as against one process.
+//
+// The subsystem leans on the property PR 4 made durable: a ready release
+// is an immutable, checksummed byte string (the RPROSNAP snapshot), so
+// scale-out needs no coordination protocol — a release is built once on
+// one node, its snapshot bytes are copied to R−1 replicas, and every
+// copy answers queries bit-identically forever.
+//
+// Three parts:
+//
+//   - Membership and placement: a flag-configured node list probed via
+//     /healthz on an interval, with a per-node circuit breaker (a
+//     transport failure opens it; the next successful probe closes it).
+//     Releases are placed by rendezvous hashing over (node ID, release
+//     ID) with replication factor R; the node whose ID prefixes the
+//     release ID (the owner that minted it) always anchors the set.
+//
+//   - Snapshot replication: when a release becomes ready on its owner,
+//     the gateway fetches its snapshot through the node's authenticated
+//     GET /v1/internal/snapshot/{id}, wraps nothing — the envelope
+//     travels verbatim — and POSTs it to each replica's
+//     /v1/internal/snapshot, which lands in Store.RegisterAs. A periodic
+//     reconcile sweep re-derives the desired placement from the live
+//     catalogs, so replication converges after gateway crashes, node
+//     restarts, and membership edits.
+//
+//   - Scatter/gather query routing: creates proxy to the least-loaded
+//     live node (which becomes the owner), reads route across the
+//     release's placement with failover past 404s and dead nodes, and
+//     POST /v1/query:batch is split into sub-batches fanned across the
+//     live replicas, merged back in request order — failing over
+//     mid-flight when a node dies under the batch.
+//
+// Nothing else is coordinated: no consensus, no rebalancing, no
+// cross-node locks. Release IDs are globally unique by construction
+// (node-prefixed), releases are immutable, and every node's manifest is
+// its own source of truth across restarts.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Node is one cluster member as configured: its identity (the -node-id
+// the serve process runs with, which prefixes the release IDs it mints)
+// and its base URL.
+type Node struct {
+	ID  string
+	URL string
+}
+
+// nodeState is the gateway's live view of one member.
+type nodeState struct {
+	node Node
+	// alive is the circuit breaker: false while the node is considered
+	// down. A transport-level request failure opens the breaker
+	// immediately (the failed call already paid the timeout; peers must
+	// not), and only a successful health probe closes it again —
+	// probe-driven half-open, with no request-path retries against a
+	// known-dead node in between.
+	alive atomic.Bool
+	// inflight counts requests the gateway currently has outstanding
+	// against the node; scatter/gather picks the least-loaded replica.
+	inflight atomic.Int64
+	// fails counts consecutive probe failures, for /v1/cluster/status.
+	fails atomic.Int64
+}
+
+// Membership is the probed node set shared by the gateway's routing and
+// replication sides.
+type Membership struct {
+	nodes []*nodeState
+	byID  map[string]*nodeState
+
+	hc         *http.Client
+	probeEvery time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// healthzBody is the fraction of a node's /healthz response the prober
+// reads: the node identity guards against mis-wired -nodes flags (a URL
+// pointing at a different node than configured serves wrong placements
+// silently).
+type healthzBody struct {
+	Status string `json:"status"`
+	Node   string `json:"node"`
+}
+
+// newMembership builds the probed node set. Nodes start alive so a
+// gateway is useful before its first probe tick; a dead member costs one
+// failed request, which opens its breaker.
+func newMembership(nodes []Node, hc *http.Client, probeEvery time.Duration) (*Membership, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty node list")
+	}
+	m := &Membership{
+		byID:       make(map[string]*nodeState, len(nodes)),
+		hc:         hc,
+		probeEvery: probeEvery,
+		stop:       make(chan struct{}),
+	}
+	for _, n := range nodes {
+		if n.ID == "" || n.URL == "" {
+			return nil, fmt.Errorf("cluster: node needs both ID and URL, got %+v", n)
+		}
+		if _, dup := m.byID[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+		st := &nodeState{node: n}
+		st.alive.Store(true)
+		m.nodes = append(m.nodes, st)
+		m.byID[n.ID] = st
+	}
+	m.wg.Add(1)
+	go m.probeLoop()
+	return m, nil
+}
+
+// close stops the prober.
+func (m *Membership) close() {
+	close(m.stop)
+	m.wg.Wait()
+}
+
+// markDown opens a node's circuit breaker after a transport failure.
+func (m *Membership) markDown(st *nodeState) {
+	st.alive.Store(false)
+}
+
+// probeLoop re-probes every member on the interval. The first sweep runs
+// immediately so a node that was down at gateway start is discovered
+// within one round-trip, not one interval.
+func (m *Membership) probeLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.probeEvery)
+	defer ticker.Stop()
+	for {
+		m.probeAll()
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// probeAll probes every node concurrently and settles before returning.
+func (m *Membership) probeAll() {
+	var wg sync.WaitGroup
+	for _, st := range m.nodes {
+		wg.Add(1)
+		go func(st *nodeState) {
+			defer wg.Done()
+			if err := m.probe(st); err != nil {
+				st.fails.Add(1)
+				m.markDown(st)
+			} else {
+				st.fails.Store(0)
+				st.alive.Store(true)
+			}
+		}(st)
+	}
+	wg.Wait()
+}
+
+// probe issues one /healthz round-trip, bounded so a hung node cannot
+// stall the sweep past the probe interval.
+func (m *Membership) probe(st *nodeState) error {
+	ctx, cancel := context.WithTimeout(context.Background(), m.probeEvery)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, st.node.URL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s /healthz: %d", st.node.ID, resp.StatusCode)
+	}
+	var body healthzBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("cluster: %s /healthz: %w", st.node.ID, err)
+	}
+	// Exact match required: a node reporting no identity is a serve
+	// process missing -node-id, which would mint unprefixed (and
+	// therefore colliding) release IDs — exactly the mis-wiring this
+	// guard exists to keep out of the routing tables.
+	if body.Node != st.node.ID {
+		return fmt.Errorf("cluster: node at %s identifies as %q, configured as %q", st.node.URL, body.Node, st.node.ID)
+	}
+	return nil
+}
+
+// aliveCount returns how many members currently pass their breaker.
+func (m *Membership) aliveCount() int {
+	n := 0
+	for _, st := range m.nodes {
+		if st.alive.Load() {
+			n++
+		}
+	}
+	return n
+}

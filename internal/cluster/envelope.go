@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Snapshot-replication wire envelope (version 1): the body of
+// POST /v1/internal/snapshot and the response of
+// GET /v1/internal/snapshot/{id}. It frames a release's RPROSNAP
+// snapshot bytes with the identity the receiving store must install them
+// under, so replication is a verbatim byte copy — the gateway relays the
+// envelope it fetched without re-encoding, and every replica decodes the
+// exact bytes the owner persisted.
+//
+//	offset 0   magic "RPROREPL" (8 bytes)
+//	offset 8   envelope version, uint32 big-endian
+//	           two sections, each uint32 big-endian length + bytes:
+//	             1. header JSON {id, node}
+//	             2. snapshot bytes (opaque here; RPROSNAP with its own
+//	                checksum, validated by release.DecodeSnapshot at the
+//	                receiver)
+//	trailer    CRC-32 (IEEE) of every preceding byte, uint32 big-endian
+//
+// Like the snapshot format, the encoding is byte-deterministic for given
+// inputs; a golden test pins it and any change is a conscious version
+// bump.
+const (
+	envelopeMagic = "RPROREPL"
+	// EnvelopeVersion is the current replication envelope version.
+	EnvelopeVersion = 1
+	// maxEnvelopeSection caps one section's declared length so a corrupt
+	// header cannot make the decoder attempt a multi-GB allocation.
+	maxEnvelopeSection = 1 << 31
+)
+
+// Typed envelope errors, mirroring the snapshot codec's.
+var (
+	// ErrBadEnvelope reports input that is not a well-formed envelope of
+	// the supported version.
+	ErrBadEnvelope = errors.New("cluster: bad replication envelope")
+	// ErrEnvelopeVersion reports an envelope from a future format.
+	ErrEnvelopeVersion = errors.New("cluster: unsupported replication envelope version")
+)
+
+// envHeader is section 1: where the payload must land (ID) and where it
+// was fetched from (Node, informational).
+type envHeader struct {
+	ID   string `json:"id"`
+	Node string `json:"node,omitempty"`
+}
+
+func badEnvelope(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadEnvelope, fmt.Sprintf(format, args...))
+}
+
+// EncodeEnvelope frames snapshot bytes for replication: the receiving
+// store installs them under id; node names the member serving the bytes.
+func EncodeEnvelope(id, node string, snapshot []byte) ([]byte, error) {
+	if id == "" {
+		return nil, fmt.Errorf("cluster: envelope without release ID")
+	}
+	if len(snapshot) == 0 {
+		return nil, fmt.Errorf("cluster: envelope without snapshot bytes")
+	}
+	header, err := json.Marshal(envHeader{ID: id, Node: node})
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(snapshot)) >= maxEnvelopeSection {
+		return nil, fmt.Errorf("cluster: snapshot of %d bytes is beyond the envelope's %d limit", len(snapshot), int64(maxEnvelopeSection))
+	}
+	out := make([]byte, 0, len(envelopeMagic)+4+2*4+len(header)+len(snapshot)+4)
+	out = append(out, envelopeMagic...)
+	out = binary.BigEndian.AppendUint32(out, EnvelopeVersion)
+	for _, section := range [][]byte{header, snapshot} {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(section)))
+		out = append(out, section...)
+	}
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out, nil
+}
+
+// DecodeEnvelope parses and checksums a version-1 envelope, returning the
+// target release ID, the serving node, and the framed snapshot bytes
+// (not copied; they alias data). Malformed input errors with
+// ErrBadEnvelope (or ErrEnvelopeVersion) and never panics.
+func DecodeEnvelope(data []byte) (id, node string, snapshot []byte, err error) {
+	if len(data) < len(envelopeMagic)+4+4 {
+		return "", "", nil, badEnvelope("%d bytes is shorter than the fixed header and checksum trailer", len(data))
+	}
+	if string(data[:len(envelopeMagic)]) != envelopeMagic {
+		return "", "", nil, badEnvelope("bad magic %q", data[:len(envelopeMagic)])
+	}
+	if v := binary.BigEndian.Uint32(data[len(envelopeMagic):]); v != EnvelopeVersion {
+		return "", "", nil, fmt.Errorf("%w: %d (this build reads %d)", ErrEnvelopeVersion, v, EnvelopeVersion)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(trailer); got != want {
+		return "", "", nil, badEnvelope("checksum mismatch: computed %08x, recorded %08x", got, want)
+	}
+	rest := body[len(envelopeMagic)+4:]
+	sections := make([][]byte, 2)
+	for i := range sections {
+		if len(rest) < 4 {
+			return "", "", nil, badEnvelope("truncated before section %d length", i+1)
+		}
+		n := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if n >= maxEnvelopeSection || int64(n) > int64(len(rest)) {
+			return "", "", nil, badEnvelope("section %d claims %d bytes, %d remain", i+1, n, len(rest))
+		}
+		sections[i], rest = rest[:n], rest[n:]
+	}
+	if len(rest) != 0 {
+		return "", "", nil, badEnvelope("%d trailing bytes after the last section", len(rest))
+	}
+	var header envHeader
+	if err := json.Unmarshal(sections[0], &header); err != nil {
+		return "", "", nil, badEnvelope("header: %v", err)
+	}
+	if header.ID == "" {
+		return "", "", nil, badEnvelope("header names no release ID")
+	}
+	if len(sections[1]) == 0 {
+		return "", "", nil, badEnvelope("empty snapshot section")
+	}
+	return header.ID, header.Node, sections[1], nil
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the golden envelope fixture. Changing it is the
+// conscious act that accompanies an EnvelopeVersion bump.
+var updateGolden = flag.Bool("update", false, "rewrite the golden envelope fixture under testdata/")
+
+// goldenEnvelopeInputs are fixed so the encoding is byte-deterministic:
+// the snapshot section is opaque to the envelope, so a synthetic payload
+// pins the framing without dragging the snapshot codec in.
+func goldenEnvelopeInputs() (id, node string, snapshot []byte) {
+	return "n1-r-000042", "n1", []byte("RPROSNAP\x00\x00\x00\x01synthetic-snapshot-payload-bytes")
+}
+
+// TestEnvelopeGolden pins the replication envelope wire format
+// byte-for-byte: encoding today's inputs must reproduce the committed
+// file exactly, and the committed file must decode to the same fields.
+// Breaking either is a format break; regenerate with
+//
+//	go test ./internal/cluster -run TestEnvelopeGolden -update
+//
+// and bump EnvelopeVersion if decode compatibility changed.
+func TestEnvelopeGolden(t *testing.T) {
+	id, node, snap := goldenEnvelopeInputs()
+	data, err := EncodeEnvelope(id, node, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "envelope_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(data))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("envelope encoding changed: %d bytes, golden %d — a wire-format change needs an EnvelopeVersion bump and -update", len(data), len(want))
+	}
+	gotID, gotNode, gotSnap, err := DecodeEnvelope(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != id || gotNode != node || !bytes.Equal(gotSnap, snap) {
+		t.Fatalf("golden decode: id=%q node=%q snap=%d bytes", gotID, gotNode, len(gotSnap))
+	}
+}
+
+// TestEnvelopeRoundTrip covers encode∘decode identity and the rejection
+// paths: every malformed mutation errors with ErrBadEnvelope (or
+// ErrEnvelopeVersion), never panics, never passes.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env, err := EncodeEnvelope("n2-r-000001", "n2", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, node, snap, err := DecodeEnvelope(env)
+	if err != nil || id != "n2-r-000001" || node != "n2" || string(snap) != "payload" {
+		t.Fatalf("round trip: id=%q node=%q snap=%q err=%v", id, node, snap, err)
+	}
+
+	if _, err := EncodeEnvelope("", "n1", []byte("x")); err == nil {
+		t.Fatal("empty ID encoded")
+	}
+	if _, err := EncodeEnvelope("id", "n1", nil); err == nil {
+		t.Fatal("empty snapshot encoded")
+	}
+
+	corrupt := func(name string, data []byte) {
+		t.Helper()
+		_, _, _, err := DecodeEnvelope(data)
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if !errors.Is(err, ErrBadEnvelope) && !errors.Is(err, ErrEnvelopeVersion) {
+			t.Fatalf("%s: untyped error %v", name, err)
+		}
+	}
+	corrupt("empty", nil)
+	corrupt("short", env[:10])
+	corrupt("bad magic", append([]byte("NOTMAGIC"), env[8:]...))
+	flipped := bytes.Clone(env)
+	flipped[len(flipped)/2] ^= 0x40
+	corrupt("bit flip", flipped)
+	truncated := bytes.Clone(env[:len(env)-6])
+	corrupt("truncated", truncated)
+	trailing := append(bytes.Clone(env), 0x00)
+	corrupt("trailing byte", trailing)
+
+	future := bytes.Clone(env)
+	binary.BigEndian.PutUint32(future[8:], EnvelopeVersion+1)
+	if _, _, _, err := DecodeEnvelope(future); !errors.Is(err, ErrEnvelopeVersion) {
+		t.Fatalf("future version: %v, want ErrEnvelopeVersion", err)
+	}
+}

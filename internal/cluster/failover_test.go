@@ -1,0 +1,205 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/anon"
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// ownerAndReplica resolves which test node minted the release (the ID
+// prefix) and which other node holds a ready copy.
+func ownerAndReplica(t *testing.T, nodes []*testNode, id string) (owner, replica *testNode) {
+	t.Helper()
+	for _, nd := range nodes {
+		if strings.HasPrefix(id, nd.id+"-") {
+			owner = nd
+		}
+	}
+	if owner == nil {
+		t.Fatalf("no member owns %q", id)
+	}
+	for _, nd := range nodes {
+		if nd == owner {
+			continue
+		}
+		rel, err := client.New(nd.url()).GetRelease(context.Background(), id)
+		if err == nil && rel.Status == api.StatusReady {
+			return owner, nd
+		}
+	}
+	t.Fatalf("no replica holds %q", id)
+	return nil, nil
+}
+
+// TestGatewayFailoverMidWorkload is the acceptance-criteria failover
+// test: a 3-node R=2 cluster serving a live batch workload through the
+// gateway keeps answering — with answers byte-identical to the
+// pre-failure baseline — while the release's owner node is killed under
+// the load.
+func TestGatewayFailoverMidWorkload(t *testing.T) {
+	nodes, _, ts := startCluster(t, 3, 2)
+	ctx := context.Background()
+	gwc := client.New(ts.URL)
+	csv, _, qs := censusCSVQs(t, 600, 31, 3, 48)
+
+	rel, err := gwc.CreateRelease(ctx, client.CreateSpec{
+		Method: anon.MethodBUREL,
+		Params: anon.NewBURELParams(anon.BURELBeta(4), anon.BURELSeed(5)),
+		QI:     3, CSV: csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gwc.WaitReady(ctx, rel.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitCondition(t, 15*time.Second, "replication to R=2", func() bool {
+		return readyOn(nodes, rel.ID) >= 2
+	})
+
+	baseline, err := gwc.QueryBatch(ctx, rel.ID, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent workload: every batch must succeed and match the
+	// baseline exactly, before, during, and after the kill.
+	var (
+		stop     atomic.Bool
+		batches  atomic.Int64
+		mu       sync.Mutex
+		failures []string
+		wg       sync.WaitGroup
+	)
+	report := func(format string, args ...any) {
+		mu.Lock()
+		if len(failures) < 8 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				br, err := gwc.QueryBatch(ctx, rel.ID, qs)
+				if err != nil {
+					report("worker %d: %v", w, err)
+					continue
+				}
+				for i := range qs {
+					if br.Results[i].Estimate != baseline.Results[i].Estimate {
+						report("worker %d query %d: %v, baseline %v", w, i, br.Results[i].Estimate, baseline.Results[i].Estimate)
+						break
+					}
+				}
+				batches.Add(1)
+			}
+		}(w)
+	}
+
+	// Let the workload establish, then kill the owner under it.
+	waitCondition(t, 10*time.Second, "workload warm-up", func() bool { return batches.Load() >= 8 })
+	owner, _ := ownerAndReplica(t, nodes, rel.ID)
+	before := batches.Load()
+	owner.kill()
+	waitCondition(t, 15*time.Second, "post-kill batches", func() bool { return batches.Load() >= before+20 })
+	stop.Store(true)
+	wg.Wait()
+
+	if len(failures) > 0 {
+		t.Fatalf("workload failures across owner death:\n%s", strings.Join(failures, "\n"))
+	}
+	// The gateway still serves metadata and queries with the owner gone.
+	got, err := gwc.GetRelease(ctx, rel.ID)
+	if err != nil || got.Status != api.StatusReady {
+		t.Fatalf("release lookup after owner death: %+v, %v", got, err)
+	}
+}
+
+// TestGatewayFailoverKillAndRestart is the restart variant, reusing the
+// durable-store harness shape of PR 4: the owner dies, the cluster keeps
+// serving from the replica; the owner then reincarnates from its own
+// manifest on the same address and — after the surviving replica is
+// killed too — serves the release alone, still byte-identical.
+func TestGatewayFailoverKillAndRestart(t *testing.T) {
+	nodes, _, ts := startCluster(t, 3, 2)
+	ctx := context.Background()
+	gwc := client.New(ts.URL)
+	csv, _, qs := censusCSVQs(t, 500, 41, 3, 32)
+
+	rel, err := gwc.CreateRelease(ctx, client.CreateSpec{
+		Method: anon.MethodAnatomy,
+		Params: anon.NewAnatomyParams(anon.AnatomyL(2), anon.AnatomySeed(9)),
+		QI:     3, CSV: csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gwc.WaitReady(ctx, rel.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitCondition(t, 15*time.Second, "replication to R=2", func() bool {
+		return readyOn(nodes, rel.ID) >= 2
+	})
+	baseline, err := gwc.QueryBatch(ctx, rel.ID, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, replica := ownerAndReplica(t, nodes, rel.ID)
+
+	// Kill the owner; the replica carries the traffic.
+	owner.kill()
+	br, err := gwc.QueryBatch(ctx, rel.ID, qs)
+	if err != nil {
+		t.Fatalf("batch with dead owner: %v", err)
+	}
+	for i := range qs {
+		if br.Results[i].Estimate != baseline.Results[i].Estimate {
+			t.Fatalf("query %d with dead owner: %v, want %v", i, br.Results[i].Estimate, baseline.Results[i].Estimate)
+		}
+	}
+
+	// Reincarnate the owner on the same address and data directory: it
+	// recovers the release from its own manifest, no re-replication
+	// needed, and the gateway's prober folds it back in.
+	owner.start(t)
+	waitCondition(t, 15*time.Second, "owner recovery", func() bool {
+		rel, err := client.New(owner.url()).GetRelease(ctx, rel.ID)
+		return err == nil && rel.Status == api.StatusReady && rel.Persisted
+	})
+	waitCondition(t, 15*time.Second, "gateway folds the owner back in", func() bool {
+		var status api.ClusterStatusResponse
+		resp, err := httpGet(ts.URL + "/v1/cluster/status")
+		if err != nil || jsonDecode(resp, &status) != nil {
+			return false
+		}
+		for _, nd := range status.Nodes {
+			if nd.ID == owner.id {
+				return nd.Alive
+			}
+		}
+		return false
+	})
+
+	// Now kill the replica: the recovered owner serves alone.
+	replica.kill()
+	br, err = gwc.QueryBatch(ctx, rel.ID, qs)
+	if err != nil {
+		t.Fatalf("batch served by recovered owner: %v", err)
+	}
+	for i := range qs {
+		if br.Results[i].Estimate != baseline.Results[i].Estimate {
+			t.Fatalf("query %d from recovered owner: %v, want %v", i, br.Results[i].Estimate, baseline.Results[i].Estimate)
+		}
+	}
+}

@@ -1,0 +1,623 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// Nodes is the static cluster membership. Each entry's ID must match
+	// the -node-id its serve process runs with: the gateway derives
+	// release ownership from ID prefixes and verifies identity on probe.
+	Nodes []Node
+	// Replication is the replica count R per release (owner included);
+	// ≤ 0 selects 2. Values beyond the node count are clamped.
+	Replication int
+	// Token authenticates the internal snapshot endpoints on the nodes.
+	// Replication requires it; an empty token disables replication (the
+	// gateway still routes, degraded to owner-only serving).
+	Token string
+	// ProbeInterval is the /healthz probing cadence; ≤ 0 selects 2s.
+	ProbeInterval time.Duration
+	// ReconcileInterval is the replication reconcile cadence; ≤ 0
+	// selects 15s.
+	ReconcileInterval time.Duration
+	// Client overrides the HTTP client used for all node traffic.
+	Client *http.Client
+	// MaxBodyBytes caps proxied create bodies; ≤ 0 selects 256 MiB.
+	MaxBodyBytes int64
+}
+
+// Gateway is the cluster's HTTP front end: it serves the same pkg/api
+// contract as a single node, implemented by proxying, scattering, and
+// gathering over the membership. It implements http.Handler.
+type Gateway struct {
+	mem     *Membership
+	rfactor int
+	token   string
+	hc      *http.Client
+	mux     *http.ServeMux
+	metrics *Metrics
+	repl    *replicator
+
+	maxBody      int64
+	maxBatchBody int64
+}
+
+// New starts a gateway: the health prober and the replication loop begin
+// immediately. Call Close to stop them.
+func New(opts Options) (*Gateway, error) {
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	probe := opts.ProbeInterval
+	if probe <= 0 {
+		probe = 2 * time.Second
+	}
+	mem, err := newMembership(opts.Nodes, hc, probe)
+	if err != nil {
+		return nil, err
+	}
+	r := opts.Replication
+	if r <= 0 {
+		r = 2
+	}
+	if r > len(opts.Nodes) {
+		r = len(opts.Nodes)
+	}
+	g := &Gateway{
+		mem:     mem,
+		rfactor: r,
+		token:   opts.Token,
+		hc:      hc,
+		mux:     http.NewServeMux(),
+		metrics: NewMetrics(),
+		maxBody: opts.MaxBodyBytes,
+	}
+	if g.maxBody <= 0 {
+		g.maxBody = 256 << 20
+	}
+	g.maxBatchBody = min(8<<20, g.maxBody)
+	reconcile := opts.ReconcileInterval
+	if reconcile <= 0 {
+		reconcile = 15 * time.Second
+	}
+	g.repl = newReplicator(g, reconcile)
+	g.mux.HandleFunc("GET /healthz", g.instrument("healthz", g.handleHealthz))
+	g.mux.HandleFunc("GET /metrics", g.instrument("metrics", g.handleMetrics))
+	g.mux.HandleFunc("GET /v1/cluster/status", g.instrument("cluster_status", g.handleStatus))
+	g.mux.HandleFunc("POST /v1/releases", g.instrument("create_release", g.handleCreate))
+	g.mux.HandleFunc("GET /v1/releases", g.instrument("list_releases", g.handleList))
+	g.mux.HandleFunc("GET /v1/releases/{id}", g.instrument("get_release", g.handleGet))
+	g.mux.HandleFunc("POST /v1/releases/{id}/query", g.instrument("query_release", g.handleQuery))
+	g.mux.HandleFunc("POST /v1/query:batch", g.instrument("batch_query", g.handleBatchQuery))
+	return g, nil
+}
+
+// Close stops the prober and the replicator. In-flight proxied requests
+// are not interrupted.
+func (g *Gateway) Close() {
+	g.repl.close()
+	g.mem.close()
+}
+
+// Replication returns the effective replica count R.
+func (g *Gateway) Replication() int { return g.rfactor }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		g.metrics.Observe(route, rec.code)
+	}
+}
+
+// nodeResponse is one node's complete HTTP answer, buffered so it can be
+// relayed or discarded in favor of a failover attempt.
+type nodeResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// exchange performs one round-trip against a node, tracking in-flight
+// load. A transport-level failure opens the node's circuit breaker and
+// returns an error; any HTTP response — success or not — returns
+// buffered.
+func (g *Gateway) exchange(ctx context.Context, st *nodeState, method, path, contentType string, body []byte) (*nodeResponse, error) {
+	st.inflight.Add(1)
+	defer st.inflight.Add(-1)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, st.node.URL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		g.mem.markDown(st)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		g.mem.markDown(st)
+		return nil, err
+	}
+	return &nodeResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// relay copies a node's buffered response to the client.
+func (g *Gateway) relay(w http.ResponseWriter, nr *nodeResponse) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := nr.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(nr.status)
+	_, _ = w.Write(nr.body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code string, err error, details map[string]any) {
+	writeJSON(w, status, api.Envelope{Error: api.Error{Code: code, Message: err.Error(), Details: details}})
+}
+
+// noLiveReplica emits the 503 a request gets when every candidate node is
+// down or failed mid-flight; Retry-After invites the client SDK's bounded
+// retry, by which time the prober may have revived a member.
+func noLiveReplica(w http.ResponseWriter, what string) {
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable, api.CodeUnavailable,
+		fmt.Errorf("cluster: no live node could serve the %s", what), nil)
+}
+
+// readCandidates is the failover order for addressing one release: the
+// replica set load-balanced first, then the rest of the placement ranking
+// as a last resort (a node outside the set answers 404 and costs one
+// hop, but keeps IDs reachable across membership edits).
+func (g *Gateway) readCandidates(id string) []*nodeState {
+	ranked := g.mem.placement(id)
+	r := g.rfactor
+	if r > len(ranked) {
+		r = len(ranked)
+	}
+	out := liveByLoad(ranked[:r])
+	for _, st := range ranked[r:] {
+		if st.alive.Load() {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// retriableMiss reports a status that, coming from ONE node of a
+// replica set, does not settle a release-addressed read: 404 (this
+// replica never received the snapshot) and 503 (this replica is
+// mid-install, mid-build, or shedding load) — another replica may hold
+// the ready copy, so the gateway fails over before believing either.
+func retriableMiss(status int) bool {
+	return status == http.StatusNotFound || status == http.StatusServiceUnavailable
+}
+
+// missTracker remembers the most informative miss seen across a
+// failover sweep: a 503 outranks a 404 (a node that knows the release
+// is building/installing beats a node that never heard of it — relaying
+// the 404 would turn a client's poll loop into a terminal not-found).
+type missTracker struct {
+	best *nodeResponse
+}
+
+func (m *missTracker) note(nr *nodeResponse) {
+	if m.best == nil || (m.best.status == http.StatusNotFound && nr.status == http.StatusServiceUnavailable) {
+		m.best = nr
+	}
+}
+
+// relayMiss reports the sweep's outcome when every candidate missed.
+// A unanimous 404 while the release's owner is a configured-but-down
+// member upgrades to 503 + Retry-After: the owner may be completing the
+// build right now, so "gone" is not knowable — "retry" is.
+func (g *Gateway) relayMiss(w http.ResponseWriter, releaseID string, m *missTracker, what string) {
+	if m.best == nil {
+		noLiveReplica(w, what)
+		return
+	}
+	if m.best.status == http.StatusNotFound {
+		if owner := g.mem.ownerOf(releaseID); owner != nil && !owner.alive.Load() {
+			noLiveReplica(w, what+" (its owner node is down)")
+			return
+		}
+	}
+	g.relay(w, m.best)
+}
+
+// tryNodes dispatches a release-addressed read to candidates in order,
+// failing over past dead nodes and retriable misses. The first
+// conclusive response is relayed; an all-miss sweep relays through
+// relayMiss; total transport failure yields 503.
+func (g *Gateway) tryNodes(w http.ResponseWriter, r *http.Request, candidates []*nodeState, method, path, contentType string, body []byte, what, releaseID string) {
+	var misses missTracker
+	for _, st := range candidates {
+		nr, err := g.exchange(r.Context(), st, method, path, contentType, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client went away; nothing to relay
+			}
+			g.metrics.addFailover()
+			continue
+		}
+		if retriableMiss(nr.status) {
+			misses.note(nr)
+			continue
+		}
+		g.relay(w, nr)
+		return
+	}
+	g.relayMiss(w, releaseID, &misses, what)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"role":        "gateway",
+		"nodes":       len(g.mem.nodes),
+		"nodes_alive": g.mem.aliveCount(),
+	})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(g.metrics.render(g.mem, g.rfactor))
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	out := api.ClusterStatusResponse{Replication: g.rfactor}
+	for _, st := range g.mem.nodes {
+		out.Nodes = append(out.Nodes, api.ClusterNode{
+			ID:       st.node.ID,
+			URL:      st.node.URL,
+			Alive:    st.alive.Load(),
+			Inflight: st.inflight.Load(),
+			Failures: st.fails.Load(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCreate proxies a release creation to the least-loaded live node,
+// which becomes the release's owner (its node prefix lands in the minted
+// ID). On 202 the replicator starts watching the build so the snapshot
+// ships to the replicas as soon as it is ready. Failover retries another
+// node only on transport errors — at worst an orphan build on a node
+// that died mid-response, never a silently dropped create.
+func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody))
+	if err != nil {
+		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("reading request: %w", err), nil)
+		return
+	}
+	candidates := liveByLoad(g.mem.nodes)
+	if len(candidates) == 0 {
+		noLiveReplica(w, "create")
+		return
+	}
+	for _, st := range candidates {
+		nr, err := g.exchange(r.Context(), st, http.MethodPost, "/v1/releases", "application/json", body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			g.metrics.addFailover()
+			continue
+		}
+		if nr.status == http.StatusAccepted {
+			var rel api.Release
+			if json.Unmarshal(nr.body, &rel) == nil && rel.ID != "" {
+				g.repl.watch(rel.ID)
+			}
+		}
+		g.relay(w, nr)
+		return
+	}
+	noLiveReplica(w, "create")
+}
+
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Placement order, owner first and NOT load-balanced: during the
+	// build only the owner knows the release, and its metadata (build
+	// times, spec) is authoritative even after replication.
+	ranked := g.mem.placement(id)
+	candidates := make([]*nodeState, 0, len(ranked))
+	for _, st := range ranked {
+		if st.alive.Load() {
+			candidates = append(candidates, st)
+		}
+	}
+	if len(candidates) == 0 {
+		noLiveReplica(w, "release lookup")
+		return
+	}
+	g.tryNodes(w, r, candidates, http.MethodGet, "/v1/releases/"+id, "", nil, "release lookup", id)
+}
+
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBatchBody))
+	if err != nil {
+		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("reading request: %w", err), nil)
+		return
+	}
+	candidates := g.readCandidates(id)
+	if len(candidates) == 0 {
+		noLiveReplica(w, "query")
+		return
+	}
+	g.tryNodes(w, r, candidates, http.MethodPost, "/v1/releases/"+id+"/query", "application/json", body, "query", id)
+}
+
+// handleList fans the listing to every live node and merges the catalogs:
+// one entry per release ID, taken from the node earliest in that
+// release's placement ranking (the owner when alive — its metadata is the
+// recorded build, not a replica's install), ordered newest first.
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	type nodeList struct {
+		st   *nodeState
+		rels []api.Release
+	}
+	var (
+		mu    sync.Mutex
+		lists []nodeList
+		wg    sync.WaitGroup
+	)
+	for _, st := range g.mem.nodes {
+		if !st.alive.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(st *nodeState) {
+			defer wg.Done()
+			nr, err := g.exchange(r.Context(), st, http.MethodGet, "/v1/releases", "", nil)
+			if err != nil || nr.status != http.StatusOK {
+				return
+			}
+			var out api.ListReleasesResponse
+			if json.Unmarshal(nr.body, &out) != nil {
+				return
+			}
+			mu.Lock()
+			lists = append(lists, nodeList{st, out.Releases})
+			mu.Unlock()
+		}(st)
+	}
+	wg.Wait()
+	if len(lists) == 0 {
+		noLiveReplica(w, "listing")
+		return
+	}
+	// Placement is a pure function of the ID, so compute each ranking
+	// once per distinct release, not once per (release, holder) pair — a
+	// big catalog is listed by every node.
+	placements := make(map[string][]*nodeState)
+	rank := func(id string, st *nodeState) int {
+		ranked, ok := placements[id]
+		if !ok {
+			ranked = g.mem.placement(id)
+			placements[id] = ranked
+		}
+		for i, p := range ranked {
+			if p == st {
+				return i
+			}
+		}
+		return len(g.mem.nodes)
+	}
+	best := make(map[string]api.Release)
+	bestRank := make(map[string]int)
+	for _, nl := range lists {
+		for _, rel := range nl.rels {
+			rk := rank(rel.ID, nl.st)
+			if cur, ok := bestRank[rel.ID]; !ok || rk < cur {
+				best[rel.ID] = rel
+				bestRank[rel.ID] = rk
+			}
+		}
+	}
+	merged := make([]api.Release, 0, len(best))
+	for _, rel := range best {
+		merged = append(merged, rel)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if !merged[i].CreatedAt.Equal(merged[j].CreatedAt) {
+			return merged[i].CreatedAt.After(merged[j].CreatedAt)
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	writeJSON(w, http.StatusOK, api.ListReleasesResponse{Releases: merged})
+}
+
+// subBatch is one scatter unit: a contiguous slice of the request's
+// queries bound for one replica.
+type subBatch struct {
+	start   int
+	queries []api.Query
+}
+
+// handleBatchQuery splits a batch across the release's live replicas,
+// dispatches the sub-batches concurrently to the least-loaded nodes, and
+// merges the answers back in request order. A sub-batch whose node dies
+// mid-flight fails over to the next live replica; only when every
+// candidate is gone does the batch fail.
+func (g *Gateway) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchQueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.maxBatchBody)).Decode(&req); err != nil {
+		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("decoding request: %w", err), nil)
+		return
+	}
+	if req.ReleaseID == "" {
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, fmt.Errorf("release_id is required"), nil)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, fmt.Errorf("queries is empty"), nil)
+		return
+	}
+	candidates := g.readCandidates(req.ReleaseID)
+	if len(candidates) == 0 {
+		noLiveReplica(w, "batch")
+		return
+	}
+
+	// One sub-batch per live replica in the replica set (never more than
+	// there are queries); a single replica degenerates to a plain proxy.
+	fan := g.rfactor
+	if len(candidates) < fan {
+		fan = len(candidates)
+	}
+	if len(req.Queries) < fan {
+		fan = len(req.Queries)
+	}
+	chunks := make([]subBatch, 0, fan)
+	per := (len(req.Queries) + fan - 1) / fan
+	for start := 0; start < len(req.Queries); start += per {
+		end := min(start+per, len(req.Queries))
+		chunks = append(chunks, subBatch{start: start, queries: req.Queries[start:end]})
+	}
+	g.metrics.addSubBatches(len(chunks))
+
+	outcomes := make([]chunkOutcome, len(chunks))
+	var wg sync.WaitGroup
+	for ci, ch := range chunks {
+		wg.Add(1)
+		go func(ci int, ch subBatch) {
+			defer wg.Done()
+			outcomes[ci] = g.dispatchChunk(r, req.ReleaseID, ch, candidates, ci)
+		}(ci, ch)
+	}
+	wg.Wait()
+
+	out := api.BatchQueryResponse{ReleaseID: req.ReleaseID, Results: make([]api.QueryResult, len(req.Queries))}
+	for ci, oc := range outcomes {
+		if oc.bad != nil {
+			g.relay(w, oc.bad)
+			return
+		}
+		if oc.miss != nil {
+			g.relayMiss(w, req.ReleaseID, oc.miss, "batch")
+			return
+		}
+		if oc.err != nil {
+			noLiveReplica(w, "batch")
+			return
+		}
+		copy(out.Results[chunks[ci].start:], oc.resp.Results)
+		out.CacheHits += oc.resp.CacheHits
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// chunkOutcome is one sub-batch's result: exactly one field is set — the
+// merged answer, a conclusive non-2xx to relay, an all-candidates miss,
+// or a total failure.
+type chunkOutcome struct {
+	resp *api.BatchQueryResponse
+	bad  *nodeResponse
+	miss *missTracker
+	err  error
+}
+
+// dispatchChunk sends one sub-batch, failing over through the candidate
+// list. Candidates are tried starting at a per-chunk offset so
+// concurrent chunks spread over distinct replicas.
+func (g *Gateway) dispatchChunk(r *http.Request, releaseID string, ch subBatch, candidates []*nodeState, offset int) (oc chunkOutcome) {
+	body, err := json.Marshal(api.BatchQueryRequest{ReleaseID: releaseID, Queries: ch.queries})
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	var misses missTracker
+	for i := 0; i < len(candidates); i++ {
+		st := candidates[(offset+i)%len(candidates)]
+		if !st.alive.Load() && i < len(candidates)-1 {
+			continue // died under this batch; skip unless it is the last hope
+		}
+		nr, err := g.exchange(r.Context(), st, http.MethodPost, "/v1/query:batch", "application/json", body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				oc.err = err
+				return oc
+			}
+			g.metrics.addFailover()
+			continue
+		}
+		if retriableMiss(nr.status) {
+			misses.note(nr)
+			continue
+		}
+		if nr.status != http.StatusOK {
+			oc.bad = nr
+			return oc
+		}
+		var resp api.BatchQueryResponse
+		if err := json.Unmarshal(nr.body, &resp); err != nil || len(resp.Results) != len(ch.queries) {
+			g.metrics.addFailover()
+			continue // malformed answer; treat like a dead node
+		}
+		oc.resp = &resp
+		return oc
+	}
+	if misses.best != nil {
+		oc.miss = &misses
+		return oc
+	}
+	oc.err = fmt.Errorf("cluster: no live replica for sub-batch")
+	return oc
+}
+
+// decodeStatus / decodeCode mirror the node server's body-failure
+// mapping: 413 for MaxBytesReader trips, 400 otherwise.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func decodeCode(err error) string {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return api.CodeTooLarge
+	}
+	return api.CodeInvalidRequest
+}

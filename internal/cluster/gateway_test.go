@@ -1,0 +1,244 @@
+package cluster_test
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/anon"
+	"repro/internal/census"
+	"repro/internal/microdata"
+	"repro/internal/query"
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// censusCSVQs generates the shared workload: a CSV table plus a slice of
+// valid queries over its projected schema.
+func censusCSVQs(t *testing.T, rows int, seed int64, qi, nq int) (string, *microdata.Table, []api.Query) {
+	t.Helper()
+	tab := census.Generate(census.Options{N: rows, Seed: seed}).Project(qi)
+	var csv strings.Builder
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := query.NewGenerator(tab.Schema, 2, 0.05, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]api.Query, nq)
+	for i := range qs {
+		q := gen.Next()
+		qs[i] = api.Query{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+	}
+	return csv.String(), tab, qs
+}
+
+// readyOn counts how many nodes serve the release ready right now.
+func readyOn(nodes []*testNode, id string) int {
+	n := 0
+	for _, nd := range nodes {
+		if nd.store == nil {
+			continue
+		}
+		rel, err := client.New(nd.url()).GetRelease(context.Background(), id)
+		if err == nil && rel.Status == api.StatusReady {
+			n++
+		}
+	}
+	return n
+}
+
+// TestClusterAllMethodsByteIdentical is the acceptance-criteria core: a
+// 3-node cluster behind the gateway, one release per registered method
+// (BUREL, Anatomy, perturbation, SABRE), replicated everywhere (R=3) —
+// and every node, plus the gateway's scatter/gather path, returns batch
+// answers exactly equal to every other copy's.
+func TestClusterAllMethodsByteIdentical(t *testing.T) {
+	nodes, _, ts := startCluster(t, 3, 3)
+	ctx := context.Background()
+	gwc := client.New(ts.URL)
+	csv, _, qs := censusCSVQs(t, 700, 23, 3, 32)
+
+	specs := []client.CreateSpec{
+		{Method: anon.MethodBUREL, Params: anon.NewBURELParams(anon.BURELBeta(4), anon.BURELSeed(7)), QI: 3, CSV: csv},
+		{Method: anon.MethodAnatomy, Params: anon.NewAnatomyParams(anon.AnatomyL(2), anon.AnatomySeed(7)), QI: 3, CSV: csv},
+		{Method: anon.MethodPerturb, Params: anon.NewPerturbParams(anon.PerturbBeta(2), anon.PerturbSeed(7)), QI: 3, CSV: csv},
+		{Method: anon.MethodSABRE, Params: anon.NewSABREParams(anon.SABRET(0.15), anon.SABRESeed(7)), QI: 3, CSV: csv},
+	}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		rel, err := gwc.CreateRelease(ctx, spec)
+		if err != nil {
+			t.Fatalf("create %s via gateway: %v", spec.Method, err)
+		}
+		owned := false
+		for _, nd := range nodes {
+			owned = owned || strings.HasPrefix(rel.ID, nd.id+"-")
+		}
+		if !owned {
+			t.Fatalf("gateway-created ID %q carries no member prefix", rel.ID)
+		}
+		ids[i] = rel.ID
+	}
+	for i, id := range ids {
+		if _, err := gwc.WaitReady(ctx, id, 0); err != nil {
+			t.Fatalf("%s via gateway: %v", specs[i].Method, err)
+		}
+		waitCondition(t, 15*time.Second, specs[i].Method+" replicated to all nodes", func() bool {
+			return readyOn(nodes, id) == len(nodes)
+		})
+	}
+
+	for i, id := range ids {
+		viaGW, err := gwc.QueryBatch(ctx, id, qs)
+		if err != nil {
+			t.Fatalf("%s: gateway batch: %v", specs[i].Method, err)
+		}
+		if len(viaGW.Results) != len(qs) {
+			t.Fatalf("%s: gateway answered %d of %d", specs[i].Method, len(viaGW.Results), len(qs))
+		}
+		for _, nd := range nodes {
+			direct, err := client.New(nd.url()).QueryBatch(ctx, id, qs)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", specs[i].Method, nd.id, err)
+			}
+			for qi := range qs {
+				if direct.Results[qi].Estimate != viaGW.Results[qi].Estimate {
+					t.Fatalf("%s query %d: node %s answers %v, gateway %v — replicas must be byte-identical",
+						specs[i].Method, qi, nd.id, direct.Results[qi].Estimate, viaGW.Results[qi].Estimate)
+				}
+			}
+		}
+		// Single-query routing agrees too.
+		res, err := gwc.Query(ctx, id, qs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Estimate != viaGW.Results[0].Estimate {
+			t.Fatalf("%s: single-query %v vs batch %v", specs[i].Method, res.Estimate, viaGW.Results[0].Estimate)
+		}
+	}
+
+	// The merged listing reports each release once, despite three copies.
+	rels, err := gwc.ListReleases(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, rel := range rels {
+		seen[rel.ID]++
+	}
+	for _, id := range ids {
+		if seen[id] != 1 {
+			t.Fatalf("listing shows %s %d times: %v", id, seen[id], seen)
+		}
+	}
+
+	// Gateway metadata lookup prefers the owner's record: build duration
+	// survives (a replica's local install would report none).
+	for i, id := range ids {
+		rel, err := gwc.GetRelease(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Status != api.StatusReady || rel.BuildMillis < 0 {
+			t.Fatalf("%s metadata via gateway: %+v", specs[i].Method, rel)
+		}
+	}
+}
+
+// TestGatewayMissSemantics pins the all-miss outcome of release-addressed
+// reads: an ID nobody holds is a plain 404 while its owner is reachable,
+// but upgrades to 503 + Retry-After once the owner is down — the owner
+// may be mid-build, so "gone" is not knowable and clients must keep
+// polling instead of aborting on a terminal not_found.
+func TestGatewayMissSemantics(t *testing.T) {
+	nodes, _, ts := startCluster(t, 3, 2)
+	ctx := context.Background()
+	gwc := client.New(ts.URL, client.WithMaxRetries(0))
+
+	_, err := gwc.GetRelease(ctx, "n1-r-000099")
+	if !client.IsNotFound(err) {
+		t.Fatalf("unknown ID with live owner: %v, want not_found", err)
+	}
+	nodes[0].kill() // n1 — the configured owner of the prefix
+	waitCondition(t, 10*time.Second, "gateway notices the owner died", func() bool {
+		_, err := gwc.GetRelease(ctx, "n1-r-000099")
+		return client.IsUnavailable(err)
+	})
+	// A query against the same ID follows the same rule.
+	if _, err := gwc.Query(ctx, "n1-r-000099", api.Query{SALo: 0, SAHi: 1}); !client.IsUnavailable(err) {
+		t.Fatalf("query with dead owner: %v, want unavailable", err)
+	}
+	// An ID owned by a live member (or by nobody) stays a plain 404.
+	if _, err := gwc.GetRelease(ctx, "n2-r-000099"); !client.IsNotFound(err) {
+		t.Fatalf("unknown ID with live owner: %v, want not_found", err)
+	}
+	if _, err := gwc.GetRelease(ctx, "stranger-r-000001"); !client.IsNotFound(err) {
+		t.Fatalf("unowned unknown ID: %v, want not_found", err)
+	}
+}
+
+// TestGatewayStatusAndMetrics pins the operational surface: cluster
+// status lists every member alive, and the metrics exposition carries the
+// gateway families.
+func TestGatewayStatusAndMetrics(t *testing.T) {
+	_, _, ts := startCluster(t, 3, 2)
+	resp, err := http.Get(ts.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status api.ClusterStatusResponse
+	if err := jsonDecode(resp, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Replication != 2 || len(status.Nodes) != 3 {
+		t.Fatalf("status %+v", status)
+	}
+	for _, nd := range status.Nodes {
+		if !nd.Alive {
+			t.Fatalf("node %s reported dead at startup", nd.ID)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		"repro_gateway_requests_total",
+		"repro_gateway_node_up{node=\"n1\"} 1",
+		"repro_gateway_replication_factor 2",
+		"repro_gateway_failovers_total",
+		"repro_gateway_replications_total{outcome=\"ok\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Healthz names the role and the live count.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status     string `json:"status"`
+		Role       string `json:"role"`
+		NodesAlive int    `json:"nodes_alive"`
+	}
+	if err := jsonDecode(resp, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Role != "gateway" || hz.NodesAlive != 3 {
+		t.Fatalf("healthz %+v", hz)
+	}
+}

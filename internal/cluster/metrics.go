@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics collects the gateway's counters and renders them in Prometheus
+// text exposition format, dependency-free like the node server's.
+type Metrics struct {
+	mu     sync.Mutex
+	counts map[routeCode]uint64
+	start  time.Time
+
+	failovers    uint64 // requests re-dispatched after a node failure
+	subBatches   uint64 // sub-batches fanned out by scatter/gather
+	replOK       uint64 // snapshot replications completed
+	replErr      uint64 // snapshot replications failed (retried by reconcile)
+	replSweeps   uint64 // reconcile sweeps run
+	replBytesOut uint64 // envelope bytes shipped to replicas
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counts: make(map[routeCode]uint64), start: time.Now()}
+}
+
+// Observe records one completed gateway request.
+func (m *Metrics) Observe(route string, code int) {
+	m.mu.Lock()
+	m.counts[routeCode{route, code}]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addFailover()        { m.mu.Lock(); m.failovers++; m.mu.Unlock() }
+func (m *Metrics) addSubBatches(n int) { m.mu.Lock(); m.subBatches += uint64(n); m.mu.Unlock() }
+func (m *Metrics) addSweep()           { m.mu.Lock(); m.replSweeps++; m.mu.Unlock() }
+
+func (m *Metrics) addReplication(bytes int, err error) {
+	m.mu.Lock()
+	if err != nil {
+		m.replErr++
+	} else {
+		m.replOK++
+		m.replBytesOut += uint64(bytes)
+	}
+	m.mu.Unlock()
+}
+
+// render writes the exposition, including per-node liveness gauges read
+// live from the membership.
+func (m *Metrics) render(mem *Membership, r int) []byte {
+	var buf bytes.Buffer
+	m.mu.Lock()
+	keys := make([]routeCode, 0, len(m.counts))
+	for k := range m.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintln(&buf, "# HELP repro_gateway_requests_total Requests served by the gateway, by route and status code.")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_requests_total counter")
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "repro_gateway_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.counts[k])
+	}
+	fmt.Fprintln(&buf, "# HELP repro_gateway_failovers_total Requests re-dispatched to another replica after a node failure.")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_failovers_total counter")
+	fmt.Fprintf(&buf, "repro_gateway_failovers_total %d\n", m.failovers)
+	fmt.Fprintln(&buf, "# HELP repro_gateway_subbatches_total Sub-batches dispatched by scatter/gather batch routing.")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_subbatches_total counter")
+	fmt.Fprintf(&buf, "repro_gateway_subbatches_total %d\n", m.subBatches)
+	fmt.Fprintln(&buf, "# HELP repro_gateway_replications_total Snapshot replications, by outcome.")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_replications_total counter")
+	fmt.Fprintf(&buf, "repro_gateway_replications_total{outcome=\"ok\"} %d\n", m.replOK)
+	fmt.Fprintf(&buf, "repro_gateway_replications_total{outcome=\"error\"} %d\n", m.replErr)
+	fmt.Fprintln(&buf, "# HELP repro_gateway_replication_bytes_total Envelope bytes shipped to replicas.")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_replication_bytes_total counter")
+	fmt.Fprintf(&buf, "repro_gateway_replication_bytes_total %d\n", m.replBytesOut)
+	fmt.Fprintln(&buf, "# HELP repro_gateway_reconcile_sweeps_total Replication reconcile sweeps completed.")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_reconcile_sweeps_total counter")
+	fmt.Fprintf(&buf, "repro_gateway_reconcile_sweeps_total %d\n", m.replSweeps)
+	uptime := time.Since(m.start).Seconds()
+	m.mu.Unlock()
+
+	fmt.Fprintln(&buf, "# HELP repro_gateway_replication_factor Configured replication factor R.")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_replication_factor gauge")
+	fmt.Fprintf(&buf, "repro_gateway_replication_factor %d\n", r)
+	fmt.Fprintln(&buf, "# HELP repro_gateway_node_up Per-node circuit breaker state (1 = routable).")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_node_up gauge")
+	for _, st := range mem.nodes {
+		up := 0
+		if st.alive.Load() {
+			up = 1
+		}
+		fmt.Fprintf(&buf, "repro_gateway_node_up{node=%q} %d\n", st.node.ID, up)
+	}
+	fmt.Fprintln(&buf, "# HELP repro_gateway_node_inflight Requests currently outstanding against each node.")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_node_inflight gauge")
+	for _, st := range mem.nodes {
+		fmt.Fprintf(&buf, "repro_gateway_node_inflight{node=%q} %d\n", st.node.ID, st.inflight.Load())
+	}
+	fmt.Fprintln(&buf, "# HELP repro_gateway_uptime_seconds Seconds since the gateway started.")
+	fmt.Fprintln(&buf, "# TYPE repro_gateway_uptime_seconds gauge")
+	fmt.Fprintf(&buf, "repro_gateway_uptime_seconds %g\n", uptime)
+	return buf.Bytes()
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}

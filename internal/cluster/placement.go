@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// rendezvousScore is the highest-random-weight score of placing release
+// id on node. FNV-64a is stable across processes and platforms, so every
+// gateway (and every gateway restart) derives the same placement from the
+// same membership — placement is computed, never stored.
+func rendezvousScore(nodeID, releaseID string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(nodeID))
+	h.Write([]byte{0})
+	h.Write([]byte(releaseID))
+	return h.Sum64()
+}
+
+// ownerOf resolves the member whose ID prefixes the release ID — the node
+// that minted it. Node IDs may themselves contain dashes, so the longest
+// matching prefix wins. Nil when no member matches (a release minted by a
+// node since removed from the cluster, or a prefix-less single-node ID).
+func (m *Membership) ownerOf(releaseID string) *nodeState {
+	var owner *nodeState
+	for _, st := range m.nodes {
+		if strings.HasPrefix(releaseID, st.node.ID+"-") {
+			if owner == nil || len(st.node.ID) > len(owner.node.ID) {
+				owner = st
+			}
+		}
+	}
+	return owner
+}
+
+// placement ranks every member for a release: the owner (by ID prefix)
+// first when it is a member, the rest in descending rendezvous order with
+// node-ID ties broken lexicographically. The first r entries are the
+// replica set; callers that need failover past it iterate the full
+// ranking. Deterministic for a given membership and release ID.
+func (m *Membership) placement(releaseID string) []*nodeState {
+	ranked := make([]*nodeState, len(m.nodes))
+	copy(ranked, m.nodes)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := rendezvousScore(ranked[i].node.ID, releaseID), rendezvousScore(ranked[j].node.ID, releaseID)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].node.ID < ranked[j].node.ID
+	})
+	if owner := m.ownerOf(releaseID); owner != nil {
+		for i, st := range ranked {
+			if st == owner {
+				copy(ranked[1:i+1], ranked[:i])
+				ranked[0] = owner
+				break
+			}
+		}
+	}
+	return ranked
+}
+
+// replicaSet is the first r nodes of the placement ranking: the nodes
+// that should hold the release's snapshot.
+func (m *Membership) replicaSet(releaseID string, r int) []*nodeState {
+	ranked := m.placement(releaseID)
+	if r < 1 {
+		r = 1
+	}
+	if r > len(ranked) {
+		r = len(ranked)
+	}
+	return ranked[:r]
+}
+
+// liveByLoad filters a ranking to live nodes and orders them by current
+// in-flight load (ties keep the ranking order, which sort.SliceStable
+// preserves): the dispatch order for scatter/gather.
+func liveByLoad(ranked []*nodeState) []*nodeState {
+	live := make([]*nodeState, 0, len(ranked))
+	for _, st := range ranked {
+		if st.alive.Load() {
+			live = append(live, st)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		return live[i].inflight.Load() < live[j].inflight.Load()
+	})
+	return live
+}

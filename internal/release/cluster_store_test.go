@@ -1,0 +1,141 @@
+package release
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/census"
+)
+
+// TestNodeScopedIDs: a store with a node identity mints node-prefixed IDs
+// for both submitted and registered releases, so two nodes' catalogs can
+// merge under one gateway without collisions.
+func TestNodeScopedIDs(t *testing.T) {
+	s, err := NewStoreNode(1, "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Node() != "n2" {
+		t.Fatalf("Node() = %q, want n2", s.Node())
+	}
+	tab := census.Generate(census.Options{N: 300, Seed: 9}).Project(2)
+	meta, err := s.Submit(context.Background(), tab, burelSpec(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != "n2-r-000001" {
+		t.Fatalf("submitted ID %q, want n2-r-000001", meta.ID)
+	}
+	snap := SyntheticSnapshot(tab.Schema, 50, rand.New(rand.NewSource(1)))
+	m2, err := s.Register(snap, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ID != "n2-r-000002" {
+		t.Fatalf("registered ID %q, want n2-r-000002", m2.ID)
+	}
+
+	for _, bad := range []string{"a b", "-x", "n/1", strings.Repeat("n", 33), "n\x00"} {
+		if _, err := NewStoreNode(1, bad); err == nil {
+			t.Errorf("node ID %q accepted", bad)
+		}
+	}
+}
+
+// TestRegisterAs: caller-chosen IDs install idempotently — the cluster
+// replication landing path.
+func TestRegisterAs(t *testing.T) {
+	s, err := NewStoreNode(1, "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	schema := census.Schema().Project(2)
+	snap := SyntheticSnapshot(schema, 80, rand.New(rand.NewSource(2)))
+
+	meta, created, err := s.RegisterAs("n1-r-000007", snap, Spec{})
+	if err != nil || !created {
+		t.Fatalf("RegisterAs: created=%v err=%v", created, err)
+	}
+	if meta.ID != "n1-r-000007" || meta.Status != StatusReady {
+		t.Fatalf("installed as %q status %s", meta.ID, meta.Status)
+	}
+	// A retry is a no-op that reports the existing release.
+	again, created, err := s.RegisterAs("n1-r-000007", SyntheticSnapshot(schema, 10, rand.New(rand.NewSource(3))), Spec{})
+	if err != nil || created {
+		t.Fatalf("duplicate RegisterAs: created=%v err=%v", created, err)
+	}
+	if again.NumECs != meta.NumECs {
+		t.Fatalf("duplicate RegisterAs replaced the release: %d ECs, want %d", again.NumECs, meta.NumECs)
+	}
+	if got, err := s.Snapshot("n1-r-000007"); err != nil || got != snap {
+		t.Fatalf("snapshot after duplicate register: %v (same=%v)", err, got == snap)
+	}
+
+	for _, bad := range []string{"", "../evil", "a b", strings.Repeat("r", 129)} {
+		if _, _, err := s.RegisterAs(bad, snap, Spec{}); err == nil {
+			t.Errorf("release ID %q accepted", bad)
+		}
+	}
+}
+
+// TestRegisterAsDurableRecovery: a replica installed under a foreign
+// node's ID persists and is recovered verbatim by OpenNode — replicas
+// recover from their own manifests with zero re-replication.
+func TestRegisterAsDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenNode(dir, 1, "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := census.Schema().Project(2)
+	snap := SyntheticSnapshot(schema, 60, rand.New(rand.NewSource(4)))
+	meta, created, err := s.RegisterAs("n1-r-000003", snap, Spec{})
+	if err != nil || !created {
+		t.Fatalf("RegisterAs: created=%v err=%v", created, err)
+	}
+	if !meta.Persisted {
+		t.Fatal("registered replica not persisted")
+	}
+	// The local mint sequence keeps advancing past replica installs.
+	tab := census.Generate(census.Options{N: 200, Seed: 5}).Project(2)
+	own, err := s.Submit(context.Background(), tab, burelSpec(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if own.ID != "n2-r-000002" {
+		t.Fatalf("minted %q after replica install, want n2-r-000002", own.ID)
+	}
+	if _, err := s.WaitReady(own.ID, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenNode(dir, 1, "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec := s2.Recovery(); rec.Ready != 2 || rec.Corrupt != 0 {
+		t.Fatalf("recovery %+v, want 2 ready", rec)
+	}
+	got, ok := s2.Get("n1-r-000003")
+	if !ok || got.Status != StatusReady || got.NumECs != meta.NumECs {
+		t.Fatalf("replica not recovered: ok=%v %+v", ok, got)
+	}
+	if _, err := s2.Snapshot("n1-r-000003"); err != nil {
+		t.Fatal(err)
+	}
+	// New IDs resume past the recovered version counter.
+	m3, _, err := s2.RegisterAs("n3-r-000001", SyntheticSnapshot(schema, 10, rand.New(rand.NewSource(6))), Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Version <= got.Version {
+		t.Fatalf("version %d did not resume past %d", m3.Version, got.Version)
+	}
+}

@@ -42,6 +42,15 @@ type RecoveryStats struct {
 // snapshot files are skipped from serving with a logged reason and
 // surface as failed releases. workers is as in NewStore.
 func Open(dir string, workers int) (*Store, error) {
+	return OpenNode(dir, workers, "")
+}
+
+// OpenNode is Open with a cluster node identity (see NewStoreNode):
+// recovered releases keep the IDs recorded in the manifest — including
+// replicas installed under another node's prefix — and newly minted IDs
+// carry this node's prefix, so a node restarted against its own data
+// directory rejoins the cluster without colliding with its peers.
+func OpenNode(dir string, workers int, node string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("release: creating data dir: %w", err)
 	}
@@ -54,7 +63,12 @@ func Open(dir string, workers int) (*Store, error) {
 		unlock()
 		return nil, err
 	}
-	s := NewStore(workers)
+	s, err := NewStoreNode(workers, node)
+	if err != nil {
+		man.close()
+		unlock()
+		return nil, err
+	}
 	s.dir = dir
 	s.man = man
 	s.unlock = unlock

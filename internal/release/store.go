@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"regexp"
 	"sort"
 	"sync"
 	"time"
@@ -39,6 +40,12 @@ type Store struct {
 	byID    map[string]*record
 	version uint64
 	closed  bool
+
+	// node is this store's cluster identity; when non-empty, every minted
+	// release ID carries it as a prefix ("n2" mints "n2-r-000007"), so two
+	// nodes' catalogs can merge under one gateway without ID collisions.
+	// Set once at construction, read-only after.
+	node string
 
 	// dir and man are set only on durable stores (Open): every accepted
 	// submission is logged to the manifest before Submit returns, builds
@@ -85,12 +92,30 @@ const DefaultWorkers = 4
 
 // NewStore starts a store with the given build concurrency.
 func NewStore(workers int) *Store {
+	s, err := NewStoreNode(workers, "")
+	if err != nil {
+		panic(err) // unreachable: the empty node ID is always valid
+	}
+	return s
+}
+
+// NewStoreNode is NewStore with a cluster node identity: every release ID
+// the store mints is prefixed with node ("n2" → "n2-r-000007"), making
+// IDs globally unique across a static cluster of distinctly named nodes.
+// An empty node keeps the single-node ID format. Node IDs are restricted
+// to a filename- and URL-safe alphabet because release IDs embed them in
+// snapshot file names and request paths.
+func NewStoreNode(workers int, node string) (*Store, error) {
+	if err := ValidateNodeID(node); err != nil {
+		return nil, err
+	}
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
 	root, cancel := context.WithCancel(context.Background())
 	s := &Store{
 		byID:   make(map[string]*record),
+		node:   node,
 		root:   root,
 		cancel: cancel,
 		jobs:   make(chan *record, 64),
@@ -99,7 +124,57 @@ func NewStore(workers int) *Store {
 	for i := 0; i < workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// Node returns the store's cluster node identity ("" on single-node
+// stores).
+func (s *Store) Node() string { return s.node }
+
+// mintID derives a release ID from the just-incremented version counter,
+// carrying the node prefix on cluster stores. Callers hold s.mu.
+func (s *Store) mintID() string {
+	if s.node == "" {
+		return fmt.Sprintf("r-%06d", s.version)
+	}
+	return fmt.Sprintf("%s-r-%06d", s.node, s.version)
+}
+
+// idPattern admits release IDs (and, transitively, node IDs) that are
+// safe as snapshot file names and URL path segments: alphanumeric first
+// byte, then alphanumerics, dots, underscores, and dashes.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// ValidateNodeID rejects node identities that could not be embedded in
+// release IDs. The empty string (single-node operation) is valid.
+func ValidateNodeID(node string) error {
+	if node == "" {
+		return nil
+	}
+	if len(node) > 32 {
+		return fmt.Errorf("release: node ID %q is longer than 32 bytes", node)
+	}
+	if !idPattern.MatchString(node) {
+		return fmt.Errorf("release: node ID %q must match %s", node, idPattern)
+	}
+	return nil
+}
+
+// ValidateReleaseID rejects IDs a store cannot install: empty, oversized,
+// or containing bytes unsafe for file names and URLs. Applied to
+// caller-supplied IDs (RegisterAs); minted IDs satisfy it by
+// construction.
+func ValidateReleaseID(id string) error {
+	if id == "" {
+		return fmt.Errorf("release: empty release ID")
+	}
+	if len(id) > 128 {
+		return fmt.Errorf("release: release ID of %d bytes is longer than 128", len(id))
+	}
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("release: release ID %q must match %s", id, idPattern)
+	}
+	return nil
 }
 
 // Close stops accepting submissions, cancels in-flight and queued builds,
@@ -169,7 +244,7 @@ func (s *Store) Submit(ctx context.Context, t *microdata.Table, spec Spec) (Meta
 	stop := context.AfterFunc(s.root, bcancel)
 	rec := &record{
 		meta: Meta{
-			ID:        fmt.Sprintf("r-%06d", s.version),
+			ID:        s.mintID(),
 			Version:   s.version,
 			Spec:      spec,
 			Status:    StatusPending,
@@ -256,38 +331,89 @@ func (s *Store) rejectLogged(meta Meta, reason string) {
 // copied) and must not be mutated after registration. The spec is
 // recorded as metadata only; it is not validated against the snapshot.
 func (s *Store) Register(snap *Snapshot, spec Spec) (Meta, error) {
-	if snap == nil || snap.Schema == nil || snap.Release == nil {
-		return Meta{}, fmt.Errorf("release: nil snapshot")
+	meta, _, err := s.register("", snap, spec)
+	return meta, err
+}
+
+// RegisterAs installs an externally built snapshot under a caller-chosen
+// ID — the landing path for cluster snapshot replication, where the ID
+// was minted by the release's owner node and must be preserved so every
+// replica serves the release under the same address. Created reports
+// whether the call installed the snapshot; when the ID already exists in
+// a terminal state the existing metadata is returned with created false
+// and the snapshot is dropped (replication retries are idempotent), and
+// an ID mid-install by a concurrent caller errors with ErrNotReady
+// (retriable — the competing install's outcome is not yet known).
+// Otherwise the semantics match Register.
+func (s *Store) RegisterAs(id string, snap *Snapshot, spec Spec) (meta Meta, created bool, err error) {
+	if err := ValidateReleaseID(id); err != nil {
+		return Meta{}, false, err
 	}
-	// A payload inconsistent with its kind would not fail here but as a
-	// nil dereference on a query worker goroutine, taking down the whole
-	// process; reject it at the boundary instead.
+	return s.register(id, snap, spec)
+}
+
+// checkRegistrable rejects snapshots whose payload is inconsistent with
+// their kind: such a payload would not fail at registration but as a nil
+// dereference on a query worker goroutine, taking down the whole process.
+func checkRegistrable(snap *Snapshot) error {
+	if snap == nil || snap.Schema == nil || snap.Release == nil {
+		return fmt.Errorf("release: nil snapshot")
+	}
 	switch snap.Kind {
 	case KindGeneralized:
 		if snap.Index == nil {
-			return Meta{}, fmt.Errorf("release: generalized snapshot without index")
+			return fmt.Errorf("release: generalized snapshot without index")
 		}
 	case KindAnatomy:
 		if snap.Release.Baseline == nil && snap.Release.LDiverse == nil {
-			return Meta{}, fmt.Errorf("release: anatomy snapshot without publication")
+			return fmt.Errorf("release: anatomy snapshot without publication")
 		}
 	case KindPerturbed:
 		if snap.Release.Perturbed == nil || snap.Release.Scheme == nil {
-			return Meta{}, fmt.Errorf("release: perturbed snapshot without table or scheme")
+			return fmt.Errorf("release: perturbed snapshot without table or scheme")
 		}
 	default:
-		return Meta{}, fmt.Errorf("release: unknown kind %q", snap.Kind)
+		return fmt.Errorf("release: unknown kind %q", snap.Kind)
+	}
+	return nil
+}
+
+// register installs a pre-built snapshot, minting an ID when id is empty
+// and reusing the caller's otherwise. A caller-supplied ID that already
+// exists returns the existing metadata (created false) without touching
+// the catalog.
+func (s *Store) register(id string, snap *Snapshot, spec Spec) (Meta, bool, error) {
+	if err := checkRegistrable(snap); err != nil {
+		return Meta{}, false, err
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return Meta{}, fmt.Errorf("release: %w", ErrClosed)
+		return Meta{}, false, fmt.Errorf("release: %w", ErrClosed)
+	}
+	if id != "" {
+		if rec, ok := s.byID[id]; ok {
+			meta := rec.meta
+			s.mu.Unlock()
+			// A terminal record is an idempotent success. A pending one is
+			// a competing install (or an in-flight build) whose outcome is
+			// unknown — reporting success would let a replicating gateway
+			// count a copy that may never land; ErrNotReady tells it to
+			// retry instead.
+			if meta.Status == StatusPending || meta.Status == StatusBuilding {
+				return Meta{}, false, fmt.Errorf("%w: %s is mid-install", ErrNotReady, id)
+			}
+			return meta, false, nil
+		}
 	}
 	s.version++
 	now := time.Now().UTC()
+	if id == "" {
+		id = s.mintID()
+	}
 	rec := &record{
 		meta: Meta{
-			ID:        fmt.Sprintf("r-%06d", s.version),
+			ID:        id,
 			Version:   s.version,
 			Spec:      spec,
 			Status:    StatusReady,
@@ -303,19 +429,32 @@ func (s *Store) Register(snap *Snapshot, spec Spec) (Meta, error) {
 		s.byID[rec.meta.ID] = rec
 		meta := rec.meta
 		s.mu.Unlock()
-		return meta, nil
+		return meta, true, nil
 	}
 	// Durable store: the registered snapshot is persisted like a built one
 	// (the pre-built-corpus shipping path), off-lock so the encode and
-	// fsync do not stall readers. The ID is already reserved; a failure
-	// burns the version number but installs nothing. The ioWG entry
-	// (added under mu with closed false) makes Close wait for this write,
-	// so it cannot land in a directory another process has taken over.
+	// fsync do not stall readers. The ID is reserved in the catalog as a
+	// pending record first, so a concurrent RegisterAs of the same ID (two
+	// gateways replicating at once) observes it and backs off instead of
+	// writing the file twice; a persist failure removes the reservation.
+	// The ioWG entry (added under mu with closed false) makes Close wait
+	// for this write, so it cannot land in a directory another process has
+	// taken over.
+	reservation := &record{meta: rec.meta}
+	reservation.meta.Status = StatusPending
+	reservation.meta.ReadyAt = time.Time{}
+	s.byID[rec.meta.ID] = reservation
 	s.ioWG.Add(1)
 	defer s.ioWG.Done()
 	s.mu.Unlock()
-	if err := s.finishDurable(&rec.meta, snap); err != nil {
-		return Meta{}, fmt.Errorf("release: %w", err)
+	err := s.finishDurable(&rec.meta, snap)
+	s.mu.Lock()
+	if err != nil {
+		if s.byID[rec.meta.ID] == reservation {
+			delete(s.byID, rec.meta.ID)
+		}
+		s.mu.Unlock()
+		return Meta{}, false, fmt.Errorf("release: %w", err)
 	}
 	// Deliberately no closed re-check here, unlike Submit: if Close raced
 	// in, the ready record is already durable (finishDurable completes
@@ -323,11 +462,10 @@ func (s *Store) Register(snap *Snapshot, spec Spec) (Meta, error) {
 	// Open will serve this release — installing it and returning success
 	// is the truthful outcome, and queries against ready releases stay
 	// valid after Close.
-	s.mu.Lock()
 	s.byID[rec.meta.ID] = rec
 	meta := rec.meta
 	s.mu.Unlock()
-	return meta, nil
+	return meta, true, nil
 }
 
 func (s *Store) worker() {

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/anon"
+	"repro/internal/cluster"
+	"repro/internal/release"
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// clusterNode spins one node server with internal endpoints enabled.
+func clusterNode(t *testing.T, node, token string) (*release.Store, *httptest.Server) {
+	t.Helper()
+	store, err := release.NewStoreNode(2, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{ClusterToken: token})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close(); store.Close() })
+	return store, ts
+}
+
+func internalReq(t *testing.T, method, url, token string, body []byte) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestInternalSnapshotRoundTrip: a release built on one node ships to a
+// second node through the internal endpoints and answers queries there
+// bit-identically.
+func TestInternalSnapshotRoundTrip(t *testing.T) {
+	const token = "secret-token"
+	ctx := context.Background()
+	_, ts1 := clusterNode(t, "n1", token)
+	_, ts2 := clusterNode(t, "n2", token)
+
+	csv, _ := censusCSV(t, 500, 13, 3)
+	c1 := client.New(ts1.URL)
+	rel, err := c1.CreateRelease(ctx, client.CreateSpec{
+		Method: anon.MethodBUREL,
+		Params: anon.NewBURELParams(anon.BURELBeta(4), anon.BURELSeed(3)),
+		QI:     3, CSV: csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel, err = c1.WaitReady(ctx, rel.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rel.ID, "n1-") {
+		t.Fatalf("node-minted ID %q lacks prefix", rel.ID)
+	}
+
+	// Fetch the envelope from n1.
+	resp := internalReq(t, http.MethodGet, ts1.URL+"/v1/internal/snapshot/"+rel.ID, token, nil)
+	env, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET internal snapshot: %d: %s", resp.StatusCode, env)
+	}
+	id, node, snapBytes, err := cluster.DecodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != rel.ID || node != "n1" {
+		t.Fatalf("envelope id=%q node=%q", id, node)
+	}
+	if _, _, err := release.DecodeSnapshot(snapBytes); err != nil {
+		t.Fatalf("framed snapshot does not decode: %v", err)
+	}
+
+	// Install it on n2 verbatim: 201 on first install, 200 on replay.
+	resp = internalReq(t, http.MethodPost, ts2.URL+"/v1/internal/snapshot", token, env)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST internal snapshot: %d: %s", resp.StatusCode, body)
+	}
+	resp = internalReq(t, http.MethodPost, ts2.URL+"/v1/internal/snapshot", token, env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed POST: %d, want 200", resp.StatusCode)
+	}
+
+	// The replica answers exactly as the owner.
+	qs := []api.Query{{SALo: 0, SAHi: 3}, {Dims: []int{0}, Lo: []float64{20}, Hi: []float64{40}, SALo: 0, SAHi: 6}}
+	b1, err := c1.QueryBatch(ctx, rel.ID, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := client.New(ts2.URL).QueryBatch(ctx, rel.ID, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1.Results {
+		if b1.Results[i].Estimate != b2.Results[i].Estimate {
+			t.Fatalf("query %d: owner %v, replica %v", i, b1.Results[i].Estimate, b2.Results[i].Estimate)
+		}
+	}
+}
+
+// TestInternalSnapshotAuth: wrong or missing tokens are 403, as is any
+// access on a node configured without a token; garbage envelopes are 400.
+func TestInternalSnapshotAuth(t *testing.T) {
+	const token = "secret-token"
+	_, ts := clusterNode(t, "n1", token)
+	for _, tok := range []string{"", "wrong"} {
+		resp := internalReq(t, http.MethodGet, ts.URL+"/v1/internal/snapshot/n1-r-000001", tok, nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("token %q: %d, want 403", tok, resp.StatusCode)
+		}
+	}
+	// Unknown ID with the right token is 404 (auth precedes lookup).
+	resp := internalReq(t, http.MethodGet, ts.URL+"/v1/internal/snapshot/nope", token, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: %d, want 404", resp.StatusCode)
+	}
+	// Garbage body: 400, not a panic.
+	resp = internalReq(t, http.MethodPost, ts.URL+"/v1/internal/snapshot", token, []byte("not an envelope"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage envelope: %d, want 400", resp.StatusCode)
+	}
+
+	// A node without a token refuses even correct bearers.
+	_, tsOff := clusterNode(t, "n2", "")
+	resp = internalReq(t, http.MethodGet, tsOff.URL+"/v1/internal/snapshot/x", token, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("disabled endpoints: %d, want 403", resp.StatusCode)
+	}
+}

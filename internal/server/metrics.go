@@ -65,6 +65,8 @@ type engineStats func() engine.Stats
 // PersistStats is the metrics-facing view of the store's durability
 // state, kept free of release-package types like releaseCounter is.
 type PersistStats struct {
+	// Node is the store's cluster node identity ("" single-node).
+	Node string
 	// Durable reports whether the store persists to a data directory.
 	Durable bool
 	// DiskBytes is the total size of the data directory.
@@ -150,6 +152,11 @@ func (m *Metrics) handler(releases releaseCounter, engStats engineStats, persist
 		}
 		if persist != nil {
 			ps := persist()
+			if ps.Node != "" {
+				fmt.Fprintln(&buf, "# HELP repro_node_info Cluster node identity (value is always 1).")
+				fmt.Fprintln(&buf, "# TYPE repro_node_info gauge")
+				fmt.Fprintf(&buf, "repro_node_info{node=%q} 1\n", ps.Node)
+			}
 			durable := 0
 			if ps.Durable {
 				durable = 1

@@ -6,8 +6,15 @@
 //	GET  /v1/releases/{id}       release status and metadata
 //	POST /v1/releases/{id}/query COUNT(*) estimate against a ready release
 //	POST /v1/query:batch         N COUNT(*) estimates against one release
-//	GET  /healthz                liveness probe
+//	GET  /healthz                liveness probe (+ node identity)
 //	GET  /metrics                Prometheus-format counters
+//
+// With Options.ClusterToken set, two authenticated cluster-internal
+// routes are added for snapshot replication (see cluster.go and
+// internal/cluster):
+//
+//	GET  /v1/internal/snapshot/{id}  fetch a ready release's snapshot
+//	POST /v1/internal/snapshot       install a replicated snapshot
 //
 // Wire types live in repro/pkg/api; anonymization methods are resolved
 // through the repro/anon registry, so the server serves any registered
@@ -51,6 +58,10 @@ type Options struct {
 	// result-cache capacity, per-request batch cap); the zero value
 	// selects the engine defaults.
 	Engine engine.Options
+	// ClusterToken enables the cluster-internal snapshot endpoints
+	// (GET/POST /v1/internal/snapshot...) and authenticates them as a
+	// Bearer token. Empty keeps them disabled (403).
+	ClusterToken string
 }
 
 // Server is the HTTP front end; it implements http.Handler.
@@ -66,18 +77,20 @@ type Server struct {
 	// CSV-sized JSON body of predicate arrays would amplify a few MB of
 	// text into GBs of slices before any validation could reject it.
 	maxQueryBody, maxBatchBody int64
+	clusterToken               string
 }
 
 // New wires the API around a store. Call Close to stop the server's
 // query engine when done.
 func New(store *release.Store, opts Options) *Server {
 	s := &Server{
-		store:   store,
-		engine:  engine.New(opts.Engine),
-		schema:  opts.Schema,
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
-		maxBody: opts.MaxBodyBytes,
+		store:        store,
+		engine:       engine.New(opts.Engine),
+		schema:       opts.Schema,
+		metrics:      NewMetrics(),
+		mux:          http.NewServeMux(),
+		maxBody:      opts.MaxBodyBytes,
+		clusterToken: opts.ClusterToken,
 	}
 	if s.schema == nil {
 		s.schema = census.Schema()
@@ -94,6 +107,8 @@ func New(store *release.Store, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/releases/{id}", s.instrument("get_release", s.handleGet))
 	s.mux.HandleFunc("POST /v1/releases/{id}/query", s.instrument("query_release", s.handleQuery))
 	s.mux.HandleFunc("POST /v1/query:batch", s.instrument("batch_query", s.handleBatchQuery))
+	s.mux.HandleFunc("GET /v1/internal/snapshot/{id}", s.instrument("internal_snapshot_get", s.requireCluster(s.handleSnapshotGet)))
+	s.mux.HandleFunc("POST /v1/internal/snapshot", s.instrument("internal_snapshot_put", s.requireCluster(s.handleSnapshotPut)))
 	return s
 }
 
@@ -120,6 +135,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) persistStats() PersistStats {
 	rec := s.store.Recovery()
 	return PersistStats{
+		Node:                 s.store.Node(),
 		Durable:              s.store.Durable(),
 		DiskBytes:            s.store.DiskSize(),
 		RecoveredReady:       rec.Ready,
@@ -137,8 +153,15 @@ func (s *Server) releaseCounts() map[string]int {
 	return counts
 }
 
+// handleHealthz reports liveness, plus the node identity when the store
+// runs with one: a cluster gateway's prober verifies it against the
+// configured membership, catching mis-wired -nodes flags.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if node := s.store.Node(); node != "" {
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"node\":%q}\n", node)
+		return
+	}
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 

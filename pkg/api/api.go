@@ -64,9 +64,13 @@ const (
 	CodeBuildFailed = "build_failed"
 	// CodeTooLarge is an oversized body or batch (413).
 	CodeTooLarge = "too_large"
-	// CodeUnavailable is a saturated build queue or a server shutting
-	// down (503 + Retry-After).
+	// CodeUnavailable is a saturated build queue, a server shutting
+	// down, or a cluster gateway with no live replica for the request
+	// (503 + Retry-After).
 	CodeUnavailable = "unavailable"
+	// CodeForbidden is a cluster-internal endpoint reached without the
+	// cluster token, or on a node where they are disabled (403).
+	CodeForbidden = "forbidden"
 	// CodeInternal is an unexpected server-side failure (500).
 	CodeInternal = "internal"
 )
@@ -171,4 +175,25 @@ type BatchQueryResponse struct {
 	ReleaseID string        `json:"release_id"`
 	Results   []QueryResult `json:"results"`
 	CacheHits int           `json:"cache_hits"`
+}
+
+// ClusterNode is one member's state in a cluster gateway's view.
+type ClusterNode struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// Alive reports the gateway's circuit breaker for the node: false
+	// while the node is considered down and excluded from routing.
+	Alive bool `json:"alive"`
+	// Inflight is the number of gateway requests currently outstanding
+	// against the node.
+	Inflight int64 `json:"inflight"`
+	// Failures counts consecutive failed health probes.
+	Failures int64 `json:"failures,omitempty"`
+}
+
+// ClusterStatusResponse is the GET /v1/cluster/status body a gateway
+// serves: the configured replication factor and every member's state.
+type ClusterStatusResponse struct {
+	Replication int           `json:"replication"`
+	Nodes       []ClusterNode `json:"nodes"`
 }
