@@ -1,6 +1,9 @@
 // Command loadgen drives query traffic against a running serve instance
-// and reports throughput, so the batch endpoint's speedup over
-// single-query round-trips is measurable from the command line.
+// and reports throughput plus request-latency percentiles (p50, p95,
+// p99, max) per endpoint, so both the batch endpoint's speedup over
+// single-query round-trips and the tail behavior under load are
+// measurable from the command line. With -json the same numbers are
+// written as a machine-readable report (the BENCH_*.json format).
 //
 // It is built entirely on the typed Go SDK (repro/pkg/client): releases
 // are created with typed anon params, the build is awaited through
@@ -19,6 +22,7 @@
 //	        [-rows 20000] [-beta 4] [-qi 3] [-seed 1]
 //	        [-queries 10000] [-batch 64] [-concurrency 8] [-single]
 //	        [-lambda 2] [-theta 0.05] [-distinct 1024] [-zipf-s 1.2]
+//	        [-json report.json]
 //
 // -addr accepts a comma-separated endpoint list; workers are assigned
 // round-robin across the endpoints and throughput is reported both in
@@ -37,6 +41,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -48,6 +53,7 @@ import (
 
 	"repro/anon"
 	"repro/internal/census"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/pkg/api"
 	"repro/pkg/client"
@@ -72,6 +78,7 @@ func main() {
 	theta := flag.Float64("theta", 0.05, "expected query selectivity (θ)")
 	distinct := flag.Int("distinct", 1024, "distinct queries in the replay pool")
 	zipfS := flag.Float64("zipf-s", 1.2, "Zipf exponent of query repetition (≤ 1: uniform)")
+	jsonOut := flag.String("json", "", "also write a machine-readable JSON report to this file")
 	flag.Parse()
 	if *distinct < 1 || *batch < 1 || *concurrency < 1 || *queries < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: -distinct, -batch, -concurrency, and -queries must be ≥ 1")
@@ -117,13 +124,17 @@ func main() {
 	}
 
 	// Per-endpoint tallies, indexed like endpoints; workers write only
-	// their endpoint's slot through atomics.
+	// their endpoint's slot through atomics. lat is a log-bucketed
+	// histogram of per-request round-trip times (the percentile source);
+	// maxNanos tracks the exact worst request.
 	type endpointStats struct {
 		done     atomic.Int64 // queries completed
 		hits     atomic.Int64
 		requests atomic.Int64
 		latNanos atomic.Int64
 		failed   atomic.Int64
+		maxNanos atomic.Int64
+		lat      obs.Histogram
 	}
 	var (
 		issued    atomic.Int64 // queries claimed by workers
@@ -166,7 +177,15 @@ func main() {
 				}
 				t0 := time.Now()
 				h, err := post(ctx, c, id, qs, *single)
-				st.latNanos.Add(int64(time.Since(t0)))
+				rtt := time.Since(t0)
+				st.latNanos.Add(int64(rtt))
+				st.lat.Observe(rtt)
+				for {
+					prev := st.maxNanos.Load()
+					if int64(rtt) <= prev || st.maxNanos.CompareAndSwap(prev, int64(rtt)) {
+						break
+					}
+				}
 				st.requests.Add(1)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "loadgen: worker %d (%s): %v\n", w, endpoints[ep], err)
@@ -181,13 +200,18 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var done, hits, requests, latNanos, failed int64
+	var done, hits, requests, latNanos, failed, maxNanos int64
+	var overall obs.Histogram
 	for i := range stats {
 		done += stats[i].done.Load()
 		hits += stats[i].hits.Load()
 		requests += stats[i].requests.Load()
 		latNanos += stats[i].latNanos.Load()
 		failed += stats[i].failed.Load()
+		if m := stats[i].maxNanos.Load(); m > maxNanos {
+			maxNanos = m
+		}
+		overall.Merge(&stats[i].lat)
 	}
 	qps := float64(done) / elapsed.Seconds()
 	fmt.Printf("queries:      %d (%d failed)\n", done, failed)
@@ -196,6 +220,7 @@ func main() {
 	if requests > 0 {
 		fmt.Printf("requests:     %d (batch size %d, avg latency %v)\n",
 			requests, batchSize, (time.Duration(latNanos) / time.Duration(requests)).Round(time.Microsecond))
+		fmt.Printf("latency:      %s\n", latLine(&overall, maxNanos))
 	}
 	if done > 0 {
 		fmt.Printf("cache hits:   %d (%.1f%%)\n", hits, 100*float64(hits)/float64(done))
@@ -203,18 +228,119 @@ func main() {
 	if len(endpoints) > 1 {
 		for i, a := range endpoints {
 			st := &stats[i]
-			n, r := st.done.Load(), st.requests.Load()
-			lat := time.Duration(0)
-			if r > 0 {
-				lat = (time.Duration(st.latNanos.Load()) / time.Duration(r)).Round(time.Microsecond)
-			}
-			fmt.Printf("endpoint %-32s %8.0f q/s  (%d queries, %d failed, avg latency %v)\n",
-				a+":", float64(n)/elapsed.Seconds(), n, st.failed.Load(), lat)
+			n := st.done.Load()
+			fmt.Printf("endpoint %-32s %8.0f q/s  (%d queries, %d failed, %s)\n",
+				a+":", float64(n)/elapsed.Seconds(), n, st.failed.Load(), latLine(&st.lat, st.maxNanos.Load()))
 		}
+	}
+	if *jsonOut != "" {
+		rep := report{
+			Benchmark:   "loadgen",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Config: reportConfig{
+				Endpoints: endpoints, ReleaseID: id, Queries: *queries,
+				Batch: batchSize, Concurrency: *concurrency, Single: *single,
+				Lambda: *lambda, Theta: *theta, Distinct: *distinct, ZipfS: *zipfS, Seed: *seed,
+			},
+			ElapsedSeconds: elapsed.Seconds(),
+			Queries:        done, Failed: failed, Requests: requests,
+			ThroughputQPS: qps, CacheHits: hits,
+			Latency: latReport(&overall, requests, latNanos, maxNanos),
+		}
+		for i, a := range endpoints {
+			st := &stats[i]
+			rep.Endpoints = append(rep.Endpoints, endpointReport{
+				Addr: a, Queries: st.done.Load(), Failed: st.failed.Load(),
+				Requests: st.requests.Load(),
+				QPS:      float64(st.done.Load()) / elapsed.Seconds(),
+				Latency:  latReport(&st.lat, st.requests.Load(), st.latNanos.Load(), st.maxNanos.Load()),
+			})
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report:       %s\n", *jsonOut)
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// report is the -json output: the run's configuration, throughput, and
+// request-latency percentiles, overall and per endpoint.
+type report struct {
+	Benchmark      string           `json:"benchmark"`
+	GeneratedAt    string           `json:"generated_at"`
+	Config         reportConfig     `json:"config"`
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	Queries        int64            `json:"queries"`
+	Failed         int64            `json:"failed"`
+	Requests       int64            `json:"requests"`
+	ThroughputQPS  float64          `json:"throughput_qps"`
+	CacheHits      int64            `json:"cache_hits"`
+	Latency        latencyReport    `json:"latency_ms"`
+	Endpoints      []endpointReport `json:"endpoints"`
+}
+
+type reportConfig struct {
+	Endpoints   []string `json:"endpoints"`
+	ReleaseID   string   `json:"release_id"`
+	Queries     int      `json:"queries"`
+	Batch       int      `json:"batch"`
+	Concurrency int      `json:"concurrency"`
+	Single      bool     `json:"single"`
+	Lambda      int      `json:"lambda"`
+	Theta       float64  `json:"theta"`
+	Distinct    int      `json:"distinct"`
+	ZipfS       float64  `json:"zipf_s"`
+	Seed        int64    `json:"seed"`
+}
+
+// latencyReport carries request round-trip percentiles in milliseconds.
+// Percentiles come from a log-bucketed histogram (upper bound of the
+// containing bucket, ≤ 2× resolution); mean and max are exact.
+type latencyReport struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+type endpointReport struct {
+	Addr     string        `json:"addr"`
+	Queries  int64         `json:"queries"`
+	Failed   int64         `json:"failed"`
+	Requests int64         `json:"requests"`
+	QPS      float64       `json:"qps"`
+	Latency  latencyReport `json:"latency_ms"`
+}
+
+func latReport(h *obs.Histogram, requests, latNanos, maxNanos int64) latencyReport {
+	r := latencyReport{
+		P50: h.Quantile(0.50) * 1e3,
+		P95: h.Quantile(0.95) * 1e3,
+		P99: h.Quantile(0.99) * 1e3,
+		Max: float64(maxNanos) / 1e6,
+	}
+	if requests > 0 {
+		r.Mean = float64(latNanos) / float64(requests) / 1e6
+	}
+	return r
+}
+
+// latLine renders the percentile summary for the human-readable report.
+func latLine(h *obs.Histogram, maxNanos int64) string {
+	q := func(p float64) time.Duration {
+		return time.Duration(h.Quantile(p) * float64(time.Second)).Round(time.Microsecond)
+	}
+	return fmt.Sprintf("p50 %v  p95 %v  p99 %v  max %v",
+		q(0.50), q(0.95), q(0.99), time.Duration(maxNanos).Round(time.Microsecond))
 }
 
 // uploadRelease generates a CENSUS table, submits a generalized release

@@ -1,0 +1,53 @@
+// Command metricslint validates a Prometheus text-format exposition read
+// from stdin (or the files named as arguments) against the rules the
+// repro servers promise: every sample preceded by its # TYPE line, no
+// duplicate series, histograms monotone with a +Inf bucket whose count
+// matches _count, and a _sum per histogram.
+//
+// It exits 0 on a clean payload and 1 with the first violation on
+// stderr otherwise, so CI can gate on a scrape:
+//
+//	curl -fsS http://localhost:8080/metrics | metricslint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		lint("stdin", os.Stdin)
+		return
+	}
+	for _, name := range os.Args[1:] {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+			os.Exit(1)
+		}
+		lint(name, f)
+		f.Close()
+	}
+}
+
+// lint reads one exposition and exits nonzero on the first violation.
+func lint(name string, r io.Reader) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: reading %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if len(data) == 0 {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: empty exposition\n", name)
+		os.Exit(1)
+	}
+	if err := obs.LintExposition(data); err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: %s: ok\n", name)
+}

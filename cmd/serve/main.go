@@ -22,12 +22,19 @@
 //	serve [-addr :8080] [-workers N] [-max-body-mb M] [-data-dir DIR]
 //	      [-query-workers N] [-cache-capacity N] [-max-batch N]
 //	      [-node-id n1] [-cluster-token TOK]
+//	      [-log-level info] [-slow-query-ms 0]
 //
 // Gateway usage:
 //
 //	serve -gateway -nodes n1=http://h1:8080,n2=http://h2:8080,... \
 //	      [-addr :8090] [-replication 2] [-cluster-token TOK] \
-//	      [-probe-interval 2s] [-reconcile-interval 15s]
+//	      [-probe-interval 2s] [-reconcile-interval 15s] \
+//	      [-log-level info] [-slow-query-ms 0]
+//
+// Both roles emit structured JSON logs (log/slog) on stderr at
+// -log-level, echo an X-Request-Id header on every response, and — with
+// -slow-query-ms > 0 — log the full per-stage span breakdown of any
+// request slower than the threshold, keyed by that request ID.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +52,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/release"
 	"repro/internal/server"
 )
@@ -63,15 +72,25 @@ func main() {
 	replication := flag.Int("replication", 2, "gateway mode: replicas per release (R)")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "gateway mode: /healthz probing cadence")
 	reconcileInterval := flag.Duration("reconcile-interval", 15*time.Second, "gateway mode: replication reconcile cadence")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	slowQueryMS := flag.Int64("slow-query-ms", 0, "log the full span breakdown of any request slower than this (0 = disabled)")
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	slog.SetDefault(logger)
+	slowQuery := time.Duration(*slowQueryMS) * time.Millisecond
+
 	if *gateway {
-		runGateway(*addr, *nodes, *replication, *clusterToken, *probeInterval, *reconcileInterval)
+		runGateway(*addr, *nodes, *replication, *clusterToken, *probeInterval, *reconcileInterval, logger, slowQuery)
 		return
 	}
 
 	var store *release.Store
-	var err error
 	if *dataDir != "" {
 		if store, err = release.OpenNode(*dataDir, *workers, *nodeID); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: opening data dir: %v\n", err)
@@ -89,6 +108,8 @@ func main() {
 	api := server.New(store, server.Options{
 		MaxBodyBytes: *maxBodyMB << 20,
 		ClusterToken: *clusterToken,
+		Logger:       logger,
+		SlowQuery:    slowQuery,
 		Engine: engine.Options{
 			Workers:       *queryWorkers,
 			CacheCapacity: *cacheCapacity,
@@ -154,7 +175,7 @@ func parseNodes(spec string) ([]cluster.Node, error) {
 }
 
 // runGateway serves the cluster gateway until interrupted.
-func runGateway(addr, nodesSpec string, replication int, token string, probe, reconcile time.Duration) {
+func runGateway(addr, nodesSpec string, replication int, token string, probe, reconcile time.Duration, logger *slog.Logger, slowQuery time.Duration) {
 	members, err := parseNodes(nodesSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
@@ -166,6 +187,8 @@ func runGateway(addr, nodesSpec string, replication int, token string, probe, re
 		Token:             token,
 		ProbeInterval:     probe,
 		ReconcileInterval: reconcile,
+		Logger:            logger,
+		SlowQuery:         slowQuery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)

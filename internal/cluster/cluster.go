@@ -48,6 +48,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Node is one cluster member as configured: its identity (the -node-id
@@ -73,6 +75,21 @@ type nodeState struct {
 	inflight atomic.Int64
 	// fails counts consecutive probe failures, for /v1/cluster/status.
 	fails atomic.Int64
+	// probeNanos is the last health-probe round-trip time, for
+	// /v1/cluster/status; 0 until the first probe completes.
+	probeNanos atomic.Int64
+	// lastErr is the most recent probe failure ("" after a success), so
+	// /v1/cluster/status explains why a node is down without log-digging.
+	lastErr atomic.Pointer[string]
+}
+
+// lastError returns the most recent probe failure, "" when the last
+// probe succeeded or none has completed yet.
+func (st *nodeState) lastError() string {
+	if p := st.lastErr.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Membership is the probed node set shared by the gateway's routing and
@@ -83,6 +100,10 @@ type Membership struct {
 
 	hc         *http.Client
 	probeEvery time.Duration
+
+	// probeLat aggregates health-probe round-trip times across all nodes
+	// for the gateway's /metrics.
+	probeLat *obs.Histogram
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -108,6 +129,7 @@ func newMembership(nodes []Node, hc *http.Client, probeEvery time.Duration) (*Me
 		byID:       make(map[string]*nodeState, len(nodes)),
 		hc:         hc,
 		probeEvery: probeEvery,
+		probeLat:   &obs.Histogram{},
 		stop:       make(chan struct{}),
 	}
 	for _, n := range nodes {
@@ -162,10 +184,19 @@ func (m *Membership) probeAll() {
 		wg.Add(1)
 		go func(st *nodeState) {
 			defer wg.Done()
-			if err := m.probe(st); err != nil {
+			start := time.Now()
+			err := m.probe(st)
+			rtt := time.Since(start)
+			st.probeNanos.Store(rtt.Nanoseconds())
+			m.probeLat.Observe(rtt)
+			if err != nil {
+				msg := err.Error()
+				st.lastErr.Store(&msg)
 				st.fails.Add(1)
 				m.markDown(st)
 			} else {
+				empty := ""
+				st.lastErr.Store(&empty)
 				st.fails.Store(0)
 				st.alive.Store(true)
 			}

@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pkg/api"
 )
 
@@ -37,6 +39,13 @@ type Options struct {
 	Client *http.Client
 	// MaxBodyBytes caps proxied create bodies; ≤ 0 selects 256 MiB.
 	MaxBodyBytes int64
+	// Logger receives the gateway's structured log lines; nil selects
+	// slog.Default().
+	Logger *slog.Logger
+	// SlowQuery is the slow-query log threshold: any request whose total
+	// duration reaches it logs its full span breakdown (including per-node
+	// sub-batch spans) at Warn, keyed by the edge request ID. ≤ 0 disables.
+	SlowQuery time.Duration
 }
 
 // Gateway is the cluster's HTTP front end: it serves the same pkg/api
@@ -53,6 +62,8 @@ type Gateway struct {
 
 	maxBody      int64
 	maxBatchBody int64
+	logger       *slog.Logger
+	slow         obs.SlowQueryLogger
 }
 
 // New starts a gateway: the health prober and the replication loop begin
@@ -85,10 +96,15 @@ func New(opts Options) (*Gateway, error) {
 		mux:     http.NewServeMux(),
 		metrics: NewMetrics(),
 		maxBody: opts.MaxBodyBytes,
+		logger:  opts.Logger,
 	}
 	if g.maxBody <= 0 {
 		g.maxBody = 256 << 20
 	}
+	if g.logger == nil {
+		g.logger = slog.Default()
+	}
+	g.slow = obs.SlowQueryLogger{Logger: g.logger, Threshold: opts.SlowQuery}
 	g.maxBatchBody = min(8<<20, g.maxBody)
 	reconcile := opts.ReconcileInterval
 	if reconcile <= 0 {
@@ -103,6 +119,7 @@ func New(opts Options) (*Gateway, error) {
 	g.mux.HandleFunc("GET /v1/releases/{id}", g.instrument("get_release", g.handleGet))
 	g.mux.HandleFunc("POST /v1/releases/{id}/query", g.instrument("query_release", g.handleQuery))
 	g.mux.HandleFunc("POST /v1/query:batch", g.instrument("batch_query", g.handleBatchQuery))
+	g.mux.Handle("/debug/pprof/", obs.PprofHandler(opts.Token))
 	return g, nil
 }
 
@@ -121,11 +138,31 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	g.mux.ServeHTTP(w, r)
 }
 
+// instrument wraps a handler with edge observability: the gateway mints
+// the request ID (or adopts a propagated one), echoes it as X-Request-Id,
+// carries a span trace on the request context that every downstream node
+// hop inherits, and feeds the per-route metrics, access log, and
+// slow-query log.
 func (g *Gateway) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id, _ := obs.RequestIDFromHeaders(r.Header)
+		tr := obs.NewTrace(id)
+		w.Header().Set(obs.HeaderRequestID, id)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
-		g.metrics.Observe(route, rec.code)
+		total := time.Since(start)
+		tr.AddSpan("gateway."+route, "", start, total)
+		g.metrics.Observe(route, rec.code, total)
+		g.slow.Observe(route, rec.code, total, tr)
+		g.logger.Debug("request",
+			"request_id", id,
+			"route", route,
+			"code", rec.code,
+			"release_id", tr.ReleaseID(),
+			"total_us", total.Microseconds(),
+		)
 	}
 }
 
@@ -154,6 +191,11 @@ func (g *Gateway) exchange(ctx context.Context, st *nodeState, method, path, con
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	// Forward the edge request ID so the node's logs and slow-query
+	// entries join this request's trace under one grep-able ID.
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		obs.PropagateHeaders(req.Header, id)
 	}
 	resp, err := g.hc.Do(req)
 	if err != nil {
@@ -304,11 +346,13 @@ func (g *Gateway) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	out := api.ClusterStatusResponse{Replication: g.rfactor}
 	for _, st := range g.mem.nodes {
 		out.Nodes = append(out.Nodes, api.ClusterNode{
-			ID:       st.node.ID,
-			URL:      st.node.URL,
-			Alive:    st.alive.Load(),
-			Inflight: st.inflight.Load(),
-			Failures: st.fails.Load(),
+			ID:          st.node.ID,
+			URL:         st.node.URL,
+			Alive:       st.alive.Load(),
+			Inflight:    st.inflight.Load(),
+			Failures:    st.fails.Load(),
+			ProbeMillis: float64(st.probeNanos.Load()) / 1e6,
+			LastError:   st.lastError(),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -354,6 +398,7 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	obs.TraceFrom(r.Context()).SetRelease(id)
 	// Placement order, owner first and NOT load-balanced: during the
 	// build only the owner knows the release, and its metadata (build
 	// times, spec) is authoritative even after replication.
@@ -373,6 +418,7 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	obs.TraceFrom(r.Context()).SetRelease(id)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBatchBody))
 	if err != nil {
 		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("reading request: %w", err), nil)
@@ -492,6 +538,8 @@ func (g *Gateway) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, fmt.Errorf("queries is empty"), nil)
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
+	tr.SetRelease(req.ReleaseID)
 	candidates := g.readCandidates(req.ReleaseID)
 	if len(candidates) == 0 {
 		noLiveReplica(w, "batch")
@@ -516,6 +564,7 @@ func (g *Gateway) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	g.metrics.addSubBatches(len(chunks))
 
 	outcomes := make([]chunkOutcome, len(chunks))
+	fanStart := time.Now()
 	var wg sync.WaitGroup
 	for ci, ch := range chunks {
 		wg.Add(1)
@@ -525,7 +574,11 @@ func (g *Gateway) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		}(ci, ch)
 	}
 	wg.Wait()
+	g.metrics.observeStage("gateway.fanout", time.Since(fanStart))
 
+	endMerge := tr.StartSpan("gateway.merge")
+	mergeStart := time.Now()
+	defer func() { g.metrics.observeStage("gateway.merge", time.Since(mergeStart)); endMerge() }()
 	out := api.BatchQueryResponse{ReleaseID: req.ReleaseID, Results: make([]api.QueryResult, len(req.Queries))}
 	for ci, oc := range outcomes {
 		if oc.bad != nil {
@@ -565,13 +618,20 @@ func (g *Gateway) dispatchChunk(r *http.Request, releaseID string, ch subBatch, 
 		oc.err = err
 		return oc
 	}
+	tr := obs.TraceFrom(r.Context())
 	var misses missTracker
 	for i := 0; i < len(candidates); i++ {
 		st := candidates[(offset+i)%len(candidates)]
 		if !st.alive.Load() && i < len(candidates)-1 {
 			continue // died under this batch; skip unless it is the last hope
 		}
+		// One span per attempt, node-labeled: a failover shows up as two
+		// sub-batch spans against different nodes in the same trace.
+		endSpan := tr.StartSpanNode("gateway.subbatch", st.node.ID)
+		attemptStart := time.Now()
 		nr, err := g.exchange(r.Context(), st, http.MethodPost, "/v1/query:batch", "application/json", body)
+		g.metrics.observeStage("gateway.subbatch", time.Since(attemptStart))
+		endSpan()
 		if err != nil {
 			if r.Context().Err() != nil {
 				oc.err = err

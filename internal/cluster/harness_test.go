@@ -5,18 +5,41 @@ package cluster_test
 // reincarnated on the same address — the shape a deploy has, scaled down.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/release"
 	"repro/internal/server"
 )
+
+// syncBuffer is a concurrency-safe log sink: slog handlers write from
+// request goroutines while tests read.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // jsonDecode drains and decodes one response body.
 func jsonDecode(resp *http.Response, v any) error {
@@ -36,6 +59,10 @@ type testNode struct {
 	id   string
 	dir  string
 	addr string // fixed after first start so restarts keep the URL
+
+	// logBuf, when set, captures the node's structured JSON logs at Debug
+	// with the slow-query log catching every request.
+	logBuf *syncBuffer
 
 	store *release.Store
 	srv   *server.Server
@@ -62,7 +89,12 @@ func (n *testNode) start(t *testing.T) {
 		t.Fatalf("node %s: %v", n.id, err)
 	}
 	n.store = store
-	n.srv = server.New(store, server.Options{ClusterToken: testToken})
+	opts := server.Options{ClusterToken: testToken}
+	if n.logBuf != nil {
+		opts.Logger = obs.NewLogger(n.logBuf, slog.LevelDebug)
+		opts.SlowQuery = time.Nanosecond
+	}
+	n.srv = server.New(store, opts)
 	n.hs = &http.Server{Handler: n.srv}
 	n.ln = ln
 	n.addr = ln.Addr().String()

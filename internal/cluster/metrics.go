@@ -7,10 +7,13 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// Metrics collects the gateway's counters and renders them in Prometheus
-// text exposition format, dependency-free like the node server's.
+// Metrics collects the gateway's counters and latency histograms and
+// renders them in Prometheus text exposition format, dependency-free like
+// the node server's.
 type Metrics struct {
 	mu     sync.Mutex
 	counts map[routeCode]uint64
@@ -22,6 +25,11 @@ type Metrics struct {
 	replErr      uint64 // snapshot replications failed (retried by reconcile)
 	replSweeps   uint64 // reconcile sweeps run
 	replBytesOut uint64 // envelope bytes shipped to replicas
+
+	// lat holds per-route request latency; stages the gateway-internal
+	// stage latencies (sub-batch fan-out, merge, replication fetch/push).
+	lat    *obs.LabeledHistograms
+	stages *obs.LabeledHistograms
 }
 
 type routeCode struct {
@@ -31,14 +39,28 @@ type routeCode struct {
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{counts: make(map[routeCode]uint64), start: time.Now()}
+	return &Metrics{
+		counts: make(map[routeCode]uint64),
+		start:  time.Now(),
+		lat:    obs.NewLabeledHistograms(),
+		stages: obs.NewLabeledHistograms(),
+	}
 }
 
 // Observe records one completed gateway request.
-func (m *Metrics) Observe(route string, code int) {
+func (m *Metrics) Observe(route string, code int, d time.Duration) {
 	m.mu.Lock()
 	m.counts[routeCode{route, code}]++
 	m.mu.Unlock()
+	m.lat.Observe(route, d)
+}
+
+// observeStage records one gateway-internal stage latency.
+func (m *Metrics) observeStage(stage string, d time.Duration) { m.stages.Observe(stage, d) }
+
+// RouteQuantile estimates a latency quantile for one route, in seconds.
+func (m *Metrics) RouteQuantile(route string, q float64) float64 {
+	return m.lat.Quantile(route, q)
 }
 
 func (m *Metrics) addFailover()        { m.mu.Lock(); m.failovers++; m.mu.Unlock() }
@@ -95,6 +117,10 @@ func (m *Metrics) render(mem *Membership, r int) []byte {
 	uptime := time.Since(m.start).Seconds()
 	m.mu.Unlock()
 
+	obs.WriteHistograms(&buf, "repro_gateway_request_duration_seconds", "Gateway request latency, by route.", "route", m.lat)
+	obs.WriteHistograms(&buf, "repro_gateway_stage_duration_seconds", "Per-stage latency inside a gateway request (fan-out, merge, replication).", "stage", m.stages)
+	obs.WriteHistogram(&buf, "repro_gateway_probe_duration_seconds", "Health-probe round-trip time across all nodes.", mem.probeLat)
+
 	fmt.Fprintln(&buf, "# HELP repro_gateway_replication_factor Configured replication factor R.")
 	fmt.Fprintln(&buf, "# TYPE repro_gateway_replication_factor gauge")
 	fmt.Fprintf(&buf, "repro_gateway_replication_factor %d\n", r)
@@ -112,6 +138,7 @@ func (m *Metrics) render(mem *Membership, r int) []byte {
 	for _, st := range mem.nodes {
 		fmt.Fprintf(&buf, "repro_gateway_node_inflight{node=%q} %d\n", st.node.ID, st.inflight.Load())
 	}
+	obs.WriteRuntimeMetrics(&buf, "repro_gateway_")
 	fmt.Fprintln(&buf, "# HELP repro_gateway_uptime_seconds Seconds since the gateway started.")
 	fmt.Fprintln(&buf, "# TYPE repro_gateway_uptime_seconds gauge")
 	fmt.Fprintf(&buf, "repro_gateway_uptime_seconds %g\n", uptime)

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"time"
 
@@ -207,18 +206,25 @@ func (r *replicator) replicate(id string, holders []*nodeState) {
 		// duplicate, so shipping blind is correct, just not free.
 		if env == nil {
 			var err error
-			if env, err = r.fetchEnvelope(id, holders); err != nil {
+			fetchStart := time.Now()
+			env, err = r.fetchEnvelope(id, holders)
+			r.g.metrics.observeStage("gateway.replication_fetch", time.Since(fetchStart))
+			if err != nil {
 				r.g.metrics.addReplication(0, err)
-				log.Printf("cluster: fetching snapshot %s: %v", id, err)
+				r.g.logger.Warn("fetching snapshot failed", "release_id", id, "err", err)
 				return
 			}
 		}
-		if err := r.ship(id, st, env); err != nil {
+		pushStart := time.Now()
+		err := r.ship(id, st, env)
+		r.g.metrics.observeStage("gateway.replication_push", time.Since(pushStart))
+		if err != nil {
 			r.g.metrics.addReplication(0, err)
-			log.Printf("cluster: replicating %s to %s: %v", id, st.node.ID, err)
+			r.g.logger.Warn("replicating snapshot failed", "release_id", id, "node", st.node.ID, "err", err)
 			continue
 		}
 		r.g.metrics.addReplication(len(env), nil)
+		r.g.logger.Info("replicated snapshot", "release_id", id, "node", st.node.ID, "bytes", len(env))
 	}
 }
 

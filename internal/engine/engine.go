@@ -9,12 +9,15 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/release"
 )
@@ -108,17 +111,28 @@ type Engine struct {
 	queries  atomic.Uint64
 	maxSeen  atomic.Uint64
 	inflight sync.WaitGroup
+
+	// stages holds the per-stage latency histograms the /metrics endpoint
+	// renders; the h* fields cache the hot-path histogram pointers so
+	// Observe skips the family's map lookup.
+	stages     *obs.LabeledHistograms
+	hQueueWait *obs.Histogram
+	hEstimate  *obs.Histogram
+	hCacheHit  *obs.Histogram
+	hCacheMiss *obs.Histogram
 }
 
 // job is one uncached estimation dispatched to the pool. out and err are
 // owned by the job until wg.Done, which publishes them to the waiting
 // Execute call.
 type job struct {
-	snap *release.Snapshot
-	q    query.Query
-	out  *float64
-	err  *error
-	wg   *sync.WaitGroup
+	snap     *release.Snapshot
+	q        query.Query
+	out      *float64
+	err      *error
+	wg       *sync.WaitGroup
+	enqueued time.Time
+	wait     *time.Duration // written by the worker: time spent queued
 }
 
 // New starts an engine with the given options.
@@ -139,10 +153,16 @@ func New(opts Options) *Engine {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
+	stages := obs.NewLabeledHistograms()
 	e := &Engine{
-		maxBatch: maxBatch,
-		cache:    newResultCache(capacity, shards),
-		jobs:     make(chan job, 4*workers),
+		maxBatch:   maxBatch,
+		cache:      newResultCache(capacity, shards),
+		jobs:       make(chan job, 4*workers),
+		stages:     stages,
+		hQueueWait: stages.Get("engine.queue_wait"),
+		hEstimate:  stages.Get("engine.estimate"),
+		hCacheHit:  stages.Get("engine.cache_hit"),
+		hCacheMiss: stages.Get("engine.cache_miss"),
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -172,10 +192,21 @@ func (e *Engine) worker() {
 	defer e.wg.Done()
 	sc := &release.Scratch{}
 	for j := range e.jobs {
+		start := time.Now()
+		wait := start.Sub(j.enqueued)
+		e.hQueueWait.Observe(wait)
+		if j.wait != nil {
+			*j.wait = wait
+		}
 		*j.out, *j.err = j.snap.EstimateUnchecked(j.q, sc)
+		e.hEstimate.Observe(time.Since(start))
 		j.wg.Done()
 	}
 }
+
+// Stages exposes the engine's per-stage latency histograms for the
+// /metrics renderer.
+func (e *Engine) Stages() *obs.LabeledHistograms { return e.stages }
 
 // MaxBatch returns the configured per-call batch cap.
 func (e *Engine) MaxBatch() int { return e.maxBatch }
@@ -192,17 +223,24 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
-// Execute answers qs against one release, in order. The release ID keys
-// the cache and must be the store ID of the snapshot's release; the
+// Execute answers qs against one release, in order. It is ExecuteCtx
+// without request-scoped tracing; both record stage latencies.
+func (e *Engine) Execute(releaseID string, snap *release.Snapshot, qs []query.Query) ([]Result, error) {
+	return e.ExecuteCtx(context.Background(), releaseID, snap, qs)
+}
+
+// ExecuteCtx answers qs against one release, in order. The release ID
+// keys the cache and must be the store ID of the snapshot's release; the
 // snapshot is resolved by the caller so the engine stays independent of
-// the store's lifecycle states.
+// the store's lifecycle states. When ctx carries an obs trace, the cache
+// lookup and estimation phases are recorded as spans on it.
 //
 // Every query is validated before any estimation; the first invalid one
 // fails the whole batch with a *QueryError carrying its index. Cache
 // misses are deduplicated within the batch and fanned out across the
 // worker pool; a single miss is estimated inline on the caller's
 // goroutine, so single-query callers pay no handoff.
-func (e *Engine) Execute(releaseID string, snap *release.Snapshot, qs []query.Query) ([]Result, error) {
+func (e *Engine) ExecuteCtx(ctx context.Context, releaseID string, snap *release.Snapshot, qs []query.Query) ([]Result, error) {
 	if len(qs) > e.maxBatch {
 		return nil, fmt.Errorf("%w: %d queries > limit %d", ErrBatchTooLarge, len(qs), e.maxBatch)
 	}
@@ -214,6 +252,9 @@ func (e *Engine) Execute(releaseID string, snap *release.Snapshot, qs []query.Qu
 	e.inflight.Add(1)
 	e.mu.Unlock()
 	defer e.inflight.Done()
+
+	tr := obs.TraceFrom(ctx)
+	tr.SetRelease(releaseID)
 
 	for i := range qs {
 		if err := snap.ValidateQuery(qs[i]); err != nil {
@@ -227,11 +268,14 @@ func (e *Engine) Execute(releaseID string, snap *release.Snapshot, qs []query.Qu
 		rest  []int // batch-local duplicates of the same signature
 		est   float64
 		err   error
+		wait  time.Duration // time this miss's job spent queued
 	}
 	keys := make([]string, len(qs))
 	var misses []*miss
 	bySig := make(map[string]*miss)
 	var hits, lookups uint64
+	lookupStart := time.Now()
+	endLookup := tr.StartSpan("engine.cache")
 	for i := range qs {
 		keys[i] = signature(releaseID, qs[i])
 		lookups++
@@ -251,20 +295,45 @@ func (e *Engine) Execute(releaseID string, snap *release.Snapshot, qs []query.Qu
 		bySig[keys[i]] = m
 		misses = append(misses, m)
 	}
+	endLookup()
+	// The cache path splits by outcome: a batch fully answered from cache
+	// records its lookup-loop latency as a hit, anything else as a miss.
+	if len(misses) == 0 {
+		e.hCacheHit.Observe(time.Since(lookupStart))
+	} else {
+		e.hCacheMiss.Observe(time.Since(lookupStart))
+	}
 
+	endEstimate := tr.StartSpan("engine.estimate")
 	switch len(misses) {
 	case 0:
 	case 1:
 		m := misses[0]
+		start := time.Now()
 		m.est, m.err = snap.EstimateUnchecked(qs[m.first], nil)
+		e.hEstimate.Observe(time.Since(start))
 	default:
 		var wg sync.WaitGroup
 		wg.Add(len(misses))
+		fanStart := time.Now()
 		for _, m := range misses {
-			e.jobs <- job{snap: snap, q: qs[m.first], out: &m.est, err: &m.err, wg: &wg}
+			e.jobs <- job{snap: snap, q: qs[m.first], out: &m.est, err: &m.err, wg: &wg, enqueued: time.Now(), wait: &m.wait}
 		}
 		wg.Wait()
+		if tr != nil {
+			// One span for the batch, not one per job: the worst queue wait
+			// is the fan-out's contention signal, and it keeps a big batch's
+			// slow-query line bounded.
+			var maxWait time.Duration
+			for _, m := range misses {
+				if m.wait > maxWait {
+					maxWait = m.wait
+				}
+			}
+			tr.AddSpan("engine.queue_wait", "", fanStart, maxWait)
+		}
 	}
+	endEstimate()
 
 	for _, m := range misses {
 		if m.err != nil {

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-spaced bounds doubling from 1µs, so two
+// decades of sub-millisecond serving latency and multi-second cold paths
+// land in the same family with bounded relative error (≤ 2×). 26 finite
+// buckets reach ~33.5s; slower observations land in +Inf only.
+const numBuckets = 26
+
+// bucketBounds holds the upper bounds in seconds, precomputed once.
+var bucketBounds = func() [numBuckets]float64 {
+	var b [numBuckets]float64
+	d := time.Microsecond
+	for i := 0; i < numBuckets; i++ {
+		b[i] = d.Seconds()
+		d *= 2
+	}
+	return b
+}()
+
+// bucketLabels holds the rendered le="..." values, precomputed so the
+// exposition path does no float formatting per scrape line.
+var bucketLabels = func() [numBuckets]string {
+	var l [numBuckets]string
+	for i, b := range bucketBounds {
+		l[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
+	return l
+}()
+
+// Histogram is a fixed-layout, lock-free latency histogram: Observe is a
+// bucket-index computation plus three atomic adds, cheap enough for
+// per-query hot paths. The zero value is ready to use.
+type Histogram struct {
+	counts   [numBuckets]atomic.Uint64
+	overflow atomic.Uint64 // observations above the last finite bound
+	sumNanos atomic.Int64
+	count    atomic.Uint64
+}
+
+// bucketIndex maps a duration to the first bucket whose bound holds it,
+// or numBuckets for overflow. Bounds double from 1µs, so the index is a
+// bit-length computation, not a search.
+func bucketIndex(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	// Smallest i with 1µs·2^i ≥ d  ⇔  2^i ≥ ceil(d/1µs).
+	us := uint64(d-1) / 1000 // (d-1)/1µs: makes exact powers land on their own bound
+	i := 0
+	for us > 0 {
+		us >>= 1
+		i++
+	}
+	if i >= numBuckets {
+		return numBuckets
+	}
+	return i
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if i := bucketIndex(d); i < numBuckets {
+		h.counts[i].Add(1)
+	} else {
+		h.overflow.Add(1)
+	}
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Merge folds other's observations into h. Buckets are layout-identical
+// across all Histograms, so the merge is a per-bucket add. Not atomic as
+// a set: concurrent Observe calls on either side may be partially
+// reflected, which is fine for the aggregation-after-run use it serves.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := 0; i < numBuckets; i++ {
+		if n := other.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.overflow.Add(other.overflow.Load())
+	h.sumNanos.Add(other.sumNanos.Load())
+	h.count.Add(other.count.Load())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the observation sum in seconds.
+func (h *Histogram) Sum() float64 { return time.Duration(h.sumNanos.Load()).Seconds() }
+
+// snapshot returns cumulative bucket counts (le-ordered) plus the total.
+// The reads are not atomic as a set; scrape-time skew of a few
+// observations is inherent to lock-free metrics and harmless.
+func (h *Histogram) snapshot() (cum [numBuckets]uint64, total uint64) {
+	var run uint64
+	for i := 0; i < numBuckets; i++ {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, run + h.overflow.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds by linear
+// interpolation within the owning bucket; observations beyond the last
+// finite bound report that bound. Zero observations report 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var prevCum uint64
+	prevBound := 0.0
+	for i := 0; i < numBuckets; i++ {
+		if float64(cum[i]) >= rank {
+			inBucket := float64(cum[i] - prevCum)
+			if inBucket == 0 {
+				return bucketBounds[i]
+			}
+			frac := (rank - float64(prevCum)) / inBucket
+			return prevBound + frac*(bucketBounds[i]-prevBound)
+		}
+		prevCum = cum[i]
+		prevBound = bucketBounds[i]
+	}
+	return bucketBounds[numBuckets-1]
+}
+
+// writeProm renders one series of a histogram family with the given
+// pre-rendered label prefix (e.g. `route="query"` — no trailing comma) or
+// "" for an unlabeled series.
+func (h *Histogram) writeProm(buf *bytes.Buffer, name, labels string) {
+	cum, total := h.snapshot()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i := 0; i < numBuckets; i++ {
+		fmt.Fprintf(buf, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, bucketLabels[i], cum[i])
+	}
+	fmt.Fprintf(buf, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, total)
+	if labels == "" {
+		fmt.Fprintf(buf, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(buf, "%s_count %d\n", name, total)
+		return
+	}
+	fmt.Fprintf(buf, "%s_sum{%s} %g\n", name, labels, h.Sum())
+	fmt.Fprintf(buf, "%s_count{%s} %d\n", name, labels, total)
+}
+
+// LabeledHistograms is a histogram family over one label dimension
+// (stage, route, ...). Histograms are created on first Observe; callers
+// on hot paths may cache the *Histogram from Get instead of paying the
+// map lookup per observation.
+type LabeledHistograms struct {
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// NewLabeledHistograms returns an empty family.
+func NewLabeledHistograms() *LabeledHistograms {
+	return &LabeledHistograms{m: make(map[string]*Histogram)}
+}
+
+// Get returns (creating if needed) the histogram for one label value.
+func (l *LabeledHistograms) Get(label string) *Histogram {
+	l.mu.Lock()
+	h := l.m[label]
+	if h == nil {
+		h = &Histogram{}
+		l.m[label] = h
+	}
+	l.mu.Unlock()
+	return h
+}
+
+// Observe records one duration under a label value.
+func (l *LabeledHistograms) Observe(label string, d time.Duration) { l.Get(label).Observe(d) }
+
+// Labels returns the present label values, sorted.
+func (l *LabeledHistograms) Labels() []string {
+	l.mu.Lock()
+	out := make([]string, 0, len(l.m))
+	for k := range l.m {
+		out = append(out, k)
+	}
+	l.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Quantile estimates a quantile for one label value (0 when absent).
+func (l *LabeledHistograms) Quantile(label string, q float64) float64 {
+	l.mu.Lock()
+	h := l.m[label]
+	l.mu.Unlock()
+	if h == nil {
+		return 0
+	}
+	return h.Quantile(q)
+}
+
+// WriteHistograms renders one histogram family (HELP, TYPE, then every
+// series sorted by label value) from one or more labeled sets. Sets must
+// not share label values — each (name, label) series must be unique in
+// the exposition — and labelName must be a valid Prometheus label name.
+// Families with no observations render HELP/TYPE only.
+func WriteHistograms(buf *bytes.Buffer, name, help, labelName string, sets ...*LabeledHistograms) {
+	fmt.Fprintf(buf, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
+	type entry struct {
+		label string
+		h     *Histogram
+	}
+	var entries []entry
+	for _, set := range sets {
+		if set == nil {
+			continue
+		}
+		for _, label := range set.Labels() {
+			entries = append(entries, entry{label, set.Get(label)})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].label < entries[j].label })
+	for _, e := range entries {
+		e.h.writeProm(buf, name, fmt.Sprintf("%s=%q", labelName, e.label))
+	}
+}
+
+// WriteHistogram renders one unlabeled histogram family.
+func WriteHistogram(buf *bytes.Buffer, name, help string, h *Histogram) {
+	fmt.Fprintf(buf, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
+	if h != nil {
+		h.writeProm(buf, name, "")
+	}
+}

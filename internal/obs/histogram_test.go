@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // Observe clamps; index of 0 is 0
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + 1, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10}, // 1µs·2^10 = 1.024ms ≥ 1ms
+		{time.Second, 20},      // 1µs·2^20 = 1.048576s ≥ 1s
+		{30 * time.Second, 25},
+		{40 * time.Second, numBuckets}, // past the last finite bound
+		{time.Hour, numBuckets},
+	}
+	for _, c := range cases {
+		if c.d < 0 {
+			continue
+		}
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every finite index's bound must hold the durations mapped to it.
+	for i := 0; i < numBuckets; i++ {
+		bound := time.Duration(bucketBounds[i] * float64(time.Second))
+		if got := bucketIndex(bound); got != i {
+			t.Errorf("exact bound %v maps to bucket %d, want %d", bound, got, i)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := &Histogram{}
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero-value histogram should report zero")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(time.Hour) // overflow
+	if h.Count() != 1001 {
+		t.Fatalf("count = %d, want 1001", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	// 100µs lands in the (64µs,128µs] bucket; interpolation stays inside it.
+	if p50 <= 64e-6 || p50 > 128e-6 {
+		t.Fatalf("p50 = %g, want within (64µs,128µs]", p50)
+	}
+	// p999+ is dominated by the overflow observation, capped at the last bound.
+	if q := h.Quantile(0.9999); q != bucketBounds[numBuckets-1] {
+		t.Fatalf("overflow quantile = %g, want last finite bound %g", q, bucketBounds[numBuckets-1])
+	}
+	wantSum := 1000*100e-6 + 3600.0
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	cum, total := h.snapshot()
+	if total != 4000 || cum[numBuckets-1] != 4000 {
+		t.Fatalf("snapshot total = %d, last cum = %d", total, cum[numBuckets-1])
+	}
+}
+
+func TestWriteHistogramsLintsClean(t *testing.T) {
+	stages := NewLabeledHistograms()
+	stages.Observe("engine.estimate", 250*time.Microsecond)
+	stages.Observe("engine.estimate", 2*time.Millisecond)
+	stages.Observe("engine.queue_wait", 10*time.Microsecond)
+	more := NewLabeledHistograms()
+	more.Observe("store.snapshot_decode", 5*time.Millisecond)
+
+	var buf bytes.Buffer
+	WriteHistograms(&buf, "repro_stage_duration_seconds", "Per-stage latency.", "stage", stages, more)
+	WriteHistogram(&buf, "repro_probe_duration_seconds", "Probe RTT.", func() *Histogram {
+		h := &Histogram{}
+		h.Observe(time.Millisecond)
+		return h
+	}())
+	out := buf.String()
+
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("rendered exposition fails its own linter: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`repro_stage_duration_seconds_bucket{stage="engine.estimate",le="+Inf"} 2`,
+		`repro_stage_duration_seconds_count{stage="store.snapshot_decode"} 1`,
+		`repro_probe_duration_seconds_count 1`,
+		"# TYPE repro_stage_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteHistogramsEmptyFamily(t *testing.T) {
+	var buf bytes.Buffer
+	WriteHistograms(&buf, "repro_empty_seconds", "Nothing yet.", "stage", NewLabeledHistograms())
+	WriteHistogram(&buf, "repro_empty2_seconds", "Nothing either.", nil)
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("empty families should lint clean: %v\n%s", err, buf.String())
+	}
+}
+
+func TestLabeledHistogramsQuantile(t *testing.T) {
+	l := NewLabeledHistograms()
+	if l.Quantile("missing", 0.5) != 0 {
+		t.Fatal("absent label should report 0")
+	}
+	for i := 0; i < 100; i++ {
+		l.Observe("route", time.Millisecond)
+	}
+	q := l.Quantile("route", 0.5)
+	if q <= 512e-6 || q > 1.024e-3 {
+		t.Fatalf("p50 = %g, want within (512µs,1.024ms]", q)
+	}
+	if got := l.Labels(); len(got) != 1 || got[0] != "route" {
+		t.Fatalf("labels = %v", got)
+	}
+}

@@ -1,0 +1,359 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-format (0.0.4) payload the
+// way a strict scraper would, so tests and CI can fail a build whose
+// /metrics endpoint regressed:
+//
+//   - every line parses (comment, blank, or sample with valid metric and
+//     label names and a float value);
+//   - TYPE appears at most once per family, before the family's samples;
+//   - no duplicate series (same name and label set twice);
+//   - histogram families are well-formed per series: buckets cumulative
+//     and monotone in ascending le, an le="+Inf" bucket present, _count
+//     equal to the +Inf bucket, and _sum present.
+//
+// It returns the first violation found, or nil for a clean payload.
+func LintExposition(data []byte) error {
+	typed := make(map[string]string)  // family → declared type
+	sampled := make(map[string]bool)  // family → samples seen
+	series := make(map[string]int)    // name + canonical labels → line no
+	type histSeries struct {
+		buckets []bucketSample
+		count   *float64
+		sum     bool
+	}
+	hists := make(map[string]*histSeries) // family + group labels → state
+
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		line := strings.TrimRight(raw, "\r")
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, family, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind == "TYPE" {
+				if _, dup := typed[family]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, family)
+				}
+				if sampled[family] {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, family)
+				}
+				typed[family] = strings.Fields(line)[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family := familyOf(name, typed)
+		sampled[family] = true
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if prev, dup := series[key]; dup {
+			return fmt.Errorf("line %d: duplicate series %s (first at line %d)", lineNo, key, prev)
+		}
+		series[key] = lineNo
+
+		if typed[family] != "histogram" {
+			continue
+		}
+		group := family + "{" + canonicalLabels(withoutLabel(labels, "le")) + "}"
+		hs := hists[group]
+		if hs == nil {
+			hs = &histSeries{}
+			hists[group] = hs
+		}
+		switch {
+		case name == family+"_bucket":
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				return fmt.Errorf("line %d: %s_bucket without le label", lineNo, family)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: unparsable le %q", lineNo, le)
+				}
+			}
+			hs.buckets = append(hs.buckets, bucketSample{bound, value, lineNo})
+		case name == family+"_count":
+			v := value
+			hs.count = &v
+		case name == family+"_sum":
+			hs.sum = true
+		case name == family:
+			return fmt.Errorf("line %d: bare sample %q in histogram family", lineNo, name)
+		}
+	}
+
+	// Per-series histogram structure checks, deferred so series order in
+	// the exposition does not matter.
+	groups := make([]string, 0, len(hists))
+	for g := range hists {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		hs := hists[g]
+		if len(hs.buckets) == 0 {
+			return fmt.Errorf("histogram series %s has _sum/_count but no buckets", g)
+		}
+		sort.SliceStable(hs.buckets, func(i, j int) bool { return hs.buckets[i].bound < hs.buckets[j].bound })
+		last := hs.buckets[len(hs.buckets)-1]
+		if !math.IsInf(last.bound, 1) {
+			return fmt.Errorf("histogram series %s has no le=\"+Inf\" bucket", g)
+		}
+		prev := -1.0
+		for _, b := range hs.buckets {
+			if b.value < prev {
+				return fmt.Errorf("line %d: histogram series %s buckets not monotone (%g after %g)", b.line, g, b.value, prev)
+			}
+			prev = b.value
+		}
+		if hs.count == nil {
+			return fmt.Errorf("histogram series %s has no _count sample", g)
+		}
+		if *hs.count != last.value {
+			return fmt.Errorf("histogram series %s: _count %g != +Inf bucket %g", g, *hs.count, last.value)
+		}
+		if !hs.sum {
+			return fmt.Errorf("histogram series %s has no _sum sample", g)
+		}
+	}
+	return nil
+}
+
+type bucketSample struct {
+	bound float64
+	value float64
+	line  int
+}
+
+// familyOf strips the histogram suffixes when the base name is a
+// declared histogram family.
+func familyOf(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if ok && typed[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseComment validates a # line, returning the keyword and family for
+// HELP/TYPE lines ("" keyword for free comments).
+func parseComment(line string) (kind, family string, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return "", "", nil // free-form comment
+	}
+	kind = fields[1]
+	if len(fields) < 3 {
+		return "", "", fmt.Errorf("%s line without a metric name", kind)
+	}
+	family = fields[2]
+	if !validMetricName(family) {
+		return "", "", fmt.Errorf("%s for invalid metric name %q", kind, family)
+	}
+	if kind == "TYPE" {
+		if len(fields) != 4 {
+			return "", "", fmt.Errorf("TYPE line needs exactly one type")
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return kind, family, nil
+}
+
+type label struct{ name, value string }
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (name string, labels []label, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if rest[i] == '{' {
+		labels, rest, err = parseLabels(rest[i+1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q has %d value fields", line, len(fields))
+	}
+	value, err = parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: %w", line, err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("sample %q has invalid timestamp", line)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the remainder.
+func parseLabels(s string) ([]label, string, error) {
+	var out []label
+	seen := make(map[string]bool)
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return out, s[1:], nil
+		}
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validLabelName(lname) {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		if seen[lname] {
+			return nil, "", fmt.Errorf("duplicate label %q", lname)
+		}
+		seen[lname] = true
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %q value is not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("unterminated value for label %q", lname)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[1] {
+				case '"', '\\':
+					val.WriteByte(s[1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in label %q", s[1], lname)
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		out = append(out, label{lname, val.String()})
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// parsePromValue accepts the exposition value grammar: Go floats plus
+// the +Inf/-Inf/NaN spellings.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid value %q", s)
+	}
+	return v, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalLabels renders a label set sorted by name, so series identity
+// is order-independent.
+func canonicalLabels(labels []label) string {
+	ls := make([]label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].name < ls[j].name })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.name + "=" + strconv.Quote(l.value)
+	}
+	return strings.Join(parts, ",")
+}
+
+func withoutLabel(labels []label, name string) []label {
+	out := make([]label, 0, len(labels))
+	for _, l := range labels {
+		if l.name != name {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func labelValue(labels []label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.name == name {
+			return l.value, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintStr(s string) error { return LintExposition([]byte(s)) }
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	good := strings.Join([]string{
+		"# HELP up Whether the scrape worked.",
+		"# TYPE up gauge",
+		"up 1",
+		"# TYPE reqs_total counter",
+		`reqs_total{route="query",code="200"} 42`,
+		`reqs_total{route="query",code="404"} 7`,
+		"# a free-form comment",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 5`,
+		`lat_seconds_bucket{le="+Inf"} 6`,
+		"lat_seconds_sum 2.5",
+		"lat_seconds_count 6",
+		`escaped{msg="say \"hi\"\nnow"} 1`,
+		"with_timestamp 3.14 1700000000000",
+		"nan_metric NaN",
+		"inf_metric +Inf",
+		"",
+	}, "\n")
+	if err := lintStr(good); err != nil {
+		t.Fatalf("well-formed payload rejected: %v", err)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		msg     string
+	}{
+		{"duplicate series", "a 1\na 2\n", "duplicate series"},
+		{"duplicate labeled series reordered", `a{x="1",y="2"} 1` + "\n" + `a{y="2",x="1"} 3` + "\n", "duplicate series"},
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n", "duplicate TYPE"},
+		{"TYPE after samples", "a 1\n# TYPE a counter\n", "after its samples"},
+		{"unknown type", "# TYPE a widget\n", "unknown metric type"},
+		{"bad metric name", "9lives 1\n", "invalid metric name"},
+		{"bad label name", `a{9x="1"} 2` + "\n", "invalid label name"},
+		{"reserved label name", `a{__x="1"} 2` + "\n", "invalid label name"},
+		{"duplicate label", `a{x="1",x="2"} 3` + "\n", "duplicate label"},
+		{"unquoted label value", "a{x=1} 2\n", "not quoted"},
+		{"bad escape", `a{x="\t"} 1` + "\n", "invalid escape"},
+		{"no value", "a\n", "has no value"},
+		{"bad value", "a pizza\n", "invalid value"},
+		{"bad timestamp", "a 1 soon\n", "invalid timestamp"},
+		{
+			"histogram missing +Inf",
+			"# TYPE h histogram\n" + `h_bucket{le="1"} 2` + "\nh_sum 1\nh_count 2\n",
+			`no le="+Inf"`,
+		},
+		{
+			"histogram non-monotone",
+			"# TYPE h histogram\n" + `h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+			"not monotone",
+		},
+		{
+			"histogram count mismatch",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 4\n",
+			"_count 4 != +Inf bucket 3",
+		},
+		{
+			"histogram missing sum",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 3` + "\nh_count 3\n",
+			"no _sum",
+		},
+		{
+			"histogram missing count",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\n",
+			"no _count",
+		},
+		{
+			"histogram bucket without le",
+			"# TYPE h histogram\n" + `h_bucket{x="1"} 3` + "\n",
+			"without le label",
+		},
+		{
+			"bare sample in histogram family",
+			"# TYPE h histogram\nh 3\n",
+			"bare sample",
+		},
+		{
+			"histogram sum without buckets",
+			"# TYPE h histogram\nh_sum 1\nh_count 0\n",
+			"no buckets",
+		},
+	}
+	for _, c := range cases {
+		err := lintStr(c.payload)
+		if err == nil {
+			t.Errorf("%s: accepted\n%s", c.name, c.payload)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.msg) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.msg)
+		}
+	}
+}
+
+func TestLintHistogramSeriesIndependent(t *testing.T) {
+	// Two labeled series of one histogram family, interleaved: each series'
+	// buckets must be checked independently, and this is legal.
+	payload := strings.Join([]string{
+		"# TYPE h histogram",
+		`h_bucket{route="a",le="1"} 1`,
+		`h_bucket{route="b",le="1"} 9`,
+		`h_bucket{route="a",le="+Inf"} 2`,
+		`h_bucket{route="b",le="+Inf"} 9`,
+		`h_sum{route="a"} 1.5`,
+		`h_count{route="a"} 2`,
+		`h_sum{route="b"} 4`,
+		`h_count{route="b"} 9`,
+		"",
+	}, "\n")
+	if err := lintStr(payload); err != nil {
+		t.Fatalf("interleaved histogram series rejected: %v", err)
+	}
+}

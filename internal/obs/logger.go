@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"time"
+)
+
+// ParseLevel maps a -log-level flag value to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", s)
+}
+
+// NewLogger builds the serving stack's structured logger: one JSON
+// object per line so request IDs, release IDs, and stage fields are
+// machine-greppable, at the given minimum level.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// SlowQueryLogger emits slow-request breakdowns: any request slower than
+// the threshold logs its full span breakdown at Warn, keyed by request
+// ID. A zero threshold disables it; a Threshold of ≤ 0 after explicit
+// configuration (e.g. 1ns in tests) logs everything.
+type SlowQueryLogger struct {
+	// Logger receives the slow-query lines; nil disables logging.
+	Logger *slog.Logger
+	// Threshold is the total-duration cutoff; requests at or above it are
+	// logged. ≤ 0 disables.
+	Threshold time.Duration
+}
+
+// Observe logs the request when it crossed the threshold.
+func (s SlowQueryLogger) Observe(route string, code int, total time.Duration, tr *Trace) {
+	if s.Logger == nil || s.Threshold <= 0 || total < s.Threshold || tr == nil {
+		return
+	}
+	s.Logger.Warn("slow query",
+		"request_id", tr.RequestID,
+		"route", route,
+		"code", code,
+		"release_id", tr.ReleaseID(),
+		"total_us", total.Microseconds(),
+		"spans", tr.Records(),
+	)
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewRequestIDShape(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 32 || !isHex(a) {
+		t.Fatalf("request ID %q is not 32 hex chars", a)
+	}
+	if a == b {
+		t.Fatalf("two minted IDs collided: %q", a)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := NewRequestID()
+	tp := FormatTraceparent(id)
+	if tp == "" {
+		t.Fatalf("FormatTraceparent rejected minted ID %q", id)
+	}
+	got, ok := ParseTraceparent(tp)
+	if !ok || got != id {
+		t.Fatalf("ParseTraceparent(%q) = %q, %v; want %q", tp, got, ok, id)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-beef-01",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",      // unknown version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",      // zero trace-id
+		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01",      // non-hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-junk", // trailing
+	}
+	for _, v := range bad {
+		if id, ok := ParseTraceparent(v); ok {
+			t.Errorf("ParseTraceparent(%q) accepted as %q", v, id)
+		}
+	}
+}
+
+func TestRequestIDFromHeaders(t *testing.T) {
+	h := http.Header{}
+	h.Set(HeaderTraceparent, "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	h.Set(HeaderRequestID, "other")
+	id, minted := RequestIDFromHeaders(h)
+	if minted || id != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("traceparent should win: got %q minted=%v", id, minted)
+	}
+
+	h = http.Header{}
+	h.Set(HeaderRequestID, "my-request.1")
+	id, minted = RequestIDFromHeaders(h)
+	if minted || id != "my-request.1" {
+		t.Fatalf("X-Request-Id should be used: got %q minted=%v", id, minted)
+	}
+
+	h = http.Header{}
+	h.Set(HeaderRequestID, "bad id with spaces\n")
+	id, minted = RequestIDFromHeaders(h)
+	if !minted || len(id) != 32 {
+		t.Fatalf("unsafe upstream ID should be replaced by a minted one, got %q minted=%v", id, minted)
+	}
+}
+
+func TestPropagateHeaders(t *testing.T) {
+	h := http.Header{}
+	id := NewRequestID()
+	PropagateHeaders(h, id)
+	if h.Get(HeaderRequestID) != id {
+		t.Fatalf("X-Request-Id not set")
+	}
+	if got, ok := ParseTraceparent(h.Get(HeaderTraceparent)); !ok || got != id {
+		t.Fatalf("traceparent %q does not carry %q", h.Get(HeaderTraceparent), id)
+	}
+
+	h = http.Header{}
+	PropagateHeaders(h, "not-a-trace-id")
+	if h.Get(HeaderRequestID) != "not-a-trace-id" || h.Get(HeaderTraceparent) != "" {
+		t.Fatalf("non-trace-shaped ID should propagate via X-Request-Id only, got %q", h.Get(HeaderTraceparent))
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("req-1")
+	done := tr.StartSpan("outer")
+	time.Sleep(time.Millisecond)
+	inner := tr.StartSpanNode("subbatch", "n2")
+	inner()
+	done()
+	tr.SetRelease("n1-r-000001")
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(spans))
+	}
+	if spans[0].Stage != "outer" || spans[1].Stage != "subbatch" || spans[1].Node != "n2" {
+		t.Fatalf("spans out of order or mislabeled: %+v", spans)
+	}
+	if spans[0].Dur < time.Millisecond {
+		t.Fatalf("outer span too short: %v", spans[0].Dur)
+	}
+	if tr.ReleaseID() != "n1-r-000001" {
+		t.Fatalf("release annotation lost: %q", tr.ReleaseID())
+	}
+	recs := tr.Records()
+	if len(recs) != 2 || recs[1].OffsetMicros < recs[0].OffsetMicros {
+		t.Fatalf("records not offset-ordered: %+v", recs)
+	}
+	bd := tr.Breakdown()
+	if !strings.Contains(bd, "outer=") || !strings.Contains(bd, "subbatch[n2]=") {
+		t.Fatalf("breakdown %q misses stages", bd)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")()
+	tr.StartSpanNode("y", "n")()
+	tr.AddSpan("z", "", time.Now(), time.Second)
+	tr.SetRelease("r")
+	if tr.Spans() != nil || tr.ReleaseID() != "" || tr.Breakdown() != "" {
+		t.Fatal("nil trace should be inert")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil || RequestIDFrom(ctx) != "" {
+		t.Fatal("empty context should carry no trace")
+	}
+	tr := NewTrace("abc")
+	ctx = WithTrace(ctx, tr)
+	if TraceFrom(ctx) != tr || RequestIDFrom(ctx) != "abc" {
+		t.Fatal("trace lost in context")
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+)
+
+// WriteRuntimeMetrics renders the Go runtime gauges every serving
+// process exposes, under <prefix>go_*: goroutine count, heap usage, GC
+// activity. prefix is the process's metric namespace (e.g. "repro_").
+func WriteRuntimeMetrics(buf *bytes.Buffer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(buf, "# HELP %s%s %s\n", prefix, name, help)
+		fmt.Fprintf(buf, "# TYPE %s%s gauge\n", prefix, name)
+		fmt.Fprintf(buf, "%s%s %d\n", prefix, name, v)
+	}
+	gauge("go_goroutines", "Current goroutine count.", uint64(runtime.NumGoroutine()))
+	gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.", ms.HeapAlloc)
+	gauge("go_heap_objects", "Number of allocated heap objects.", ms.HeapObjects)
+	gauge("go_sys_bytes", "Total bytes obtained from the OS.", ms.Sys)
+	gauge("go_next_gc_bytes", "Heap size target of the next GC cycle.", ms.NextGC)
+
+	fmt.Fprintf(buf, "# HELP %sgo_gc_cycles_total Completed GC cycles.\n", prefix)
+	fmt.Fprintf(buf, "# TYPE %sgo_gc_cycles_total counter\n", prefix)
+	fmt.Fprintf(buf, "%sgo_gc_cycles_total %d\n", prefix, ms.NumGC)
+	fmt.Fprintf(buf, "# HELP %sgo_gc_pause_seconds_total Cumulative stop-the-world GC pause.\n", prefix)
+	fmt.Fprintf(buf, "# TYPE %sgo_gc_pause_seconds_total counter\n", prefix)
+	fmt.Fprintf(buf, "%sgo_gc_pause_seconds_total %g\n", prefix, float64(ms.PauseTotalNs)/1e9)
+}

@@ -5,11 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // RecoveryStats summarizes what Open reconstructed from a data
@@ -74,7 +75,7 @@ func OpenNode(dir string, workers int, node string) (*Store, error) {
 	s.unlock = unlock
 	s.recovered.SkippedLines = skipped
 	if skipped > 0 {
-		log.Printf("release: open %s: skipped %d malformed manifest line(s)", dir, skipped)
+		slog.Warn("skipped malformed manifest lines", "component", "release", "dir", dir, "skipped", skipped)
 	}
 	s.replay(records)
 	s.sweepOrphans(records)
@@ -106,7 +107,7 @@ func (s *Store) sweepOrphans(records []manifestRecord) {
 			continue
 		}
 		if err := os.Remove(filepath.Join(s.dir, name)); err == nil {
-			log.Printf("release: open %s: removed orphan %s", s.dir, name)
+			slog.Info("removed orphan snapshot file", "component", "release", "dir", s.dir, "file", name)
 		}
 	}
 }
@@ -158,7 +159,7 @@ func (s *Store) replay(records []manifestRecord) {
 			meta.Error = "build interrupted by restart: the process died mid-build"
 			s.installRecovered(meta, nil)
 			s.recovered.Interrupted++
-			log.Printf("release: open %s: release %s was mid-build at crash time; re-failed", s.dir, rec.ID)
+			slog.Warn("release was mid-build at crash time; re-failed", "component", "release", "dir", s.dir, "release_id", rec.ID)
 		}
 	}
 }
@@ -175,7 +176,7 @@ func (s *Store) recoverReady(submitted, rec *manifestRecord) {
 		meta.Error = fmt.Sprintf("snapshot unrecoverable: %v", err)
 		s.installRecovered(meta, nil)
 		s.recovered.Corrupt++
-		log.Printf("release: open %s: skipping release %s: %v", s.dir, rec.ID, err)
+		slog.Warn("skipping unrecoverable release", "component", "release", "dir", s.dir, "release_id", rec.ID, "err", err)
 	}
 	name := rec.File
 	if name == "" || name != filepath.Base(name) {
@@ -187,7 +188,9 @@ func (s *Store) recoverReady(submitted, rec *manifestRecord) {
 		fail(err)
 		return
 	}
+	decodeStart := time.Now()
 	snap, spec, err := DecodeSnapshot(data)
+	s.stages.Observe("store.snapshot_decode", time.Since(decodeStart))
 	if err != nil {
 		fail(err)
 		return
@@ -258,10 +261,14 @@ func snapshotFileName(id string) string { return id + ".snap" }
 // the directory. A crash leaves either the previous state or the
 // complete new file, never a torn snapshot under the final name.
 func (s *Store) persistSnapshot(id string, snap *Snapshot, spec Spec) (string, error) {
+	encodeStart := time.Now()
 	data, err := EncodeSnapshot(snap, spec)
+	s.stages.Observe("store.snapshot_encode", time.Since(encodeStart))
 	if err != nil {
 		return "", err
 	}
+	writeStart := time.Now()
+	defer func() { s.stages.Observe("store.snapshot_write", time.Since(writeStart)) }()
 	name := snapshotFileName(id)
 	final := filepath.Join(s.dir, name)
 	tmp := final + ".tmp"
@@ -393,6 +400,6 @@ func (s *Store) appendTerminal(event string, meta Meta) {
 		Version: meta.Version,
 		Error:   meta.Error,
 	}); err != nil && !errors.Is(err, errManifestClosed) {
-		log.Printf("release: recording %s of %s: %v", event, meta.ID, err)
+		slog.Error("recording terminal event", "component", "release", "event", event, "release_id", meta.ID, "err", err)
 	}
 }

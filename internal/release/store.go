@@ -4,13 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"regexp"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/microdata"
+	"repro/internal/obs"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -71,6 +72,11 @@ type Store struct {
 
 	jobs chan *record
 	wg   sync.WaitGroup
+
+	// stages records the store's durable-I/O and build latencies
+	// (store.build, store.snapshot_encode, store.snapshot_write,
+	// store.snapshot_decode) for the /metrics endpoint.
+	stages *obs.LabeledHistograms
 }
 
 // record is the store's mutable view of one release. meta is guarded by
@@ -119,6 +125,7 @@ func NewStoreNode(workers int, node string) (*Store, error) {
 		root:   root,
 		cancel: cancel,
 		jobs:   make(chan *record, 64),
+		stages: obs.NewLabeledHistograms(),
 	}
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -130,6 +137,10 @@ func NewStoreNode(workers int, node string) (*Store, error) {
 // Node returns the store's cluster node identity ("" on single-node
 // stores).
 func (s *Store) Node() string { return s.node }
+
+// Stages exposes the store's per-stage latency histograms for the
+// /metrics renderer.
+func (s *Store) Stages() *obs.LabeledHistograms { return s.stages }
 
 // mintID derives a release ID from the just-incremented version counter,
 // carrying the node prefix on cluster stores. Callers hold s.mu.
@@ -203,7 +214,7 @@ func (s *Store) Close() {
 	s.ioWG.Wait()
 	if s.man != nil {
 		if err := s.man.close(); err != nil {
-			log.Printf("release: closing manifest: %v", err)
+			slog.Error("closing manifest", "component", "release", "dir", s.dir, "err", err)
 		}
 	}
 	if s.unlock != nil {
@@ -491,6 +502,7 @@ func (s *Store) runBuild(rec *record) {
 	start := time.Now()
 	snap, err := build(rec.ctx, t, spec)
 	elapsed := time.Since(start)
+	s.stages.Observe("store.build", elapsed)
 
 	// The finished metadata is staged off-lock: on a durable store the
 	// snapshot file and its manifest record must be on disk before the

@@ -20,8 +20,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/release"
 	"repro/pkg/api"
 )
@@ -60,7 +62,12 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
+	endEncode := tr.StartSpan("store.snapshot_encode")
+	encodeStart := time.Now()
 	data, err := release.EncodeSnapshot(snap, meta.Spec)
+	s.store.Stages().Observe("store.snapshot_encode", time.Since(encodeStart))
+	endEncode()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err, nil)
 		return
@@ -90,7 +97,12 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, err, nil)
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
+	endDecode := tr.StartSpan("store.snapshot_decode")
+	decodeStart := time.Now()
 	snap, spec, err := release.DecodeSnapshot(snapBytes)
+	s.store.Stages().Observe("store.snapshot_decode", time.Since(decodeStart))
+	endDecode()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest,
 			fmt.Errorf("envelope for %s: %w", id, err), map[string]any{"release_id": id})

@@ -9,16 +9,17 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
-// Metrics collects per-route request counters and latency sums and renders
-// them in Prometheus text exposition format. It is dependency-free by
-// design: the container bakes in no client library, and counters plus sums
-// are all the serving dashboards need.
+// Metrics collects per-route request counters and latency histograms and
+// renders them in Prometheus text exposition format. It is dependency-free
+// by design: the container bakes in no client library, and counters plus
+// log-bucketed histograms are all the serving dashboards need.
 type Metrics struct {
 	mu     sync.Mutex
 	counts map[routeCode]uint64
-	lat    map[string]*latency
+	lat    *obs.LabeledHistograms
 	start  time.Time
 }
 
@@ -27,16 +28,11 @@ type routeCode struct {
 	code  int
 }
 
-type latency struct {
-	sum   float64 // seconds
-	count uint64
-}
-
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
 		counts: make(map[routeCode]uint64),
-		lat:    make(map[string]*latency),
+		lat:    obs.NewLabeledHistograms(),
 		start:  time.Now(),
 	}
 }
@@ -45,14 +41,13 @@ func NewMetrics() *Metrics {
 func (m *Metrics) Observe(route string, code int, d time.Duration) {
 	m.mu.Lock()
 	m.counts[routeCode{route, code}]++
-	l := m.lat[route]
-	if l == nil {
-		l = &latency{}
-		m.lat[route] = l
-	}
-	l.sum += d.Seconds()
-	l.count++
 	m.mu.Unlock()
+	m.lat.Observe(route, d)
+}
+
+// RouteQuantile estimates a latency quantile for one route, in seconds.
+func (m *Metrics) RouteQuantile(route string, q float64) float64 {
+	return m.lat.Quantile(route, q)
 }
 
 // releaseCounter lets the metrics endpoint report the store's release
@@ -79,10 +74,12 @@ type PersistStats struct {
 type persistStats func() PersistStats
 
 // handler renders the registry. releases, engStats, and persist may be
-// nil. The exposition is rendered into a buffer first so no lock is held
-// during the network write (a stalled scraper must not serialize request
-// completion).
-func (m *Metrics) handler(releases releaseCounter, engStats engineStats, persist persistStats) http.HandlerFunc {
+// nil; stageSets are the per-stage latency families (engine, store) merged
+// into one repro_stage_duration_seconds family — their label values must
+// be disjoint. The exposition is rendered into a buffer first so no lock
+// is held during the network write (a stalled scraper must not serialize
+// request completion).
+func (m *Metrics) handler(releases releaseCounter, engStats engineStats, persist persistStats, stageSets ...*obs.LabeledHistograms) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		m.mu.Lock()
@@ -101,20 +98,10 @@ func (m *Metrics) handler(releases releaseCounter, engStats engineStats, persist
 		for _, k := range keys {
 			fmt.Fprintf(&buf, "repro_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.counts[k])
 		}
-		routes := make([]string, 0, len(m.lat))
-		for r := range m.lat {
-			routes = append(routes, r)
-		}
-		sort.Strings(routes)
-		fmt.Fprintln(&buf, "# HELP repro_http_request_duration_seconds Request latency, by route.")
-		fmt.Fprintln(&buf, "# TYPE repro_http_request_duration_seconds summary")
-		for _, r := range routes {
-			l := m.lat[r]
-			fmt.Fprintf(&buf, "repro_http_request_duration_seconds_sum{route=%q} %g\n", r, l.sum)
-			fmt.Fprintf(&buf, "repro_http_request_duration_seconds_count{route=%q} %d\n", r, l.count)
-		}
 		uptime := time.Since(m.start).Seconds()
 		m.mu.Unlock()
+		obs.WriteHistograms(&buf, "repro_http_request_duration_seconds", "Request latency, by route.", "route", m.lat)
+		obs.WriteHistograms(&buf, "repro_stage_duration_seconds", "Per-stage latency inside a request (engine, store).", "stage", stageSets...)
 
 		if releases != nil {
 			counts := releases()
@@ -176,6 +163,7 @@ func (m *Metrics) handler(releases releaseCounter, engStats engineStats, persist
 				fmt.Fprintf(&buf, "repro_store_recovered_releases{outcome=\"corrupt\"} %d\n", ps.RecoveredCorrupt)
 			}
 		}
+		obs.WriteRuntimeMetrics(&buf, "repro_")
 		fmt.Fprintln(&buf, "# HELP repro_uptime_seconds Seconds since the server started.")
 		fmt.Fprintln(&buf, "# TYPE repro_uptime_seconds gauge")
 		fmt.Fprintf(&buf, "repro_uptime_seconds %g\n", uptime)

@@ -1,0 +1,265 @@
+package server
+
+// Node-level observability tests: the /metrics exposition against
+// Prometheus text-format rules, the request-ID contract of the error
+// envelope and X-Request-Id header, the slow-query log's span
+// breakdown, and the token gate on /debug/pprof.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pkg/api"
+)
+
+// logSink is a concurrency-safe slog destination.
+type logSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *logSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *logSink) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.String()
+}
+
+// TestMetricsExpositionLint scrapes /metrics after real traffic — a
+// build, batch queries hitting both the miss and hit paths, an error —
+// and requires the payload to parse under Prometheus text-format
+// exposition rules with per-stage histograms present.
+func TestMetricsExpositionLint(t *testing.T) {
+	e := newEnv(t)
+	csv, tab := censusCSV(t, 500, 9, 3)
+	resp, data := e.post(t, "/v1/releases", createReq("burel", `{"beta": 4, "seed": 7}`, csv, 3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: %d: %s", resp.StatusCode, data)
+	}
+	var meta api.Release
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatal(err)
+	}
+	meta = e.pollReady(t, meta.ID)
+	if meta.Status != api.StatusReady {
+		t.Fatalf("build failed: %s", meta.Error)
+	}
+	qs := make([]api.Query, 4)
+	for i := range qs {
+		qs[i] = api.Query{SALo: 0, SAHi: i + 1}
+	}
+	for i := 0; i < 2; i++ { // second round exercises the cache-hit path
+		resp, data = e.post(t, "/v1/query:batch", api.BatchQueryRequest{ReleaseID: meta.ID, Queries: qs})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch: %d: %s", resp.StatusCode, data)
+		}
+	}
+	e.get(t, "/v1/releases/r-404404")
+
+	resp, expo := e.get(t, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if err := obs.LintExposition(expo); err != nil {
+		t.Fatalf("/metrics fails exposition lint: %v\npayload:\n%s", err, expo)
+	}
+	body := string(expo)
+	for _, want := range []string{
+		`repro_http_request_duration_seconds_bucket{route="batch_query",le="+Inf"}`,
+		`repro_stage_duration_seconds_bucket{stage="engine.estimate"`,
+		`stage="engine.cache_miss"`,
+		`stage="engine.cache_hit"`,
+		`stage="store.build"`,
+		"repro_go_goroutines",
+		"repro_go_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	_ = tab
+}
+
+// TestRequestIDContract pins the correlation surface: every response
+// carries X-Request-Id; error envelopes mirror it under
+// details.request_id; a client-supplied traceparent's trace ID is
+// adopted; an unsafe X-Request-Id is replaced with a minted one.
+func TestRequestIDContract(t *testing.T) {
+	e := newEnv(t)
+
+	// Minted at the edge on a bare request, mirrored into the envelope.
+	resp, data := e.get(t, "/v1/releases/r-404404")
+	rid := resp.Header.Get(api.HeaderRequestID)
+	if len(rid) != 32 {
+		t.Fatalf("minted request ID %q is not a 32-hex trace ID", rid)
+	}
+	var env api.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := env.Error.Details["request_id"].(string); got != rid {
+		t.Errorf("envelope details.request_id = %q, header %q", got, rid)
+	}
+
+	do := func(hdr http.Header) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, e.ts.URL+"/v1/releases", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, vs := range hdr {
+			req.Header[k] = vs
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp
+	}
+
+	// A propagated traceparent wins and its trace ID is echoed.
+	tid := "0123456789abcdef0123456789abcdef"
+	resp = do(http.Header{"Traceparent": {"00-" + tid + "-00f067aa0ba902b7-01"}})
+	if got := resp.Header.Get(api.HeaderRequestID); got != tid {
+		t.Errorf("traceparent trace ID not adopted: got %q, want %q", got, tid)
+	}
+
+	// A sane X-Request-Id is adopted verbatim.
+	resp = do(http.Header{api.HeaderRequestID: {"my-request.01"}})
+	if got := resp.Header.Get(api.HeaderRequestID); got != "my-request.01" {
+		t.Errorf("X-Request-Id not adopted: got %q", got)
+	}
+
+	// An unsafe ID (header-injection shaped) is replaced, not echoed.
+	resp = do(http.Header{api.HeaderRequestID: {"bad id\twith spaces"}})
+	if got := resp.Header.Get(api.HeaderRequestID); got == "bad id\twith spaces" || len(got) != 32 {
+		t.Errorf("unsafe X-Request-Id echoed or not replaced: got %q", got)
+	}
+}
+
+// TestSlowQueryLog drives a query through a server with a 1ns threshold
+// and requires the Warn line to carry the request ID, route, release ID,
+// and the node + engine stage spans.
+func TestSlowQueryLog(t *testing.T) {
+	sink := &logSink{}
+	e := newEnvOpts(t, Options{
+		Logger:    obs.NewLogger(sink, slog.LevelDebug),
+		SlowQuery: time.Nanosecond,
+	}, 2)
+	csv, _ := censusCSV(t, 300, 3, 3)
+	resp, data := e.post(t, "/v1/releases", createReq("burel", `{"beta": 4, "seed": 7}`, csv, 3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: %d: %s", resp.StatusCode, data)
+	}
+	var meta api.Release
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta = e.pollReady(t, meta.ID); meta.Status != api.StatusReady {
+		t.Fatalf("build failed: %s", meta.Error)
+	}
+	resp, data = e.post(t, "/v1/releases/"+meta.ID+"/query", api.Query{SALo: 0, SAHi: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d: %s", resp.StatusCode, data)
+	}
+	rid := resp.Header.Get(api.HeaderRequestID)
+
+	type slowLine struct {
+		Msg       string           `json:"msg"`
+		RequestID string           `json:"request_id"`
+		Route     string           `json:"route"`
+		ReleaseID string           `json:"release_id"`
+		Spans     []obs.SpanRecord `json:"spans"`
+	}
+	var found *slowLine
+	deadline := time.Now().Add(5 * time.Second)
+	for found == nil {
+		for _, line := range strings.Split(sink.String(), "\n") {
+			if !strings.Contains(line, rid) {
+				continue
+			}
+			var sl slowLine
+			if json.Unmarshal([]byte(line), &sl) == nil && sl.Msg == "slow query" && sl.Route == "query_release" {
+				found = &sl
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no slow-query line for %s in:\n%s", rid, sink.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if found.RequestID != rid {
+		t.Errorf("slow-query request_id = %q, want %q", found.RequestID, rid)
+	}
+	if found.ReleaseID != meta.ID {
+		t.Errorf("slow-query release_id = %q, want %q", found.ReleaseID, meta.ID)
+	}
+	stages := make(map[string]bool)
+	for _, sp := range found.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{"node.resolve", "engine.cache", "engine.estimate", "node.query_release"} {
+		if !stages[want] {
+			t.Errorf("slow-query spans missing %q (got %+v)", want, found.Spans)
+		}
+	}
+}
+
+// TestPprofTokenGate pins the profiling surface's posture: 403 without
+// the cluster token (and when no token is configured at all), profiles
+// with it.
+func TestPprofTokenGate(t *testing.T) {
+	e := newEnvOpts(t, Options{ClusterToken: "pprof-secret"}, 2)
+
+	resp, _ := e.get(t, "/debug/pprof/")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("ungated pprof index: %d, want 403", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodGet, e.ts.URL+"/debug/pprof/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer pprof-secret")
+	authed, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(authed.Body)
+	authed.Body.Close()
+	if authed.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("authed pprof index: %d: %s", authed.StatusCode, body)
+	}
+
+	// No token configured: the surface is closed even with a guess.
+	bare := newEnv(t)
+	req, err = http.NewRequest(http.MethodGet, bare.ts.URL+"/debug/pprof/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer pprof-secret")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body) //nolint:errcheck
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusForbidden {
+		t.Fatalf("tokenless server served pprof: %d", resp2.StatusCode)
+	}
+}

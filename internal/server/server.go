@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/census"
 	"repro/internal/engine"
 	"repro/internal/microdata"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/release"
 	"repro/pkg/api"
@@ -60,8 +62,16 @@ type Options struct {
 	Engine engine.Options
 	// ClusterToken enables the cluster-internal snapshot endpoints
 	// (GET/POST /v1/internal/snapshot...) and authenticates them as a
-	// Bearer token. Empty keeps them disabled (403).
+	// Bearer token; it also gates the /debug/pprof/ profiling surface.
+	// Empty keeps them disabled (403).
 	ClusterToken string
+	// Logger receives the server's structured log lines; nil selects
+	// slog.Default().
+	Logger *slog.Logger
+	// SlowQuery is the slow-query log threshold: any request whose total
+	// duration reaches it logs its full span breakdown at Warn, keyed by
+	// request ID. ≤ 0 disables the slow-query log.
+	SlowQuery time.Duration
 }
 
 // Server is the HTTP front end; it implements http.Handler.
@@ -78,6 +88,8 @@ type Server struct {
 	// text into GBs of slices before any validation could reject it.
 	maxQueryBody, maxBatchBody int64
 	clusterToken               string
+	logger                     *slog.Logger
+	slow                       obs.SlowQueryLogger
 }
 
 // New wires the API around a store. Call Close to stop the server's
@@ -91,6 +103,7 @@ func New(store *release.Store, opts Options) *Server {
 		mux:          http.NewServeMux(),
 		maxBody:      opts.MaxBodyBytes,
 		clusterToken: opts.ClusterToken,
+		logger:       opts.Logger,
 	}
 	if s.schema == nil {
 		s.schema = census.Schema()
@@ -98,10 +111,14 @@ func New(store *release.Store, opts Options) *Server {
 	if s.maxBody <= 0 {
 		s.maxBody = 256 << 20
 	}
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	s.slow = obs.SlowQueryLogger{Logger: s.logger, Threshold: opts.SlowQuery}
 	s.maxQueryBody = min(1<<20, s.maxBody)
 	s.maxBatchBody = min(8<<20, s.maxBody)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts, s.engine.Stats, s.persistStats)))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts, s.engine.Stats, s.persistStats, s.engine.Stages(), store.Stages())))
 	s.mux.HandleFunc("POST /v1/releases", s.instrument("create_release", s.handleCreate))
 	s.mux.HandleFunc("GET /v1/releases", s.instrument("list_releases", s.handleList))
 	s.mux.HandleFunc("GET /v1/releases/{id}", s.instrument("get_release", s.handleGet))
@@ -109,6 +126,7 @@ func New(store *release.Store, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/query:batch", s.instrument("batch_query", s.handleBatchQuery))
 	s.mux.HandleFunc("GET /v1/internal/snapshot/{id}", s.instrument("internal_snapshot_get", s.requireCluster(s.handleSnapshotGet)))
 	s.mux.HandleFunc("POST /v1/internal/snapshot", s.instrument("internal_snapshot_put", s.requireCluster(s.handleSnapshotPut)))
+	s.mux.Handle("/debug/pprof/", obs.PprofHandler(opts.ClusterToken))
 	return s
 }
 
@@ -121,13 +139,34 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// instrument wraps a handler with request metrics.
+// instrument wraps a handler with request observability: a request ID
+// (propagated from upstream via traceparent/X-Request-Id or minted here)
+// echoed as the X-Request-Id response header, a span trace on the request
+// context, per-route metrics, a debug-level access log line, and the
+// slow-query log. The response header is set before the handler runs so
+// writeErr can embed the ID in every error envelope.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	node := s.store.Node()
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id, _ := obs.RequestIDFromHeaders(r.Header)
+		tr := obs.NewTrace(id)
+		w.Header().Set(obs.HeaderRequestID, id)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
-		s.metrics.Observe(route, rec.code, time.Since(start))
+		total := time.Since(start)
+		tr.AddSpan("node."+route, node, start, total)
+		s.metrics.Observe(route, rec.code, total)
+		s.slow.Observe(route, rec.code, total, tr)
+		s.logger.Debug("request",
+			"request_id", id,
+			"route", route,
+			"code", rec.code,
+			"release_id", tr.ReleaseID(),
+			"node", node,
+			"total_us", total.Microseconds(),
+		)
 	}
 }
 
@@ -321,11 +360,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("decoding request: %w", err), nil)
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
+	endResolve := tr.StartSpan("node.resolve")
 	snap, ok := s.resolveSnapshot(w, id)
+	endResolve()
 	if !ok {
 		return
 	}
-	res, err := s.engine.Execute(id, snap, []query.Query{toQuery(req)})
+	res, err := s.engine.ExecuteCtx(r.Context(), id, snap, []query.Query{toQuery(req)})
 	if err != nil {
 		executeErr(w, err)
 		return
@@ -355,7 +397,10 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 			map[string]any{"limit": limit})
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
+	endResolve := tr.StartSpan("node.resolve")
 	snap, ok := s.resolveSnapshot(w, req.ReleaseID)
+	endResolve()
 	if !ok {
 		return
 	}
@@ -363,7 +408,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	for i, qr := range req.Queries {
 		qs[i] = toQuery(qr)
 	}
-	res, err := s.engine.Execute(req.ReleaseID, snap, qs)
+	res, err := s.engine.ExecuteCtx(r.Context(), req.ReleaseID, snap, qs)
 	if err != nil {
 		executeErr(w, err)
 		return
@@ -416,7 +461,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeErr emits the structured error envelope every route shares.
+// writeErr emits the structured error envelope every route shares. The
+// request ID the instrument middleware staged as a response header is
+// mirrored into details so error reports are grep-able against server
+// logs without the caller having captured the header.
 func writeErr(w http.ResponseWriter, status int, code string, err error, details map[string]any) {
+	if id := w.Header().Get(obs.HeaderRequestID); id != "" {
+		if details == nil {
+			details = make(map[string]any, 1)
+		}
+		if _, ok := details["request_id"]; !ok {
+			details["request_id"] = id
+		}
+	}
 	writeJSON(w, status, api.Envelope{Error: api.Error{Code: code, Message: err.Error(), Details: details}})
 }

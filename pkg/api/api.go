@@ -32,7 +32,10 @@ type Error struct {
 	// Message is the human-readable description.
 	Message string `json:"message"`
 	// Details carries optional error-specific context (e.g. the release
-	// status behind a not_ready, the limit behind a too_large).
+	// status behind a not_ready, the limit behind a too_large). Servers
+	// also mirror the request ID here under "request_id" — the same value
+	// the HeaderRequestID response header carries — so an error report is
+	// grep-able against server logs.
 	Details map[string]any `json:"details,omitempty"`
 }
 
@@ -40,6 +43,12 @@ type Error struct {
 type Envelope struct {
 	Error Error `json:"error"`
 }
+
+// HeaderRequestID is the response header every route echoes with the
+// request's ID: propagated from the caller's traceparent or X-Request-Id
+// header when safe, minted at the edge otherwise. One grep on this value
+// across gateway and node logs yields the request's full trace.
+const HeaderRequestID = "X-Request-Id"
 
 // Error codes. The HTTP status narrows the transport semantics; the code
 // names the cause.
@@ -189,6 +198,12 @@ type ClusterNode struct {
 	Inflight int64 `json:"inflight"`
 	// Failures counts consecutive failed health probes.
 	Failures int64 `json:"failures,omitempty"`
+	// ProbeMillis is the last health-probe round-trip time in
+	// milliseconds; 0 until the first probe completes.
+	ProbeMillis float64 `json:"probe_millis,omitempty"`
+	// LastError is the most recent probe failure, "" while the node is
+	// healthy.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // ClusterStatusResponse is the GET /v1/cluster/status body a gateway

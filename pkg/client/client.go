@@ -118,6 +118,11 @@ type Error struct {
 	Message string
 	// Details carries optional error-specific context.
 	Details map[string]any
+	// RequestID is the server's ID for the failed request (from the
+	// X-Request-Id response header, or details when the header was lost
+	// in transit); quote it when reporting the failure — one grep on it
+	// across gateway and node logs yields the request's full trace.
+	RequestID string
 
 	// retryAfter is the server-suggested delay of a 503, consumed by the
 	// retry loop; transport state, not part of the error value.
@@ -125,6 +130,9 @@ type Error struct {
 }
 
 func (e *Error) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("%s (%d): %s [request_id=%s]", e.Code, e.StatusCode, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("%s (%d): %s", e.Code, e.StatusCode, e.Message)
 }
 
@@ -338,12 +346,21 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		}
 		return nil, nil
 	}
-	apiErr := &Error{StatusCode: resp.StatusCode, retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+	apiErr := &Error{
+		StatusCode: resp.StatusCode,
+		RequestID:  resp.Header.Get(api.HeaderRequestID),
+		retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	}
 	var env api.Envelope
 	if jsonErr := json.Unmarshal(data, &env); jsonErr == nil && env.Error.Code != "" {
 		apiErr.Code = env.Error.Code
 		apiErr.Message = env.Error.Message
 		apiErr.Details = env.Error.Details
+		if apiErr.RequestID == "" {
+			if id, ok := env.Error.Details["request_id"].(string); ok {
+				apiErr.RequestID = id
+			}
+		}
 	} else {
 		// Not the service's envelope (a proxy, a panic page): keep the
 		// body so the failure is still diagnosable.
