@@ -76,6 +76,12 @@ func (r *Release) Estimate(q Query) (float64, error) {
 	if err := query.Validate(r.Schema, q); err != nil {
 		return 0, err
 	}
+	if len(q.GroupBy) != 0 {
+		// A grouped query is a set of scalar queries, one per cell; the
+		// batch engine expands and fans them out. A single-estimate API
+		// has no place to put the per-cell results.
+		return 0, fmt.Errorf("anon: grouped queries are executed by the batch engine, not Estimate")
+	}
 	switch {
 	case r.ECs != nil:
 		return query.EstimateGeneralized(r.Schema, r.ECs, q), nil

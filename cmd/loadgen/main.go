@@ -11,10 +11,14 @@
 // queries through Query with -single), with the SDK's bounded
 // 503/Retry-After retry absorbing the pending window.
 //
-// It generates a pool of distinct COUNT(*) queries of the paper's §6
-// workload shape (λ QI predicates, expected selectivity θ) and replays
-// them Zipf-distributed — the skewed repetition real dashboards exhibit
-// and the result cache exploits — from a set of concurrent workers.
+// It generates a pool of distinct queries of the paper's §6 workload
+// shape (λ QI predicates, expected selectivity θ) and replays them
+// Zipf-distributed — the skewed repetition real dashboards exhibit and
+// the result cache exploits — from a set of concurrent workers. The
+// -agg flag mixes aggregate shapes into the pool round-robin: "count"
+// (the default), "sum"/"avg"/"min"/"max" over the SA, and "groupby"
+// (GROUP BY over a predicate-free QI dimension with SUM), so the
+// aggregate and group-expansion paths are exercised under load.
 //
 // Usage:
 //
@@ -22,7 +26,7 @@
 //	        [-rows 20000] [-beta 4] [-qi 3] [-seed 1]
 //	        [-queries 10000] [-batch 64] [-concurrency 8] [-single]
 //	        [-lambda 2] [-theta 0.05] [-distinct 1024] [-zipf-s 1.2]
-//	        [-json report.json]
+//	        [-agg count,sum,groupby] [-json report.json]
 //
 // -addr accepts a comma-separated endpoint list; workers are assigned
 // round-robin across the endpoints and throughput is reported both in
@@ -53,6 +57,7 @@ import (
 
 	"repro/anon"
 	"repro/internal/census"
+	"repro/internal/microdata"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/pkg/api"
@@ -60,7 +65,36 @@ import (
 )
 
 func toAPI(q query.Query) api.Query {
-	return api.Query{Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi}
+	return api.Query{
+		Dims: q.Dims, Lo: q.Lo, Hi: q.Hi, SALo: q.SALo, SAHi: q.SAHi,
+		Agg: string(q.Agg), GroupBy: q.GroupBy, GroupBuckets: q.GroupBuckets,
+	}
+}
+
+// groupify turns a generated query into a GROUP BY + SUM query over one
+// QI dimension that carries no predicate; when every dimension does, the
+// last predicate is dropped to free its dimension.
+func groupify(schema *microdata.Schema, q query.Query) query.Query {
+	used := make(map[int]bool, len(q.Dims))
+	for _, d := range q.Dims {
+		used[d] = true
+	}
+	free := -1
+	for d := range schema.QI {
+		if !used[d] {
+			free = d
+			break
+		}
+	}
+	if free == -1 {
+		free = q.Dims[len(q.Dims)-1]
+		q.Dims = q.Dims[:len(q.Dims)-1]
+		q.Lo = q.Lo[:len(q.Lo)-1]
+		q.Hi = q.Hi[:len(q.Hi)-1]
+	}
+	q.Agg = query.AggSum
+	q.GroupBy = []int{free}
+	return q
 }
 
 func main() {
@@ -78,11 +112,26 @@ func main() {
 	theta := flag.Float64("theta", 0.05, "expected query selectivity (θ)")
 	distinct := flag.Int("distinct", 1024, "distinct queries in the replay pool")
 	zipfS := flag.Float64("zipf-s", 1.2, "Zipf exponent of query repetition (≤ 1: uniform)")
+	aggMix := flag.String("agg", "count", "comma-separated aggregate mix cycled through the query pool: count, sum, avg, min, max, groupby")
 	jsonOut := flag.String("json", "", "also write a machine-readable JSON report to this file")
 	flag.Parse()
 	if *distinct < 1 || *batch < 1 || *concurrency < 1 || *queries < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: -distinct, -batch, -concurrency, and -queries must be ≥ 1")
 		os.Exit(2)
+	}
+	var mix []string
+	for _, kind := range strings.Split(*aggMix, ",") {
+		switch kind = strings.TrimSpace(kind); kind {
+		case "count", "sum", "avg", "min", "max", "groupby":
+			mix = append(mix, kind)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "loadgen: -agg entry %q is not one of count, sum, avg, min, max, groupby\n", kind)
+			os.Exit(2)
+		}
+	}
+	if len(mix) == 0 {
+		mix = []string{"count"}
 	}
 
 	var endpoints []string
@@ -120,7 +169,15 @@ func main() {
 	}
 	pool := make([]api.Query, *distinct)
 	for i := range pool {
-		pool[i] = toAPI(gen.Next())
+		q := gen.Next()
+		switch kind := mix[i%len(mix)]; kind {
+		case "count":
+		case "groupby":
+			q = groupify(schema, q)
+		default:
+			q.Agg = query.Aggregate(kind)
+		}
+		pool[i] = toAPI(q)
 	}
 
 	// Per-endpoint tallies, indexed like endpoints; workers write only
@@ -241,6 +298,7 @@ func main() {
 				Endpoints: endpoints, ReleaseID: id, Queries: *queries,
 				Batch: batchSize, Concurrency: *concurrency, Single: *single,
 				Lambda: *lambda, Theta: *theta, Distinct: *distinct, ZipfS: *zipfS, Seed: *seed,
+				Agg: strings.Join(mix, ","),
 			},
 			ElapsedSeconds: elapsed.Seconds(),
 			Queries:        done, Failed: failed, Requests: requests,
@@ -299,6 +357,7 @@ type reportConfig struct {
 	Distinct    int      `json:"distinct"`
 	ZipfS       float64  `json:"zipf_s"`
 	Seed        int64    `json:"seed"`
+	Agg         string   `json:"agg,omitempty"`
 }
 
 // latencyReport carries request round-trip percentiles in milliseconds.

@@ -152,6 +152,105 @@ func TestClusterAllMethodsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestClusterAggregatesAndGroupBy drives the extended query language
+// end-to-end — SDK → gateway → node — against a replicated release:
+// every named aggregate answers identically on the gateway's routed path
+// and on each replica directly, and a GROUP BY query's cells match the
+// gateway's own answers to the equivalent ungrouped per-cell queries.
+func TestClusterAggregatesAndGroupBy(t *testing.T) {
+	nodes, _, ts := startCluster(t, 2, 2)
+	ctx := context.Background()
+	gwc := client.New(ts.URL)
+	csv, tab, qs := censusCSVQs(t, 600, 29, 3, 4)
+
+	rel, err := gwc.CreateRelease(ctx, client.CreateSpec{
+		Method: anon.MethodBUREL, Params: anon.NewBURELParams(anon.BURELBeta(4), anon.BURELSeed(3)), QI: 3, CSV: csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gwc.WaitReady(ctx, rel.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitCondition(t, 15*time.Second, "release replicated to all nodes", func() bool {
+		return readyOn(nodes, rel.ID) == len(nodes)
+	})
+
+	// Every aggregate, via the gateway and via each replica directly.
+	for _, agg := range []string{"count", "sum", "avg", "min", "max"} {
+		q := qs[0]
+		q.Agg = agg
+		viaGW, err := gwc.Query(ctx, rel.ID, q)
+		if err != nil {
+			t.Fatalf("agg %s via gateway: %v", agg, err)
+		}
+		for _, nd := range nodes {
+			direct, err := client.New(nd.url()).Query(ctx, rel.ID, q)
+			if err != nil {
+				t.Fatalf("agg %s on %s: %v", agg, nd.id, err)
+			}
+			if direct.Estimate != viaGW.Estimate {
+				t.Fatalf("agg %s: node %s answers %v, gateway %v", agg, nd.id, direct.Estimate, viaGW.Estimate)
+			}
+		}
+	}
+
+	// A grouped SUM over the age dimension: the gateway's per-cell
+	// answers must equal its answers to the equivalent ungrouped
+	// queries, with the key ranges GroupCells defines.
+	grouped := api.Query{
+		Dims: []int{1}, Lo: []float64{0}, Hi: []float64{0},
+		SALo: 0, SAHi: len(tab.Schema.SA.Values) - 1,
+		Agg: "sum", GroupBy: []int{0}, GroupBuckets: []int{4},
+	}
+	res, err := gwc.Query(ctx, rel.ID, grouped)
+	if err != nil {
+		t.Fatalf("grouped query via gateway: %v", err)
+	}
+	if res.Estimate != 0 {
+		t.Fatalf("grouped query set scalar estimate %v", res.Estimate)
+	}
+	cells := query.GroupCells(tab.Schema, query.Query{
+		Dims: grouped.Dims, Lo: grouped.Lo, Hi: grouped.Hi,
+		SALo: grouped.SALo, SAHi: grouped.SAHi,
+		Agg: query.Aggregate(grouped.Agg), GroupBy: grouped.GroupBy, GroupBuckets: grouped.GroupBuckets,
+	})
+	if len(res.Groups) != len(cells) {
+		t.Fatalf("gateway returned %d groups, want %d", len(res.Groups), len(cells))
+	}
+	for ci, c := range cells {
+		g := res.Groups[ci]
+		if g.Lo[0] != c.Lo[0] || g.Hi[0] != c.Hi[0] {
+			t.Fatalf("cell %d: key [%v,%v] want [%v,%v]", ci, g.Lo[0], g.Hi[0], c.Lo[0], c.Hi[0])
+		}
+		flat, err := gwc.Query(ctx, rel.ID, api.Query{
+			Dims: c.Query.Dims, Lo: c.Query.Lo, Hi: c.Query.Hi,
+			SALo: c.Query.SALo, SAHi: c.Query.SAHi, Agg: string(c.Query.Agg),
+		})
+		if err != nil {
+			t.Fatalf("cell %d ungrouped twin: %v", ci, err)
+		}
+		if g.Estimate != flat.Estimate {
+			t.Fatalf("cell %d: grouped %v, ungrouped twin %v", ci, g.Estimate, flat.Estimate)
+		}
+	}
+
+	// The batch route carries Groups too.
+	batch, err := gwc.QueryBatch(ctx, rel.ID, []api.Query{grouped, qs[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results[0].Groups) != len(cells) || len(batch.Results[1].Groups) != 0 {
+		t.Fatalf("batch groups: %d and %d, want %d and 0",
+			len(batch.Results[0].Groups), len(batch.Results[1].Groups), len(cells))
+	}
+	for ci := range cells {
+		if batch.Results[0].Groups[ci].Estimate != res.Groups[ci].Estimate {
+			t.Fatalf("batch cell %d: %v, single-query %v", ci, batch.Results[0].Groups[ci].Estimate, res.Groups[ci].Estimate)
+		}
+	}
+}
+
 // TestGatewayMissSemantics pins the all-miss outcome of release-addressed
 // reads: an ID nobody holds is a plain 404 while its owner is reachable,
 // but upgrades to 503 + Retry-After once the owner is down — the owner

@@ -50,6 +50,27 @@ func BenchmarkEngineBatch64Cold10kECs(b *testing.B) {
 	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "queries/sec")
 }
 
+// BenchmarkEngineGroupByBatch16Cold10kECs: a batch of 16 grouped SUM
+// queries (2×4 cells each → 128 scalar units) with the cache off, so the
+// cost of cell expansion plus the per-cell estimations is visible.
+func BenchmarkEngineGroupByBatch16Cold10kECs(b *testing.B) {
+	e, snap, pool := benchEngine(b, Options{CacheCapacity: -1})
+	grouped := make([]query.Query, 16)
+	for i := range grouped {
+		grouped[i] = query.Query{
+			SALo: pool[i].SALo, SAHi: pool[i].SAHi, Agg: query.AggSum,
+			GroupBy: []int{1, 2}, GroupBuckets: []int{0, 4},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute("r-000001", snap, grouped); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*16*8)/b.Elapsed().Seconds(), "cells/sec")
+}
+
 func BenchmarkEngineBatch64WarmCache10kECs(b *testing.B) {
 	e, snap, pool := benchEngine(b, Options{})
 	if _, err := e.Execute("r-000001", snap, pool[:64]); err != nil { // warm

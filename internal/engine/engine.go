@@ -1,11 +1,15 @@
 // Package engine is the batch query layer between the HTTP front end and
-// the release store: it executes batches of COUNT(*) queries against one
-// release by fanning them out across a fixed worker pool — each worker
-// owns the reusable scratch state of the indexed estimator — and serves
-// repeated queries from a sharded LRU result cache keyed by (release ID,
-// canonical query signature). Because release IDs name immutable
-// versions, cached results can never go stale and the cache needs no
-// invalidation protocol; eviction is purely capacity-driven.
+// the release store: it executes batches of aggregation queries
+// (COUNT/SUM/AVG/MIN/MAX, optionally GROUP BY) against one release by
+// expanding grouped queries into their scalar cells and fanning the
+// resulting units out across a fixed worker pool — each worker owns the
+// reusable scratch state of the indexed estimator — and serves repeated
+// units from a sharded LRU result cache keyed by (release ID, canonical
+// query signature). The expansion makes GROUP BY a batch-local
+// common-subexpression problem: identical cells anywhere in the batch
+// are estimated once. Because release IDs name immutable versions,
+// cached results can never go stale and the cache needs no invalidation
+// protocol; eviction is purely capacity-driven.
 package engine
 
 import (
@@ -56,6 +60,11 @@ type Options struct {
 	// MaxBatch caps the queries accepted per Execute call; ≤ 0 selects
 	// DefaultMaxBatch.
 	MaxBatch int
+	// MaxUnits caps the scalar estimations one batch may expand to after
+	// GROUP BY queries are unfolded into their cells; ≤ 0 selects
+	// DefaultMaxUnits. It bounds the work a batch of grouped queries can
+	// demand the same way MaxBatch bounds its length.
+	MaxUnits int
 }
 
 // Defaults for Options fields left zero.
@@ -63,18 +72,37 @@ const (
 	DefaultCacheCapacity = 1 << 16
 	DefaultCacheShards   = 16
 	DefaultMaxBatch      = 256
+	DefaultMaxUnits      = 8192
 )
 
 // Result is the outcome of one query of a batch.
 type Result struct {
-	// Estimate is the COUNT(*) estimate (may be negative for perturbed
-	// releases; the reconstruction estimator is unbiased, not
-	// non-negative).
+	// Estimate is the aggregate estimate of an ungrouped query (may be
+	// negative for perturbed releases; the reconstruction estimator is
+	// unbiased, not non-negative). Zero for grouped queries, whose
+	// estimates live in Groups.
 	Estimate float64 `json:"estimate"`
 	// Cached reports that the estimate was served from the result cache
 	// (or computed once for an identical earlier query in the same
-	// batch) rather than estimated for this entry.
+	// batch) rather than estimated for this entry. For a grouped query
+	// it reports that every cell was served that way.
 	Cached bool `json:"cached,omitempty"`
+	// Groups holds the per-cell results of a GROUP BY query, dim-major
+	// in GroupBy order; nil for ungrouped queries.
+	Groups []GroupResult `json:"groups,omitempty"`
+}
+
+// GroupResult is one cell of a grouped query's answer: the cell's key
+// range per GroupBy dimension plus its aggregate estimate.
+type GroupResult struct {
+	// Lo and Hi give the cell's key range per GroupBy dimension —
+	// half-open [Lo, Hi) on numeric dimensions (the dimension's last
+	// cell closes at the domain maximum), inclusive leaf-rank ranges on
+	// categorical ones.
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+	// Estimate is the cell's aggregate estimate.
+	Estimate float64 `json:"estimate"`
 }
 
 // Stats is a snapshot of the engine's counters.
@@ -97,6 +125,7 @@ type Stats struct {
 // serves every release of the store it fronts.
 type Engine struct {
 	maxBatch int
+	maxUnits int
 	cache    *resultCache
 
 	jobs chan job
@@ -153,9 +182,14 @@ func New(opts Options) *Engine {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
+	maxUnits := opts.MaxUnits
+	if maxUnits <= 0 {
+		maxUnits = DefaultMaxUnits
+	}
 	stages := obs.NewLabeledHistograms()
 	e := &Engine{
 		maxBatch:   maxBatch,
+		maxUnits:   maxUnits,
 		cache:      newResultCache(capacity, shards),
 		jobs:       make(chan job, 4*workers),
 		stages:     stages,
@@ -236,9 +270,11 @@ func (e *Engine) Execute(releaseID string, snap *release.Snapshot, qs []query.Qu
 // lookup and estimation phases are recorded as spans on it.
 //
 // Every query is validated before any estimation; the first invalid one
-// fails the whole batch with a *QueryError carrying its index. Cache
-// misses are deduplicated within the batch and fanned out across the
-// worker pool; a single miss is estimated inline on the caller's
+// fails the whole batch with a *QueryError carrying its index. Grouped
+// queries are then expanded into their cells, and the batch fails with
+// ErrBatchTooLarge when the expansion exceeds the engine's unit budget.
+// Cache misses are deduplicated within the batch and fanned out across
+// the worker pool; a single miss is estimated inline on the caller's
 // goroutine, so single-query callers pay no handoff.
 func (e *Engine) ExecuteCtx(ctx context.Context, releaseID string, snap *release.Snapshot, qs []query.Query) ([]Result, error) {
 	if len(qs) > e.maxBatch {
@@ -262,32 +298,75 @@ func (e *Engine) ExecuteCtx(ctx context.Context, releaseID string, snap *release
 		}
 	}
 
+	// Expand each grouped query into its per-cell scalar queries; an
+	// ungrouped query is a single unit writing straight to its Result.
+	// Units are what the cache, the batch-local dedup, and the worker
+	// pool operate on, so repeated group cells — within one query, across
+	// grouped queries, or against a matching ungrouped request — are
+	// estimated once.
 	results := make([]Result, len(qs))
+	type unitRef struct {
+		qi   int // index into qs/results
+		cell int // index into results[qi].Groups; -1 for ungrouped
+	}
+	var units []query.Query
+	var refs []unitRef
+	for i := range qs {
+		if len(qs[i].GroupBy) == 0 {
+			units = append(units, qs[i])
+			refs = append(refs, unitRef{qi: i, cell: -1})
+			continue
+		}
+		cells := query.GroupCells(snap.Schema, qs[i])
+		results[i].Groups = make([]GroupResult, len(cells))
+		results[i].Cached = true // cleared when any cell is computed fresh
+		for ci, c := range cells {
+			results[i].Groups[ci] = GroupResult{Lo: c.Lo, Hi: c.Hi}
+			units = append(units, c.Query)
+			refs = append(refs, unitRef{qi: i, cell: ci})
+		}
+	}
+	if len(units) > e.maxUnits {
+		return nil, fmt.Errorf("%w: batch expands to %d scalar estimations (group cells included) > limit %d", ErrBatchTooLarge, len(units), e.maxUnits)
+	}
+
+	setUnit := func(r unitRef, est float64, cached bool) {
+		if r.cell < 0 {
+			results[r.qi].Estimate = est
+			results[r.qi].Cached = cached
+			return
+		}
+		results[r.qi].Groups[r.cell].Estimate = est
+		if !cached {
+			results[r.qi].Cached = false
+		}
+	}
+
 	type miss struct {
-		first int   // index computing the estimate
-		rest  []int // batch-local duplicates of the same signature
+		first int       // unit index computing the estimate
+		rest  []unitRef // batch-local duplicates of the same signature
 		est   float64
 		err   error
 		wait  time.Duration // time this miss's job spent queued
 	}
-	keys := make([]string, len(qs))
+	keys := make([]string, len(units))
 	var misses []*miss
 	bySig := make(map[string]*miss)
 	var hits, lookups uint64
 	lookupStart := time.Now()
 	endLookup := tr.StartSpan("engine.cache")
-	for i := range qs {
-		keys[i] = signature(releaseID, qs[i])
+	for i := range units {
+		keys[i] = signature(releaseID, units[i])
 		lookups++
 		if est, ok := e.cache.get(keys[i]); ok {
-			results[i] = Result{Estimate: est, Cached: true}
+			setUnit(refs[i], est, true)
 			hits++
 			continue
 		}
 		if m, ok := bySig[keys[i]]; ok {
-			// Identical query earlier in this batch: ride its
+			// Identical unit earlier in this batch: ride its
 			// estimation instead of recomputing.
-			m.rest = append(m.rest, i)
+			m.rest = append(m.rest, refs[i])
 			hits++
 			continue
 		}
@@ -310,14 +389,14 @@ func (e *Engine) ExecuteCtx(ctx context.Context, releaseID string, snap *release
 	case 1:
 		m := misses[0]
 		start := time.Now()
-		m.est, m.err = snap.EstimateUnchecked(qs[m.first], nil)
+		m.est, m.err = snap.EstimateUnchecked(units[m.first], nil)
 		e.hEstimate.Observe(time.Since(start))
 	default:
 		var wg sync.WaitGroup
 		wg.Add(len(misses))
 		fanStart := time.Now()
 		for _, m := range misses {
-			e.jobs <- job{snap: snap, q: qs[m.first], out: &m.est, err: &m.err, wg: &wg, enqueued: time.Now(), wait: &m.wait}
+			e.jobs <- job{snap: snap, q: units[m.first], out: &m.est, err: &m.err, wg: &wg, enqueued: time.Now(), wait: &m.wait}
 		}
 		wg.Wait()
 		if tr != nil {
@@ -339,12 +418,13 @@ func (e *Engine) ExecuteCtx(ctx context.Context, releaseID string, snap *release
 		if m.err != nil {
 			// Post-validation estimator failures are internal (e.g. a
 			// perturbed release whose reconstruction matrix is
-			// singular); surface the first one for the whole batch.
-			return nil, fmt.Errorf("query %d: %w", m.first, m.err)
+			// singular); surface the first one for the whole batch,
+			// positioned at the query it expanded from.
+			return nil, fmt.Errorf("query %d: %w", refs[m.first].qi, m.err)
 		}
-		results[m.first] = Result{Estimate: m.est}
-		for _, i := range m.rest {
-			results[i] = Result{Estimate: m.est, Cached: true}
+		setUnit(refs[m.first], m.est, false)
+		for _, r := range m.rest {
+			setUnit(r, m.est, true)
 		}
 		e.cache.put(keys[m.first], m.est)
 	}

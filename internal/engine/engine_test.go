@@ -143,6 +143,139 @@ func TestSignatureCanonicalization(t *testing.T) {
 	}
 }
 
+// TestSignatureNegativeZero: a bound of -0.0 selects exactly the same
+// tuples as +0.0, so the two spellings must share one cache entry —
+// math.Float64bits alone would key them apart.
+func TestSignatureNegativeZero(t *testing.T) {
+	snap, _ := syntheticSnapshot(500, 17)
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	a := query.Query{Dims: []int{0}, Lo: []float64{0}, Hi: []float64{40}, SALo: 0, SAHi: 9}
+	b := query.Query{Dims: []int{0}, Lo: []float64{math.Copysign(0, -1)}, Hi: []float64{40}, SALo: 0, SAHi: 9}
+	ra, err := e.Execute("r-000001", snap, []query.Query{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := e.Execute("r-000001", snap, []query.Query{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rb[0].Cached {
+		t.Fatal("-0.0 bound missed the +0.0 cache entry")
+	}
+	if rb[0].Estimate != ra[0].Estimate {
+		t.Fatalf("-0.0 bound: %v, +0.0 bound: %v", rb[0].Estimate, ra[0].Estimate)
+	}
+	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestGroupByExecute: a grouped query's cells must match per-cell direct
+// estimation, carry the GroupCells key ranges, leave the scalar Estimate
+// zero, and be fully cached on repeat.
+func TestGroupByExecute(t *testing.T) {
+	snap, schema := syntheticSnapshot(1000, 18)
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	q := query.Query{
+		Dims: []int{0}, Lo: []float64{20}, Hi: []float64{60},
+		SALo: 0, SAHi: 9, Agg: query.AggSum,
+		GroupBy: []int{1, 2}, GroupBuckets: []int{0, 4}, // 2 Gender leaves × 4 Education buckets
+	}
+	cells := query.GroupCells(schema, q)
+	if len(cells) != 8 {
+		t.Fatalf("expanded to %d cells, want 8", len(cells))
+	}
+	res, err := e.Execute("r-000001", snap, []query.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Estimate != 0 {
+		t.Fatalf("grouped query set scalar Estimate %v", res[0].Estimate)
+	}
+	if res[0].Cached {
+		t.Fatal("grouped query cached on a cold cache")
+	}
+	if len(res[0].Groups) != len(cells) {
+		t.Fatalf("got %d groups, want %d", len(res[0].Groups), len(cells))
+	}
+	for ci, c := range cells {
+		g := res[0].Groups[ci]
+		for d := range c.Lo {
+			if g.Lo[d] != c.Lo[d] || g.Hi[d] != c.Hi[d] {
+				t.Fatalf("cell %d dim %d: key [%v,%v] want [%v,%v]", ci, d, g.Lo[d], g.Hi[d], c.Lo[d], c.Hi[d])
+			}
+		}
+		want, err := snap.Estimate(c.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Estimate != want {
+			t.Fatalf("cell %d: engine %v, direct %v", ci, g.Estimate, want)
+		}
+	}
+	again, err := e.Execute("r-000001", snap, []query.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again[0].Cached {
+		t.Fatal("repeated grouped query not fully cached")
+	}
+	for ci := range cells {
+		if again[0].Groups[ci].Estimate != res[0].Groups[ci].Estimate {
+			t.Fatalf("cell %d: cached %v != computed %v", ci, again[0].Groups[ci].Estimate, res[0].Groups[ci].Estimate)
+		}
+	}
+}
+
+// TestGroupByCSE: a batch repeating a grouped query, plus an ungrouped
+// query equal to one of its cells, must estimate each distinct cell
+// exactly once.
+func TestGroupByCSE(t *testing.T) {
+	snap, schema := syntheticSnapshot(500, 19)
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	q := query.Query{
+		Dims: []int{0}, Lo: []float64{25}, Hi: []float64{70},
+		SALo: 0, SAHi: 9, Agg: query.AggAvg,
+		GroupBy: []int{2}, GroupBuckets: []int{4},
+	}
+	cells := query.GroupCells(schema, q)
+	res, err := e.Execute("r-000001", snap, []query.Query{q, q, cells[0].Query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Cached {
+		t.Fatal("first grouped query reported cached on a cold cache")
+	}
+	if !res[1].Cached {
+		t.Fatal("duplicate grouped query not served batch-locally")
+	}
+	if !res[2].Cached {
+		t.Fatal("ungrouped twin of a group cell not served batch-locally")
+	}
+	if res[2].Estimate != res[0].Groups[0].Estimate {
+		t.Fatalf("cell twin: %v, group cell: %v", res[2].Estimate, res[0].Groups[0].Estimate)
+	}
+	n := uint64(len(cells))
+	if st := e.Stats(); st.CacheMisses != n || st.CacheHits != n+1 {
+		t.Fatalf("stats hits=%d misses=%d, want %d/%d", st.CacheHits, st.CacheMisses, n+1, n)
+	}
+}
+
+// TestMaxUnitsGuard: a batch whose GROUP BY expansion exceeds MaxUnits
+// must fail with ErrBatchTooLarge even though the batch length is fine.
+func TestMaxUnitsGuard(t *testing.T) {
+	snap, _ := syntheticSnapshot(100, 20)
+	e := New(Options{Workers: 1, MaxUnits: 4})
+	defer e.Close()
+	q := query.Query{SALo: 0, SAHi: 9, GroupBy: []int{2}} // 16 default buckets > 4 units
+	if _, err := e.Execute("r-000001", snap, []query.Query{q}); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized expansion: %v", err)
+	}
+}
+
 // TestNoCrossReleaseHits: the same query against a different release ID
 // must not reuse the other release's entry.
 func TestNoCrossReleaseHits(t *testing.T) {

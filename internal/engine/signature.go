@@ -12,16 +12,25 @@ import (
 // release. Two textually different requests that denote the same query
 // must share a key, so predicates are ordered by dimension before
 // rendering (the estimators are order-insensitive up to float rounding,
-// and the wire format lets clients list dimensions in any order).
-// Float bounds are rendered as their exact IEEE-754 bit patterns: no
-// formatting round-trip, and distinct floats never collide.
+// and the wire format lets clients list dimensions in any order), the
+// two COUNT spellings collapse to the same rendering, and bounds go
+// through boundBits, which canonicalizes −0.0. Grouped queries are never
+// keyed directly — the engine expands them into per-cell scalar queries
+// first, so identical cells across a batch (or across grouped and
+// ungrouped requests) share one entry.
 func signature(releaseID string, q query.Query) string {
-	buf := make([]byte, 0, len(releaseID)+16+34*len(q.Dims))
+	buf := make([]byte, 0, len(releaseID)+24+34*len(q.Dims))
 	buf = append(buf, releaseID...)
 	buf = append(buf, '|')
 	buf = strconv.AppendInt(buf, int64(q.SALo), 10)
 	buf = append(buf, ':')
 	buf = strconv.AppendInt(buf, int64(q.SAHi), 10)
+	if !q.Agg.IsCount() {
+		// Dim segments start with a digit, so a letter-led aggregate
+		// segment can never collide with one.
+		buf = append(buf, '|')
+		buf = append(buf, q.Agg...)
+	}
 	if len(q.Dims) == 0 {
 		return string(buf)
 	}
@@ -34,9 +43,20 @@ func signature(releaseID string, q query.Query) string {
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, int64(q.Dims[i]), 10)
 		buf = append(buf, ':')
-		buf = strconv.AppendUint(buf, math.Float64bits(q.Lo[i]), 16)
+		buf = strconv.AppendUint(buf, boundBits(q.Lo[i]), 16)
 		buf = append(buf, ':')
-		buf = strconv.AppendUint(buf, math.Float64bits(q.Hi[i]), 16)
+		buf = strconv.AppendUint(buf, boundBits(q.Hi[i]), 16)
 	}
 	return string(buf)
+}
+
+// boundBits returns the IEEE-754 bit pattern of a predicate bound with
+// −0.0 canonicalized to +0.0: the two compare equal, so every estimator
+// treats them identically, and keying them apart would fragment the
+// result cache into two entries for one query.
+func boundBits(v float64) uint64 {
+	if v == 0 {
+		v = 0
+	}
+	return math.Float64bits(v)
 }

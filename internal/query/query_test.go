@@ -34,6 +34,39 @@ func TestGeneratorValidation(t *testing.T) {
 	}
 }
 
+// TestValidateNonFinite: NaN and ±Inf bounds must be rejected. This is a
+// regression guard: NaN passes the lo > hi ordering check (every
+// comparison against NaN is false) and ±Inf passes every ordering check,
+// so before the explicit finiteness gate either reached the grid index's
+// float→int cell math and came back as a NaN estimate — which the result
+// cache then served to every later caller of the same query.
+func TestValidateNonFinite(t *testing.T) {
+	tab := sample(t, 100, 3)
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"NaN lo", nan, 50},
+		{"NaN hi", 20, nan},
+		{"NaN both", nan, nan},
+		{"+Inf hi", 20, inf},
+		{"-Inf lo", -inf, 50},
+		{"Inf both", -inf, inf},
+	}
+	for _, c := range cases {
+		q := Query{Dims: []int{0}, Lo: []float64{c.lo}, Hi: []float64{c.hi}, SALo: 0, SAHi: 1}
+		if err := Validate(tab.Schema, q); err == nil {
+			t.Errorf("%s: accepted bounds [%v,%v]", c.name, c.lo, c.hi)
+		}
+	}
+	// The finite twin of the same query is fine.
+	q := Query{Dims: []int{0}, Lo: []float64{20}, Hi: []float64{50}, SALo: 0, SAHi: 1}
+	if err := Validate(tab.Schema, q); err != nil {
+		t.Errorf("finite bounds rejected: %v", err)
+	}
+}
+
 // TestQueryShape: generated queries have λ distinct predicate dimensions,
 // ranges inside the attribute domains, and an SA range of the right length.
 func TestQueryShape(t *testing.T) {

@@ -14,10 +14,14 @@ import (
 // FuzzEstimateEquivalence differentially fuzzes the two generalized-release
 // estimators: for random schemas, tables, partitions, and queries, the
 // grid-indexed ECIndex.Estimate must agree with the linear scan of
-// query.EstimateGeneralized to within float-rounding tolerance. The two
-// implementations share only OverlapFraction and SARangeCount, so a bug
-// in grid construction, candidate pruning, the two-pass mark-set
-// intersection, or the SA-only prefix-sum path surfaces as a divergence.
+// query.EstimateGeneralized — for every aggregate — to within
+// float-rounding tolerance (MIN/MAX are discrete and must agree exactly:
+// grid pruning only drops ECs whose overlap fraction is zero, so both
+// paths see the same support set). The two implementations share only
+// OverlapFraction and the per-EC SA range primitives, so a bug in grid
+// construction, candidate pruning, the multi-pass greedy planner fold
+// (exercised by the λ>2 queries below), the value-weighted prefix sums,
+// or the SA-only prefix-sum path surfaces as a divergence.
 func FuzzEstimateEquivalence(f *testing.F) {
 	// Seed corpus spanning the structural knobs: dimension counts, mixes
 	// of numeric/categorical attributes, point boxes, tiny and larger
@@ -45,13 +49,21 @@ func FuzzEstimateEquivalence(f *testing.F) {
 		pub := part.Publish()
 		ix := BuildIndex(schema, pub, gridCells)
 
+		aggs := []query.Aggregate{query.AggCount, query.AggSum, query.AggAvg, query.AggMin, query.AggMax}
 		check := func(q query.Query, origin string) {
 			t.Helper()
-			want := query.EstimateGeneralized(schema, pub, q)
-			got := ix.Estimate(q)
-			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
-				t.Fatalf("%s query %+v: indexed %v != linear %v (schema %d dims, %d ECs, grid %d)",
-					origin, q, got, want, nd, nECs, gridCells)
+			for _, agg := range aggs {
+				q.Agg = agg
+				want := query.EstimateGeneralized(schema, pub, q)
+				got := ix.Estimate(q)
+				tol := 1e-9 * (1 + math.Abs(want))
+				if agg == query.AggMin || agg == query.AggMax {
+					tol = 0 // discrete SA indices over the same support set
+				}
+				if math.Abs(got-want) > tol {
+					t.Fatalf("%s query %+v agg=%q: indexed %v != linear %v (schema %d dims, %d ECs, grid %d)",
+						origin, q, agg, got, want, nd, nECs, gridCells)
+				}
 			}
 		}
 
@@ -97,6 +109,34 @@ func FuzzEstimateEquivalence(f *testing.F) {
 				Dims: []int{d}, Lo: []float64{qlo}, Hi: []float64{qhi},
 				SALo: salo, SAHi: salo + rng.Intn(m-salo),
 			}, "edge")
+		}
+
+		// λ=nd queries with one predicate per dimension, bounds snapped to
+		// a random EC's box edges: with nd ≥ 3 these drive the planner's
+		// multi-pass fold past the old two-dimension intersection, with
+		// edge coincidences random floats almost never produce.
+		for i := 0; i < 4 && len(pub) > 0 && nd >= 2; i++ {
+			ec := &pub[rng.Intn(len(pub))]
+			q := query.Query{SAHi: len(schema.SA.Values) - 1}
+			for d := 0; d < nd; d++ {
+				lo, hi := ec.Box.Lo[d], ec.Box.Hi[d]
+				switch rng.Intn(3) {
+				case 0: // strict containment
+					lo, hi = lo-1, hi+1
+				case 1: // point range at the lower edge
+					hi = lo
+				}
+				if schema.QI[d].Kind == microdata.Categorical {
+					lo, hi = math.Trunc(lo), math.Trunc(hi)
+					if hi < lo {
+						hi = lo
+					}
+				}
+				q.Dims = append(q.Dims, d)
+				q.Lo = append(q.Lo, lo)
+				q.Hi = append(q.Hi, hi)
+			}
+			check(q, "all-dims")
 		}
 	})
 }

@@ -25,8 +25,10 @@ type ECIndex struct {
 	dims   []dimGrid
 
 	// totalSA holds exclusive prefix sums of the whole release's SA
-	// counts, answering predicate-free (λ=0) queries in O(1).
-	totalSA []int
+	// counts, answering predicate-free (λ=0) COUNT queries in O(1);
+	// totalSAW holds the value-weighted sibling for SUM/AVG.
+	totalSA  []int
+	totalSAW []int64
 
 	scratch sync.Pool
 }
@@ -72,17 +74,20 @@ func BuildIndex(schema *microdata.Schema, ecs []microdata.PublishedEC, cellsPerD
 	ix.scratch.New = func() any { return &markSet{} }
 
 	ix.totalSA = make([]int, len(schema.SA.Values)+1)
+	ix.totalSAW = make([]int64, len(schema.SA.Values)+1)
 	for i := range ecs {
 		ec := &ecs[i]
-		if len(ec.SAPrefix) != len(ec.SACounts)+1 {
+		if len(ec.SAPrefix) != len(ec.SACounts)+1 || len(ec.SAWPrefix) != len(ec.SACounts)+1 {
 			ec.BuildSAPrefix()
 		}
 		for v, c := range ec.SACounts {
 			ix.totalSA[v+1] += c
+			ix.totalSAW[v+1] += int64(v) * int64(c)
 		}
 	}
 	for v := 1; v < len(ix.totalSA); v++ {
 		ix.totalSA[v] += ix.totalSA[v-1]
+		ix.totalSAW[v] += ix.totalSAW[v-1]
 	}
 
 	ix.dims = make([]dimGrid, len(schema.QI))
@@ -143,21 +148,28 @@ func (g *dimGrid) cell(v float64) int {
 // without per-query allocation: IDs are stamped with an epoch that a reset
 // merely increments.
 type markSet struct {
-	mark  []uint32
-	epoch uint32
+	mark     []uint32
+	epoch    uint32
+	reserved uint32 // epochs the current query may consume: epoch..epoch+reserved-1
 }
 
-// reset advances the epoch by 2: epoch tags "seen in the first pass",
-// epoch+1 tags "already processed", so a two-pass intersection needs no
-// clearing between passes.
-func (m *markSet) reset(n int) {
+// reset reserves `passes` consecutive epochs for one query: pass k tags
+// survivors with epoch+k−1, so a multi-pass intersection needs no
+// clearing between passes. The next reset advances past the whole
+// reservation.
+func (m *markSet) reset(n, passes int) {
+	if passes < 1 {
+		passes = 1
+	}
 	if len(m.mark) < n {
 		m.mark = make([]uint32, n)
 		m.epoch = 1
+		m.reserved = uint32(passes)
 		return
 	}
-	m.epoch += 2
-	if m.epoch >= ^uint32(0)-1 { // wrapping next reset: clear and restart
+	m.epoch += m.reserved
+	m.reserved = uint32(passes)
+	if m.epoch >= ^uint32(0)-m.reserved { // reservation would wrap: clear and restart
 		for i := range m.mark {
 			m.mark[i] = 0
 		}
@@ -238,7 +250,8 @@ func (ix *ECIndex) EstimateScratch(q query.Query, sc *Scratch) float64 {
 }
 
 // estimateSAOnly answers a λ=0 query: every EC overlaps fully, so the
-// release-wide prefix sums answer it without touching any EC or scratch.
+// release-wide prefix sums answer COUNT/SUM/AVG without touching any EC
+// or scratch; MIN/MAX scan the (small) SA domain for in-range support.
 func (ix *ECIndex) estimateSAOnly(q query.Query) float64 {
 	lo, hi := q.SALo, q.SAHi
 	if lo < 0 {
@@ -248,36 +261,89 @@ func (ix *ECIndex) estimateSAOnly(q query.Query) float64 {
 		hi = len(ix.totalSA) - 2
 	}
 	if lo > hi {
-		return 0
+		return query.FinishAgg(q.Agg, 0, 0, -1, -1)
 	}
-	return float64(ix.totalSA[hi+1] - ix.totalSA[lo])
+	cnt := float64(ix.totalSA[hi+1] - ix.totalSA[lo])
+	if q.Agg.IsCount() {
+		return cnt
+	}
+	sum := float64(ix.totalSAW[hi+1] - ix.totalSAW[lo])
+	min, max := -1, -1
+	for v := lo; v <= hi; v++ {
+		if ix.totalSA[v+1] > ix.totalSA[v] {
+			if min == -1 {
+				min = v
+			}
+			max = v
+		}
+	}
+	return query.FinishAgg(q.Agg, cnt, sum, min, max)
 }
 
 // estimate is the λ ≥ 1 path; ms must be non-nil.
 func (ix *ECIndex) estimate(q query.Query, ms *markSet) float64 {
-	est := 0.0
+	if q.Agg.IsCount() {
+		est := 0.0
+		ix.forCandidates(q, ms, func(id int32) {
+			ec := &ix.ecs[id]
+			frac := query.OverlapFraction(ix.schema, ec.Box, q)
+			if frac == 0 {
+				return
+			}
+			est += frac * float64(ec.SARangeCount(q.SALo, q.SAHi))
+		})
+		return est
+	}
+	var cnt, sum float64
+	min, max := -1, -1
 	ix.forCandidates(q, ms, func(id int32) {
 		ec := &ix.ecs[id]
 		frac := query.OverlapFraction(ix.schema, ec.Box, q)
 		if frac == 0 {
 			return
 		}
-		est += frac * float64(ec.SARangeCount(q.SALo, q.SAHi))
+		switch q.Agg {
+		case query.AggSum:
+			sum += frac * float64(ec.SARangeSum(q.SALo, q.SAHi))
+		case query.AggAvg:
+			cnt += frac * float64(ec.SARangeCount(q.SALo, q.SAHi))
+			sum += frac * float64(ec.SARangeSum(q.SALo, q.SAHi))
+		case query.AggMin:
+			if v := ec.SARangeMin(q.SALo, q.SAHi); v >= 0 && (min == -1 || v < min) {
+				min = v
+			}
+		case query.AggMax:
+			if v := ec.SARangeMax(q.SALo, q.SAHi); v > max {
+				max = v
+			}
+		}
 	})
-	return est
+	return query.FinishAgg(q.Agg, cnt, sum, min, max)
 }
 
-// forCandidates visits each distinct EC that survives grid pruning. With
-// one predicate it walks that dimension's cell range; with two or more it
-// intersects the two most selective ranges — an EC is visited only if its
-// box overlaps both grid ranges — before the exact per-box verification
-// the caller performs.
+// forCandidates visits each distinct EC that survives grid pruning. The
+// planner folds in predicates greedily by ascending load (pruneDims
+// orders them): pass 1 seeds the survivor set from the most selective
+// range, and each further pass intersects the next range, advancing
+// survivors one epoch — an EC is visited only if its box overlaps every
+// folded grid range — before the exact per-box verification the caller
+// performs. Ranges spanning a dimension's whole directory are skipped
+// after the first: they contain every EC, so they prune nothing and
+// would only add their full traversal cost.
 func (ix *ECIndex) forCandidates(q query.Query, ms *markSet, fn func(id int32)) {
 	prs := ix.pruneDims(q)
-	ms.reset(len(ix.ecs))
-	a := prs[0]
+	passes := prs[:1]
+	for _, pr := range prs[1:] {
+		g := &ix.dims[q.Dims[pr.pred]]
+		if pr.c0 == 0 && pr.c1 == len(g.cells)-1 {
+			continue
+		}
+		passes = append(passes, pr)
+	}
+	ms.reset(len(ix.ecs), len(passes))
+	a := passes[0]
 	ga := &ix.dims[q.Dims[a.pred]]
-	if len(prs) == 1 {
+	if len(passes) == 1 {
 		for c := a.c0; c <= a.c1; c++ {
 			for _, id := range ga.cells[c] {
 				if ms.visit(id) {
@@ -293,15 +359,22 @@ func (ix *ECIndex) forCandidates(q query.Query, ms *markSet, fn func(id int32)) 
 			ms.mark[id] = ms.epoch
 		}
 	}
-	// Pass 2: visit ids of the second range already tagged, retagging
-	// with epoch+1 so duplicates across cells process once.
-	b := prs[1]
-	gb := &ix.dims[q.Dims[b.pred]]
-	for c := b.c0; c <= b.c1; c++ {
-		for _, id := range gb.cells[c] {
-			if ms.mark[id] == ms.epoch {
-				ms.mark[id] = ms.epoch + 1
-				fn(id)
+	// Passes 2..K: an id tagged epoch+k−2 that appears in pass k's range
+	// advances to epoch+k−1; the last pass visits its survivors, the
+	// retag also deduping ids spanning several cells of that range.
+	for k := 1; k < len(passes); k++ {
+		b := passes[k]
+		gb := &ix.dims[q.Dims[b.pred]]
+		prev := ms.epoch + uint32(k-1)
+		last := k == len(passes)-1
+		for c := b.c0; c <= b.c1; c++ {
+			for _, id := range gb.cells[c] {
+				if ms.mark[id] == prev {
+					ms.mark[id] = prev + 1
+					if last {
+						fn(id)
+					}
+				}
 			}
 		}
 	}

@@ -267,6 +267,11 @@ func (s *Snapshot) EstimateWith(q query.Query, sc *Scratch) (float64, error) {
 // caller must have validated q against this snapshot — a malformed query
 // may panic an estimator.
 func (s *Snapshot) EstimateUnchecked(q query.Query, sc *Scratch) (float64, error) {
+	if len(q.GroupBy) != 0 {
+		// Grouped queries are expanded into per-cell scalar queries by the
+		// batch engine; a single scalar return cannot carry their results.
+		return 0, fmt.Errorf("release: grouped queries are executed by the batch engine")
+	}
 	switch s.Kind {
 	case KindGeneralized:
 		if sc != nil {

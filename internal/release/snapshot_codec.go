@@ -16,7 +16,7 @@ import (
 	"repro/internal/perturb"
 )
 
-// Snapshot wire format (version 1). A snapshot file is the durable form
+// Snapshot wire format (version 2). A snapshot file is the durable form
 // of one ready release: everything the matching estimator needs, and
 // nothing more (the pre-publication Partition of a generalized release is
 // serving-irrelevant and is not persisted).
@@ -38,8 +38,17 @@ import (
 // scheme) rather than persisting it.
 const (
 	snapshotMagic = "RPROSNAP"
-	// SnapshotFormatVersion is the current wire format version.
-	SnapshotFormatVersion = 1
+	// SnapshotFormatVersion is the current wire format version. Version 2
+	// marks snapshots written by aggregate-aware builds: the bytes are
+	// identical to version 1 (the value-weighted prefix sums are derived
+	// state, rebuilt on decode), but the bump stops an old COUNT-only node
+	// from loading a replicated snapshot it would silently mis-serve
+	// aggregate queries against in a mixed-version cluster. Decoding
+	// accepts both versions.
+	SnapshotFormatVersion = 2
+	// minSnapshotFormatVersion is the oldest version DecodeSnapshot still
+	// reads.
+	minSnapshotFormatVersion = 1
 	// maxSnapshotSection caps one section's declared length so a corrupt
 	// header cannot make the decoder attempt a multi-GB allocation.
 	maxSnapshotSection = 1 << 31
@@ -132,7 +141,7 @@ func corrupt(format string, args ...any) error {
 }
 
 // EncodeSnapshot serializes a ready release's snapshot and the spec it
-// was built from into the version-1 wire format. The spec rides along so
+// was built from into the current wire format. The spec rides along so
 // a decoded snapshot can be re-registered with full metadata and so the
 // grid index is rebuilt at the resolution the release was served at.
 func EncodeSnapshot(snap *Snapshot, spec Spec) ([]byte, error) {
@@ -255,7 +264,9 @@ func encodeTuples(t *microdata.Table) *snapTuples {
 	return out
 }
 
-// DecodeSnapshot parses and validates a version-1 snapshot, returning
+// DecodeSnapshot parses and validates a snapshot of any supported
+// format version (currently 1 and 2; they differ only in the writer's
+// aggregate awareness, not in bytes), returning
 // the queryable snapshot (grid index, SA prefix sums, and perturbation
 // scheme rebuilt) plus the spec it was encoded with. Malformed input of
 // any shape yields an error wrapping ErrCorruptSnapshot (or
@@ -269,8 +280,8 @@ func DecodeSnapshot(data []byte) (*Snapshot, Spec, error) {
 	if string(data[:len(snapshotMagic)]) != snapshotMagic {
 		return nil, Spec{}, corrupt("bad magic %q", data[:len(snapshotMagic)])
 	}
-	if v := binary.BigEndian.Uint32(data[len(snapshotMagic):]); v != SnapshotFormatVersion {
-		return nil, Spec{}, fmt.Errorf("%w: %d (this build reads %d)", ErrSnapshotVersion, v, SnapshotFormatVersion)
+	if v := binary.BigEndian.Uint32(data[len(snapshotMagic):]); v < minSnapshotFormatVersion || v > SnapshotFormatVersion {
+		return nil, Spec{}, fmt.Errorf("%w: %d (this build reads %d..%d)", ErrSnapshotVersion, v, minSnapshotFormatVersion, SnapshotFormatVersion)
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(trailer); got != want {

@@ -297,6 +297,54 @@ func TestSnapshotDecodeRejectsDamage(t *testing.T) {
 			t.Fatalf("want ErrSnapshotVersion, got %v", err)
 		}
 	})
+	t.Run("version zero", func(t *testing.T) {
+		d := clone(data)
+		binary.BigEndian.PutUint32(d[len(snapshotMagic):], 0)
+		_, _, err := DecodeSnapshot(reseal(d))
+		if !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("want ErrSnapshotVersion, got %v", err)
+		}
+	})
+}
+
+// TestSnapshotDecodeAcceptsV1 pins backward decode compatibility: the
+// version-1 and version-2 wire bytes differ only in the version field
+// (the value-weighted prefix sums of the aggregate-aware format are
+// derived state, rebuilt on decode), so an upgraded node must keep
+// loading snapshots persisted by a version-1 writer and answer queries
+// over them identically.
+func TestSnapshotDecodeAcceptsV1(t *testing.T) {
+	for name, fx := range codecFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			data, err := EncodeSnapshot(fx.snap, fx.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := clone(data)
+			binary.BigEndian.PutUint32(d[len(snapshotMagic):], 1)
+			snap, spec, err := DecodeSnapshot(reseal(d))
+			if err != nil {
+				t.Fatalf("version-1 snapshot no longer decodes: %v", err)
+			}
+			if snap.Kind != fx.snap.Kind || spec.Method != fx.spec.Method {
+				t.Fatalf("decoded kind %q / method %q, want %q / %q",
+					snap.Kind, spec.Method, fx.snap.Kind, fx.spec.Method)
+			}
+			for qi, q := range codecQueries() {
+				want, err := fx.snap.Estimate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := snap.Estimate(q)
+				if err != nil {
+					t.Fatalf("query %d against v1 decode: %v", qi, err)
+				}
+				if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+					t.Fatalf("query %d: v1 decode answers %v, original %v", qi, got, want)
+				}
+			}
+		})
+	}
 }
 
 // TestSnapshotDecodeRejectsInconsistentPayload damages semantic content

@@ -302,7 +302,25 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 // toQuery converts the wire form to the internal query type.
 func toQuery(r api.Query) query.Query {
-	return query.Query{Dims: r.Dims, Lo: r.Lo, Hi: r.Hi, SALo: r.SALo, SAHi: r.SAHi}
+	return query.Query{
+		Dims: r.Dims, Lo: r.Lo, Hi: r.Hi,
+		SALo: r.SALo, SAHi: r.SAHi,
+		Agg:     query.Aggregate(r.Agg),
+		GroupBy: r.GroupBy, GroupBuckets: r.GroupBuckets,
+	}
+}
+
+// toGroups converts the engine's per-cell results to their wire form;
+// nil in, nil out, so ungrouped results stay free of the field.
+func toGroups(groups []engine.GroupResult) []api.GroupResult {
+	if groups == nil {
+		return nil
+	}
+	out := make([]api.GroupResult, len(groups))
+	for i, g := range groups {
+		out[i] = api.GroupResult{Lo: g.Lo, Hi: g.Hi, Estimate: g.Estimate}
+	}
+	return out
 }
 
 // resolveSnapshot maps a release ID to its queryable snapshot or to the
@@ -372,7 +390,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		executeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.QueryResponse{ReleaseID: id, Estimate: res[0].Estimate, Cached: res[0].Cached})
+	writeJSON(w, http.StatusOK, api.QueryResponse{ReleaseID: id, Estimate: res[0].Estimate, Cached: res[0].Cached, Groups: toGroups(res[0].Groups)})
 }
 
 func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
@@ -415,7 +433,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	out := api.BatchQueryResponse{ReleaseID: req.ReleaseID, Results: make([]api.QueryResult, len(res))}
 	for i := range res {
-		out.Results[i] = api.QueryResult{Estimate: res[i].Estimate, Cached: res[i].Cached}
+		out.Results[i] = api.QueryResult{Estimate: res[i].Estimate, Cached: res[i].Cached, Groups: toGroups(res[i].Groups)}
 		if res[i].Cached {
 			out.CacheHits++
 		}

@@ -283,6 +283,64 @@ func TestQueryErrors(t *testing.T) {
 	}
 }
 
+// TestNaNBoundQueryRejected: a query whose bounds are not finite numbers
+// must be a 400, never an estimate. Regression guard: NaN passes the
+// lo > hi ordering check (comparisons against NaN are all false), so a
+// NaN bound used to flow into the grid index, produce a NaN estimate,
+// and poison the result cache for the query's signature. encoding/json
+// already rejects the bare NaN/Infinity tokens, so the bodies are raw
+// strings; the out-of-range float exercises the same decoder gate, and a
+// finite twin afterwards proves the cache was never poisoned.
+func TestNaNBoundQueryRejected(t *testing.T) {
+	e := newEnv(t)
+	csv, _ := censusCSV(t, 300, 3, 2)
+	_, data := e.post(t, "/v1/releases", createReq("burel", `{"beta": 4, "seed": 1}`, csv, 2))
+	var meta api.Release
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta = e.pollReady(t, meta.ID); meta.Status != api.StatusReady {
+		t.Fatalf("build failed: %s", meta.Error)
+	}
+
+	bodies := []string{
+		`{"dims":[0],"lo":[NaN],"hi":[40],"sa_lo":0,"sa_hi":1}`,
+		`{"dims":[0],"lo":[20],"hi":[Infinity],"sa_lo":0,"sa_hi":1}`,
+		`{"dims":[0],"lo":[-1e999],"hi":[40],"sa_lo":0,"sa_hi":1}`,
+	}
+	for i, body := range bodies {
+		resp, err := http.Post(e.ts.URL+"/v1/releases/"+meta.ID+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("non-finite body %d: %d (%s), want 400", i, resp.StatusCode, data)
+		}
+		var env api.Envelope
+		if err := json.Unmarshal(data, &env); err != nil || env.Error.Code == "" {
+			t.Errorf("non-finite body %d: error envelope missing: %s", i, data)
+		}
+	}
+
+	// The finite twin of the rejected queries answers normally and was
+	// not served a poisoned cache entry.
+	resp, data := e.post(t, "/v1/releases/"+meta.ID+"/query", api.Query{
+		Dims: []int{0}, Lo: []float64{20}, Hi: []float64{40}, SALo: 0, SAHi: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("finite twin: %d: %s", resp.StatusCode, data)
+	}
+	var qr api.QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(qr.Estimate) || qr.Cached {
+		t.Fatalf("finite twin: estimate %v cached=%v", qr.Estimate, qr.Cached)
+	}
+}
+
 // TestConcurrentTraffic uploads several releases and queries them from
 // many goroutines at once; meaningful under -race.
 func TestConcurrentTraffic(t *testing.T) {

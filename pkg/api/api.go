@@ -145,23 +145,50 @@ type ListReleasesResponse struct {
 	Releases []Release `json:"releases"`
 }
 
-// Query is one COUNT(*) aggregation query: range predicates over QI
-// attribute indices plus an SA value-index range.
+// Query is one aggregation query: range predicates over QI attribute
+// indices plus an SA value-index range, aggregated by agg (COUNT(*) when
+// empty) and optionally grouped over one or two further QI dimensions.
 type Query struct {
 	Dims []int     `json:"dims,omitempty"`
 	Lo   []float64 `json:"lo,omitempty"`
 	Hi   []float64 `json:"hi,omitempty"`
 	SALo int       `json:"sa_lo"`
 	SAHi int       `json:"sa_hi"`
+	// Agg selects the aggregate: "count" (default when empty), "sum",
+	// "avg", "min", or "max", over SA value indices.
+	Agg string `json:"agg,omitempty"`
+	// GroupBy lists QI dimensions to group over; they must be disjoint
+	// from Dims. The response carries one GroupResult per cell.
+	GroupBy []int `json:"group_by,omitempty"`
+	// GroupBuckets optionally gives the per-GroupBy-dimension cell
+	// count; zero entries select the server default (one cell per
+	// hierarchy leaf on categorical dimensions).
+	GroupBuckets []int `json:"group_buckets,omitempty"`
+}
+
+// GroupResult is one cell of a grouped query's answer: the cell's key
+// range per GroupBy dimension — half-open [lo, hi) on numeric
+// dimensions (the last cell closes at the domain maximum), inclusive
+// leaf-rank ranges on categorical ones — plus its aggregate estimate.
+type GroupResult struct {
+	Lo       []float64 `json:"lo"`
+	Hi       []float64 `json:"hi"`
+	Estimate float64   `json:"estimate"`
 }
 
 // QueryResult is the outcome of one query of a batch. Estimates may be
 // negative for perturbed releases (the reconstruction estimator is
 // unbiased, not non-negative); clients clamp if they need counts.
 type QueryResult struct {
+	// Estimate answers an ungrouped query; 0 for grouped queries, whose
+	// answers ride in Groups.
 	Estimate float64 `json:"estimate"`
-	// Cached reports a result-cache hit.
+	// Cached reports a result-cache hit (every cell, for a grouped
+	// query).
 	Cached bool `json:"cached,omitempty"`
+	// Groups holds the per-cell results of a GROUP BY query, dim-major
+	// in GroupBy order; absent for ungrouped queries.
+	Groups []GroupResult `json:"groups,omitempty"`
 }
 
 // QueryResponse is the POST /v1/releases/{id}/query body.
@@ -169,6 +196,8 @@ type QueryResponse struct {
 	ReleaseID string  `json:"release_id"`
 	Estimate  float64 `json:"estimate"`
 	Cached    bool    `json:"cached,omitempty"`
+	// Groups holds the per-cell results when the query grouped.
+	Groups []GroupResult `json:"groups,omitempty"`
 }
 
 // BatchQueryRequest is the POST /v1/query:batch body: one release ID and

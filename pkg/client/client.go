@@ -260,15 +260,17 @@ func (c *Client) WaitReady(ctx context.Context, id string, poll time.Duration) (
 	}
 }
 
-// Query answers one COUNT(*) estimate against a ready release. A 503
-// (release still building, server saturated) is retried within the
+// Query answers one aggregation query (COUNT(*) by default; set q.Agg
+// for SUM/AVG/MIN/MAX and q.GroupBy for a grouped answer, whose per-cell
+// estimates come back in the result's Groups) against a ready release. A
+// 503 (release still building, server saturated) is retried within the
 // client's retry budget.
 func (c *Client) Query(ctx context.Context, id string, q api.Query) (api.QueryResult, error) {
 	var out api.QueryResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/releases/"+id+"/query", q, &out); err != nil {
 		return api.QueryResult{}, err
 	}
-	return api.QueryResult{Estimate: out.Estimate, Cached: out.Cached}, nil
+	return api.QueryResult{Estimate: out.Estimate, Cached: out.Cached, Groups: out.Groups}, nil
 }
 
 // QueryBatch answers up to the server's batch cap of queries against one
