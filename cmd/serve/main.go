@@ -60,6 +60,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", release.DefaultWorkers, "concurrent anonymization builds")
+	evalWorkers := flag.Int("eval-workers", 0, "concurrent evaluation jobs (0 = default)")
 	maxBodyMB := flag.Int64("max-body-mb", 256, "request body limit in MiB")
 	queryWorkers := flag.Int("query-workers", 0, "query engine pool size (0 = GOMAXPROCS)")
 	cacheCapacity := flag.Int("cache-capacity", 0, "result cache entries (0 = default, negative = disabled)")
@@ -105,17 +106,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	api := server.New(store, server.Options{
+	api, err := server.New(store, server.Options{
 		MaxBodyBytes: *maxBodyMB << 20,
 		ClusterToken: *clusterToken,
 		Logger:       logger,
 		SlowQuery:    slowQuery,
+		EvalWorkers:  *evalWorkers,
 		Engine: engine.Options{
 			Workers:       *queryWorkers,
 			CacheCapacity: *cacheCapacity,
 			MaxBatch:      *maxBatch,
 		},
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,

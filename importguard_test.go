@@ -20,16 +20,32 @@ var forbiddenForExamples = []string{
 	"repro/internal/burel",
 	"repro/internal/anatomy",
 	"repro/internal/perturb",
+	"repro/internal/sabre",
 	"repro/internal/release",
 	"repro/internal/engine",
 	"repro/internal/server",
+	"repro/internal/eval",
+}
+
+// forbiddenForCmds are the anonymization scheme internals every CLI must
+// reach through the anon registry: a command wiring a scheme package
+// directly bypasses the registry's param validation and seeding
+// discipline (the boundary cmd/experiments used to violate before
+// cmd/evalgen replaced it).
+var forbiddenForCmds = []string{
+	"repro/internal/burel",
+	"repro/internal/anatomy",
+	"repro/internal/perturb",
+	"repro/internal/sabre",
+	"repro/internal/experiments",
 }
 
 // TestExamplesAndPkgImportGuard is the CI guard of the public API
 // boundary: examples/ must not import the algorithm or serving internals
-// (they exist to demonstrate the supported surface), and pkg/ — the
+// (they exist to demonstrate the supported surface), pkg/ — the
 // externally importable tree — must not import repro/internal at all, or
-// it would not compile outside this module.
+// it would not compile outside this module, and cmd/ must resolve
+// anonymization schemes through the anon registry.
 func TestExamplesAndPkgImportGuard(t *testing.T) {
 	checkTree(t, "examples", func(path string) (bad bool, why string) {
 		for _, f := range forbiddenForExamples {
@@ -42,6 +58,14 @@ func TestExamplesAndPkgImportGuard(t *testing.T) {
 	checkTree(t, "pkg", func(path string) (bad bool, why string) {
 		if strings.HasPrefix(path, "repro/internal/") || path == "repro/internal" {
 			return true, "pkg/ is the external surface; it cannot depend on internal packages"
+		}
+		return false, ""
+	})
+	checkTree(t, "cmd", func(path string) (bad bool, why string) {
+		for _, f := range forbiddenForCmds {
+			if path == f {
+				return true, "CLIs resolve schemes through the anon registry, not scheme internals"
+			}
 		}
 		return false, ""
 	})

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/microdata"
@@ -18,11 +19,20 @@ import (
 // The perturbation scheme randomizes each tuple independently, so corrupted
 // tuples reveal nothing about others: its posterior is unchanged by
 // corruption (immunity, §6.3/§7) — compare against perturb.Scheme.Posterior.
-func CorruptionPosterior(p *microdata.Partition, knownFraction float64, rng *rand.Rand) (avg, max float64) {
+//
+// All randomness comes from the caller's rng, so a seeded rng makes the
+// result deterministic. ctx aborts the EC sweep early for cancelled
+// evaluation jobs.
+func CorruptionPosterior(ctx context.Context, p *microdata.Partition, knownFraction float64, rng *rand.Rand) (avg, max float64, err error) {
 	t := p.Table
 	n := 0
 	sum := 0.0
 	for i := range p.ECs {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
+		}
 		g := &p.ECs[i]
 		counts := g.SACounts(t)
 		size := g.Len()
@@ -51,7 +61,7 @@ func CorruptionPosterior(p *microdata.Partition, knownFraction float64, rng *ran
 		}
 	}
 	if n == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
-	return sum / float64(n), max
+	return sum / float64(n), max, nil
 }

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -18,9 +20,19 @@ func TestCorruptionSharpensGeneralization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	avg0, max0 := CorruptionPosterior(res.Partition, 0, rand.New(rand.NewSource(1)))
-	avg50, max50 := CorruptionPosterior(res.Partition, 0.5, rand.New(rand.NewSource(1)))
-	avg90, _ := CorruptionPosterior(res.Partition, 0.9, rand.New(rand.NewSource(1)))
+	ctx := context.Background()
+	avg0, max0, err := CorruptionPosterior(ctx, res.Partition, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg50, max50, err := CorruptionPosterior(ctx, res.Partition, 0.5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg90, _, err := CorruptionPosterior(ctx, res.Partition, 0.9, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if avg50 <= avg0 {
 		t.Errorf("50%% corruption avg posterior %v not above baseline %v", avg50, avg0)
 	}
@@ -32,6 +44,33 @@ func TestCorruptionSharpensGeneralization(t *testing.T) {
 	}
 	if max50 > 1+1e-9 || avg50 < 0 {
 		t.Errorf("posterior out of range: avg=%v max=%v", avg50, max50)
+	}
+}
+
+// TestCorruptionDeterministicAndCancellable: the attack's randomness all
+// comes from the caller's rng, and a cancelled context aborts the sweep.
+func TestCorruptionDeterministicAndCancellable(t *testing.T) {
+	tab := census.Generate(census.Options{N: 5000, Seed: 42}).Project(2)
+	res, err := burel.Anonymize(tab, burel.Options{Beta: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a1, m1, err := CorruptionPosterior(ctx, res.Partition, 0.3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, m2, err := CorruptionPosterior(ctx, res.Partition, 0.3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || m1 != m2 {
+		t.Fatalf("seeded CorruptionPosterior not deterministic: (%v,%v) vs (%v,%v)", a1, m1, a2, m2)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := CorruptionPosterior(cancelled, res.Partition, 0.3, rand.New(rand.NewSource(5))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled CorruptionPosterior returned %v, want context.Canceled", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/microdata"
@@ -35,11 +36,16 @@ func FromPartition(p *microdata.Partition) *GroupedRelease {
 // likelihoods to the group's published SA multiset. After iters rounds each
 // tuple is predicted as its highest-weight value; the returned accuracy is
 // the fraction of correct predictions (evaluated against the true table).
-func DeFinetti(rel *GroupedRelease, iters int) float64 {
+//
+// The attack is fully deterministic for a given release. ctx aborts it
+// between Sinkhorn iterations and mid-pass through the groups, so a
+// cancelled evaluation job stops burning CPU instead of running the
+// remaining rounds to completion.
+func DeFinetti(ctx context.Context, rel *GroupedRelease, iters int) (float64, error) {
 	t := rel.Table
 	n := t.Len()
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	m := len(t.Schema.SA.Values)
 	d := len(t.Schema.QI)
@@ -77,6 +83,9 @@ func DeFinetti(rel *GroupedRelease, iters int) float64 {
 	}
 
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		// (a) Learn smoothed conditionals from the soft assignment.
 		cond := make([][][]float64, d)
 		mass := make([]float64, m)
@@ -105,6 +114,14 @@ func DeFinetti(rel *GroupedRelease, iters int) float64 {
 		}
 		// (b) Re-estimate each group's assignment.
 		for gi := range rel.Groups {
+			// The group loop dominates the iteration's cost on large
+			// releases; poll cancellation often enough that Store.Close
+			// never waits for a full pass.
+			if gi&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
 			rows := rel.Groups[gi].Rows
 			counts := rel.SACounts[gi]
 			// Log-likelihood scores per (tuple, value) restricted to
@@ -138,7 +155,7 @@ func DeFinetti(rel *GroupedRelease, iters int) float64 {
 			hits++
 		}
 	}
-	return float64(hits) / float64(n)
+	return float64(hits) / float64(n), nil
 }
 
 // sinkhorn scales the group's weight block so rows sum to 1 and value

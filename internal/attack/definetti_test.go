@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -27,7 +29,11 @@ func TestDeFinettiOnAnatomy(t *testing.T) {
 			t.Fatalf("ℓ=%d: %v", l, err)
 		}
 		rel := &GroupedRelease{Table: tab, Groups: pub.Groups, SACounts: pub.SACounts}
-		return DeFinetti(rel, 3)
+		a, err := DeFinetti(context.Background(), rel, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
 	}
 	a2 := acc(2)
 	a8 := acc(8)
@@ -54,19 +60,64 @@ func TestDeFinettiCurbedByBetaLikeness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	accB := DeFinetti(FromPartition(res.Partition), 3)
+	accB, err := DeFinetti(context.Background(), FromPartition(res.Partition), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	pub, err := anatomy.PublishLDiverse(tab, 2, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	accA := DeFinetti(&GroupedRelease{Table: tab, Groups: pub.Groups, SACounts: pub.SACounts}, 3)
+	accA, err := DeFinetti(context.Background(), &GroupedRelease{Table: tab, Groups: pub.Groups, SACounts: pub.SACounts}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if accB >= accA {
 		t.Errorf("deFinetti on β-likeness (%v) not below ℓ=2 Anatomy (%v)", accB, accA)
 	}
 	if accB > 3*modal {
 		t.Errorf("deFinetti on β-likeness %v far above modal %v", accB, modal)
+	}
+}
+
+// TestDeFinettiCancellation: a cancelled context aborts the attack with
+// the context's error instead of running all iterations.
+func TestDeFinettiCancellation(t *testing.T) {
+	tab := census.Generate(census.Options{N: 2000, Seed: 42}).Project(2)
+	pub, err := anatomy.PublishLDiverse(tab, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := &GroupedRelease{Table: tab, Groups: pub.Groups, SACounts: pub.SACounts}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DeFinetti(ctx, rel, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled DeFinetti returned %v, want context.Canceled", err)
+	}
+}
+
+// TestDeFinettiDeterministic: the attack has no randomness of its own, so
+// identical inputs must yield the identical accuracy — the property the
+// eval subsystem's byte-identical verdicts rest on.
+func TestDeFinettiDeterministic(t *testing.T) {
+	tab := census.Generate(census.Options{N: 5000, Seed: 7}).Project(2)
+	pub, err := anatomy.PublishLDiverse(tab, 3, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := &GroupedRelease{Table: tab, Groups: pub.Groups, SACounts: pub.SACounts}
+	a1, err := DeFinetti(context.Background(), rel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := DeFinetti(context.Background(), rel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("DeFinetti not deterministic: %v vs %v", a1, a2)
 	}
 }
 

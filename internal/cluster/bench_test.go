@@ -47,7 +47,10 @@ func benchCluster(b *testing.B, n int) (gwURL, nodeURL, id string, pool []api.Qu
 		if _, _, err := store.RegisterAs(id, snap, spec); err != nil {
 			b.Fatal(err)
 		}
-		srv := server.New(store, server.Options{Engine: engine.Options{CacheCapacity: -1}})
+		srv, err := server.New(store, server.Options{Engine: engine.Options{CacheCapacity: -1}})
+		if err != nil {
+			b.Fatal(err)
+		}
 		ts := httptest.NewServer(srv)
 		b.Cleanup(func() { ts.Close(); srv.Close(); store.Close() })
 		members[i] = cluster.Node{ID: nodeID(i), URL: ts.URL}

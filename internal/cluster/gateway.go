@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -118,6 +119,8 @@ func New(opts Options) (*Gateway, error) {
 	g.mux.HandleFunc("GET /v1/releases", g.instrument("list_releases", g.handleList))
 	g.mux.HandleFunc("GET /v1/releases/{id}", g.instrument("get_release", g.handleGet))
 	g.mux.HandleFunc("POST /v1/releases/{id}/query", g.instrument("query_release", g.handleQuery))
+	g.mux.HandleFunc("POST /v1/releases/{action}", g.instrument("release_action", g.handleReleaseAction))
+	g.mux.HandleFunc("GET /v1/releases/{id}/evaluation", g.instrument("get_evaluation", g.handleGetEvaluation))
 	g.mux.HandleFunc("POST /v1/query:batch", g.instrument("batch_query", g.handleBatchQuery))
 	g.mux.Handle("/debug/pprof/", obs.PprofHandler(opts.Token))
 	return g, nil
@@ -402,13 +405,7 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 	// Placement order, owner first and NOT load-balanced: during the
 	// build only the owner knows the release, and its metadata (build
 	// times, spec) is authoritative even after replication.
-	ranked := g.mem.placement(id)
-	candidates := make([]*nodeState, 0, len(ranked))
-	for _, st := range ranked {
-		if st.alive.Load() {
-			candidates = append(candidates, st)
-		}
-	}
+	candidates := g.placementCandidates(id)
 	if len(candidates) == 0 {
 		noLiveReplica(w, "release lookup")
 		return
@@ -430,6 +427,62 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.tryNodes(w, r, candidates, http.MethodPost, "/v1/releases/"+id+"/query", "application/json", body, "query", id)
+}
+
+// handleReleaseAction proxies POST /v1/releases/{id}:{verb}; evaluate is
+// the only verb. Evaluations are owner-homed — the job runs where the
+// release (and, durably, its verdict sidecar) lives, and sidecars are not
+// replicated — so the sweep is placement-ordered like handleGet: owner
+// first, replicas only when the owner is down.
+func (g *Gateway) handleReleaseAction(w http.ResponseWriter, r *http.Request) {
+	action := r.PathValue("action")
+	id, verb, ok := strings.Cut(action, ":")
+	if !ok || id == "" || verb != "evaluate" {
+		writeErr(w, http.StatusNotFound, api.CodeNotFound,
+			fmt.Errorf("no route for POST /v1/releases/%s", action),
+			map[string]any{"actions": []string{"{id}:evaluate"}})
+		return
+	}
+	obs.TraceFrom(r.Context()).SetRelease(id)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody))
+	if err != nil {
+		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("reading request: %w", err), nil)
+		return
+	}
+	candidates := g.placementCandidates(id)
+	if len(candidates) == 0 {
+		noLiveReplica(w, "evaluation submit")
+		return
+	}
+	g.tryNodes(w, r, candidates, http.MethodPost, "/v1/releases/"+action, "application/json", body, "evaluation submit", id)
+}
+
+// handleGetEvaluation reads a release's evaluation state. The same
+// placement order as the submit path finds the verdict wherever the job
+// ran: a node without the evaluation answers 404, which tryNodes treats
+// as a retriable miss and sweeps past.
+func (g *Gateway) handleGetEvaluation(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	obs.TraceFrom(r.Context()).SetRelease(id)
+	candidates := g.placementCandidates(id)
+	if len(candidates) == 0 {
+		noLiveReplica(w, "evaluation lookup")
+		return
+	}
+	g.tryNodes(w, r, candidates, http.MethodGet, "/v1/releases/"+id+"/evaluation", "", nil, "evaluation lookup", id)
+}
+
+// placementCandidates is the live placement ranking for one release:
+// owner first, not load-balanced.
+func (g *Gateway) placementCandidates(id string) []*nodeState {
+	ranked := g.mem.placement(id)
+	candidates := make([]*nodeState, 0, len(ranked))
+	for _, st := range ranked {
+		if st.alive.Load() {
+			candidates = append(candidates, st)
+		}
+	}
+	return candidates
 }
 
 // handleList fans the listing to every live node and merges the catalogs:

@@ -94,7 +94,12 @@ func (n *testNode) start(t *testing.T) {
 		opts.Logger = obs.NewLogger(n.logBuf, slog.LevelDebug)
 		opts.SlowQuery = time.Nanosecond
 	}
-	n.srv = server.New(store, opts)
+	srv, err := server.New(store, opts)
+	if err != nil {
+		store.Close()
+		t.Fatalf("node %s: %v", n.id, err)
+	}
+	n.srv = srv
 	n.hs = &http.Server{Handler: n.srv}
 	n.ln = ln
 	n.addr = ln.Addr().String()

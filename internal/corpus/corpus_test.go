@@ -1,0 +1,87 @@
+package corpus
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestGenerateDeterministic: a corpus table is a pure function of
+// (name, n, seed) — the property the CI curve gate rests on.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range Datasets() {
+		a, err := Generate(name, 500, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(name, 500, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Errorf("%s: two generations with identical (n, seed) differ", name)
+		}
+		c, err := Generate(name, 500, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cj, _ := json.Marshal(c)
+		if string(aj) == string(cj) {
+			t.Errorf("%s: seed change did not change the table", name)
+		}
+	}
+}
+
+// TestGenerateShapes: row counts, defaulting, case folding, and the
+// unknown-name error.
+func TestGenerateShapes(t *testing.T) {
+	for _, name := range Datasets() {
+		tab, err := Generate(name, 123, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Len() != 123 {
+			t.Errorf("%s: %d rows, want 123", name, tab.Len())
+		}
+		if len(tab.Schema.QI) == 0 || len(tab.Schema.SA.Values) < 2 {
+			t.Errorf("%s: degenerate schema %+v", name, tab.Schema)
+		}
+	}
+	def, err := Generate("CENSUS", 0, 1) // case-insensitive, n defaulted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Len() != 5000 {
+		t.Errorf("default n: %d rows, want 5000", def.Len())
+	}
+	if _, err := Generate("nope", 10, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestHealthcareSkew: the rare diagnosis exists, stays rare, and
+// clusters in the 25–45 age band — the local-skew shape the evaluation
+// attacks exploit.
+func TestHealthcareSkew(t *testing.T) {
+	tab, err := Generate(Healthcare, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rare, inBand := 0, 0
+	for _, tu := range tab.Tuples {
+		if tu.SA != 0 {
+			continue
+		}
+		rare++
+		if tu.QI[0] >= 25 && tu.QI[0] <= 45 {
+			inBand++
+		}
+	}
+	if rare == 0 || rare > tab.Len()/50 {
+		t.Fatalf("rare diagnosis count %d of %d is out of shape", rare, tab.Len())
+	}
+	if inBand != rare {
+		t.Errorf("%d of %d rare rows outside the 25-45 age band", rare-inBand, rare)
+	}
+}

@@ -1,0 +1,709 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/microdata"
+	"repro/internal/obs"
+	"repro/internal/release"
+)
+
+// Status is an evaluation job's lifecycle state.
+type Status string
+
+const (
+	StatusPending Status = "pending"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Sentinel errors Submit returns.
+var (
+	// ErrClosed reports a submission against a closed service.
+	ErrClosed = errors.New("eval: service is closed")
+	// ErrQueueFull reports a saturated job queue; retry later.
+	ErrQueueFull = errors.New("eval: job queue is full")
+	// ErrRunning reports that the release already has an evaluation in
+	// flight; wait for it instead of racing it.
+	ErrRunning = errors.New("eval: an evaluation for this release is already in flight")
+)
+
+// Meta is the externally visible state of one release's evaluation.
+// Copies are safe to hand out; the service never mutates a Meta it has
+// returned.
+type Meta struct {
+	ReleaseID string
+	Status    Status
+	// Error carries the failure message when Status is failed.
+	Error       string
+	SubmittedAt time.Time
+	FinishedAt  time.Time
+	// EvalMillis is the finished job's wall-clock duration.
+	EvalMillis int64
+	// Persisted reports the verdict sidecar is durably on disk.
+	Persisted bool
+	Params    Params
+	// Verdict is set once Status is done.
+	Verdict *Verdict
+}
+
+// RecoveryStats summarizes what NewService reconstructed from the data
+// directory.
+type RecoveryStats struct {
+	// Done counts evaluations restored verdict-and-all from their sidecar.
+	Done int
+	// Failed counts evaluations restored in their recorded failed state.
+	Failed int
+	// Interrupted counts evaluations that were in flight at crash time; they
+	// are re-failed, never left hung.
+	Interrupted int
+	// Corrupt counts done records whose sidecar was missing, truncated, or
+	// failed its checksum: the evaluation is re-failed with the decode
+	// error, the release itself stays servable.
+	Corrupt int
+	// SkippedLines counts malformed eval-log lines dropped during replay.
+	SkippedLines int
+}
+
+// Service runs evaluation jobs asynchronously against a release store,
+// mirroring the store's own build pattern: a bounded worker pool,
+// context-threaded cancellation rooted in Close, a manifest-logged
+// lifecycle on durable stores, and crash-interrupted jobs re-failed on
+// the next start. At most one evaluation per release is in flight;
+// finished ones may be re-submitted (latest wins).
+type Service struct {
+	store *release.Store
+
+	mu     sync.Mutex
+	byID   map[string]*job
+	closed bool
+
+	man       *evalManifest // nil when the store is memory-only
+	dir       string
+	recovered RecoveryStats
+
+	root   context.Context
+	cancel context.CancelFunc
+	jobs   chan *job
+	wg     sync.WaitGroup
+
+	stages *obs.LabeledHistograms
+}
+
+// job is the service's mutable view of one evaluation. meta is guarded
+// by the service mutex; the input refs are dropped once the job is
+// terminal so a queued table does not outlive its use.
+type job struct {
+	meta  Meta
+	table *microdata.Table
+	snap  *release.Snapshot
+	spec  release.Spec
+	ctx   context.Context
+	done  func()
+}
+
+// DefaultWorkers is the evaluation concurrency used when NewService is
+// given workers ≤ 0. Evaluations are heavy (attacks are superlinear in
+// groups); one at a time is the safe default next to a serving store.
+const DefaultWorkers = 1
+
+// NewService starts the evaluation service over a store. On a durable
+// store it replays the eval log in the store's data directory: finished
+// verdicts are restored from their sidecars with zero re-evaluation,
+// in-flight jobs are re-failed, and corrupt sidecars demote only the
+// evaluation — never the release. Call Close to stop the workers.
+func NewService(store *release.Store, workers int) (*Service, error) {
+	if store == nil {
+		return nil, fmt.Errorf("eval: nil store")
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	root, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		store:  store,
+		byID:   make(map[string]*job),
+		dir:    store.Dir(),
+		root:   root,
+		cancel: cancel,
+		jobs:   make(chan *job, 16),
+		stages: obs.NewLabeledHistograms(),
+	}
+	if store.Durable() {
+		man, records, skipped, err := openEvalManifest(s.dir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.man = man
+		s.recovered.SkippedLines = skipped
+		if skipped > 0 {
+			slog.Warn("skipped malformed eval-log lines", "component", "eval", "dir", s.dir, "skipped", skipped)
+		}
+		s.replay(records)
+		s.sweepOrphans()
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Stages returns the service's stage-latency histograms (eval.run,
+// eval.sidecar_write, eval.sidecar_decode) for /metrics.
+func (s *Service) Stages() *obs.LabeledHistograms { return s.stages }
+
+// Recovery returns what NewService reconstructed; zero on memory-only
+// stores and fresh directories.
+func (s *Service) Recovery() RecoveryStats { return s.recovered }
+
+// Close stops the workers, cancelling any in-flight evaluation, and
+// retires the eval log. Queued jobs are failed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	if s.man != nil {
+		if err := s.man.close(); err != nil {
+			slog.Error("closing eval log", "component", "eval", "err", err)
+		}
+	}
+}
+
+// Submit queues one evaluation of release id against the re-uploaded
+// original microdata tab. The release must be ready; the caller resolves
+// that first (the server's snapshot resolution already maps not-found /
+// not-ready / failed). Returns the job's pending Meta.
+func (s *Service) Submit(ctx context.Context, id string, tab *microdata.Table, p Params) (Meta, error) {
+	rmeta, ok := s.store.Get(id)
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %q", release.ErrNotFound, id)
+	}
+	if rmeta.Status != release.StatusReady {
+		return Meta{}, fmt.Errorf("%w: release %s is %s", release.ErrNotReady, id, rmeta.Status)
+	}
+	snap, err := s.store.Snapshot(id)
+	if err != nil {
+		return Meta{}, err
+	}
+	if tab == nil {
+		return Meta{}, fmt.Errorf("eval: nil table")
+	}
+	// Normalize now so validation errors surface at submit time and the
+	// logged params are the effective ones.
+	d := len(snap.Schema.QI)
+	if err := p.normalize(d); err != nil {
+		return Meta{}, err
+	}
+
+	jctx, done := context.WithCancel(mergeCtx(s.root, ctx))
+	rec := &job{
+		meta: Meta{
+			ReleaseID:   id,
+			Status:      StatusPending,
+			SubmittedAt: time.Now().UTC(),
+			Params:      p,
+		},
+		table: tab,
+		snap:  snap,
+		spec:  rmeta.Spec,
+		ctx:   jctx,
+		done:  done,
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		done()
+		return Meta{}, ErrClosed
+	}
+	if prev, exists := s.byID[id]; exists &&
+		(prev.meta.Status == StatusPending || prev.meta.Status == StatusRunning) {
+		done()
+		return Meta{}, fmt.Errorf("%w: %s", ErrRunning, id)
+	}
+	if s.man != nil {
+		if err := s.appendSubmitted(rec.meta); err != nil {
+			done()
+			return Meta{}, fmt.Errorf("eval: logging submission: %w", err)
+		}
+	}
+	select {
+	case s.jobs <- rec:
+	default:
+		// The submitted record is already durable; pair it with a terminal
+		// one so replay never sees this refusal as an interrupted job.
+		rec.meta.Status = StatusFailed
+		rec.meta.Error = ErrQueueFull.Error()
+		s.appendTerminal(rec.meta)
+		done()
+		return Meta{}, ErrQueueFull
+	}
+	s.byID[id] = rec
+	return rec.meta, nil
+}
+
+// Get returns a release's evaluation state.
+func (s *Service) Get(id string) (Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byID[id]
+	if !ok {
+		return Meta{}, false
+	}
+	return rec.meta, true
+}
+
+// List returns every evaluation's state, for /metrics gauges.
+func (s *Service) List() []Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Meta, 0, len(s.byID))
+	for _, rec := range s.byID {
+		out = append(out, rec.meta)
+	}
+	return out
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for rec := range s.jobs {
+		s.runJob(rec)
+	}
+}
+
+func (s *Service) runJob(rec *job) {
+	defer rec.done()
+	s.mu.Lock()
+	if rec.meta.Status != StatusPending { // failed while queued (queue-full race)
+		s.mu.Unlock()
+		return
+	}
+	rec.meta.Status = StatusRunning
+	s.mu.Unlock()
+
+	start := time.Now()
+	verdict, err := Evaluate(rec.ctx, rec.table, rec.snap, rec.spec, rec.meta.Params)
+	elapsed := time.Since(start)
+	s.stages.Observe("eval.run", elapsed)
+
+	finished := time.Now().UTC()
+	meta := rec.meta
+	meta.FinishedAt = finished
+	meta.EvalMillis = elapsed.Milliseconds()
+	if err == nil && s.man != nil {
+		if perr := s.persistVerdict(meta, verdict); perr != nil {
+			err = perr
+		} else {
+			meta.Persisted = true
+		}
+	}
+	if err != nil {
+		meta.Status = StatusFailed
+		meta.Error = err.Error()
+		if s.man != nil {
+			s.appendTerminal(meta)
+		}
+	} else {
+		meta.Status = StatusDone
+		meta.Verdict = verdict
+	}
+
+	s.mu.Lock()
+	rec.meta = meta
+	rec.table, rec.snap = nil, nil // the inputs are done informing anything
+	s.mu.Unlock()
+}
+
+// sidecarFileName is the on-disk name of a release's verdict sidecar,
+// a sibling of its <id>.snap snapshot.
+func sidecarFileName(id string) string { return id + ".eval" }
+
+// persistVerdict writes the sidecar atomically (tmp + fsync + rename +
+// dir sync) and then logs the done record; only after both may the
+// in-memory status flip to done — on a durable store, done means on
+// disk, exactly like the release store's ready.
+func (s *Service) persistVerdict(meta Meta, v *Verdict) error {
+	data, err := EncodeSidecar(SidecarMeta{
+		ReleaseID:   meta.ReleaseID,
+		SubmittedAt: meta.SubmittedAt,
+		FinishedAt:  meta.FinishedAt,
+		EvalMillis:  meta.EvalMillis,
+		Params:      meta.Params,
+	}, v)
+	if err != nil {
+		return fmt.Errorf("eval: encoding sidecar: %w", err)
+	}
+	writeStart := time.Now()
+	defer func() { s.stages.Observe("eval.sidecar_write", time.Since(writeStart)) }()
+	name := sidecarFileName(meta.ReleaseID)
+	final := filepath.Join(s.dir, name)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		return fmt.Errorf("eval: writing sidecar: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("eval: installing sidecar: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("eval: syncing data dir: %w", err)
+	}
+	if err := s.man.append(evalManifestRecord{Event: evalEventDone, ID: meta.ReleaseID, File: name}); err != nil {
+		// Without its done record the sidecar is unreachable by recovery;
+		// reclaim it rather than leaving an orphan.
+		os.Remove(final)
+		return fmt.Errorf("eval: logging verdict: %w", err)
+	}
+	return nil
+}
+
+// replay folds the eval log into the catalog. Runs before the service is
+// shared, so it writes state without locking.
+func (s *Service) replay(records []evalManifestRecord) {
+	type state struct{ submitted, last *evalManifestRecord }
+	byID := make(map[string]*state)
+	var order []string
+	for i := range records {
+		rec := &records[i]
+		st := byID[rec.ID]
+		if st == nil {
+			st = &state{}
+			byID[rec.ID] = st
+			order = append(order, rec.ID)
+		}
+		if rec.Event == evalEventSubmitted {
+			st.submitted = rec
+		}
+		st.last = rec
+	}
+	for _, id := range order {
+		st := byID[id]
+		if _, ok := s.store.Get(id); !ok {
+			// The release itself is gone from the store's catalog; an
+			// evaluation of nothing serves nobody.
+			continue
+		}
+		meta := Meta{ReleaseID: id, Status: StatusFailed}
+		if st.submitted != nil {
+			meta.SubmittedAt = st.submitted.Time
+			if len(st.submitted.Params) > 0 {
+				_ = json.Unmarshal(st.submitted.Params, &meta.Params)
+			}
+		}
+		switch st.last.Event {
+		case evalEventDone:
+			s.recoverDone(st.last, meta)
+			continue
+		case evalEventFailed:
+			meta.Error = st.last.Error
+			meta.FinishedAt = st.last.Time
+			s.recovered.Failed++
+		case evalEventSubmitted:
+			meta.Error = "evaluation interrupted by restart: the process died mid-job"
+			s.recovered.Interrupted++
+			slog.Warn("evaluation was in flight at crash time; re-failed", "component", "eval", "dir", s.dir, "release_id", id)
+		}
+		s.byID[id] = &job{meta: meta}
+	}
+}
+
+// recoverDone loads one done record's sidecar; decode failures demote the
+// evaluation to failed with the reason — the release stays servable.
+func (s *Service) recoverDone(rec *evalManifestRecord, meta Meta) {
+	fail := func(err error) {
+		meta.Status = StatusFailed
+		meta.Persisted = false
+		meta.Error = fmt.Sprintf("verdict sidecar unrecoverable: %v", err)
+		meta.FinishedAt = rec.Time
+		s.byID[meta.ReleaseID] = &job{meta: meta}
+		s.recovered.Corrupt++
+		slog.Warn("skipping unrecoverable evaluation", "component", "eval", "dir", s.dir, "release_id", meta.ReleaseID, "err", err)
+	}
+	name := rec.File
+	if name == "" || name != filepath.Base(name) {
+		fail(fmt.Errorf("eval log names invalid sidecar file %q", name))
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		fail(err)
+		return
+	}
+	decodeStart := time.Now()
+	sm, verdict, err := DecodeSidecar(data)
+	s.stages.Observe("eval.sidecar_decode", time.Since(decodeStart))
+	if err != nil {
+		fail(err)
+		return
+	}
+	if sm.ReleaseID != meta.ReleaseID {
+		fail(fmt.Errorf("sidecar names release %q", sm.ReleaseID))
+		return
+	}
+	meta.Status = StatusDone
+	meta.SubmittedAt = sm.SubmittedAt
+	meta.FinishedAt = sm.FinishedAt
+	meta.EvalMillis = sm.EvalMillis
+	meta.Params = sm.Params
+	meta.Persisted = true
+	meta.Verdict = verdict
+	s.byID[meta.ReleaseID] = &job{meta: meta}
+	s.recovered.Done++
+}
+
+// sweepOrphans removes sidecar and temp files that no recovered done
+// evaluation references: a crash between rename and log append (or
+// mid-write) leaves files recovery can never surface. Referenced-but-
+// corrupt sidecars are kept for forensics, like corrupt snapshots.
+func (s *Service) sweepOrphans() {
+	live := make(map[string]bool, len(s.byID))
+	for id, rec := range s.byID {
+		if rec.meta.Status == StatusDone {
+			live[sidecarFileName(id)] = true
+		}
+	}
+	corrupt := make(map[string]bool)
+	for id, rec := range s.byID {
+		if rec.meta.Status == StatusFailed && strings.HasPrefix(rec.meta.Error, "verdict sidecar unrecoverable") {
+			corrupt[sidecarFileName(id)] = true
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		isTmp := strings.HasSuffix(name, ".eval.tmp")
+		isEval := strings.HasSuffix(name, ".eval")
+		if e.IsDir() || (!isEval && !isTmp) || live[name] || corrupt[name] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err == nil {
+			slog.Info("removed orphan sidecar file", "component", "eval", "dir", s.dir, "file", name)
+		}
+	}
+}
+
+func (s *Service) appendSubmitted(meta Meta) error {
+	params, err := json.Marshal(meta.Params)
+	if err != nil {
+		return err
+	}
+	return s.man.append(evalManifestRecord{Event: evalEventSubmitted, ID: meta.ReleaseID, Params: params})
+}
+
+// appendTerminal best-effort records a failure; the in-memory state is
+// authoritative for the current process either way.
+func (s *Service) appendTerminal(meta Meta) {
+	if err := s.man.append(evalManifestRecord{Event: evalEventFailed, ID: meta.ReleaseID, Error: meta.Error}); err != nil && !errors.Is(err, errEvalManifestClosed) {
+		slog.Error("recording terminal eval event", "component", "eval", "release_id", meta.ReleaseID, "err", err)
+	}
+}
+
+// mergeCtx derives a context cancelled when either parent is. The
+// service root is the primary parent so Close aborts every job; the
+// submitter's cancellation (if any) is propagated by a watcher.
+func mergeCtx(root, caller context.Context) context.Context {
+	if caller == nil || caller == context.Background() || caller.Done() == nil {
+		return root
+	}
+	ctx, cancel := context.WithCancel(root)
+	go func() {
+		select {
+		case <-caller.Done():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- eval log ---------------------------------------------------------
+
+// EvalLogName is the append-only evaluation-lifecycle log inside a
+// durable store's data directory, a sibling of the release manifest.
+// Same discipline: every line is one JSON record, every append is
+// fsynced before the matching in-memory transition becomes visible, and
+// a torn final line is truncated away on open.
+const EvalLogName = "eval.log"
+
+// Eval log lifecycle events.
+const (
+	evalEventSubmitted = "submitted"
+	evalEventDone      = "done"
+	evalEventFailed    = "failed"
+)
+
+var errEvalManifestClosed = errors.New("eval: log is closed")
+
+// evalManifestRecord is one line of the eval log. Params accompanies
+// submitted events; File accompanies done events; Error failed ones.
+type evalManifestRecord struct {
+	Seq    uint64          `json:"seq"`
+	Time   time.Time       `json:"time"`
+	Event  string          `json:"event"`
+	ID     string          `json:"id"`
+	Params json.RawMessage `json:"params,omitempty"`
+	File   string          `json:"file,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// evalManifest is the append side of the log, mirroring the release
+// manifest: appends serialized by its own mutex, fsynced, and rolled
+// back to the last durable boundary on failure.
+type evalManifest struct {
+	mu     sync.Mutex
+	f      *os.File
+	off    int64
+	seq    uint64
+	closed bool
+}
+
+func openEvalManifest(dir string) (*evalManifest, []evalManifestRecord, int, error) {
+	path := filepath.Join(dir, EvalLogName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	fail := func(err error) (*evalManifest, []evalManifestRecord, int, error) {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fail(fmt.Errorf("eval: reading log: %w", err))
+	}
+	var records []evalManifestRecord
+	skipped := 0
+	maxSeq := uint64(0)
+	valid := int64(0)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			skipped++ // torn tail; truncated below
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		valid += int64(nl) + 1
+		if len(line) == 0 {
+			continue
+		}
+		var rec evalManifestRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Event == "" || rec.ID == "" {
+			skipped++
+			continue
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		records = append(records, rec)
+	}
+	if err := f.Truncate(valid); err != nil {
+		return fail(fmt.Errorf("eval: truncating torn log tail: %w", err))
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	return &evalManifest{f: f, off: valid, seq: maxSeq}, records, skipped, nil
+}
+
+func (m *evalManifest) append(rec evalManifestRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errEvalManifestClosed
+	}
+	m.seq++
+	rec.Seq = m.seq
+	rec.Time = time.Now().UTC()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := m.f.Write(line); err != nil {
+		_ = m.f.Truncate(m.off)
+		_, _ = m.f.Seek(m.off, io.SeekStart)
+		return fmt.Errorf("eval: appending log: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		_ = m.f.Truncate(m.off)
+		_, _ = m.f.Seek(m.off, io.SeekStart)
+		return fmt.Errorf("eval: syncing log: %w", err)
+	}
+	m.off += int64(len(line))
+	return nil
+}
+
+func (m *evalManifest) close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	err := m.f.Sync()
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

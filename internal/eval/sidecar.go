@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Sidecar wire format (version 1). A sidecar file is the durable form of
+// one finished evaluation, written next to the release's RPROSNAP
+// snapshot as <release-id>.eval:
+//
+//	offset 0   magic "RPROEVAL" (8 bytes)
+//	offset 8   format version, uint32 big-endian
+//	           two sections, each uint32 big-endian length + bytes:
+//	             1. meta JSON    (job identity, times, params)
+//	             2. verdict JSON (the api.EvalVerdict)
+//	trailer    CRC-32 (IEEE) of every preceding byte, uint32 big-endian
+//
+// The verdict section's bytes are deterministic for given release
+// content and params (fixed struct shapes, no timestamps); the meta
+// section carries the job's wall-clock identity and is not. Decoding
+// rejects corrupt or truncated input with an error wrapping
+// ErrCorruptSidecar — never a panic — and a corrupt sidecar demotes only
+// the evaluation to failed: the release it describes stays servable.
+const (
+	sidecarMagic = "RPROEVAL"
+	// SidecarFormatVersion is the current wire format version.
+	SidecarFormatVersion = 1
+	// maxSidecarSection caps one section's declared length so a corrupt
+	// header cannot make the decoder attempt a huge allocation.
+	maxSidecarSection = 1 << 28
+)
+
+// ErrCorruptSidecar reports input that is not a well-formed sidecar of
+// the supported version: bad magic or version, truncation, checksum
+// mismatch, or malformed JSON.
+var ErrCorruptSidecar = errors.New("corrupt evaluation sidecar")
+
+// SidecarMeta is section 1: the job's identity and timing, everything an
+// Evaluation needs beyond the verdict itself.
+type SidecarMeta struct {
+	ReleaseID   string    `json:"release_id"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+	EvalMillis  int64     `json:"eval_ms"`
+	Params      Params    `json:"params"`
+}
+
+func corruptSidecar(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSidecar, fmt.Sprintf(format, args...))
+}
+
+// EncodeSidecar serializes a finished evaluation into the current wire
+// format.
+func EncodeSidecar(meta SidecarMeta, v *Verdict) ([]byte, error) {
+	if v == nil {
+		return nil, fmt.Errorf("eval: encode of nil verdict")
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	verdictJSON, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	n := len(sidecarMagic) + 4 + 2*4 + len(metaJSON) + len(verdictJSON) + 4
+	out := make([]byte, 0, n)
+	out = append(out, sidecarMagic...)
+	out = binary.BigEndian.AppendUint32(out, SidecarFormatVersion)
+	for i, section := range [][]byte{metaJSON, verdictJSON} {
+		if int64(len(section)) >= maxSidecarSection {
+			return nil, fmt.Errorf("eval: sidecar section %d is %d bytes, beyond the format's %d limit", i+1, len(section), int64(maxSidecarSection))
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(section)))
+		out = append(out, section...)
+	}
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out, nil
+}
+
+// DecodeSidecar parses and validates a sidecar. Malformed input of any
+// shape yields an error wrapping ErrCorruptSidecar; it never panics.
+func DecodeSidecar(data []byte) (SidecarMeta, *Verdict, error) {
+	var meta SidecarMeta
+	if len(data) < len(sidecarMagic)+4+4 {
+		return meta, nil, corruptSidecar("%d bytes is shorter than the fixed header and checksum trailer", len(data))
+	}
+	if string(data[:len(sidecarMagic)]) != sidecarMagic {
+		return meta, nil, corruptSidecar("bad magic %q", data[:len(sidecarMagic)])
+	}
+	if v := binary.BigEndian.Uint32(data[len(sidecarMagic):]); v != SidecarFormatVersion {
+		return meta, nil, corruptSidecar("format version %d (this build reads %d)", v, SidecarFormatVersion)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(trailer); got != want {
+		return meta, nil, corruptSidecar("checksum mismatch: computed %08x, recorded %08x", got, want)
+	}
+	rest := body[len(sidecarMagic)+4:]
+	sections := make([][]byte, 2)
+	for i := range sections {
+		if len(rest) < 4 {
+			return meta, nil, corruptSidecar("truncated before section %d length", i+1)
+		}
+		n := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if n >= maxSidecarSection || int64(n) > int64(len(rest)) {
+			return meta, nil, corruptSidecar("section %d claims %d bytes, %d remain", i+1, n, len(rest))
+		}
+		sections[i], rest = rest[:n], rest[n:]
+	}
+	if len(rest) != 0 {
+		return meta, nil, corruptSidecar("%d trailing bytes after the last section", len(rest))
+	}
+	if err := json.Unmarshal(sections[0], &meta); err != nil {
+		return SidecarMeta{}, nil, corruptSidecar("meta: %v", err)
+	}
+	verdict := new(Verdict)
+	if err := json.Unmarshal(sections[1], verdict); err != nil {
+		return SidecarMeta{}, nil, corruptSidecar("verdict: %v", err)
+	}
+	return meta, verdict, nil
+}

@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenMeta/goldenVerdict are a fixed evaluation, times pinned so the
+// encoding is byte-stable across runs.
+func goldenMeta() SidecarMeta {
+	return SidecarMeta{
+		ReleaseID:   "r-000007",
+		SubmittedAt: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+		FinishedAt:  time.Date(2026, 8, 1, 12, 0, 3, 0, time.UTC),
+		EvalMillis:  3000,
+		Params:      Params{Queries: 200, Lambda: 2, Theta: 0.1, Seed: 1, CorruptionFraction: 0.1, DeFinettiIters: 3},
+	}
+}
+
+func goldenVerdict() *Verdict {
+	return &Verdict{
+		Method: "burel",
+		Kind:   "generalized",
+		Rows:   2000,
+		Seed:   1,
+		Privacy: &api.EvalPrivacy{
+			NumECs: 71, MinECSize: 4, AIL: 0.3125, AchievedBeta: 3.5,
+			MaxT: 0.41, AvgT: 0.17, MinL: 2, AvgL: 5.25,
+		},
+		Attacks: &api.EvalAttacks{
+			Baseline: 0.25, DeFinetti: 0.31, NaiveBayes: 0.29,
+			CorruptionFraction: 0.1, CorruptionAvg: 0.33, CorruptionMax: 0.5,
+		},
+		Utility: api.EvalUtility{
+			Queries: 200, CountQueries: 180, CountMedianRelErr: 0.042,
+			SumQueries: 175, SumMedianRelErr: 0.061,
+		},
+	}
+}
+
+// TestSidecarGolden pins the wire format: the encoding of a fixed
+// evaluation must match the checked-in golden file byte for byte, and
+// the golden file must decode back to the same values. A diff here means
+// the format changed — bump SidecarFormatVersion instead of updating the
+// golden in place.
+func TestSidecarGolden(t *testing.T) {
+	data, err := EncodeSidecar(goldenMeta(), goldenVerdict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "sidecar_v1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("encoding diverged from golden: %d bytes vs %d", len(data), len(want))
+	}
+	meta, verdict, err := DecodeSidecar(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.SubmittedAt.Equal(goldenMeta().SubmittedAt) || meta.ReleaseID != "r-000007" || meta.Params != goldenMeta().Params {
+		t.Fatalf("golden meta round-trip: %+v", meta)
+	}
+	if !reflect.DeepEqual(verdict, goldenVerdict()) {
+		t.Fatalf("golden verdict round-trip: %+v", verdict)
+	}
+}
+
+// TestSidecarRoundTrip: encode → decode is identity, including for a
+// minimal verdict with skipped attacks.
+func TestSidecarRoundTrip(t *testing.T) {
+	for _, v := range []*Verdict{
+		goldenVerdict(),
+		{Method: "perturb", Kind: "perturbed", Rows: 10, Seed: 2, AttacksSkipped: "no groups"},
+	} {
+		data, err := EncodeSidecar(goldenMeta(), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := DecodeSidecar(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("round-trip: %+v != %+v", got, v)
+		}
+	}
+}
+
+// TestSidecarCorruption: every truncation and every single-bit flip of a
+// valid sidecar must decode to an error wrapping ErrCorruptSidecar —
+// never a panic, never silent acceptance (the trailing checksum covers
+// every byte).
+func TestSidecarCorruption(t *testing.T) {
+	data, err := EncodeSidecar(goldenMeta(), goldenVerdict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, _, err := DecodeSidecar(data[:n]); !errors.Is(err, ErrCorruptSidecar) {
+			t.Fatalf("truncation to %d bytes: %v", n, err)
+		}
+	}
+	for i := range data {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x01
+		if _, _, err := DecodeSidecar(mut); !errors.Is(err, ErrCorruptSidecar) {
+			t.Fatalf("bit flip at %d accepted: %v", i, err)
+		}
+	}
+	if _, _, err := DecodeSidecar(nil); !errors.Is(err, ErrCorruptSidecar) {
+		t.Fatalf("nil input: %v", err)
+	}
+}
+
+// FuzzDecodeSidecar mirrors the snapshot codec's fuzz harness: arbitrary
+// input must either decode cleanly or fail with ErrCorruptSidecar;
+// panics and unclassified errors are bugs. Valid decodes must re-encode.
+func FuzzDecodeSidecar(f *testing.F) {
+	valid, err := EncodeSidecar(goldenMeta(), goldenVerdict())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(sidecarMagic))
+	f.Add([]byte{})
+	trunc := bytes.Clone(valid[:len(valid)/2])
+	f.Add(trunc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, v, err := DecodeSidecar(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSidecar) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if v == nil {
+			t.Fatal("clean decode returned nil verdict")
+		}
+		if _, err := EncodeSidecar(meta, v); err != nil {
+			t.Fatalf("re-encode of valid decode: %v", err)
+		}
+	})
+}

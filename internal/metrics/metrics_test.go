@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/burel"
+	"repro/internal/census"
 	"repro/internal/likeness"
 	"repro/internal/microdata"
 )
@@ -42,6 +44,36 @@ func TestEvaluate(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing %q: %s", want, s)
 		}
+	}
+}
+
+// TestEvaluateMatchesComponents: Evaluate is the bundling of the
+// partition statistics and the likeness measurements; on a real release
+// partition each field must agree with its component computed directly.
+func TestEvaluateMatchesComponents(t *testing.T) {
+	tab := census.Generate(census.Options{N: 2000, Seed: 11}).Project(3)
+	res, err := burel.Anonymize(tab, burel.Options{Beta: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Partition
+	ev := Evaluate("burel", p, likeness.OrderedEMD, 0)
+	if ev.NumECs != len(p.ECs) || ev.MinECSize != p.MinECSize() || ev.AIL != p.AIL() {
+		t.Fatalf("partition stats diverge: %+v", ev)
+	}
+	if got := likeness.AchievedBeta(p); ev.AchievedBeta != got {
+		t.Fatalf("AchievedBeta %v != %v", ev.AchievedBeta, got)
+	}
+	maxT, avgT := likeness.AchievedT(p, likeness.OrderedEMD)
+	if ev.MaxT != maxT || ev.AvgT != avgT {
+		t.Fatalf("t (%v, %v) != (%v, %v)", ev.MaxT, ev.AvgT, maxT, avgT)
+	}
+	minL, avgL := likeness.AchievedL(p)
+	if ev.MinL != minL || ev.AvgL != avgL {
+		t.Fatalf("ℓ (%d, %v) != (%d, %v)", ev.MinL, ev.AvgL, minL, avgL)
+	}
+	if ev.AchievedBeta <= 0 || ev.MinL < 1 || ev.MaxT < ev.AvgT {
+		t.Fatalf("implausible measurements: %+v", ev)
 	}
 }
 

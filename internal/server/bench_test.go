@@ -22,7 +22,10 @@ import (
 func benchServer(b *testing.B, opts Options) (*httptest.Server, string, []api.Query) {
 	b.Helper()
 	store := release.NewStore(1)
-	srv := New(store, opts)
+	srv, err := New(store, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	b.Cleanup(func() {
 		ts.Close()

@@ -23,7 +23,10 @@ func clusterNode(t *testing.T, node, token string) (*release.Store, *httptest.Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(store, Options{ClusterToken: token})
+	srv, err := New(store, Options{ClusterToken: token})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close(); store.Close() })
 	return store, ts

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/microdata"
+	"repro/internal/obs"
+	"repro/internal/release"
+	"repro/pkg/api"
+)
+
+// evalToAPI converts an evaluation's service state to its wire form.
+func evalToAPI(m eval.Meta) api.Evaluation {
+	return api.Evaluation{
+		ReleaseID:   m.ReleaseID,
+		Status:      string(m.Status),
+		Error:       m.Error,
+		SubmittedAt: m.SubmittedAt,
+		FinishedAt:  m.FinishedAt,
+		EvalMillis:  m.EvalMillis,
+		Persisted:   m.Persisted,
+		Verdict:     m.Verdict,
+	}
+}
+
+// handleReleaseAction dispatches POST /v1/releases/{id}:{verb}. The mux
+// wildcard must span a whole segment, so the colon verb is split here.
+func (s *Server) handleReleaseAction(w http.ResponseWriter, r *http.Request) {
+	action := r.PathValue("action")
+	id, verb, ok := strings.Cut(action, ":")
+	if !ok || id == "" || verb != "evaluate" {
+		writeErr(w, http.StatusNotFound, api.CodeNotFound,
+			fmt.Errorf("no route for POST /v1/releases/%s", action),
+			map[string]any{"actions": []string{"{id}:evaluate"}})
+		return
+	}
+	s.handleEvaluate(w, r, id)
+}
+
+// handleEvaluate submits an asynchronous evaluation job: the body carries
+// the release's original microdata (the store never retains it) plus
+// workload knobs, and the 202 response is the job's pending state. The
+// client polls GET /v1/releases/{id}/evaluation to the terminal verdict.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request, id string) {
+	var req api.EvaluateRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, decodeStatus(err), decodeCode(err), fmt.Errorf("decoding request: %w", err), nil)
+		return
+	}
+	if strings.TrimSpace(req.CSV) == "" {
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest,
+			fmt.Errorf("csv field is empty: evaluation needs the release's original microdata re-uploaded"), nil)
+		return
+	}
+	tr := obs.TraceFrom(r.Context())
+	endResolve := tr.StartSpan("node.resolve")
+	meta, ok := s.store.Get(id)
+	endResolve()
+	if !ok {
+		writeErr(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("%w: %q", release.ErrNotFound, id), nil)
+		return
+	}
+	switch meta.Status {
+	case release.StatusPending, release.StatusBuilding:
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, api.CodeNotReady,
+			fmt.Errorf("%w: release %s is %s", release.ErrNotReady, id, meta.Status),
+			map[string]any{"status": string(meta.Status)})
+		return
+	case release.StatusFailed:
+		writeErr(w, http.StatusConflict, api.CodeBuildFailed,
+			fmt.Errorf("%w: release %s failed: %s", release.ErrNotReady, id, meta.Error), nil)
+		return
+	}
+	// Parse the upload exactly as the create route parsed the original:
+	// same schema projection, so a faithful re-upload reproduces the very
+	// table the build consumed (the job verifies that before trusting it).
+	schema := s.schema
+	if meta.Spec.QI > 0 && meta.Spec.QI < len(schema.QI) {
+		schema = schema.Project(meta.Spec.QI)
+	}
+	endParse := tr.StartSpan("node.parse_csv")
+	tab, err := microdata.ReadCSV(strings.NewReader(req.CSV), schema)
+	endParse()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, err, nil)
+		return
+	}
+	p := eval.Params{
+		Queries:            req.Queries,
+		Lambda:             req.Lambda,
+		Theta:              req.Theta,
+		Seed:               req.Seed,
+		CorruptionFraction: req.CorruptionFraction,
+		DeFinettiIters:     req.DeFinettiIters,
+	}
+	// Detached from the request context like release builds: the 202
+	// contract means the client walks away while the job runs.
+	em, err := s.eval.Submit(context.WithoutCancel(r.Context()), id, tab, p)
+	if err != nil {
+		switch {
+		case errors.Is(err, eval.ErrRunning):
+			writeErr(w, http.StatusConflict, api.CodeConflict, err, nil)
+		case errors.Is(err, eval.ErrQueueFull), errors.Is(err, eval.ErrClosed):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, api.CodeUnavailable, err, nil)
+		case errors.Is(err, release.ErrNotFound):
+			writeErr(w, http.StatusNotFound, api.CodeNotFound, err, nil)
+		case errors.Is(err, release.ErrNotReady):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, api.CodeNotReady, err, nil)
+		default:
+			writeErr(w, http.StatusBadRequest, api.CodeInvalidRequest, err, nil)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, evalToAPI(em))
+}
+
+// handleGetEvaluation reports a release's evaluation state in any phase;
+// clients poll it to done/failed. A recovered verdict is served from its
+// persisted sidecar with zero re-evaluation.
+func (s *Server) handleGetEvaluation(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	em, ok := s.eval.Get(id)
+	if !ok {
+		if _, exists := s.store.Get(id); !exists {
+			writeErr(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("%w: %q", release.ErrNotFound, id), nil)
+			return
+		}
+		writeErr(w, http.StatusNotFound, api.CodeNotFound,
+			fmt.Errorf("release %s has no evaluation; submit one with POST /v1/releases/%s:evaluate", id, id), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, evalToAPI(em))
+}
+
+// evalStats projects the evaluation service's state for /metrics.
+func (s *Server) evalStats() EvalStats {
+	rec := s.eval.Recovery()
+	st := EvalStats{
+		Counts:               make(map[string]int),
+		RecoveredDone:        rec.Done,
+		RecoveredFailed:      rec.Failed,
+		RecoveredInterrupted: rec.Interrupted,
+		RecoveredCorrupt:     rec.Corrupt,
+	}
+	for _, m := range s.eval.List() {
+		st.Counts[string(m.Status)]++
+	}
+	return st
+}

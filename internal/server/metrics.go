@@ -73,13 +73,25 @@ type PersistStats struct {
 // persistStats supplies the store's durability gauges.
 type persistStats func() PersistStats
 
-// handler renders the registry. releases, engStats, and persist may be
-// nil; stageSets are the per-stage latency families (engine, store) merged
-// into one repro_stage_duration_seconds family — their label values must
-// be disjoint. The exposition is rendered into a buffer first so no lock
-// is held during the network write (a stalled scraper must not serialize
-// request completion).
-func (m *Metrics) handler(releases releaseCounter, engStats engineStats, persist persistStats, stageSets ...*obs.LabeledHistograms) http.HandlerFunc {
+// EvalStats is the metrics-facing view of the evaluation service, kept
+// free of eval-package types like PersistStats is of the store's.
+type EvalStats struct {
+	// Counts is evaluations by status.
+	Counts map[string]int
+	// Recovered evaluations by outcome, from the last startup.
+	RecoveredDone, RecoveredFailed, RecoveredInterrupted, RecoveredCorrupt int
+}
+
+// evalStats supplies the evaluation service's gauges.
+type evalStats func() EvalStats
+
+// handler renders the registry. releases, evals, engStats, and persist
+// may be nil; stageSets are the per-stage latency families (engine,
+// store, eval) merged into one repro_stage_duration_seconds family —
+// their label values must be disjoint. The exposition is rendered into a
+// buffer first so no lock is held during the network write (a stalled
+// scraper must not serialize request completion).
+func (m *Metrics) handler(releases releaseCounter, evals evalStats, engStats engineStats, persist persistStats, stageSets ...*obs.LabeledHistograms) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		m.mu.Lock()
@@ -114,6 +126,27 @@ func (m *Metrics) handler(releases releaseCounter, engStats engineStats, persist
 			fmt.Fprintln(&buf, "# TYPE repro_releases gauge")
 			for _, s := range states {
 				fmt.Fprintf(&buf, "repro_releases{status=%q} %d\n", s, counts[s])
+			}
+		}
+		if evals != nil {
+			st := evals()
+			states := make([]string, 0, len(st.Counts))
+			for s := range st.Counts {
+				states = append(states, s)
+			}
+			sort.Strings(states)
+			fmt.Fprintln(&buf, "# HELP repro_evaluations Evaluation jobs known to the eval service, by status.")
+			fmt.Fprintln(&buf, "# TYPE repro_evaluations gauge")
+			for _, s := range states {
+				fmt.Fprintf(&buf, "repro_evaluations{status=%q} %d\n", s, st.Counts[s])
+			}
+			if st.RecoveredDone+st.RecoveredFailed+st.RecoveredInterrupted+st.RecoveredCorrupt > 0 {
+				fmt.Fprintln(&buf, "# HELP repro_eval_recovered Evaluations reconstructed by the last startup recovery, by outcome.")
+				fmt.Fprintln(&buf, "# TYPE repro_eval_recovered gauge")
+				fmt.Fprintf(&buf, "repro_eval_recovered{outcome=\"done\"} %d\n", st.RecoveredDone)
+				fmt.Fprintf(&buf, "repro_eval_recovered{outcome=\"failed\"} %d\n", st.RecoveredFailed)
+				fmt.Fprintf(&buf, "repro_eval_recovered{outcome=\"interrupted\"} %d\n", st.RecoveredInterrupted)
+				fmt.Fprintf(&buf, "repro_eval_recovered{outcome=\"corrupt\"} %d\n", st.RecoveredCorrupt)
 			}
 		}
 		if engStats != nil {

@@ -37,7 +37,10 @@ func startDurable(t *testing.T, dir string) *restartEnv {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(store, Options{})
+	srv, err := New(store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &restartEnv{dir: dir, store: store, srv: srv, ts: httptest.NewServer(srv)}
 }
 

@@ -6,6 +6,10 @@
 //	GET  /v1/releases/{id}       release status and metadata
 //	POST /v1/releases/{id}/query COUNT(*) estimate against a ready release
 //	POST /v1/query:batch         N COUNT(*) estimates against one release
+//	POST /v1/releases/{id}:evaluate  submit an async privacy/utility
+//	                             evaluation (body re-uploads the original
+//	                             microdata); returns 202 with the job state
+//	GET  /v1/releases/{id}/evaluation  evaluation state, verdict when done
 //	GET  /healthz                liveness probe (+ node identity)
 //	GET  /metrics                Prometheus-format counters
 //
@@ -23,6 +27,9 @@
 //
 // Anonymization runs asynchronously on the store's worker pool; clients
 // poll the release until its status is "ready" and then issue queries.
+// Evaluations likewise run asynchronously on the eval service's pool
+// (internal/eval), and finished verdicts persist as checksummed sidecars
+// next to the release snapshots on durable stores.
 // Both query routes go through the batch engine of internal/engine (a
 // single query is a batch of one): estimates come from the per-release
 // EC index, fanned out across a worker pool and memoized in a sharded
@@ -42,6 +49,7 @@ import (
 	"repro/anon"
 	"repro/internal/census"
 	"repro/internal/engine"
+	"repro/internal/eval"
 	"repro/internal/microdata"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -60,6 +68,9 @@ type Options struct {
 	// result-cache capacity, per-request batch cap); the zero value
 	// selects the engine defaults.
 	Engine engine.Options
+	// EvalWorkers is the evaluation service's concurrency; ≤ 0 selects
+	// eval.DefaultWorkers.
+	EvalWorkers int
 	// ClusterToken enables the cluster-internal snapshot endpoints
 	// (GET/POST /v1/internal/snapshot...) and authenticates them as a
 	// Bearer token; it also gates the /debug/pprof/ profiling surface.
@@ -78,6 +89,7 @@ type Options struct {
 type Server struct {
 	store   *release.Store
 	engine  *engine.Engine
+	eval    *eval.Service
 	schema  *microdata.Schema
 	metrics *Metrics
 	mux     *http.ServeMux
@@ -92,12 +104,19 @@ type Server struct {
 	slow                       obs.SlowQueryLogger
 }
 
-// New wires the API around a store. Call Close to stop the server's
-// query engine when done.
-func New(store *release.Store, opts Options) *Server {
+// New wires the API around a store. On a durable store it also opens the
+// evaluation service's log in the store's data directory, recovering
+// persisted verdicts — the only error path. Call Close to stop the
+// server's query engine and evaluation workers when done.
+func New(store *release.Store, opts Options) (*Server, error) {
+	evalSvc, err := eval.NewService(store, opts.EvalWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("server: starting eval service: %w", err)
+	}
 	s := &Server{
 		store:        store,
 		engine:       engine.New(opts.Engine),
+		eval:         evalSvc,
 		schema:       opts.Schema,
 		metrics:      NewMetrics(),
 		mux:          http.NewServeMux(),
@@ -118,21 +137,28 @@ func New(store *release.Store, opts Options) *Server {
 	s.maxQueryBody = min(1<<20, s.maxBody)
 	s.maxBatchBody = min(8<<20, s.maxBody)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts, s.engine.Stats, s.persistStats, s.engine.Stages(), store.Stages())))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts, s.evalStats, s.engine.Stats, s.persistStats, s.engine.Stages(), store.Stages(), evalSvc.Stages())))
 	s.mux.HandleFunc("POST /v1/releases", s.instrument("create_release", s.handleCreate))
 	s.mux.HandleFunc("GET /v1/releases", s.instrument("list_releases", s.handleList))
 	s.mux.HandleFunc("GET /v1/releases/{id}", s.instrument("get_release", s.handleGet))
 	s.mux.HandleFunc("POST /v1/releases/{id}/query", s.instrument("query_release", s.handleQuery))
+	// {action} spans the "{id}:evaluate" segment; mux wildcards cannot
+	// split on the colon, so the handler does.
+	s.mux.HandleFunc("POST /v1/releases/{action}", s.instrument("release_action", s.handleReleaseAction))
+	s.mux.HandleFunc("GET /v1/releases/{id}/evaluation", s.instrument("get_evaluation", s.handleGetEvaluation))
 	s.mux.HandleFunc("POST /v1/query:batch", s.instrument("batch_query", s.handleBatchQuery))
 	s.mux.HandleFunc("GET /v1/internal/snapshot/{id}", s.instrument("internal_snapshot_get", s.requireCluster(s.handleSnapshotGet)))
 	s.mux.HandleFunc("POST /v1/internal/snapshot", s.instrument("internal_snapshot_put", s.requireCluster(s.handleSnapshotPut)))
 	s.mux.Handle("/debug/pprof/", obs.PprofHandler(opts.ClusterToken))
-	return s
+	return s, nil
 }
 
-// Close stops the query engine's worker pool. The store's lifecycle is
-// owned by the caller.
-func (s *Server) Close() { s.engine.Close() }
+// Close stops the query engine's worker pool and the evaluation
+// service. The store's lifecycle is owned by the caller.
+func (s *Server) Close() {
+	s.engine.Close()
+	s.eval.Close()
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {

@@ -40,7 +40,10 @@ func newEnv(t *testing.T) *testEnv {
 func newEnvOpts(t *testing.T, opts Options, workers int) *testEnv {
 	t.Helper()
 	store := release.NewStore(workers)
-	srv := New(store, opts)
+	srv, err := New(store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()

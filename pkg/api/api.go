@@ -71,6 +71,14 @@ const (
 	// CodeBuildFailed is a release whose build failed — a permanent
 	// condition for that ID (409).
 	CodeBuildFailed = "build_failed"
+	// CodeConflict is an operation racing one already in flight, e.g. an
+	// :evaluate of a release whose evaluation is still running (409;
+	// poll the existing job instead).
+	CodeConflict = "conflict"
+	// CodeEvalFailed is an evaluation that ended failed. The server
+	// reports failed evaluations as 200s with status "failed"; SDK
+	// helpers that wait for a terminal state synthesize this code.
+	CodeEvalFailed = "eval_failed"
 	// CodeTooLarge is an oversized body or batch (413).
 	CodeTooLarge = "too_large"
 	// CodeUnavailable is a saturated build queue, a server shutting
@@ -213,6 +221,132 @@ type BatchQueryResponse struct {
 	ReleaseID string        `json:"release_id"`
 	Results   []QueryResult `json:"results"`
 	CacheHits int           `json:"cache_hits"`
+}
+
+// Evaluation lifecycle states, mirroring the eval service's. An
+// evaluation is terminal at EvalStatusDone or EvalStatusFailed; clients
+// poll through pending/running like they poll a building release.
+const (
+	EvalStatusPending = "pending"
+	EvalStatusRunning = "running"
+	EvalStatusDone    = "done"
+	EvalStatusFailed  = "failed"
+)
+
+// EvaluateRequest is the POST /v1/releases/{id}:evaluate body. CSV is the
+// release's original microdata, re-uploaded: the serving store keeps only
+// the published artifact, never the raw table, so the evaluation job needs
+// the ground truth handed back to it (and verifies the upload actually
+// reproduces the release before trusting it). The remaining fields tune
+// the attack/utility workload; zero values select server defaults.
+type EvaluateRequest struct {
+	CSV string `json:"csv"`
+	// Queries is the utility workload size per aggregate (default 200).
+	Queries int `json:"queries,omitempty"`
+	// Lambda is the number of QI predicates per workload query (§6.2);
+	// default 2, clamped to the release's QI dimensionality.
+	Lambda int `json:"lambda,omitempty"`
+	// Theta is the expected workload query selectivity (default 0.1).
+	Theta float64 `json:"theta,omitempty"`
+	// Seed drives every random choice of the job (corruption sampling,
+	// workload generation); identical seeds yield byte-identical verdicts.
+	// Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// CorruptionFraction is the fraction of tuples the §7 corruption
+	// adversary already knows (default 0.1).
+	CorruptionFraction float64 `json:"corruption_fraction,omitempty"`
+	// DeFinettiIters is the de Finetti attack's iteration count (default 3).
+	DeFinettiIters int `json:"definetti_iters,omitempty"`
+}
+
+// EvalPrivacy is the achieved-privacy block of a verdict: what the
+// release measurably provides, computed from the recovered partition
+// (present for generalized and ℓ-diverse anatomy releases).
+type EvalPrivacy struct {
+	NumECs    int     `json:"num_ecs"`
+	MinECSize int     `json:"min_ec_size"`
+	AIL       float64 `json:"ail"`
+	// AchievedBeta is the maximum positive relative frequency gain of any
+	// SA value in any group ("Real β").
+	AchievedBeta float64 `json:"achieved_beta"`
+	// MaxT and AvgT are the max/average EMD between group and overall SA
+	// distributions (t-closeness actually achieved).
+	MaxT float64 `json:"max_t"`
+	AvgT float64 `json:"avg_t"`
+	// MinL and AvgL are the min/average distinct SA values per group.
+	MinL int     `json:"min_l"`
+	AvgL float64 `json:"avg_l"`
+}
+
+// EvalAttacks is the attack-suite block of a verdict. All accuracies and
+// posteriors are fractions in [0, 1]; compare them against Baseline, the
+// no-release prior (the modal SA share an adversary gets for free).
+type EvalAttacks struct {
+	Baseline float64 `json:"baseline"`
+	// DeFinetti is the record-linkage accuracy of the de Finetti attack.
+	DeFinetti float64 `json:"definetti"`
+	// NaiveBayes is the Eq. 15–17 classifier's accuracy on the original
+	// table.
+	NaiveBayes float64 `json:"naive_bayes"`
+	// CorruptionAvg and CorruptionMax are the §7 corruption adversary's
+	// average and worst-case posterior in an uncorrupted tuple's true SA
+	// value after learning CorruptionFraction of the table.
+	CorruptionFraction float64 `json:"corruption_fraction"`
+	CorruptionAvg      float64 `json:"corruption_avg"`
+	CorruptionMax      float64 `json:"corruption_max"`
+}
+
+// EvalUtility is the utility block of a verdict: median relative error of
+// COUNT and SUM estimates served from the release against ground truth
+// computed on the uploaded microdata, over a seeded random workload.
+// Queries with zero ground truth are dropped (as in §6.2); the *Queries
+// fields count the queries actually evaluated.
+type EvalUtility struct {
+	Queries           int     `json:"queries"`
+	CountQueries      int     `json:"count_queries"`
+	CountMedianRelErr float64 `json:"count_median_rel_err"`
+	SumQueries        int     `json:"sum_queries"`
+	SumMedianRelErr   float64 `json:"sum_median_rel_err"`
+}
+
+// EvalVerdict is an evaluation job's result. It deliberately carries no
+// release ID, timestamps, or durations: identical jobs on identical
+// release content must produce byte-identical verdicts (the repeatability
+// contract the sidecar checksum and CI curve gate rest on). Job identity
+// and timing live on the surrounding Evaluation.
+type EvalVerdict struct {
+	Method string `json:"method"`
+	Kind   string `json:"kind"`
+	Rows   int    `json:"rows"`
+	Seed   int64  `json:"seed"`
+
+	// Privacy and Attacks are absent for kinds without per-group SA
+	// information (anatomy baseline, perturbation); AttacksSkipped then
+	// records why.
+	Privacy        *EvalPrivacy `json:"privacy,omitempty"`
+	Attacks        *EvalAttacks `json:"attacks,omitempty"`
+	AttacksSkipped string       `json:"attacks_skipped,omitempty"`
+
+	Utility EvalUtility `json:"utility"`
+}
+
+// Evaluation is a release's evaluation state: the GET
+// /v1/releases/{id}/evaluation body, and the 202 body of a submitted
+// :evaluate job.
+type Evaluation struct {
+	ReleaseID string `json:"release_id"`
+	Status    string `json:"status"`
+	// Error carries the failure message when Status is failed.
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// EvalMillis is the wall-clock duration of the finished job.
+	EvalMillis int64 `json:"eval_ms,omitempty"`
+	// Persisted reports that the verdict sidecar is durably on disk next
+	// to the release's snapshot and will survive a restart.
+	Persisted bool `json:"persisted,omitempty"`
+	// Verdict is present once Status is done.
+	Verdict *EvalVerdict `json:"verdict,omitempty"`
 }
 
 // ClusterNode is one member's state in a cluster gateway's view.

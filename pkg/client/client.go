@@ -4,7 +4,8 @@
 // otherwise hand-roll:
 //
 //   - typed requests/responses for every route (CreateRelease, GetRelease,
-//     ListReleases, WaitReady, Query, QueryBatch, Healthz);
+//     ListReleases, WaitReady, Query, QueryBatch, Evaluate, GetEvaluation,
+//     WaitEvaluated, Healthz);
 //   - the structured error envelope decoded into *client.Error, so
 //     callers branch on stable codes (client.IsNotFound, ...) instead of
 //     string-matching bodies;
@@ -155,6 +156,14 @@ func IsNotReady(err error) bool { return apiErrorCode(err) == api.CodeNotReady }
 // IsBuildFailed reports a release whose build failed permanently.
 func IsBuildFailed(err error) bool { return apiErrorCode(err) == api.CodeBuildFailed }
 
+// IsEvalFailed reports an evaluation that ended failed (from
+// WaitEvaluated).
+func IsEvalFailed(err error) bool { return apiErrorCode(err) == api.CodeEvalFailed }
+
+// IsConflict reports an operation racing one already in flight, e.g. an
+// Evaluate of a release whose evaluation is still running.
+func IsConflict(err error) bool { return apiErrorCode(err) == api.CodeConflict }
+
 // IsUnavailable reports a saturated or shutting-down server.
 func IsUnavailable(err error) bool { return apiErrorCode(err) == api.CodeUnavailable }
 
@@ -281,6 +290,68 @@ func (c *Client) QueryBatch(ctx context.Context, id string, qs []api.Query) (*ap
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Evaluate submits an asynchronous privacy/utility evaluation of a ready
+// release. The request re-uploads the release's original microdata CSV —
+// the server never retains raw tables, and it verifies the upload
+// actually reproduces the release before evaluating. Returns the job's
+// pending state; poll with GetEvaluation or WaitEvaluated. A release
+// whose evaluation is already in flight answers 409 (api.CodeConflict).
+func (c *Client) Evaluate(ctx context.Context, id string, req api.EvaluateRequest) (api.Evaluation, error) {
+	var out api.Evaluation
+	err := c.do(ctx, http.MethodPost, "/v1/releases/"+id+":evaluate", req, &out)
+	return out, err
+}
+
+// GetEvaluation fetches a release's evaluation state; the verdict is
+// present once Status is done. Against a durable server the verdict is
+// served from its persisted sidecar, surviving restarts with zero
+// re-evaluation.
+func (c *Client) GetEvaluation(ctx context.Context, id string) (api.Evaluation, error) {
+	var out api.Evaluation
+	err := c.do(ctx, http.MethodGet, "/v1/releases/"+id+"/evaluation", nil, &out)
+	return out, err
+}
+
+// WaitEvaluated polls the evaluation until it is terminal or ctx
+// expires. A done evaluation returns nil error; a failed one returns the
+// final state together with a *Error of code api.CodeEvalFailed. poll
+// ≤ 0 selects DefaultPollInterval.
+func (c *Client) WaitEvaluated(ctx context.Context, id string, poll time.Duration) (api.Evaluation, error) {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	for {
+		ev, err := c.GetEvaluation(ctx, id)
+		if err != nil {
+			return ev, err
+		}
+		switch ev.Status {
+		case api.EvalStatusDone:
+			return ev, nil
+		case api.EvalStatusFailed:
+			return ev, &Error{
+				StatusCode: http.StatusConflict,
+				Code:       api.CodeEvalFailed,
+				Message:    fmt.Sprintf("evaluation of %s failed: %s", id, ev.Error),
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(poll)
+		select {
+		case <-ctx.Done():
+			return ev, ctx.Err()
+		case <-timer.C:
+		}
+	}
 }
 
 // Healthz probes the service's liveness endpoint.
