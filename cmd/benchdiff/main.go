@@ -1,0 +1,232 @@
+// Command benchdiff records and gates `go test -bench` results.
+//
+// It reads benchmark output on stdin (echoing it through, so a CI log
+// still shows the raw numbers) and either records the parsed results to
+// a JSON baseline or checks them against one:
+//
+//	go test ./internal/release/ -run xxx -bench 'DecodeSnapshot10kECs' \
+//	    | benchdiff -record BENCH_9.json
+//	go test ./internal/release/ -run xxx -bench 'DecodeSnapshot10kECs' \
+//	    | benchdiff -check BENCH_9.json -tol 0.25
+//
+// -check fails (exit 1) when any gated benchmark runs more than tol
+// slower (ns/op) than recorded, or is missing from the input — a gate
+// that silently stops gating is worse than one that fails. The gated set
+// is the whole baseline, narrowed by -only <regexp> when the check run
+// exercises a subset. Benchmarks in the input but not in the baseline
+// are reported and ignored, so adding a benchmark does not break
+// existing gates.
+//
+// The baseline file is JSON with the measurements under "go_bench" and
+// provenance under "meta"; -record preserves any other top-level keys
+// (e.g. an embedded loadgen report), so one BENCH_*.json can carry a
+// release's whole benchmark story.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is one benchmark's recorded measurements. NsPerOp is the gated
+// metric; MBPerS rides along for human comparison when the benchmark
+// reports throughput.
+type result struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s,omitempty"`
+}
+
+func main() {
+	record := flag.String("record", "", "write parsed results to this baseline file")
+	check := flag.String("check", "", "compare parsed results against this baseline file")
+	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression before -check fails")
+	only := flag.String("only", "", "with -check, gate only baseline benchmarks matching this regexp (default: all)")
+	flag.Parse()
+	if (*record == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -record or -check is required")
+		os.Exit(2)
+	}
+
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *record != "" {
+		if err := recordBaseline(*record, got); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: recorded %d benchmarks to %s\n", len(got), *record)
+		return
+	}
+
+	base, err := readBaseline(*check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -only: %v\n", err)
+			os.Exit(2)
+		}
+		for name := range base {
+			if !re.MatchString(name) {
+				delete(base, name)
+			}
+		}
+		if len(base) == 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: -only %q matches nothing in the baseline\n", *only)
+			os.Exit(2)
+		}
+	}
+	if failed := diff(base, got, *tol); failed {
+		os.Exit(1)
+	}
+}
+
+// benchLine matches one benchmark result. The name's trailing
+// -<GOMAXPROCS> is stripped so baselines transfer across core counts.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(-\d+)?\s`)
+
+// parseBench extracts benchmark results from `go test -bench` output,
+// echoing every line to stdout unchanged.
+func parseBench(in *os.File) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		fields := strings.Fields(line)
+		var r result
+		seen := false
+		for i := 2; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "ns/op":
+				r.NsPerOp, seen = v, true
+			case "MB/s":
+				r.MBPerS = v
+			}
+		}
+		if !seen {
+			return nil, fmt.Errorf("benchmark line without ns/op: %q", line)
+		}
+		out[m[1]] = r
+	}
+	return out, sc.Err()
+}
+
+// recordBaseline merges the results into "go_bench" (so several bench
+// runs can accrete into one baseline), preserving any other top-level
+// keys an existing baseline carries.
+func recordBaseline(path string, got map[string]result) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	}
+	merged := map[string]result{}
+	if prev, ok := doc["go_bench"]; ok {
+		if err := json.Unmarshal(prev, &merged); err != nil {
+			return fmt.Errorf("existing %s go_bench: %w", path, err)
+		}
+	}
+	for name, r := range got {
+		merged[name] = r
+	}
+	var err error
+	if doc["go_bench"], err = json.Marshal(merged); err != nil {
+		return err
+	}
+	meta := map[string]string{"generated_at": time.Now().UTC().Format(time.RFC3339)}
+	if doc["meta"], err = json.Marshal(meta); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readBaseline(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		GoBench map[string]result `json:"go_bench"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(doc.GoBench) == 0 {
+		return nil, fmt.Errorf("%s has no go_bench results to gate against", path)
+	}
+	return doc.GoBench, nil
+}
+
+// diff compares current results against the baseline and reports one
+// line per benchmark; returns true when the gate should fail.
+func diff(base, got map[string]result, tol float64) bool {
+	failed := false
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	// Sorted output: the gate's verdict should read the same run to run.
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		want := base[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Printf("benchdiff: FAIL %-32s missing from input (baseline %.0f ns/op)\n", name, want.NsPerOp)
+			failed = true
+			continue
+		}
+		ratio := have.NsPerOp/want.NsPerOp - 1
+		verdict := "ok  "
+		if ratio > tol {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchdiff: %s %-32s %12.0f ns/op vs baseline %12.0f (%+.1f%%, tol %+.0f%%)\n",
+			verdict, name, have.NsPerOp, want.NsPerOp, 100*ratio, 100*tol)
+	}
+	for name := range got {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("benchdiff: note %-32s not in baseline; ignored\n", name)
+		}
+	}
+	return failed
+}

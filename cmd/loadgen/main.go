@@ -292,8 +292,8 @@ func main() {
 	}
 	if *jsonOut != "" {
 		rep := report{
-			Benchmark:   "loadgen",
-			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Benchmark: "loadgen",
+			Meta:      reportMeta{GeneratedAt: time.Now().UTC().Format(time.RFC3339)},
 			Config: reportConfig{
 				Endpoints: endpoints, ReleaseID: id, Queries: *queries,
 				Batch: batchSize, Concurrency: *concurrency, Single: *single,
@@ -333,7 +333,7 @@ func main() {
 // request-latency percentiles, overall and per endpoint.
 type report struct {
 	Benchmark      string           `json:"benchmark"`
-	GeneratedAt    string           `json:"generated_at"`
+	Meta           reportMeta       `json:"meta"`
 	Config         reportConfig     `json:"config"`
 	ElapsedSeconds float64          `json:"elapsed_seconds"`
 	Queries        int64            `json:"queries"`
@@ -343,6 +343,14 @@ type report struct {
 	CacheHits      int64            `json:"cache_hits"`
 	Latency        latencyReport    `json:"latency_ms"`
 	Endpoints      []endpointReport `json:"endpoints"`
+}
+
+// reportMeta is run provenance, quarantined under one key so report
+// consumers (benchdiff, CI baselines) can compare the measurement fields
+// structurally and drop "meta" wholesale instead of special-casing each
+// timestamp-shaped field.
+type reportMeta struct {
+	GeneratedAt string `json:"generated_at"`
 }
 
 type reportConfig struct {

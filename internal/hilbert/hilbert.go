@@ -180,7 +180,16 @@ func NewMapper(c *Curve, lo, hi []float64) (*Mapper, error) {
 // Index returns the Hilbert index of the real-valued point, clamping each
 // coordinate into the mapper's box.
 func (m *Mapper) Index(point []float64) uint64 {
-	coords := make([]uint32, m.Curve.dims)
+	return m.IndexInto(point, make([]uint32, m.Curve.dims))
+}
+
+// IndexInto is Index with a caller-supplied coordinate buffer, for loops
+// that index many points without allocating. buf must have length
+// Curve.Dims(); its contents are clobbered.
+func (m *Mapper) IndexInto(point []float64, buf []uint32) uint64 {
+	if len(buf) != m.Curve.dims {
+		panic(fmt.Sprintf("hilbert: IndexInto buffer of %d, want %d", len(buf), m.Curve.dims))
+	}
 	for i, v := range point {
 		if v < m.Lo[i] {
 			v = m.Lo[i]
@@ -188,7 +197,8 @@ func (m *Mapper) Index(point []float64) uint64 {
 		if v > m.Hi[i] {
 			v = m.Hi[i]
 		}
-		coords[i] = uint32((v - m.Lo[i]) * m.scale[i])
+		buf[i] = uint32((v - m.Lo[i]) * m.scale[i])
 	}
-	return m.Curve.Encode(coords)
+	m.Curve.axesToTranspose(buf)
+	return m.Curve.interleave(buf)
 }

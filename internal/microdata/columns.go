@@ -1,0 +1,127 @@
+package microdata
+
+// ECColumns is a struct-of-arrays mirror of a published EC set: per-
+// dimension box bounds as flat float64 columns and the SA statistics as
+// contiguous arenas. The row form ([]PublishedEC) stays the API and wire
+// shape; the columns exist so hot verification loops — box overlap plus
+// SA-range counting over hundreds of candidate ECs per query — read
+// sequential cache lines instead of chasing three pointers per EC.
+//
+// Arena layout: EC i's SA counts occupy SACounts[i*M : (i+1)*M]; its
+// exclusive prefix sums occupy SAPrefix[i*(M+1) : (i+1)*(M+1)] (plain)
+// and SAWPrefix (value-weighted), mirroring PublishedEC.BuildSAPrefix.
+// ECColumns is immutable after Build and safe for concurrent readers.
+type ECColumns struct {
+	N int // number of ECs
+	D int // QI dimensions
+	M int // SA domain size
+
+	// Lo[d][i] / Hi[d][i] are EC i's box bounds in dimension d.
+	Lo, Hi [][]float64
+
+	// Sizes[i] is |EC i| (its published row count).
+	Sizes []int32
+
+	SACounts  []int32 // stride M
+	SAPrefix  []int32 // stride M+1, exclusive prefix sums of SACounts
+	SAWPrefix []int64 // stride M+1, value-weighted prefix sums
+}
+
+// BuildECColumns transposes a published EC set into columnar form. dims
+// and saDomain fix the shape for empty sets; every EC must span exactly
+// dims box dimensions and saDomain SA counts (the release decoder and
+// Publish both guarantee this).
+func BuildECColumns(ecs []PublishedEC, dims, saDomain int) *ECColumns {
+	n, m := len(ecs), saDomain
+	c := &ECColumns{
+		N:         n,
+		D:         dims,
+		M:         m,
+		Lo:        make([][]float64, dims),
+		Hi:        make([][]float64, dims),
+		Sizes:     make([]int32, n),
+		SACounts:  make([]int32, n*m),
+		SAPrefix:  make([]int32, n*(m+1)),
+		SAWPrefix: make([]int64, n*(m+1)),
+	}
+	loArena := make([]float64, 2*n*dims)
+	for d := 0; d < dims; d++ {
+		c.Lo[d] = loArena[d*n : (d+1)*n : (d+1)*n]
+		c.Hi[d] = loArena[(dims+d)*n : (dims+d+1)*n : (dims+d+1)*n]
+	}
+	for i := range ecs {
+		ec := &ecs[i]
+		for d := 0; d < dims; d++ {
+			c.Lo[d][i] = ec.Box.Lo[d]
+			c.Hi[d][i] = ec.Box.Hi[d]
+		}
+		c.Sizes[i] = int32(ec.Size)
+		base, pbase := i*m, i*(m+1)
+		var sum int32
+		var wsum int64
+		for v, cnt := range ec.SACounts {
+			c.SACounts[base+v] = int32(cnt)
+			sum += int32(cnt)
+			wsum += int64(v) * int64(cnt)
+			c.SAPrefix[pbase+v+1] = sum
+			c.SAWPrefix[pbase+v+1] = wsum
+		}
+	}
+	return c
+}
+
+// clampSA mirrors the PublishedEC SA-range clamp: lo below the domain
+// rises to 0, hi past it drops to M-1; an inverted result means "empty".
+func (c *ECColumns) clampSA(lo, hi int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= c.M {
+		hi = c.M - 1
+	}
+	return lo, hi
+}
+
+// SARangeCount is PublishedEC.SARangeCount over the arenas.
+func (c *ECColumns) SARangeCount(i, lo, hi int) int {
+	lo, hi = c.clampSA(lo, hi)
+	if lo > hi {
+		return 0
+	}
+	base := i * (c.M + 1)
+	return int(c.SAPrefix[base+hi+1] - c.SAPrefix[base+lo])
+}
+
+// SARangeSum is PublishedEC.SARangeSum over the arenas.
+func (c *ECColumns) SARangeSum(i, lo, hi int) int64 {
+	lo, hi = c.clampSA(lo, hi)
+	if lo > hi {
+		return 0
+	}
+	base := i * (c.M + 1)
+	return c.SAWPrefix[base+hi+1] - c.SAWPrefix[base+lo]
+}
+
+// SARangeMin is PublishedEC.SARangeMin over the arenas.
+func (c *ECColumns) SARangeMin(i, lo, hi int) int {
+	lo, hi = c.clampSA(lo, hi)
+	base := i * c.M
+	for v := lo; v <= hi; v++ {
+		if c.SACounts[base+v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// SARangeMax is PublishedEC.SARangeMax over the arenas.
+func (c *ECColumns) SARangeMax(i, lo, hi int) int {
+	lo, hi = c.clampSA(lo, hi)
+	base := i * c.M
+	for v := hi; v >= lo; v-- {
+		if c.SACounts[base+v] > 0 {
+			return v
+		}
+	}
+	return -1
+}

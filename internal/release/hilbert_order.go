@@ -1,0 +1,110 @@
+package release
+
+import (
+	"math"
+	bits64 "math/bits"
+	"slices"
+
+	"repro/internal/hilbert"
+	"repro/internal/microdata"
+)
+
+// CanonicalizeECs permutes a published EC set into the canonical serving
+// order — the Hilbert order BuildIndex imposes on every snapshot it
+// indexes. Callers comparing an independently rebuilt release against a
+// served one (the evaluation service's reproduce check) canonicalize
+// both sides with this instead of inventing an ad-hoc sort; the
+// permutation is deterministic and idempotent, so it is safe to apply to
+// either side any number of times.
+func CanonicalizeECs(schema *microdata.Schema, ecs []microdata.PublishedEC) {
+	hilbertOrder(schema, ecs)
+}
+
+// hilbertOrder permutes a published EC set in place into ascending Hilbert
+// order of its bounding-box centroids over the schema's QI domain. After
+// the remap, the IDs inside any grid cell's candidate list are runs of
+// curve-adjacent ECs, so the mark writes of the pruning passes and the
+// column reads of the verification loop land on neighbouring cache lines
+// instead of striding across the whole store.
+//
+// The permutation is pure bookkeeping: every estimator answers identically
+// under any EC order (the differential fuzzer pins this), and because the
+// sort is stable with the original position as tiebreak it is both
+// deterministic and idempotent — re-sorting already-ordered ECs is the
+// identity, which keeps encode(decode(x)) a byte fixpoint and golden
+// encodes stable.
+func hilbertOrder(schema *microdata.Schema, ecs []microdata.PublishedEC) {
+	d := len(schema.QI)
+	if d < 1 || len(ecs) < 2 {
+		return
+	}
+	// 10 bits per dimension (1024 curve positions) is already finer than
+	// the finest grid (MaxGridCells = 4096 applies per dimension, but the
+	// serving grids top out at 512 cells); more resolution would only
+	// lengthen the encode's bit-interleaving loop without improving
+	// locality.
+	bits := 63 / d
+	if bits > 10 {
+		bits = 10
+	}
+	if bits < 1 {
+		return // more than 63 dimensions: curve index would not fit
+	}
+	curve, err := hilbert.New(d, bits)
+	if err != nil {
+		return
+	}
+	lo, hi := make([]float64, d), make([]float64, d)
+	for j, a := range schema.QI {
+		if a.Kind == microdata.Numeric {
+			lo[j], hi[j] = a.Min, a.Max
+		} else {
+			lo[j], hi[j] = 0, float64(a.Hierarchy.NumLeaves()-1)
+		}
+	}
+	m, err := hilbert.NewMapper(curve, lo, hi)
+	if err != nil {
+		return
+	}
+	// Pack (curve key, original index) into one uint64 per EC so a plain
+	// slices.Sort orders them: stable by construction (the index breaks
+	// ties), no comparator indirection. The packing needs d·bits key bits
+	// plus idxBits position bits; bits was capped above so the key fits in
+	// 63, and idxBits shrinks the key further only for enormous stores.
+	idxBits := bits64.Len(uint(len(ecs) - 1))
+	if d*bits+idxBits > 64 {
+		bits = (64 - idxBits) / d
+		if bits < 1 {
+			return
+		}
+		curve, err = hilbert.New(d, bits)
+		if err != nil {
+			return
+		}
+		m, err = hilbert.NewMapper(curve, lo, hi)
+		if err != nil {
+			return
+		}
+	}
+	keys := make([]uint64, len(ecs))
+	pt := make([]float64, d)
+	buf := make([]uint32, d)
+	for i := range ecs {
+		box := &ecs[i].Box
+		for j := 0; j < d; j++ {
+			c := 0.5 * (box.Lo[j] + box.Hi[j])
+			if math.IsNaN(c) { // hand-built box with infinite bounds
+				c = lo[j]
+			}
+			pt[j] = c
+		}
+		keys[i] = m.IndexInto(pt, buf)<<idxBits | uint64(i)
+	}
+	slices.Sort(keys)
+	idxMask := uint64(1)<<idxBits - 1
+	out := make([]microdata.PublishedEC, len(ecs))
+	for i, k := range keys {
+		out[i] = ecs[k&idxMask]
+	}
+	copy(ecs, out)
+}

@@ -1,0 +1,144 @@
+package release
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/microdata"
+	"repro/internal/query"
+)
+
+// TestHilbertOrderDeterministicIdempotent pins the two properties the
+// codec fixpoint and golden files rely on: ordering the same set twice
+// from different starting permutations converges to one sequence, and
+// re-ordering an already-ordered set is the identity.
+func TestHilbertOrderDeterministicIdempotent(t *testing.T) {
+	schema := census.Schema().Project(3)
+	rng := rand.New(rand.NewSource(7))
+	ecs := SyntheticECs(schema, 500, rng)
+
+	a := append([]microdata.PublishedEC(nil), ecs...)
+	b := append([]microdata.PublishedEC(nil), ecs...)
+	// Shuffle b so the two runs start from different permutations.
+	rand.New(rand.NewSource(9)).Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+
+	hilbertOrder(schema, a)
+	hilbertOrder(schema, b)
+	for i := range a {
+		if &a[i].Box.Lo[0] == &b[i].Box.Lo[0] {
+			continue // same underlying EC
+		}
+		if a[i].Box.Lo[0] != b[i].Box.Lo[0] || a[i].Size != b[i].Size {
+			t.Fatalf("position %d differs between the two orderings", i)
+		}
+	}
+
+	c := append([]microdata.PublishedEC(nil), a...)
+	hilbertOrder(schema, c)
+	for i := range a {
+		if a[i].Box.Lo[0] != c[i].Box.Lo[0] || a[i].Box.Hi[0] != c[i].Box.Hi[0] {
+			t.Fatalf("re-ordering moved EC at position %d: not idempotent", i)
+		}
+	}
+}
+
+// TestHilbertOrderPreservesEstimates: BuildIndex permutes the EC slice,
+// and every estimate must be unchanged versus a linear scan of the same
+// (permuted) set — the permutation is pure bookkeeping.
+func TestHilbertOrderPreservesEstimates(t *testing.T) {
+	schema := census.Schema().Project(3)
+	rng := rand.New(rand.NewSource(3))
+	ecs := SyntheticECs(schema, 800, rng)
+	ix := BuildIndex(schema, ecs, 0)
+	gen, err := query.NewGenerator(schema, 2, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := []query.Aggregate{query.AggCount, query.AggSum, query.AggAvg, query.AggMin, query.AggMax}
+	for i := 0; i < 200; i++ {
+		q := gen.Next()
+		q.Agg = aggs[i%len(aggs)]
+		want := query.EstimateGeneralized(schema, ecs, q)
+		if got := ix.Estimate(q); !approxEq(got, want, 1e-9) {
+			t.Fatalf("query %d agg %v: indexed %v, linear %v", i, q.Agg, got, want)
+		}
+	}
+}
+
+func approxEq(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := b
+	if m < 0 {
+		m = -m
+	}
+	return d <= tol*(1+m)
+}
+
+// TestMarkSetEpochWrap forces the epoch counter to the wrap boundary and
+// asserts no stale mark survives into a fresh reservation — the failure
+// mode the guard in reset exists to prevent: an EC marked under an old
+// epoch must never be mistaken for a survivor of the current query.
+func TestMarkSetEpochWrap(t *testing.T) {
+	const n = 64
+	for _, passes := range []int{1, 2, 3, 4} {
+		ms := &markSet{}
+		// stamp simulates a query consuming its full reservation, as
+		// collect does: every slot ends on the reservation's top epoch.
+		stamp := func() {
+			for i := int32(0); i < n; i++ {
+				ms.mark[i] = ms.epoch + uint32(passes) - 1
+			}
+		}
+		ms.reset(n, passes)
+		stamp()
+		// Fast-forward to just below the wrap guard — the state a
+		// long-lived worker reaches after ~2^32 reserved epochs — with
+		// the marks still holding (now ancient) previous stamps.
+		ms.epoch = ^uint32(0) - uint32(passes) - 2
+		// Walk reset through the wrap. At every step, all `passes`
+		// epochs of the fresh reservation must be stale-free: one
+		// surviving mark would admit a never-verified EC into a query.
+		for step := 0; step < 16; step++ {
+			ms.reset(n, passes)
+			top := ms.epoch + uint32(passes) - 1
+			if top < ms.epoch {
+				t.Fatalf("passes=%d step=%d: reservation %d..%d wraps past zero", passes, step, ms.epoch, top)
+			}
+			for k := 0; k < passes; k++ {
+				epoch := ms.epoch + uint32(k)
+				for i := int32(0); i < n; i++ {
+					if ms.mark[i] == epoch {
+						t.Fatalf("passes=%d step=%d pass=%d: stale mark on slot %d (epoch %d, reserved %d)",
+							passes, step, k, i, ms.epoch, ms.reserved)
+					}
+				}
+			}
+			stamp()
+		}
+	}
+}
+
+// TestMarkSetWrapNeverOverflows walks reset across the entire wrap
+// neighbourhood and asserts the arithmetic invariant the guard promises:
+// the reservation epoch..epoch+reserved-1 never wraps past zero, so pass
+// tags are monotone within a query.
+func TestMarkSetWrapNeverOverflows(t *testing.T) {
+	ms := &markSet{}
+	ms.reset(8, 1)
+	ms.epoch = ^uint32(0) - 40
+	ms.reserved = 0
+	for step := 0; step < 100; step++ {
+		ms.reset(8, 1+step%4)
+		last := ms.epoch + ms.reserved - 1
+		if last < ms.epoch {
+			t.Fatalf("step %d: reservation %d..%d wraps", step, ms.epoch, last)
+		}
+		if ms.epoch == 0 {
+			t.Fatalf("step %d: epoch 0 collides with the cleared-mark state", step)
+		}
+	}
+}

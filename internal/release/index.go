@@ -2,26 +2,31 @@ package release
 
 import (
 	"math"
-	"sort"
 	"sync"
 
 	"repro/internal/microdata"
 	"repro/internal/query"
 )
 
-// ECIndex accelerates intersection-based COUNT estimation over a published
-// set of equivalence classes. Each QI dimension carries a uniform grid of
-// cells over the attribute domain; every cell lists the IDs of the ECs
-// whose bounding box overlaps it. A query picks the predicate dimension
-// with the fewest candidate ECs and verifies only those against the full
-// predicate set, pruning the non-overlapping bulk that the linear
-// estimator of query.EstimateGeneralized would scan — the data-skipping
-// idea of per-block summaries applied to EC bounding boxes.
+// ECIndex accelerates intersection-based aggregate estimation over a
+// published set of equivalence classes. Each QI dimension carries a
+// uniform grid of cells over the attribute domain; every cell lists the
+// IDs of the ECs whose bounding box overlaps it, flattened into one
+// contiguous per-dimension ID arena so a query range is a single
+// sequential scan. A query folds its predicate ranges from most to least
+// selective and verifies only the surviving ECs against the full
+// predicate set — the data-skipping idea of per-block summaries applied
+// to EC bounding boxes. Verification reads the columnar mirror of the EC
+// store (microdata.ECColumns) rather than the row structs: flat Lo/Hi
+// columns and SA prefix arenas, cache-local because BuildIndex first
+// remaps EC IDs into Hilbert order (see hilbertOrder).
 //
 // The index is immutable after Build and safe for concurrent queries.
 type ECIndex struct {
 	schema *microdata.Schema
 	ecs    []microdata.PublishedEC
+	cols   *microdata.ECColumns
+	isCat  []bool
 	dims   []dimGrid
 
 	// totalSA holds exclusive prefix sums of the whole release's SA
@@ -33,11 +38,23 @@ type ECIndex struct {
 	scratch sync.Pool
 }
 
-// dimGrid is the per-dimension cell directory.
+func (ix *ECIndex) getMS() *markSet {
+	if v := ix.scratch.Get(); v != nil {
+		return v.(*markSet)
+	}
+	return &markSet{}
+}
+
+// dimGrid is the per-dimension cell directory: cell c's candidate IDs are
+// ids[starts[c]:starts[c+1]], so a cell range [c0,c1] is the single
+// contiguous slice ids[starts[c0]:starts[c1+1]] and its length — the
+// planner's load metric — is one subtraction.
 type dimGrid struct {
-	min, max float64
-	invW     float64 // cells per domain unit
-	cells    [][]int32
+	min    float64
+	invW   float64 // cells per domain unit
+	n      int     // cell count
+	starts []int32 // len n+1
+	ids    []int32
 }
 
 // MaxGridCells caps the per-dimension grid resolution (Params.Validate
@@ -49,14 +66,16 @@ const MaxGridCells = 4096
 // span is within this budget, so the directory holds O(dims · |ECs|)
 // entries regardless of box widths or the requested resolution — wide
 // boxes get a coarser (less selective, but never memory-hungry) grid.
-const maxAvgSpan = 8
+const maxAvgSpan = 4
 
 // BuildIndex constructs the index over a published EC set. The slice is
-// retained (not copied); callers must not mutate it afterwards. Each EC's
-// SA prefix sums are built if absent so range counting is O(1) on the
-// verification path. cellsPerDim ≤ 0 selects √|ECs| clamped to [16, 512],
-// balancing directory size against pruning resolution; explicit values
-// are clamped to MaxGridCells.
+// retained and permuted in place into Hilbert order of box centroids
+// (estimates are unchanged under permutation; the reorder makes cell
+// candidate lists runs of nearby IDs); callers must not mutate it
+// afterwards. Each EC's SA prefix sums are built if absent so range
+// counting is O(1) on the verification path. cellsPerDim ≤ 0 selects
+// √|ECs| clamped to [16, 512], balancing directory size against pruning
+// resolution; explicit values are clamped to MaxGridCells.
 func BuildIndex(schema *microdata.Schema, ecs []microdata.PublishedEC, cellsPerDim int) *ECIndex {
 	if cellsPerDim <= 0 {
 		cellsPerDim = int(math.Sqrt(float64(len(ecs))))
@@ -70,8 +89,8 @@ func BuildIndex(schema *microdata.Schema, ecs []microdata.PublishedEC, cellsPerD
 	if cellsPerDim > MaxGridCells {
 		cellsPerDim = MaxGridCells
 	}
+	hilbertOrder(schema, ecs)
 	ix := &ECIndex{schema: schema, ecs: ecs}
-	ix.scratch.New = func() any { return &markSet{} }
 
 	ix.totalSA = make([]int, len(schema.SA.Values)+1)
 	ix.totalSAW = make([]int64, len(schema.SA.Values)+1)
@@ -90,6 +109,12 @@ func BuildIndex(schema *microdata.Schema, ecs []microdata.PublishedEC, cellsPerD
 		ix.totalSAW[v] += ix.totalSAW[v-1]
 	}
 
+	ix.cols = microdata.BuildECColumns(ecs, len(schema.QI), len(schema.SA.Values))
+	ix.isCat = make([]bool, len(schema.QI))
+	for d, a := range schema.QI {
+		ix.isCat[d] = a.Kind == microdata.Categorical
+	}
+
 	ix.dims = make([]dimGrid, len(schema.QI))
 	for d, a := range schema.QI {
 		var lo, hi float64
@@ -98,38 +123,83 @@ func BuildIndex(schema *microdata.Schema, ecs []microdata.PublishedEC, cellsPerD
 		} else {
 			lo, hi = 0, float64(a.Hierarchy.NumLeaves()-1)
 		}
-		// Coarsen until the directory for this dimension stays within
-		// the maxAvgSpan entry budget (wide boxes span proportionally
-		// fewer of a coarser grid's cells).
+		los, his := ix.cols.Lo[d], ix.cols.Hi[d]
+		// Coarsen until the directory for this dimension stays within the
+		// maxAvgSpan entry budget (wide boxes span proportionally fewer of
+		// a coarser grid's cells). Spans are computed arithmetically from
+		// min/invW alone — no throwaway cell directory per halving step.
 		cells := cellsPerDim
+		total := 0
 		for cells > 16 && len(ecs) > 0 {
-			g := dimGrid{min: lo, max: hi, cells: make([][]int32, cells)}
+			invW := 0.0
 			if hi > lo {
-				g.invW = float64(cells) / (hi - lo)
+				invW = float64(cells) / (hi - lo)
 			}
-			total := 0
-			for i := range ecs {
-				total += g.cell(ecs[i].Box.Hi[d]) - g.cell(ecs[i].Box.Lo[d]) + 1
+			total = 0
+			for i := range los {
+				total += gridSpan(lo, invW, cells, los[i], his[i])
 			}
 			if total <= maxAvgSpan*len(ecs) {
 				break
 			}
 			cells /= 2
 		}
-		g := dimGrid{min: lo, max: hi, cells: make([][]int32, cells)}
+		g := dimGrid{min: lo, n: cells}
 		if hi > lo {
 			g.invW = float64(cells) / (hi - lo)
 		}
-		for i := range ecs {
-			c0 := g.cell(ecs[i].Box.Lo[d])
-			c1 := g.cell(ecs[i].Box.Hi[d])
+		// Counting sort into the flat arena: per-cell entry counts via a
+		// difference array, then a cursor-driven fill.
+		diff := make([]int32, cells+1)
+		for i := range los {
+			c0 := g.cell(los[i])
+			c1 := g.cell(his[i])
+			diff[c0]++
+			diff[c1+1]--
+		}
+		g.starts = make([]int32, cells+1)
+		var run, sum int32
+		for c := 0; c < cells; c++ {
+			run += diff[c]
+			g.starts[c] = sum
+			sum += run
+		}
+		g.starts[cells] = sum
+		g.ids = make([]int32, sum)
+		cursor := make([]int32, cells)
+		copy(cursor, g.starts[:cells])
+		for i := range los {
+			c0 := g.cell(los[i])
+			c1 := g.cell(his[i])
 			for c := c0; c <= c1; c++ {
-				g.cells[c] = append(g.cells[c], int32(i))
+				g.ids[cursor[c]] = int32(i)
+				cursor[c]++
 			}
 		}
 		ix.dims[d] = g
 	}
 	return ix
+}
+
+// gridSpan returns how many cells of a grid with the given origin and
+// resolution the interval [blo, bhi] occupies — the arithmetic twin of
+// cell(bhi)-cell(blo)+1 with identical clamping.
+func gridSpan(min, invW float64, n int, blo, bhi float64) int {
+	c0 := int((blo - min) * invW)
+	if c0 < 0 {
+		c0 = 0
+	}
+	if c0 >= n {
+		c0 = n - 1
+	}
+	c1 := int((bhi - min) * invW)
+	if c1 < 0 {
+		c1 = 0
+	}
+	if c1 >= n {
+		c1 = n - 1
+	}
+	return c1 - c0 + 1
 }
 
 // cell maps a coordinate to its grid cell, clamped to the domain.
@@ -138,19 +208,23 @@ func (g *dimGrid) cell(v float64) int {
 	if c < 0 {
 		c = 0
 	}
-	if c >= len(g.cells) {
-		c = len(g.cells) - 1
+	if c >= g.n {
+		c = g.n - 1
 	}
 	return c
 }
 
 // markSet dedupes candidate EC IDs across the cells of a query range
 // without per-query allocation: IDs are stamped with an epoch that a reset
-// merely increments.
+// merely increments. It also carries the planner's predicate-range
+// scratch so the hot path allocates nothing.
 type markSet struct {
 	mark     []uint32
 	epoch    uint32
 	reserved uint32 // epochs the current query may consume: epoch..epoch+reserved-1
+	prs      []predRange
+	cand     []int32   // survivor buffer filled by collect
+	fracs    []float64 // per-survivor overlap fractions
 }
 
 // reset reserves `passes` consecutive epochs for one query: pass k tags
@@ -211,30 +285,35 @@ type predRange struct {
 
 // pruneDims maps every query predicate onto its grid and returns them
 // sorted by ascending load, so callers can intersect the most selective
-// dimensions first. Empty when the query carries no QI predicates.
-func (ix *ECIndex) pruneDims(q query.Query) []predRange {
-	prs := make([]predRange, len(q.Dims))
+// dimensions first; the flat arena makes each load a prefix-sum
+// subtraction. The slice is scratch state owned by ms. Empty when the
+// query carries no QI predicates.
+func (ix *ECIndex) pruneDims(q query.Query, ms *markSet) []predRange {
+	prs := ms.prs[:0]
 	for i, d := range q.Dims {
 		g := &ix.dims[d]
 		lo, hi := g.cell(q.Lo[i]), g.cell(q.Hi[i])
-		load := 0
-		for c := lo; c <= hi; c++ {
-			load += len(g.cells[c])
-		}
-		prs[i] = predRange{pred: i, c0: lo, c1: hi, load: load}
+		load := int(g.starts[hi+1] - g.starts[lo])
+		prs = append(prs, predRange{pred: i, c0: lo, c1: hi, load: load})
 	}
-	sort.Slice(prs, func(a, b int) bool { return prs[a].load < prs[b].load })
+	// Insertion sort: λ is small and the sort must stay allocation-free.
+	for i := 1; i < len(prs); i++ {
+		for j := i; j > 0 && prs[j].load < prs[j-1].load; j-- {
+			prs[j], prs[j-1] = prs[j-1], prs[j]
+		}
+	}
+	ms.prs = prs
 	return prs
 }
 
-// Estimate answers the COUNT(*) query with the same intersection
+// Estimate answers the aggregate query with the same intersection
 // semantics as query.EstimateGeneralized, visiting only the ECs whose
 // bounding box can overlap the most selective predicate's grid range.
 func (ix *ECIndex) Estimate(q query.Query) float64 {
 	if len(q.Dims) == 0 {
 		return ix.estimateSAOnly(q)
 	}
-	ms := ix.scratch.Get().(*markSet)
+	ms := ix.getMS()
 	est := ix.estimate(q, ms)
 	ix.scratch.Put(ms)
 	return est
@@ -280,104 +359,201 @@ func (ix *ECIndex) estimateSAOnly(q query.Query) float64 {
 	return query.FinishAgg(q.Agg, cnt, sum, min, max)
 }
 
-// estimate is the λ ≥ 1 path; ms must be non-nil.
+// overlapFracs computes each candidate's box-overlap fraction into the
+// scratch fracs buffer. It is the columnar twin of query.OverlapFraction
+// with the loop nest inverted: one pass per predicate dimension over the
+// flat Lo/Hi columns, so every pass streams a single column (Hilbert-
+// clustered candidate IDs keep the reads on neighbouring cache lines).
+// Per candidate the float operations and their order are exactly those of
+// query.OverlapFraction — the min/max are open-coded (the inputs are
+// validated finite, where a > b agrees with math.Max), and a fraction
+// that reaches zero is skipped by later passes just as the row form
+// returns early — so indexed and linear estimates agree to rounding of
+// their (differently ordered) sums.
+func (ix *ECIndex) overlapFracs(cand []int32, q query.Query, ms *markSet) []float64 {
+	fracs := ms.fracs[:0]
+	for range cand {
+		fracs = append(fracs, 1)
+	}
+	ms.fracs = fracs
+	for i, d := range q.Dims {
+		los, his := ix.cols.Lo[d], ix.cols.Hi[d]
+		qlo, qhi := q.Lo[i], q.Hi[i]
+		if ix.isCat[d] {
+			// Discrete overlap over leaf ranks.
+			for j, id := range cand {
+				f := fracs[j]
+				if f == 0 {
+					continue
+				}
+				lo, hi := los[id], his[id]
+				olo, ohi := lo, hi
+				if qlo > olo {
+					olo = qlo
+				}
+				if qhi < ohi {
+					ohi = qhi
+				}
+				if olo > ohi {
+					fracs[j] = 0
+					continue
+				}
+				fracs[j] = f * (ohi - olo + 1) / (hi - lo + 1)
+			}
+		} else {
+			for j, id := range cand {
+				f := fracs[j]
+				if f == 0 {
+					continue
+				}
+				lo, hi := los[id], his[id]
+				if hi == lo {
+					if lo < qlo || lo > qhi {
+						fracs[j] = 0
+					}
+					continue // point box inside range: full overlap
+				}
+				olo, ohi := lo, hi
+				if qlo > olo {
+					olo = qlo
+				}
+				if qhi < ohi {
+					ohi = qhi
+				}
+				if olo >= ohi {
+					// Grazing contact (olo == ohi) is a zero-measure
+					// intersection of a positive-width box, so it counts
+					// as no overlap, same as disjoint ranges.
+					fracs[j] = 0
+					continue
+				}
+				fracs[j] = f * (ohi - olo) / (hi - lo)
+			}
+		}
+	}
+	return fracs
+}
+
+// estimate is the λ ≥ 1 path; ms must be non-nil. The per-candidate work
+// is entirely columnar: survivors are gathered once, their box-overlap
+// fractions computed column by column, and the SA range statistics read
+// from the prefix arenas with the domain clamp hoisted out of the loop.
 func (ix *ECIndex) estimate(q query.Query, ms *markSet) float64 {
+	cols := ix.cols
+	salo, sahi := q.SALo, q.SAHi
+	if salo < 0 {
+		salo = 0
+	}
+	if sahi >= cols.M {
+		sahi = cols.M - 1
+	}
+	if salo > sahi {
+		// Empty SA range: every candidate contributes zero mass.
+		return query.FinishAgg(q.Agg, 0, 0, -1, -1)
+	}
+	cand := ix.collect(q, ms)
+	fracs := ix.overlapFracs(cand, q, ms)
+	stride := cols.M + 1
 	if q.Agg.IsCount() {
 		est := 0.0
-		ix.forCandidates(q, ms, func(id int32) {
-			ec := &ix.ecs[id]
-			frac := query.OverlapFraction(ix.schema, ec.Box, q)
-			if frac == 0 {
-				return
+		pfx := cols.SAPrefix
+		for j, id := range cand {
+			f := fracs[j]
+			if f == 0 {
+				continue
 			}
-			est += frac * float64(ec.SARangeCount(q.SALo, q.SAHi))
-		})
+			base := int(id) * stride
+			est += f * float64(pfx[base+sahi+1]-pfx[base+salo])
+		}
 		return est
 	}
 	var cnt, sum float64
 	min, max := -1, -1
-	ix.forCandidates(q, ms, func(id int32) {
-		ec := &ix.ecs[id]
-		frac := query.OverlapFraction(ix.schema, ec.Box, q)
-		if frac == 0 {
-			return
+	for j, id := range cand {
+		f := fracs[j]
+		if f == 0 {
+			continue
 		}
+		base := int(id) * stride
 		switch q.Agg {
 		case query.AggSum:
-			sum += frac * float64(ec.SARangeSum(q.SALo, q.SAHi))
+			sum += f * float64(cols.SAWPrefix[base+sahi+1]-cols.SAWPrefix[base+salo])
 		case query.AggAvg:
-			cnt += frac * float64(ec.SARangeCount(q.SALo, q.SAHi))
-			sum += frac * float64(ec.SARangeSum(q.SALo, q.SAHi))
+			cnt += f * float64(cols.SAPrefix[base+sahi+1]-cols.SAPrefix[base+salo])
+			sum += f * float64(cols.SAWPrefix[base+sahi+1]-cols.SAWPrefix[base+salo])
 		case query.AggMin:
-			if v := ec.SARangeMin(q.SALo, q.SAHi); v >= 0 && (min == -1 || v < min) {
+			if v := cols.SARangeMin(int(id), salo, sahi); v >= 0 && (min == -1 || v < min) {
 				min = v
 			}
 		case query.AggMax:
-			if v := ec.SARangeMax(q.SALo, q.SAHi); v > max {
+			if v := cols.SARangeMax(int(id), salo, sahi); v > max {
 				max = v
 			}
 		}
-	})
+	}
 	return query.FinishAgg(q.Agg, cnt, sum, min, max)
 }
 
-// forCandidates visits each distinct EC that survives grid pruning. The
-// planner folds in predicates greedily by ascending load (pruneDims
-// orders them): pass 1 seeds the survivor set from the most selective
-// range, and each further pass intersects the next range, advancing
-// survivors one epoch — an EC is visited only if its box overlaps every
-// folded grid range — before the exact per-box verification the caller
-// performs. Ranges spanning a dimension's whole directory are skipped
-// after the first: they contain every EC, so they prune nothing and
-// would only add their full traversal cost.
-func (ix *ECIndex) forCandidates(q query.Query, ms *markSet, fn func(id int32)) {
-	prs := ix.pruneDims(q)
+// collect gathers each distinct EC that survives grid pruning into the
+// scratch candidate buffer. The planner folds in predicates greedily by
+// ascending load (pruneDims orders them): pass 1 seeds the survivor set
+// from the most selective range, and each further pass intersects the
+// next range, advancing survivors one epoch — an EC survives only if its
+// box overlaps every folded grid range — before the exact per-box
+// verification the caller performs. Ranges spanning a dimension's whole
+// directory are skipped after the first: they contain every EC, so they
+// prune nothing and would only add their full traversal cost. Every pass
+// is one sequential scan of a contiguous ID-arena segment.
+func (ix *ECIndex) collect(q query.Query, ms *markSet) []int32 {
+	prs := ix.pruneDims(q, ms)
 	passes := prs[:1]
 	for _, pr := range prs[1:] {
 		g := &ix.dims[q.Dims[pr.pred]]
-		if pr.c0 == 0 && pr.c1 == len(g.cells)-1 {
+		if pr.c0 == 0 && pr.c1 == g.n-1 {
 			continue
 		}
 		passes = append(passes, pr)
 	}
 	ms.reset(len(ix.ecs), len(passes))
+	cand := ms.cand[:0]
 	a := passes[0]
 	ga := &ix.dims[q.Dims[a.pred]]
+	seg := ga.ids[ga.starts[a.c0]:ga.starts[a.c1+1]]
+	mark := ms.mark
 	if len(passes) == 1 {
-		for c := a.c0; c <= a.c1; c++ {
-			for _, id := range ga.cells[c] {
-				if ms.visit(id) {
-					fn(id)
-				}
+		epoch := ms.epoch
+		for _, id := range seg {
+			if mark[id] != epoch {
+				mark[id] = epoch
+				cand = append(cand, id)
 			}
 		}
-		return
+		ms.cand = cand
+		return cand
 	}
 	// Pass 1: tag everything in the most selective range with epoch.
-	for c := a.c0; c <= a.c1; c++ {
-		for _, id := range ga.cells[c] {
-			ms.mark[id] = ms.epoch
-		}
+	for _, id := range seg {
+		mark[id] = ms.epoch
 	}
 	// Passes 2..K: an id tagged epoch+k−2 that appears in pass k's range
-	// advances to epoch+k−1; the last pass visits its survivors, the
+	// advances to epoch+k−1; the last pass collects its survivors, the
 	// retag also deduping ids spanning several cells of that range.
 	for k := 1; k < len(passes); k++ {
 		b := passes[k]
 		gb := &ix.dims[q.Dims[b.pred]]
 		prev := ms.epoch + uint32(k-1)
 		last := k == len(passes)-1
-		for c := b.c0; c <= b.c1; c++ {
-			for _, id := range gb.cells[c] {
-				if ms.mark[id] == prev {
-					ms.mark[id] = prev + 1
-					if last {
-						fn(id)
-					}
+		for _, id := range gb.ids[gb.starts[b.c0]:gb.starts[b.c1+1]] {
+			if mark[id] == prev {
+				mark[id] = prev + 1
+				if last {
+					cand = append(cand, id)
 				}
 			}
 		}
 	}
+	ms.cand = cand
+	return cand
 }
 
 // Candidates returns how many distinct ECs the index would verify for the
@@ -387,9 +563,8 @@ func (ix *ECIndex) Candidates(q query.Query) int {
 	if len(q.Dims) == 0 {
 		return 0
 	}
-	ms := ix.scratch.Get().(*markSet)
-	n := 0
-	ix.forCandidates(q, ms, func(int32) { n++ })
+	ms := ix.getMS()
+	n := len(ix.collect(q, ms))
 	ix.scratch.Put(ms)
 	return n
 }

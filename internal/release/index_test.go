@@ -140,10 +140,7 @@ func TestIndexWideBoxes(t *testing.T) {
 	}
 	ix := BuildIndex(schema, ecs, MaxGridCells)
 	for d := range ix.dims {
-		entries := 0
-		for _, cell := range ix.dims[d].cells {
-			entries += len(cell)
-		}
+		entries := len(ix.dims[d].ids)
 		// At the 16-cell floor a 90%-wide box spans ≤ 16 cells; the
 		// budget bounds well under the requested 4096-cell blowup.
 		if entries > 16*n {

@@ -16,42 +16,70 @@ import (
 	"repro/internal/perturb"
 )
 
-// Snapshot wire format (version 2). A snapshot file is the durable form
+// Snapshot wire format (version 3). A snapshot file is the durable form
 // of one ready release: everything the matching estimator needs, and
 // nothing more (the pre-publication Partition of a generalized release is
 // serving-irrelevant and is not persisted).
 //
 //	offset 0   magic "RPROSNAP" (8 bytes)
 //	offset 8   format version, uint32 big-endian
-//	           three sections, each uint32 big-endian length + bytes:
+//	           four sections, each uint32 big-endian length + bytes:
 //	             1. header JSON  {kind, method, rows, ail}
 //	             2. spec JSON    (the typed Spec wire form)
-//	             3. payload JSON (schema + per-kind estimator payload)
+//	             3. payload JSON (schema + small per-kind estimator state)
+//	             4. binary columnar row data (layout below)
 //	trailer    CRC-32 (IEEE) of every preceding byte, uint32 big-endian
 //
-// All JSON is produced by encoding/json over fixed struct shapes, so
-// encoding is byte-deterministic for a given snapshot: golden files pin
-// it, and any change to the emitted bytes is a conscious format version
-// bump. Decoding rejects corrupt or truncated input with an error
-// wrapping ErrCorruptSnapshot — never a panic — and rebuilds the derived
-// state (SA prefix sums, the grid index, the calibrated perturbation
-// scheme) rather than persisting it.
+// Section 4 carries the bulk row data that versions 1 and 2 shipped as
+// JSON arrays inside the payload — the decode hot path of a cold start.
+// Everything in it is little-endian:
+//
+//	flags      1 byte: bit0 = EC block present, bit1 = tuple block
+//	           present; any other bit set is corrupt
+//	EC block   u32 N, D, M; then D lo columns, D hi columns (each a u32
+//	           element count followed by N float64 bits), the sizes
+//	           column (u32 count + N u32), and the SA counts (u32 count
+//	           + N·M u32, row-major)
+//	tuple blk  u32 R, D; then D QI columns (u32 count + R float64 bits)
+//	           and the SA column (u32 count + R u32)
+//
+// The per-column count prefixes are redundant with N/R by construction;
+// the decoder checks them so truncation or splicing inside the section is
+// caught at the exact column, not as a checksum-only failure. Small
+// per-kind state (the anatomy group lists, the perturbation model, the
+// baseline distribution) stays in payload JSON where evolvability beats
+// the few hundred bytes saved.
+//
+// All JSON is produced by encoding/json over fixed struct shapes and the
+// binary section is written in one deterministic pass, so encoding is
+// byte-deterministic for a given snapshot: golden files pin it, and any
+// change to the emitted bytes is a conscious format version bump.
+// Decoding rejects corrupt or truncated input with an error wrapping
+// ErrCorruptSnapshot — never a panic — and rebuilds the derived state
+// (SA prefix sums, the grid index, the calibrated perturbation scheme)
+// rather than persisting it.
 const (
 	snapshotMagic = "RPROSNAP"
-	// SnapshotFormatVersion is the current wire format version. Version 2
-	// marks snapshots written by aggregate-aware builds: the bytes are
-	// identical to version 1 (the value-weighted prefix sums are derived
-	// state, rebuilt on decode), but the bump stops an old COUNT-only node
-	// from loading a replicated snapshot it would silently mis-serve
-	// aggregate queries against in a mixed-version cluster. Decoding
-	// accepts both versions.
-	SnapshotFormatVersion = 2
+	// SnapshotFormatVersion is the current wire format version. Version 3
+	// moves the row data (EC boxes + SA counts, table tuples) out of the
+	// payload JSON into a binary columnar section: float64 bits instead of
+	// decimal text, columns instead of per-row objects, which is what makes
+	// cold-start decode a memory copy instead of a JSON parse. Versions 1
+	// and 2 (JSON rows; 2 marked the writer as aggregate-aware) are still
+	// decoded.
+	SnapshotFormatVersion = 3
 	// minSnapshotFormatVersion is the oldest version DecodeSnapshot still
 	// reads.
 	minSnapshotFormatVersion = 1
 	// maxSnapshotSection caps one section's declared length so a corrupt
 	// header cannot make the decoder attempt a multi-GB allocation.
 	maxSnapshotSection = 1 << 31
+)
+
+// Binary section flags (version ≥3).
+const (
+	binFlagECs    = 1 << 0
+	binFlagTuples = 1 << 1
 )
 
 // Typed codec errors. Decode failures wrap exactly one of these, so
@@ -161,7 +189,7 @@ func EncodeSnapshot(snap *Snapshot, spec Spec) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := encodePayload(snap)
+	payload, columns, err := encodePayload(snap)
 	if err != nil {
 		return nil, err
 	}
@@ -170,11 +198,11 @@ func EncodeSnapshot(snap *Snapshot, spec Spec) ([]byte, error) {
 		return nil, err
 	}
 
-	n := len(snapshotMagic) + 4 + 3*4 + len(header) + len(specJSON) + len(payloadJSON) + 4
+	n := len(snapshotMagic) + 4 + 4*4 + len(header) + len(specJSON) + len(payloadJSON) + len(columns) + 4
 	out := make([]byte, 0, n)
 	out = append(out, snapshotMagic...)
 	out = binary.BigEndian.AppendUint32(out, SnapshotFormatVersion)
-	for i, section := range [][]byte{header, specJSON, payloadJSON} {
+	for i, section := range [][]byte{header, specJSON, payloadJSON, columns} {
 		// Refuse to emit what DecodeSnapshot would refuse to read: a
 		// section past the cap must fail the build loudly, not persist a
 		// file that every restart will demote to corrupt.
@@ -188,25 +216,29 @@ func EncodeSnapshot(snap *Snapshot, spec Spec) ([]byte, error) {
 	return out, nil
 }
 
-// encodePayload projects the snapshot onto its wire payload.
-func encodePayload(snap *Snapshot) (*snapPayload, error) {
+// encodePayload projects the snapshot onto its wire payload: the JSON
+// section for small per-kind state and the binary columnar section for
+// the row data.
+func encodePayload(snap *Snapshot) (*snapPayload, []byte, error) {
 	p := &snapPayload{Schema: encodeSchema(snap.Schema)}
 	rel := snap.Release
+	var columns []byte
+	var err error
 	switch snap.Kind {
 	case KindGeneralized:
 		if rel.ECs == nil {
-			return nil, fmt.Errorf("release: generalized snapshot without ECs")
+			return nil, nil, fmt.Errorf("release: generalized snapshot without ECs")
 		}
-		p.ECs = make([]snapEC, len(rel.ECs))
-		for i := range rel.ECs {
-			ec := &rel.ECs[i]
-			p.ECs[i] = snapEC{Lo: ec.Box.Lo, Hi: ec.Box.Hi, SACounts: ec.SACounts, Size: ec.Size}
+		columns = append(columns, binFlagECs)
+		if columns, err = appendECColumns(columns, rel.ECs, len(snap.Schema.QI), len(snap.Schema.SA.Values)); err != nil {
+			return nil, nil, err
 		}
 	case KindAnatomy:
+		var tab *microdata.Table
 		switch {
 		case rel.LDiverse != nil:
 			pub := rel.LDiverse
-			p.Tuples = encodeTuples(pub.Table)
+			tab = pub.Table
 			p.Groups = make([][]int, len(pub.Groups))
 			for i := range pub.Groups {
 				p.Groups[i] = pub.Groups[i].Rows
@@ -214,16 +246,19 @@ func encodePayload(snap *Snapshot) (*snapPayload, error) {
 			p.GroupSACounts = pub.SACounts
 			p.L = pub.L
 		case rel.Baseline != nil:
-			p.Tuples = encodeTuples(rel.Baseline.Table)
+			tab = rel.Baseline.Table
 			p.P = rel.Baseline.P
 		default:
-			return nil, fmt.Errorf("release: anatomy snapshot without publication")
+			return nil, nil, fmt.Errorf("release: anatomy snapshot without publication")
+		}
+		columns = append(columns, binFlagTuples)
+		if columns, err = appendTupleColumns(columns, tab, len(snap.Schema.QI)); err != nil {
+			return nil, nil, err
 		}
 	case KindPerturbed:
 		if rel.Perturbed == nil || rel.Scheme == nil || rel.Scheme.Model == nil {
-			return nil, fmt.Errorf("release: perturbed snapshot without table or scheme")
+			return nil, nil, fmt.Errorf("release: perturbed snapshot without table or scheme")
 		}
-		p.Tuples = encodeTuples(rel.Perturbed)
 		m := rel.Scheme.Model
 		p.Model = &snapModel{
 			Beta:          m.Beta,
@@ -231,10 +266,95 @@ func encodePayload(snap *Snapshot) (*snapPayload, error) {
 			BoundNegative: m.BoundNegative,
 			P:             m.P,
 		}
+		columns = append(columns, binFlagTuples)
+		if columns, err = appendTupleColumns(columns, rel.Perturbed, len(snap.Schema.QI)); err != nil {
+			return nil, nil, err
+		}
 	default:
-		return nil, fmt.Errorf("release: unknown kind %q", snap.Kind)
+		return nil, nil, fmt.Errorf("release: unknown kind %q", snap.Kind)
 	}
-	return p, nil
+	return p, columns, nil
+}
+
+// appendECColumns serializes the EC store into the binary columnar form.
+// Structural impossibilities — a box of the wrong dimensionality, a count
+// that does not fit the u32 wire type — fail the encode loudly rather
+// than persist a file every restart would demote to corrupt.
+func appendECColumns(out []byte, ecs []microdata.PublishedEC, d, m int) ([]byte, error) {
+	n := len(ecs)
+	if int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("release: %d ECs exceed the snapshot format's u32 count", n)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d))
+	out = binary.LittleEndian.AppendUint32(out, uint32(m))
+	for i := range ecs {
+		if len(ecs[i].Box.Lo) != d || len(ecs[i].Box.Hi) != d {
+			return nil, fmt.Errorf("release: EC %d box spans %d/%d dims, schema has %d", i, len(ecs[i].Box.Lo), len(ecs[i].Box.Hi), d)
+		}
+		if len(ecs[i].SACounts) != m {
+			return nil, fmt.Errorf("release: EC %d has %d SA counts, domain %d", i, len(ecs[i].SACounts), m)
+		}
+	}
+	for j := 0; j < d; j++ {
+		out = binary.LittleEndian.AppendUint32(out, uint32(n))
+		for i := range ecs {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ecs[i].Box.Lo[j]))
+		}
+	}
+	for j := 0; j < d; j++ {
+		out = binary.LittleEndian.AppendUint32(out, uint32(n))
+		for i := range ecs {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ecs[i].Box.Hi[j]))
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	for i := range ecs {
+		if ecs[i].Size < 0 || int64(ecs[i].Size) > math.MaxInt32 {
+			return nil, fmt.Errorf("release: EC %d size %d does not fit the u32 wire type", i, ecs[i].Size)
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(ecs[i].Size))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(n*m))
+	for i := range ecs {
+		for v, c := range ecs[i].SACounts {
+			if c < 0 || int64(c) > math.MaxInt32 {
+				return nil, fmt.Errorf("release: EC %d SA count %d = %d does not fit the u32 wire type", i, v, c)
+			}
+			out = binary.LittleEndian.AppendUint32(out, uint32(c))
+		}
+	}
+	return out, nil
+}
+
+// appendTupleColumns serializes a table body column-major.
+func appendTupleColumns(out []byte, t *microdata.Table, d int) ([]byte, error) {
+	r := t.Len()
+	if int64(r) > math.MaxInt32 {
+		return nil, fmt.Errorf("release: %d rows exceed the snapshot format's u32 count", r)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(r))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d))
+	for i := range t.Tuples {
+		if len(t.Tuples[i].QI) != d {
+			return nil, fmt.Errorf("release: tuple %d spans %d dims, schema has %d", i, len(t.Tuples[i].QI), d)
+		}
+	}
+	for j := 0; j < d; j++ {
+		out = binary.LittleEndian.AppendUint32(out, uint32(r))
+		for i := range t.Tuples {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(t.Tuples[i].QI[j]))
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(r))
+	for i := range t.Tuples {
+		sa := t.Tuples[i].SA
+		if sa < 0 || int64(sa) > math.MaxInt32 {
+			return nil, fmt.Errorf("release: tuple %d SA index %d does not fit the u32 wire type", i, sa)
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(sa))
+	}
+	return out, nil
 }
 
 func encodeSchema(s *microdata.Schema) snapSchema {
@@ -265,8 +385,8 @@ func encodeTuples(t *microdata.Table) *snapTuples {
 }
 
 // DecodeSnapshot parses and validates a snapshot of any supported
-// format version (currently 1 and 2; they differ only in the writer's
-// aggregate awareness, not in bytes), returning
+// format version (currently 1..3; 1 and 2 carry the row data as JSON,
+// 3 as binary columns), returning
 // the queryable snapshot (grid index, SA prefix sums, and perturbation
 // scheme rebuilt) plus the spec it was encoded with. Malformed input of
 // any shape yields an error wrapping ErrCorruptSnapshot (or
@@ -280,7 +400,8 @@ func DecodeSnapshot(data []byte) (*Snapshot, Spec, error) {
 	if string(data[:len(snapshotMagic)]) != snapshotMagic {
 		return nil, Spec{}, corrupt("bad magic %q", data[:len(snapshotMagic)])
 	}
-	if v := binary.BigEndian.Uint32(data[len(snapshotMagic):]); v < minSnapshotFormatVersion || v > SnapshotFormatVersion {
+	v := binary.BigEndian.Uint32(data[len(snapshotMagic):])
+	if v < minSnapshotFormatVersion || v > SnapshotFormatVersion {
 		return nil, Spec{}, fmt.Errorf("%w: %d (this build reads %d..%d)", ErrSnapshotVersion, v, minSnapshotFormatVersion, SnapshotFormatVersion)
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
@@ -289,7 +410,11 @@ func DecodeSnapshot(data []byte) (*Snapshot, Spec, error) {
 	}
 
 	rest := body[len(snapshotMagic)+4:]
-	sections := make([][]byte, 3)
+	numSections := 3 // versions 1 and 2: all-JSON
+	if v >= 3 {
+		numSections = 4 // version 3 adds the binary columnar section
+	}
+	sections := make([][]byte, numSections)
 	for i := range sections {
 		if len(rest) < 4 {
 			return nil, Spec{}, corrupt("truncated before section %d length", i+1)
@@ -342,21 +467,57 @@ func DecodeSnapshot(data []byte) (*Snapshot, Spec, error) {
 		return nil, Spec{}, corrupt("header rows=%d ail=%v", header.Rows, header.AIL)
 	}
 
+	// Version ≥3 carries the row data only in the binary section: a payload
+	// JSON that also smuggles ecs/tuples would leave two sources of truth,
+	// so it is rejected rather than silently preferring one.
+	var binECs []microdata.PublishedEC
+	var binTuples *snapTuples
+	if v >= 3 {
+		if payload.ECs != nil || payload.Tuples != nil {
+			return nil, Spec{}, corrupt("version %d payload JSON carries row data that belongs in the binary section", v)
+		}
+		if binECs, binTuples, err = decodeColumns(sections[3], schema); err != nil {
+			return nil, Spec{}, err
+		}
+	}
+
 	rel := &anon.Release{Method: header.Method, Schema: schema, Rows: header.Rows, AIL: header.AIL}
 	snap := &Snapshot{Kind: header.Kind, Schema: schema, Release: rel}
 	switch header.Kind {
 	case KindGeneralized:
-		ecs, err := decodeECs(payload.ECs, schema)
-		if err != nil {
-			return nil, Spec{}, err
+		var ecs []microdata.PublishedEC
+		if v >= 3 {
+			if binTuples != nil {
+				return nil, Spec{}, corrupt("generalized snapshot carries a tuple block")
+			}
+			if binECs == nil {
+				return nil, Spec{}, corrupt("generalized snapshot without an EC block")
+			}
+			ecs = binECs
+		} else {
+			if ecs, err = decodeECs(payload.ECs, schema); err != nil {
+				return nil, Spec{}, err
+			}
 		}
 		rel.ECs = ecs
 		snap.Index = BuildIndex(schema, ecs, spec.GridCells)
 	case KindAnatomy:
+		if v >= 3 {
+			if binECs != nil {
+				return nil, Spec{}, corrupt("anatomy snapshot carries an EC block")
+			}
+			payload.Tuples = binTuples
+		}
 		if err := decodeAnatomy(&payload, schema, rel); err != nil {
 			return nil, Spec{}, err
 		}
 	case KindPerturbed:
+		if v >= 3 {
+			if binECs != nil {
+				return nil, Spec{}, corrupt("perturbed snapshot carries an EC block")
+			}
+			payload.Tuples = binTuples
+		}
 		if err := decodePerturbed(&payload, schema, rel); err != nil {
 			return nil, Spec{}, err
 		}
@@ -364,6 +525,224 @@ func DecodeSnapshot(data []byte) (*Snapshot, Spec, error) {
 		return nil, Spec{}, corrupt("unknown kind %q", header.Kind)
 	}
 	return snap, spec, nil
+}
+
+// colReader cursors over the binary columnar section. Every read is
+// bounds-checked; a short section yields a corrupt error naming the field
+// being read, never a slice panic.
+type colReader struct {
+	data []byte
+	off  int
+}
+
+func (r *colReader) u32(what string) (int, error) {
+	if len(r.data)-r.off < 4 {
+		return 0, corrupt("binary section truncated reading %s", what)
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	if int32(v) < 0 {
+		return 0, corrupt("binary %s %d overflows int32", what, v)
+	}
+	return int(v), nil
+}
+
+// f64col reads one length-prefixed float64 column of n elements into
+// dst[start], dst[start+stride], … — scattering a wire column straight
+// into a row-major arena without an intermediate copy.
+func (r *colReader) f64col(dst []float64, start, stride, n int, what string) error {
+	c, err := r.u32(what + " length")
+	if err != nil {
+		return err
+	}
+	if c != n {
+		return corrupt("binary %s declares %d elements, want %d", what, c, n)
+	}
+	if int64(len(r.data)-r.off) < int64(n)*8 {
+		return corrupt("binary section truncated inside %s: %d of %d bytes", what, len(r.data)-r.off, int64(n)*8)
+	}
+	off := r.off
+	for i := 0; i < n; i++ {
+		dst[start+i*stride] = math.Float64frombits(binary.LittleEndian.Uint64(r.data[off:]))
+		off += 8
+	}
+	r.off = off
+	return nil
+}
+
+// u32col reads one length-prefixed u32 column of n elements into dst
+// contiguously. Elements above MaxInt32 are corrupt (they could not have
+// been written by the encoder's range checks).
+func (r *colReader) u32col(dst []int, n int, what string) error {
+	c, err := r.u32(what + " length")
+	if err != nil {
+		return err
+	}
+	if c != n {
+		return corrupt("binary %s declares %d elements, want %d", what, c, n)
+	}
+	if int64(len(r.data)-r.off) < int64(n)*4 {
+		return corrupt("binary section truncated inside %s: %d of %d bytes", what, len(r.data)-r.off, int64(n)*4)
+	}
+	off := r.off
+	for i := 0; i < n; i++ {
+		v := binary.LittleEndian.Uint32(r.data[off:])
+		off += 4
+		if int32(v) < 0 {
+			return corrupt("binary %s element %d = %d overflows int32", what, i, v)
+		}
+		dst[i] = int(v)
+	}
+	r.off = off
+	return nil
+}
+
+// decodeColumns parses the version-3 binary section into whichever row
+// blocks its flags declare. The section must be consumed exactly: bytes
+// past the declared blocks mean a splice, not padding.
+func decodeColumns(bin []byte, schema *microdata.Schema) ([]microdata.PublishedEC, *snapTuples, error) {
+	if len(bin) == 0 {
+		return nil, nil, corrupt("binary section is empty")
+	}
+	flags := bin[0]
+	if flags&^byte(binFlagECs|binFlagTuples) != 0 {
+		return nil, nil, corrupt("binary section flags %#02x set unknown bits", flags)
+	}
+	r := &colReader{data: bin, off: 1}
+	var ecs []microdata.PublishedEC
+	var tuples *snapTuples
+	var err error
+	if flags&binFlagECs != 0 {
+		if ecs, err = readECColumns(r, schema); err != nil {
+			return nil, nil, err
+		}
+	}
+	if flags&binFlagTuples != 0 {
+		if tuples, err = readTupleColumns(r, schema); err != nil {
+			return nil, nil, err
+		}
+	}
+	if r.off != len(bin) {
+		return nil, nil, corrupt("%d trailing bytes after the binary blocks", len(bin)-r.off)
+	}
+	return ecs, tuples, nil
+}
+
+// readECColumns rebuilds the published EC store from its columnar form.
+// The rows are carved out of five shared arenas (lo, hi, counts, and both
+// prefix-sum caches), so a 10k-EC store costs a handful of allocations
+// instead of six per EC, and the rebuilt prefix slices sit contiguously —
+// the same layout BuildECColumns assumes when it flattens them again.
+func readECColumns(r *colReader, schema *microdata.Schema) ([]microdata.PublishedEC, error) {
+	n, err := r.u32("EC count")
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.u32("EC dims")
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.u32("EC SA domain")
+	if err != nil {
+		return nil, err
+	}
+	if d != len(schema.QI) {
+		return nil, corrupt("EC block spans %d dims, schema has %d", d, len(schema.QI))
+	}
+	if m != len(schema.SA.Values) {
+		return nil, corrupt("EC block has SA domain %d, schema has %d", m, len(schema.SA.Values))
+	}
+	// Bound the claimed N by the bytes actually present before sizing any
+	// arena: a hostile count must fail here, not in make.
+	need := int64(2*d)*(4+8*int64(n)) + 4 + 4*int64(n) + 4 + 4*int64(n)*int64(m)
+	if rem := int64(len(r.data) - r.off); need > rem {
+		return nil, corrupt("EC block claims %d ECs needing %d bytes, %d remain", n, need, rem)
+	}
+	loArena := make([]float64, n*d)
+	hiArena := make([]float64, n*d)
+	for j := 0; j < d; j++ {
+		if err := r.f64col(loArena, j, d, n, fmt.Sprintf("lo column %d", j)); err != nil {
+			return nil, err
+		}
+	}
+	for j := 0; j < d; j++ {
+		if err := r.f64col(hiArena, j, d, n, fmt.Sprintf("hi column %d", j)); err != nil {
+			return nil, err
+		}
+	}
+	sizes := make([]int, n)
+	if err := r.u32col(sizes, n, "sizes column"); err != nil {
+		return nil, err
+	}
+	countsArena := make([]int, n*m)
+	if err := r.u32col(countsArena, n*m, "SA counts"); err != nil {
+		return nil, err
+	}
+
+	prefArena := make([]int, n*(m+1))
+	wprefArena := make([]int64, n*(m+1))
+	out := make([]microdata.PublishedEC, n)
+	for i := range out {
+		lo := loArena[i*d : (i+1)*d : (i+1)*d]
+		hi := hiArena[i*d : (i+1)*d : (i+1)*d]
+		for j := range lo {
+			if !isFinite(lo[j]) || !isFinite(hi[j]) || lo[j] > hi[j] {
+				return nil, corrupt("EC %d dim %d has bad interval [%v,%v]", i, j, lo[j], hi[j])
+			}
+		}
+		counts := countsArena[i*m : (i+1)*m : (i+1)*m]
+		sum := 0
+		for _, c := range counts {
+			sum += c // non-negative by u32col's range check
+		}
+		if sum != sizes[i] || sizes[i] <= 0 {
+			return nil, corrupt("EC %d size %d disagrees with SA counts summing to %d", i, sizes[i], sum)
+		}
+		ec := microdata.PublishedEC{Box: microdata.Box{Lo: lo, Hi: hi}, SACounts: counts, Size: sizes[i]}
+		// Hand BuildSAPrefix zero-length views with exactly m+1 capacity:
+		// it reslices them in place, so the caches land in the arenas too.
+		ec.SAPrefix = prefArena[i*(m+1) : i*(m+1) : (i+1)*(m+1)]
+		ec.SAWPrefix = wprefArena[i*(m+1) : i*(m+1) : (i+1)*(m+1)]
+		ec.BuildSAPrefix()
+		out[i] = ec
+	}
+	return out, nil
+}
+
+// readTupleColumns rebuilds a table body from its columnar form into the
+// row-major snapTuples shape decodeTable consumes, so the JSON (v1/v2)
+// and binary (v3) paths share one validation and table-rebuild routine.
+func readTupleColumns(r *colReader, schema *microdata.Schema) (*snapTuples, error) {
+	rows, err := r.u32("row count")
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.u32("tuple dims")
+	if err != nil {
+		return nil, err
+	}
+	if d != len(schema.QI) {
+		return nil, corrupt("tuple block spans %d dims, schema has %d", d, len(schema.QI))
+	}
+	need := int64(d)*(4+8*int64(rows)) + 4 + 4*int64(rows)
+	if rem := int64(len(r.data) - r.off); need > rem {
+		return nil, corrupt("tuple block claims %d rows needing %d bytes, %d remain", rows, need, rem)
+	}
+	qiArena := make([]float64, rows*d)
+	for j := 0; j < d; j++ {
+		if err := r.f64col(qiArena, j, d, rows, fmt.Sprintf("QI column %d", j)); err != nil {
+			return nil, err
+		}
+	}
+	sa := make([]int, rows)
+	if err := r.u32col(sa, rows, "SA column"); err != nil {
+		return nil, err
+	}
+	out := &snapTuples{QI: make([][]float64, rows), SA: sa}
+	for i := range out.QI {
+		out.QI[i] = qiArena[i*d : (i+1)*d : (i+1)*d]
+	}
+	return out, nil
 }
 
 func decodeSchema(s snapSchema) (*microdata.Schema, error) {

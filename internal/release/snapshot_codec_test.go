@@ -4,10 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/anon"
@@ -307,24 +312,86 @@ func TestSnapshotDecodeRejectsDamage(t *testing.T) {
 	})
 }
 
-// TestSnapshotDecodeAcceptsV1 pins backward decode compatibility: the
-// version-1 and version-2 wire bytes differ only in the version field
-// (the value-weighted prefix sums of the aggregate-aware format are
-// derived state, rebuilt on decode), so an upgraded node must keep
-// loading snapshots persisted by a version-1 writer and answer queries
-// over them identically.
-func TestSnapshotDecodeAcceptsV1(t *testing.T) {
+// TestSnapshotDecodeAcceptsLegacy pins backward decode compatibility:
+// versions 1 and 2 carried the row data as JSON inside a three-section
+// file, and an upgraded node must keep loading snapshots persisted by
+// those writers and answer queries over them identically. The old-writer
+// bytes are synthesized by encodeSnapshotLegacy, since the production
+// encoder only emits the current format.
+func TestSnapshotDecodeAcceptsLegacy(t *testing.T) {
 	for name, fx := range codecFixtures(t) {
+		for _, version := range []uint32{1, 2} {
+			t.Run(fmt.Sprintf("%s/v%d", name, version), func(t *testing.T) {
+				data := encodeSnapshotLegacy(t, fx.snap, fx.spec, version)
+				snap, spec, err := DecodeSnapshot(data)
+				if err != nil {
+					t.Fatalf("version-%d snapshot no longer decodes: %v", version, err)
+				}
+				if snap.Kind != fx.snap.Kind || spec.Method != fx.spec.Method {
+					t.Fatalf("decoded kind %q / method %q, want %q / %q",
+						snap.Kind, spec.Method, fx.snap.Kind, fx.spec.Method)
+				}
+				for qi, q := range codecQueries() {
+					want, err := fx.snap.Estimate(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := snap.Estimate(q)
+					if err != nil {
+						t.Fatalf("query %d against v%d decode: %v", qi, version, err)
+					}
+					if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+						t.Fatalf("query %d: v%d decode answers %v, original %v", qi, version, got, want)
+					}
+				}
+				// A legacy decode must re-encode into the current format and
+				// keep answering — the upgrade path of every persisted store.
+				upgraded, err := EncodeSnapshot(snap, spec)
+				if err != nil {
+					t.Fatalf("legacy snapshot does not re-encode: %v", err)
+				}
+				if v := binary.BigEndian.Uint32(upgraded[len(snapshotMagic):]); v != SnapshotFormatVersion {
+					t.Fatalf("re-encode wrote version %d, want %d", v, SnapshotFormatVersion)
+				}
+				if _, _, err := DecodeSnapshot(upgraded); err != nil {
+					t.Fatalf("upgraded snapshot does not decode: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotDecodeV2Fixtures decodes the frozen version-2 files under
+// testdata/v2 — real bytes committed by the previous format's writer, not
+// synthesized — and checks they answer queries identically to freshly
+// built fixtures. These files are never regenerated: they exist precisely
+// so a decode-compat break cannot hide behind a fixture refresh.
+func TestSnapshotDecodeV2Fixtures(t *testing.T) {
+	fixtures := codecFixtures(t)
+	entries, err := os.ReadDir(filepath.Join("testdata", "v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".snap")
+		if name == e.Name() {
+			continue
+		}
+		fx, ok := fixtures[name]
+		if !ok {
+			t.Errorf("frozen fixture %q has no in-memory counterpart", name)
+			continue
+		}
+		seen++
 		t.Run(name, func(t *testing.T) {
-			data, err := EncodeSnapshot(fx.snap, fx.spec)
+			data, err := os.ReadFile(filepath.Join("testdata", "v2", e.Name()))
 			if err != nil {
 				t.Fatal(err)
 			}
-			d := clone(data)
-			binary.BigEndian.PutUint32(d[len(snapshotMagic):], 1)
-			snap, spec, err := DecodeSnapshot(reseal(d))
+			snap, spec, err := DecodeSnapshot(data)
 			if err != nil {
-				t.Fatalf("version-1 snapshot no longer decodes: %v", err)
+				t.Fatalf("frozen v2 snapshot no longer decodes: %v", err)
 			}
 			if snap.Kind != fx.snap.Kind || spec.Method != fx.spec.Method {
 				t.Fatalf("decoded kind %q / method %q, want %q / %q",
@@ -337,56 +404,190 @@ func TestSnapshotDecodeAcceptsV1(t *testing.T) {
 				}
 				got, err := snap.Estimate(q)
 				if err != nil {
-					t.Fatalf("query %d against v1 decode: %v", qi, err)
+					t.Fatalf("query %d against frozen v2 decode: %v", qi, err)
 				}
 				if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
-					t.Fatalf("query %d: v1 decode answers %v, original %v", qi, got, want)
+					t.Fatalf("query %d: frozen v2 decode answers %v, fresh fixture %v", qi, got, want)
 				}
 			}
 		})
+	}
+	if seen != len(fixtures) {
+		t.Fatalf("found %d frozen v2 fixtures, want one per codec fixture (%d)", seen, len(fixtures))
 	}
 }
 
 // TestSnapshotDecodeRejectsInconsistentPayload damages semantic content
 // (with a valid checksum) and requires typed rejection: these are the
-// corruptions CRC32 cannot catch, e.g. a buggy external producer.
+// corruptions CRC32 cannot catch, e.g. a buggy external producer. Row
+// data now travels in the binary section, so its cases are built by
+// encoding deliberately inconsistent in-memory state; the small per-kind
+// state still lives in payload JSON and is mangled textually.
 func TestSnapshotDecodeRejectsInconsistentPayload(t *testing.T) {
 	fxs := codecFixtures(t)
-	cases := map[string]struct {
-		fixture string
-		mangle  func([]byte) []byte
-	}{
-		"ec size disagrees with counts": {"burel", func(d []byte) []byte {
-			return bytes.Replace(d, []byte(`"size":3`), []byte(`"size":4`), 1)
-		}},
-		"ec box inverted": {"burel", func(d []byte) []byte {
-			return bytes.Replace(d, []byte(`"lo":[10,0]`), []byte(`"lo":[99,0]`), 1)
-		}},
-		"tuple outside domain": {"anatomy_baseline", func(d []byte) []byte {
-			return bytes.Replace(d, []byte(`[23,0]`), []byte(`[230,0]`), 1)
-		}},
-		"group row out of range": {"anatomy_ldiverse", func(d []byte) []byte {
-			return bytes.Replace(d, []byte(`"groups":[[`), []byte(`"groups":[[99,`), 1)
-		}},
-		"model variant unknown": {"perturb", func(d []byte) []byte {
-			return bytes.Replace(d, []byte(`"variant":"enhanced"`), []byte(`"variant":"quantum"`), 1)
-		}},
-		"negative beta": {"perturb", func(d []byte) []byte {
-			return bytes.Replace(d, []byte(`"beta":2`), []byte(`"beta":-2`), 1)
-		}},
-	}
-	for name, tc := range cases {
-		t.Run(name, func(t *testing.T) {
-			fx := fxs[tc.fixture]
+	jsonMangle := func(fixture string, old, new string) func(*testing.T) []byte {
+		return func(t *testing.T) []byte {
+			fx := fxs[fixture]
 			data, err := EncodeSnapshot(fx.snap, fx.spec)
 			if err != nil {
 				t.Fatal(err)
 			}
-			mangled := tc.mangle(clone(data))
-			if bytes.Equal(mangled, data) {
-				t.Fatal("mangle did not change the payload; fixture drifted")
+			return mangleSection(t, data, 2, func(sec []byte) []byte {
+				return bytes.Replace(sec, []byte(old), []byte(new), 1)
+			})
+		}
+	}
+	// encodeMutatedBurel deep-copies the burel ECs, applies fn, and
+	// encodes the result: structurally sound wire bytes whose row data
+	// lies about itself.
+	encodeMutatedBurel := func(fn func(ecs []microdata.PublishedEC)) func(*testing.T) []byte {
+		return func(t *testing.T) []byte {
+			fx := fxs["burel"]
+			ecs := make([]microdata.PublishedEC, len(fx.snap.Release.ECs))
+			for i, ec := range fx.snap.Release.ECs {
+				ecs[i] = microdata.PublishedEC{
+					Box:      microdata.Box{Lo: clone64(ec.Box.Lo), Hi: clone64(ec.Box.Hi)},
+					SACounts: append([]int(nil), ec.SACounts...),
+					Size:     ec.Size,
+				}
 			}
-			_, _, err = DecodeSnapshot(fixLengths(t, mangled))
+			fn(ecs)
+			rel := *fx.snap.Release
+			rel.ECs = ecs
+			snap := *fx.snap
+			snap.Release = &rel
+			data, err := EncodeSnapshot(&snap, fx.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return data
+		}
+	}
+	cases := map[string]func(*testing.T) []byte{
+		"ec size disagrees with counts": encodeMutatedBurel(func(ecs []microdata.PublishedEC) {
+			ecs[0].Size++
+		}),
+		"ec box inverted": encodeMutatedBurel(func(ecs []microdata.PublishedEC) {
+			ecs[0].Box.Lo[0] = ecs[0].Box.Hi[0] + 1
+		}),
+		"tuple outside domain": func(t *testing.T) []byte {
+			fx := fxs["anatomy_baseline"]
+			orig := fx.snap.Release.Baseline
+			tab := microdata.NewTable(fx.snap.Schema)
+			for _, tp := range orig.Table.Tuples {
+				tab.Tuples = append(tab.Tuples, microdata.Tuple{QI: clone64(tp.QI), SA: tp.SA})
+			}
+			tab.Tuples[0].QI[0] = 230 // age domain tops out at 90
+			pub := *orig
+			pub.Table = tab
+			rel := *fx.snap.Release
+			rel.Baseline = &pub
+			snap := *fx.snap
+			snap.Release = &rel
+			data, err := EncodeSnapshot(&snap, fx.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return data
+		},
+		"group row out of range":  jsonMangle("anatomy_ldiverse", `"groups":[[`, `"groups":[[99,`),
+		"model variant unknown":   jsonMangle("perturb", `"variant":"enhanced"`, `"variant":"quantum"`),
+		"negative beta":           jsonMangle("perturb", `"beta":2`, `"beta":-2`),
+		"payload JSON smuggles row data": jsonMangle("burel", `{"schema"`, `{"ecs":[],"schema"`),
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := DecodeSnapshot(mk(t))
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("want ErrCorruptSnapshot, got %v", err)
+			}
+		})
+	}
+}
+
+func clone64(v []float64) []float64 { return append([]float64(nil), v...) }
+
+// TestSnapshotDecodeRejectsBinaryDamage drives the columnar section's own
+// validation: hostile counts, truncation inside a column, splice leftovers
+// and unknown flags must all come back as typed corruption — with a valid
+// CRC, so only the binary decoder stands between the damage and a panic.
+func TestSnapshotDecodeRejectsBinaryDamage(t *testing.T) {
+	fxs := codecFixtures(t)
+	burel, err := EncodeSnapshot(fxs["burel"].snap, fxs["burel"].spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := EncodeSnapshot(fxs["anatomy_baseline"].snap, fxs["anatomy_baseline"].spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*testing.T) []byte{
+		"empty binary section": func(t *testing.T) []byte {
+			return rebuildSection(t, burel, 3, nil)
+		},
+		"unknown flag bits": func(t *testing.T) []byte {
+			return mangleSection(t, burel, 3, func(sec []byte) []byte {
+				sec[0] |= 0x80
+				return sec
+			})
+		},
+		"wrong block for kind": func(t *testing.T) []byte {
+			// A generalized snapshot wearing a tuple block: each side is
+			// well-formed, the combination is not.
+			_, secs := splitSections(t, baseline)
+			return rebuildSection(t, burel, 3, secs[3])
+		},
+		"hostile EC count": func(t *testing.T) []byte {
+			return mangleSection(t, burel, 3, func(sec []byte) []byte {
+				binary.LittleEndian.PutUint32(sec[1:], 0x7ffffff0)
+				return sec
+			})
+		},
+		"EC count overflows int32": func(t *testing.T) []byte {
+			return mangleSection(t, burel, 3, func(sec []byte) []byte {
+				binary.LittleEndian.PutUint32(sec[1:], 0xffffffff)
+				return sec
+			})
+		},
+		"dims disagree with schema": func(t *testing.T) []byte {
+			return mangleSection(t, burel, 3, func(sec []byte) []byte {
+				binary.LittleEndian.PutUint32(sec[5:], 7)
+				return sec
+			})
+		},
+		"column length mismatch": func(t *testing.T) []byte {
+			return mangleSection(t, burel, 3, func(sec []byte) []byte {
+				// First lo column's count prefix sits right after the
+				// flags byte and the N/D/M words.
+				binary.LittleEndian.PutUint32(sec[13:], 2)
+				return sec
+			})
+		},
+		"truncated mid column": func(t *testing.T) []byte {
+			return mangleSection(t, burel, 3, func(sec []byte) []byte {
+				return sec[:len(sec)-5]
+			})
+		},
+		"trailing bytes after blocks": func(t *testing.T) []byte {
+			return mangleSection(t, burel, 3, func(sec []byte) []byte {
+				return append(sec, 0xde, 0xad)
+			})
+		},
+		"tuple block truncated mid column": func(t *testing.T) []byte {
+			return mangleSection(t, baseline, 3, func(sec []byte) []byte {
+				return sec[:len(sec)-3]
+			})
+		},
+		"hostile row count": func(t *testing.T) []byte {
+			return mangleSection(t, baseline, 3, func(sec []byte) []byte {
+				binary.LittleEndian.PutUint32(sec[1:], 0x40000000)
+				return sec
+			})
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := DecodeSnapshot(mk(t))
 			if !errors.Is(err, ErrCorruptSnapshot) {
 				t.Fatalf("want ErrCorruptSnapshot, got %v", err)
 			}
@@ -485,24 +686,62 @@ func TestSnapshotDecodeRejectsPartialGroupCoverage(t *testing.T) {
 	}
 }
 
-// rebuildSection reassembles a snapshot with one section replaced,
-// recomputing lengths and the CRC.
-func rebuildSection(t *testing.T, data []byte, idx int, replacement []byte) []byte {
+// splitSections parses a well-formed snapshot into its version and
+// section byte slices (3 for versions 1-2, 4 for version 3), without
+// validating the CRC.
+func splitSections(t testing.TB, data []byte) (uint32, [][]byte) {
 	t.Helper()
-	pos := len(snapshotMagic) + 4
-	out := append([]byte(nil), data[:pos]...)
+	pos := len(snapshotMagic)
+	v := binary.BigEndian.Uint32(data[pos:])
+	pos += 4
+	n := 3
+	if v >= 3 {
+		n = 4
+	}
+	secs := make([][]byte, n)
 	rest := data[pos : len(data)-4]
-	for i := 0; i < 3; i++ {
-		n := binary.BigEndian.Uint32(rest)
-		sec := rest[4 : 4+n]
-		rest = rest[4+n:]
-		if i == idx {
-			sec = replacement
-		}
-		out = binary.BigEndian.AppendUint32(out, uint32(len(sec)))
-		out = append(out, sec...)
+	for i := range secs {
+		l := binary.BigEndian.Uint32(rest)
+		secs[i] = rest[4 : 4+l]
+		rest = rest[4+l:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("snapshot has %d bytes past its sections; fixture drifted", len(rest))
+	}
+	return v, secs
+}
+
+// joinSections reassembles a snapshot from a version and its sections,
+// recomputing every length prefix and the CRC.
+func joinSections(v uint32, secs [][]byte) []byte {
+	out := []byte(snapshotMagic)
+	out = binary.BigEndian.AppendUint32(out, v)
+	for _, s := range secs {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(s)))
+		out = append(out, s...)
 	}
 	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// mangleSection applies fn to one section's bytes and reseals the file,
+// so a test reaches the validation behind the length and CRC gates.
+func mangleSection(t testing.TB, data []byte, idx int, fn func([]byte) []byte) []byte {
+	t.Helper()
+	v, secs := splitSections(t, data)
+	mangled := fn(clone(secs[idx]))
+	if bytes.Equal(mangled, secs[idx]) {
+		t.Fatalf("section %d mangle was a no-op; fixture drifted", idx)
+	}
+	secs[idx] = mangled
+	return joinSections(v, secs)
+}
+
+// rebuildSection reassembles a snapshot with one section replaced.
+func rebuildSection(t *testing.T, data []byte, idx int, replacement []byte) []byte {
+	t.Helper()
+	v, secs := splitSections(t, data)
+	secs[idx] = replacement
+	return joinSections(v, secs)
 }
 
 func clone(b []byte) []byte { return append([]byte(nil), b...) }
@@ -518,19 +757,62 @@ func reseal(d []byte) []byte {
 	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
 }
 
-// fixLengths rewrites the third (payload) section length after a
-// same-structure mangle changed its byte count, then reseals the CRC.
-func fixLengths(t *testing.T, d []byte) []byte {
+// encodeSnapshotLegacy writes the all-JSON three-section wire form that
+// format versions 1 and 2 used, with the row data inline in the payload
+// section. The production encoder only ever emits the current version, so
+// the decode-compat tests synthesize old-writer bytes here.
+func encodeSnapshotLegacy(t testing.TB, snap *Snapshot, spec Spec, version uint32) []byte {
 	t.Helper()
-	pos := len(snapshotMagic) + 4
-	for i := 0; i < 2; i++ {
-		n := binary.BigEndian.Uint32(d[pos:])
-		pos += 4 + int(n)
+	header, err := json.Marshal(snapHeader{
+		Kind:   snap.Kind,
+		Method: snap.Release.Method,
+		Rows:   snap.Release.Rows,
+		AIL:    snap.Release.AIL,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	payloadLen := len(d) - 4 - (pos + 4)
-	if payloadLen < 0 {
-		t.Fatal("mangled snapshot too short to re-length")
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
 	}
-	binary.BigEndian.PutUint32(d[pos:], uint32(payloadLen))
-	return reseal(d)
+	p := &snapPayload{Schema: encodeSchema(snap.Schema)}
+	rel := snap.Release
+	switch snap.Kind {
+	case KindGeneralized:
+		p.ECs = make([]snapEC, len(rel.ECs))
+		for i := range rel.ECs {
+			ec := &rel.ECs[i]
+			p.ECs[i] = snapEC{Lo: ec.Box.Lo, Hi: ec.Box.Hi, SACounts: ec.SACounts, Size: ec.Size}
+		}
+	case KindAnatomy:
+		switch {
+		case rel.LDiverse != nil:
+			pub := rel.LDiverse
+			p.Tuples = encodeTuples(pub.Table)
+			p.Groups = make([][]int, len(pub.Groups))
+			for i := range pub.Groups {
+				p.Groups[i] = pub.Groups[i].Rows
+			}
+			p.GroupSACounts = pub.SACounts
+			p.L = pub.L
+		case rel.Baseline != nil:
+			p.Tuples = encodeTuples(rel.Baseline.Table)
+			p.P = rel.Baseline.P
+		}
+	case KindPerturbed:
+		p.Tuples = encodeTuples(rel.Perturbed)
+		m := rel.Scheme.Model
+		p.Model = &snapModel{
+			Beta:          m.Beta,
+			Variant:       m.Variant.String(),
+			BoundNegative: m.BoundNegative,
+			P:             m.P,
+		}
+	}
+	payloadJSON, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return joinSections(version, [][]byte{header, specJSON, payloadJSON})
 }

@@ -28,32 +28,54 @@ func fullDomainQuery(m int) query.Query { return query.Query{SALo: 0, SAHi: m - 
 //  4. a decoded snapshot is estimator-safe: the full-domain query runs
 //     without panicking.
 //
-// The corpus seeds with the golden fixtures plus targeted damage, so the
-// mutator starts from deep inside the format instead of random noise.
+// The corpus seeds with the golden fixtures (current format under
+// testdata/, frozen version-2 files under testdata/v2/) plus targeted
+// damage, so the mutator starts from deep inside the format instead of
+// random noise. The binary-section seeds are resealed with a valid CRC —
+// the mutator is unlikely to discover the checksum on its own, and the
+// interesting code is behind it.
 func FuzzSnapshotRoundTrip(f *testing.F) {
-	entries, err := os.ReadDir("testdata")
-	if err != nil {
-		f.Fatal(err)
-	}
-	for _, e := range entries {
-		if filepath.Ext(e.Name()) != ".snap" {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+	for _, dir := range []string{"testdata", filepath.Join("testdata", "v2")} {
+		entries, err := os.ReadDir(dir)
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(data)
-		// Seed structured damage: truncations at section boundaries and a
-		// flipped payload byte, the shapes a torn or bit-rotted file takes.
-		f.Add(data[:len(data)/2])
-		f.Add(data[:len(data)-4])
-		flipped := append([]byte(nil), data...)
-		flipped[len(flipped)/2] ^= 0x10
-		f.Add(flipped)
-		bigLen := append([]byte(nil), data...)
-		binary.BigEndian.PutUint32(bigLen[len(snapshotMagic)+4:], 0x7fffffff)
-		f.Add(bigLen)
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".snap" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+			// Seed structured damage: truncations at section boundaries and a
+			// flipped payload byte, the shapes a torn or bit-rotted file takes.
+			f.Add(data[:len(data)/2])
+			f.Add(data[:len(data)-4])
+			flipped := append([]byte(nil), data...)
+			flipped[len(flipped)/2] ^= 0x10
+			f.Add(flipped)
+			bigLen := append([]byte(nil), data...)
+			binary.BigEndian.PutUint32(bigLen[len(snapshotMagic)+4:], 0x7fffffff)
+			f.Add(bigLen)
+			// Version-3 files: damage inside the binary columnar section,
+			// resealed so the decoder reaches it past the CRC gate.
+			if v, secs := splitSections(f, data); v >= 3 && len(secs) == 4 && len(secs[3]) > 17 {
+				for _, mut := range []func([]byte) []byte{
+					func(b []byte) []byte { binary.LittleEndian.PutUint32(b[1:], 0x7ffffff0); return b }, // hostile count
+					func(b []byte) []byte { binary.LittleEndian.PutUint32(b[1:], 0xffffffff); return b }, // count overflows int32
+					func(b []byte) []byte { binary.LittleEndian.PutUint32(b[13:], 3); return b },         // column length mismatch
+					func(b []byte) []byte { b[0] |= 0x40; return b },                                     // unknown flag bit
+					func(b []byte) []byte { return b[:len(b)-5] },                                        // truncated mid column
+					func(b []byte) []byte { return append(b, 0xfe) },                                     // splice leftover
+				} {
+					mutated := mut(append([]byte(nil), secs[3]...))
+					copied := [][]byte{secs[0], secs[1], secs[2], mutated}
+					f.Add(joinSections(v, copied))
+				}
+			}
+		}
 	}
 	f.Add([]byte(snapshotMagic))
 	f.Add([]byte{})

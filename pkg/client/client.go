@@ -422,7 +422,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	apiErr := &Error{
 		StatusCode: resp.StatusCode,
 		RequestID:  resp.Header.Get(api.HeaderRequestID),
-		retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), resp.Header.Get("Date")),
 	}
 	var env api.Envelope
 	if jsonErr := json.Unmarshal(data, &env); jsonErr == nil && env.Error.Code != "" {
@@ -469,15 +469,33 @@ func (c *Client) sleep(ctx context.Context, retryAfter time.Duration, attempt in
 	}
 }
 
-// parseRetryAfter reads a Retry-After header's delay-seconds form; the
-// HTTP-date form and garbage both come back 0 (use backoff).
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds, or an HTTP-date taken relative to the response's Date
+// header (the server's clock, so a skewed client clock cannot stretch the
+// wait; time.Now() only when Date is absent or unparseable). A date
+// already in the past clamps to 0, as does garbage — both fall back to
+// the client's own backoff.
+func parseRetryAfter(v, date string) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(v))
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	at, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	now, err := http.ParseTime(date)
+	if err != nil {
+		now = time.Now()
+	}
+	if d := at.Sub(now); d > 0 {
+		return d
+	}
+	return 0
 }

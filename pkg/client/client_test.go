@@ -277,3 +277,77 @@ func TestHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParseRetryAfterForms pins both RFC 9110 Retry-After forms: plain
+// delay-seconds, and an HTTP-date interpreted relative to the response's
+// Date header (so the server's clock defines "now", not the client's).
+func TestParseRetryAfterForms(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	date := base.Format(http.TimeFormat)
+	cases := []struct {
+		name  string
+		value string
+		date  string
+		want  time.Duration
+	}{
+		{"empty", "", date, 0},
+		{"delay seconds", "7", date, 7 * time.Second},
+		{"delay seconds padded", "  30 ", date, 30 * time.Second},
+		{"negative delay clamps", "-5", date, 0},
+		{"garbage", "soon", date, 0},
+		{"http date ahead", base.Add(90 * time.Second).Format(http.TimeFormat), date, 90 * time.Second},
+		{"http date in the past clamps", base.Add(-time.Hour).Format(http.TimeFormat), date, 0},
+		{"http date equal to Date clamps", date, date, 0},
+		{"rfc850 date form", base.Add(2 * time.Minute).Format("Monday, 02-Jan-06 15:04:05 MST"), date, 2 * time.Minute},
+		{"asctime date form", base.Add(time.Minute).Format(time.ANSIC), date, time.Minute},
+		{"unparseable date ignored", "Fri, 99 Zed 2026 12:00:00 GMT", date, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.value, tc.date); got != tc.want {
+				t.Fatalf("parseRetryAfter(%q, %q) = %v, want %v", tc.value, tc.date, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseRetryAfterWithoutDate: an HTTP-date with no usable Date header
+// falls back to the local clock — a date a minute out must land within
+// the clamp-adjusted (0, minute] window rather than at a fixed value.
+func TestParseRetryAfterWithoutDate(t *testing.T) {
+	at := time.Now().Add(time.Minute).UTC().Format(http.TimeFormat)
+	for _, date := range []string{"", "not a date"} {
+		got := parseRetryAfter(at, date)
+		if got <= 0 || got > time.Minute {
+			t.Fatalf("parseRetryAfter(%q, %q) = %v, want within (0, 1m]", at, date, got)
+		}
+	}
+	if got := parseRetryAfter(time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), ""); got != 0 {
+		t.Fatalf("past date against local clock = %v, want 0", got)
+	}
+}
+
+// TestRetryAfterHTTPDateHonored drives the date form end to end: the
+// 503's Retry-After names a moment one millisecond past the response's
+// own Date, so the retry happens promptly and succeeds.
+func TestRetryAfterHTTPDateHonored(t *testing.T) {
+	var n atomic.Int64
+	f, c := newFake(t, func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			now := time.Now().UTC()
+			w.Header().Set("Date", now.Format(http.TimeFormat))
+			w.Header().Set("Retry-After", now.Add(time.Second).Format(http.TimeFormat))
+			writeEnvelope(w, http.StatusServiceUnavailable, api.CodeNotReady, "building", nil)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(api.QueryResponse{ReleaseID: "r-000001", Estimate: 7})
+	})
+	res, err := c.Query(context.Background(), "r-000001", api.Query{SALo: 0, SAHi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 7 || f.calls.Load() != 2 {
+		t.Fatalf("estimate %v after %d calls", res.Estimate, f.calls.Load())
+	}
+}
