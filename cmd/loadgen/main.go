@@ -26,7 +26,12 @@
 //	        [-rows 20000] [-beta 4] [-qi 3] [-seed 1]
 //	        [-queries 10000] [-batch 64] [-concurrency 8] [-single]
 //	        [-lambda 2] [-theta 0.05] [-distinct 1024] [-zipf-s 1.2]
-//	        [-agg count,sum,groupby] [-json report.json]
+//	        [-agg count,sum,groupby] [-slowest 5] [-json report.json]
+//
+// Every response's X-Request-Id is tracked, and the -slowest N requests
+// per endpoint are reported with their IDs — each pastes straight into
+// cmd/tracecat (or GET /v1/debug/traces/{id}) to see where the time
+// went, server-side, span by span.
 //
 // -addr accepts a comma-separated endpoint list; workers are assigned
 // round-robin across the endpoints and throughput is reported both in
@@ -46,10 +51,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -113,6 +120,7 @@ func main() {
 	distinct := flag.Int("distinct", 1024, "distinct queries in the replay pool")
 	zipfS := flag.Float64("zipf-s", 1.2, "Zipf exponent of query repetition (≤ 1: uniform)")
 	aggMix := flag.String("agg", "count", "comma-separated aggregate mix cycled through the query pool: count, sum, avg, min, max, groupby")
+	slowest := flag.Int("slowest", 5, "request IDs of the N slowest requests remembered per endpoint (0 = disabled)")
 	jsonOut := flag.String("json", "", "also write a machine-readable JSON report to this file")
 	flag.Parse()
 	if *distinct < 1 || *batch < 1 || *concurrency < 1 || *queries < 1 {
@@ -192,6 +200,7 @@ func main() {
 		failed   atomic.Int64
 		maxNanos atomic.Int64
 		lat      obs.Histogram
+		slow     slowTracker // slowest requests, by server request ID
 	}
 	var (
 		issued    atomic.Int64 // queries claimed by workers
@@ -233,10 +242,11 @@ func main() {
 					qs[i] = pick()
 				}
 				t0 := time.Now()
-				h, err := post(ctx, c, id, qs, *single)
+				h, reqID, err := post(ctx, c, id, qs, *single)
 				rtt := time.Since(t0)
 				st.latNanos.Add(int64(rtt))
 				st.lat.Observe(rtt)
+				st.slow.note(reqID, rtt, *slowest)
 				for {
 					prev := st.maxNanos.Load()
 					if int64(rtt) <= prev || st.maxNanos.CompareAndSwap(prev, int64(rtt)) {
@@ -290,6 +300,13 @@ func main() {
 				a+":", float64(n)/elapsed.Seconds(), n, st.failed.Load(), latLine(&st.lat, st.maxNanos.Load()))
 		}
 	}
+	if *slowest > 0 {
+		for i, a := range endpoints {
+			for _, sr := range stats[i].slow.list() {
+				fmt.Printf("slowest %-32s %8.1fms  %s\n", a+":", sr.Millis, sr.RequestID)
+			}
+		}
+	}
 	if *jsonOut != "" {
 		rep := report{
 			Benchmark: "loadgen",
@@ -312,6 +329,7 @@ func main() {
 				Requests: st.requests.Load(),
 				QPS:      float64(st.done.Load()) / elapsed.Seconds(),
 				Latency:  latReport(&st.lat, st.requests.Load(), st.latNanos.Load(), st.maxNanos.Load()),
+				Slowest:  st.slow.list(),
 			})
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -379,6 +397,10 @@ type latencyReport struct {
 	Max  float64 `json:"max"`
 }
 
+// endpointReport carries one endpoint's share of the run. Slowest lists
+// the N slowest requests by server request ID, slowest first — each ID
+// pastes straight into `tracecat` or GET /v1/debug/traces/{id} (slow
+// traces above the server's threshold are always retained).
 type endpointReport struct {
 	Addr     string        `json:"addr"`
 	Queries  int64         `json:"queries"`
@@ -386,6 +408,7 @@ type endpointReport struct {
 	Requests int64         `json:"requests"`
 	QPS      float64       `json:"qps"`
 	Latency  latencyReport `json:"latency_ms"`
+	Slowest  []slowRequest `json:"slowest,omitempty"`
 }
 
 func latReport(h *obs.Histogram, requests, latNanos, maxNanos int64) latencyReport {
@@ -434,21 +457,74 @@ func uploadRelease(ctx context.Context, c *client.Client, rows int, beta float64
 }
 
 // post issues one request — a batch, or a single query when single is
-// set — and returns the reported cache-hit count.
-func post(ctx context.Context, c *client.Client, id string, qs []api.Query, single bool) (int, error) {
+// set — and returns the reported cache-hit count plus the server's
+// request ID (also recoverable from a failed request's error envelope:
+// a failure is exactly the request worth tracing).
+func post(ctx context.Context, c *client.Client, id string, qs []api.Query, single bool) (int, string, error) {
 	if single {
 		res, err := c.Query(ctx, id, qs[0])
 		if err != nil {
-			return 0, err
+			return 0, errRequestID(err), err
 		}
+		hits := 0
 		if res.Cached {
-			return 1, nil
+			hits = 1
 		}
-		return 0, nil
+		return hits, res.RequestID, nil
 	}
 	br, err := c.QueryBatch(ctx, id, qs)
 	if err != nil {
-		return 0, err
+		return 0, errRequestID(err), err
 	}
-	return br.CacheHits, nil
+	return br.CacheHits, br.RequestID, nil
+}
+
+// errRequestID extracts the request ID a failed call's error envelope
+// carries, "" for transport-level failures.
+func errRequestID(err error) string {
+	var ae *client.Error
+	if errors.As(err, &ae) {
+		return ae.RequestID
+	}
+	return ""
+}
+
+// slowRequest is one remembered slow request: its server-minted ID —
+// ready for `tracecat` or GET /v1/debug/traces/{id} — and its
+// client-observed round-trip.
+type slowRequest struct {
+	RequestID string  `json:"request_id"`
+	Millis    float64 `json:"ms"`
+}
+
+// slowTracker remembers the slowest N requests seen, by round-trip time.
+type slowTracker struct {
+	mu   sync.Mutex
+	reqs []slowRequest
+}
+
+// note records one finished request; IDs the server never minted (e.g.
+// connection refused) are skipped.
+func (t *slowTracker) note(requestID string, rtt time.Duration, n int) {
+	if requestID == "" || n <= 0 {
+		return
+	}
+	ms := float64(rtt) / 1e6
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.reqs) >= n && ms <= t.reqs[len(t.reqs)-1].Millis {
+		return
+	}
+	t.reqs = append(t.reqs, slowRequest{RequestID: requestID, Millis: ms})
+	sort.Slice(t.reqs, func(i, j int) bool { return t.reqs[i].Millis > t.reqs[j].Millis })
+	if len(t.reqs) > n {
+		t.reqs = t.reqs[:n]
+	}
+}
+
+// list returns the remembered requests, slowest first.
+func (t *slowTracker) list() []slowRequest {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]slowRequest(nil), t.reqs...)
 }

@@ -23,18 +23,28 @@
 //	      [-query-workers N] [-cache-capacity N] [-max-batch N]
 //	      [-node-id n1] [-cluster-token TOK]
 //	      [-log-level info] [-slow-query-ms 0]
+//	      [-trace-capacity N] [-trace-sample N] [-trace-slow-ms MS]
 //
 // Gateway usage:
 //
 //	serve -gateway -nodes n1=http://h1:8080,n2=http://h2:8080,... \
 //	      [-addr :8090] [-replication 2] [-cluster-token TOK] \
 //	      [-probe-interval 2s] [-reconcile-interval 15s] \
-//	      [-log-level info] [-slow-query-ms 0]
+//	      [-log-level info] [-slow-query-ms 0] \
+//	      [-trace-capacity N] [-trace-sample N] [-trace-slow-ms MS]
 //
 // Both roles emit structured JSON logs (log/slog) on stderr at
 // -log-level, echo an X-Request-Id header on every response, and — with
 // -slow-query-ms > 0 — log the full per-stage span breakdown of any
 // request slower than the threshold, keyed by that request ID.
+//
+// Both roles also retain finished traces in a bounded in-memory ring
+// (tail-sampled: errors and slow requests always, normal traffic 1 in
+// -trace-sample), served back on GET /v1/debug/traces/{id} — against a
+// gateway, assembled cluster-wide from every node that touched the
+// request. cmd/tracecat pretty-prints them; a gateway additionally
+// serves the rolling per-process load overview on
+// GET /v1/cluster/overview.
 package main
 
 import (
@@ -53,6 +63,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/tracestore"
 	"repro/internal/release"
 	"repro/internal/server"
 )
@@ -75,6 +86,9 @@ func main() {
 	reconcileInterval := flag.Duration("reconcile-interval", 15*time.Second, "gateway mode: replication reconcile cadence")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	slowQueryMS := flag.Int64("slow-query-ms", 0, "log the full span breakdown of any request slower than this (0 = disabled)")
+	traceCapacity := flag.Int("trace-capacity", 0, "retained traces kept in memory (0 = default)")
+	traceSample := flag.Int("trace-sample", 0, "keep 1 in N normal traces; error and slow traces are always kept (0 = default)")
+	traceSlowMS := flag.Int64("trace-slow-ms", 0, "always retain traces slower than this (0 = follow -slow-query-ms, else default)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -85,9 +99,14 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, level)
 	slog.SetDefault(logger)
 	slowQuery := time.Duration(*slowQueryMS) * time.Millisecond
+	traceOpts := tracestore.Options{
+		Capacity:      *traceCapacity,
+		SampleEvery:   *traceSample,
+		SlowThreshold: time.Duration(*traceSlowMS) * time.Millisecond,
+	}
 
 	if *gateway {
-		runGateway(*addr, *nodes, *replication, *clusterToken, *probeInterval, *reconcileInterval, logger, slowQuery)
+		runGateway(*addr, *nodes, *replication, *clusterToken, *probeInterval, *reconcileInterval, logger, slowQuery, traceOpts)
 		return
 	}
 
@@ -111,6 +130,7 @@ func main() {
 		ClusterToken: *clusterToken,
 		Logger:       logger,
 		SlowQuery:    slowQuery,
+		Trace:        traceOpts,
 		EvalWorkers:  *evalWorkers,
 		Engine: engine.Options{
 			Workers:       *queryWorkers,
@@ -181,7 +201,7 @@ func parseNodes(spec string) ([]cluster.Node, error) {
 }
 
 // runGateway serves the cluster gateway until interrupted.
-func runGateway(addr, nodesSpec string, replication int, token string, probe, reconcile time.Duration, logger *slog.Logger, slowQuery time.Duration) {
+func runGateway(addr, nodesSpec string, replication int, token string, probe, reconcile time.Duration, logger *slog.Logger, slowQuery time.Duration, traceOpts tracestore.Options) {
 	members, err := parseNodes(nodesSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
@@ -195,6 +215,7 @@ func runGateway(addr, nodesSpec string, replication int, token string, probe, re
 		ReconcileInterval: reconcile,
 		Logger:            logger,
 		SlowQuery:         slowQuery,
+		Trace:             traceOpts,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)

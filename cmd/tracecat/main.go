@@ -1,0 +1,107 @@
+// Command tracecat fetches one retained trace by request ID and renders
+// it as an indented span tree: every line is one span, offset and
+// duration in microseconds, nested under the enclosing span by time
+// containment. Point it at a gateway and a request that failed over
+// mid-flight shows the gateway's per-attempt sub-batch spans and the
+// node-local spans of both replicas in one tree.
+//
+// Usage:
+//
+//	tracecat [-addr http://localhost:8080] [-json] REQUEST_ID
+//
+// The request ID is the X-Request-Id response header every route echoes;
+// cmd/loadgen's JSON report lists the IDs of the slowest requests per
+// endpoint, ready to paste here. Retention is tail-sampled and bounded,
+// so a normal fast request may answer 404 — errors and slow requests
+// are always kept (within ring capacity).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "node or gateway base URL")
+	asJSON := flag.Bool("json", false, "print the raw trace document instead of the tree")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecat [-addr URL] [-json] REQUEST_ID")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	id := flag.Arg(0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	tr, err := client.New(*addr).GetTrace(ctx, id)
+	if err != nil {
+		if client.IsNotFound(err) {
+			fmt.Fprintf(os.Stderr, "tracecat: %v\n(retention is sampled and bounded: only error, slow, and 1-in-N normal traces are kept)\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
+		}
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tr)
+		return
+	}
+	render(os.Stdout, tr)
+}
+
+// render prints the trace header and the span tree.
+func render(w *os.File, tr api.TraceResponse) {
+	fmt.Fprintf(w, "trace %s  %s  status=%d", tr.RequestID, tr.Route, tr.Status)
+	if tr.ErrorCode != "" {
+		fmt.Fprintf(w, " error=%s", tr.ErrorCode)
+	}
+	if tr.Retained != "" {
+		fmt.Fprintf(w, " retained=%s", tr.Retained)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "start %s  total %s  origins %s\n",
+		tr.StartedAt.Format(time.RFC3339Nano),
+		time.Duration(tr.DurationMicros)*time.Microsecond,
+		strings.Join(tr.Origins, ","))
+	if tr.ReleaseID != "" {
+		fmt.Fprintf(w, "release %s\n", tr.ReleaseID)
+	}
+	if tr.DroppedSpans > 0 {
+		fmt.Fprintf(w, "(%d spans dropped by the per-trace cap)\n", tr.DroppedSpans)
+	}
+	fmt.Fprintln(w)
+
+	// Spans arrive offset-ordered with longer spans first on ties, so a
+	// containment stack turns the flat list into indentation: a span
+	// nests under the nearest open span that fully covers it in time.
+	type open struct{ end int64 }
+	var stack []open
+	for _, sp := range tr.Spans {
+		for len(stack) > 0 && sp.OffsetMicros >= stack[len(stack)-1].end {
+			stack = stack[:len(stack)-1]
+		}
+		indent := strings.Repeat("  ", len(stack))
+		node := ""
+		if sp.Node != "" {
+			node = " node=" + sp.Node
+		}
+		fmt.Fprintf(w, "%8dus %s%s%s  %s  [%s]\n",
+			sp.OffsetMicros, indent, sp.Stage, node,
+			time.Duration(sp.Micros)*time.Microsecond, sp.Origin)
+		stack = append(stack, open{end: sp.OffsetMicros + sp.Micros})
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracestore"
 	"repro/pkg/api"
 )
 
@@ -47,6 +49,14 @@ type Options struct {
 	// duration reaches it logs its full span breakdown (including per-node
 	// sub-batch spans) at Warn, keyed by the edge request ID. ≤ 0 disables.
 	SlowQuery time.Duration
+	// Trace configures the gateway's retained-trace ring. The zero value
+	// selects the tracestore defaults, except SlowThreshold, which
+	// inherits SlowQuery when unset so the slow-log and trace retention
+	// agree on what "slow" means.
+	Trace tracestore.Options
+	// LoadSampleInterval is the cadence of the rolling load overview's
+	// self-sampling; 0 selects 1s, < 0 disables the sampler.
+	LoadSampleInterval time.Duration
 }
 
 // Gateway is the cluster's HTTP front end: it serves the same pkg/api
@@ -65,6 +75,11 @@ type Gateway struct {
 	maxBatchBody int64
 	logger       *slog.Logger
 	slow         obs.SlowQueryLogger
+
+	traces   *tracestore.Store
+	loads    *obs.LoadRing
+	sampler  *obs.LoadSampler
+	inflight atomic.Int64
 }
 
 // New starts a gateway: the health prober and the replication loop begin
@@ -107,6 +122,14 @@ func New(opts Options) (*Gateway, error) {
 	}
 	g.slow = obs.SlowQueryLogger{Logger: g.logger, Threshold: opts.SlowQuery}
 	g.maxBatchBody = min(8<<20, g.maxBody)
+	if opts.Trace.SlowThreshold == 0 && opts.SlowQuery > 0 {
+		opts.Trace.SlowThreshold = opts.SlowQuery
+	}
+	g.traces = tracestore.New(opts.Trace)
+	if opts.LoadSampleInterval >= 0 {
+		g.loads = obs.NewLoadRing(0)
+		g.sampler = obs.StartLoadSampler(g.loads, opts.LoadSampleInterval, g.loadSample())
+	}
 	reconcile := opts.ReconcileInterval
 	if reconcile <= 0 {
 		reconcile = 15 * time.Second
@@ -122,13 +145,16 @@ func New(opts Options) (*Gateway, error) {
 	g.mux.HandleFunc("POST /v1/releases/{action}", g.instrument("release_action", g.handleReleaseAction))
 	g.mux.HandleFunc("GET /v1/releases/{id}/evaluation", g.instrument("get_evaluation", g.handleGetEvaluation))
 	g.mux.HandleFunc("POST /v1/query:batch", g.instrument("batch_query", g.handleBatchQuery))
+	g.mux.HandleFunc("GET /v1/debug/traces/{id}", g.instrument("debug_trace", g.handleTraceDebug))
+	g.mux.HandleFunc("GET /v1/cluster/overview", g.instrument("cluster_overview", g.handleOverview))
 	g.mux.Handle("/debug/pprof/", obs.PprofHandler(opts.Token))
 	return g, nil
 }
 
-// Close stops the prober and the replicator. In-flight proxied requests
-// are not interrupted.
+// Close stops the load sampler, the prober, and the replicator.
+// In-flight proxied requests are not interrupted.
 func (g *Gateway) Close() {
+	g.sampler.Close()
 	g.repl.close()
 	g.mem.close()
 }
@@ -148,17 +174,22 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // slow-query log.
 func (g *Gateway) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
 		id, _ := obs.RequestIDFromHeaders(r.Header)
 		tr := obs.NewTrace(id)
+		// The route span anchors at the trace's own start so assembled
+		// documents never show it at a negative offset.
+		start := tr.Start()
 		w.Header().Set(obs.HeaderRequestID, id)
 		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		g.inflight.Add(1)
 		h(rec, r)
+		g.inflight.Add(-1)
 		total := time.Since(start)
 		tr.AddSpan("gateway."+route, "", start, total)
-		g.metrics.Observe(route, rec.code, total)
+		g.metrics.Observe(route, rec.code, total, id)
 		g.slow.Observe(route, rec.code, total, tr)
+		g.traces.Commit(tr, route, rec.code, rec.errCode, total)
 		g.logger.Debug("request",
 			"request_id", id,
 			"route", route,
@@ -234,6 +265,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, code string, err error, details map[string]any) {
+	if rec, ok := w.(interface{ setErrorCode(string) }); ok {
+		rec.setErrorCode(code)
+	}
 	writeJSON(w, status, api.Envelope{Error: api.Error{Code: code, Message: err.Error(), Details: details}})
 }
 
@@ -342,7 +376,16 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write(g.metrics.render(g.mem, g.rfactor))
+	_, _ = w.Write(g.metrics.render(g.mem, g.rfactor, g.extraGauges))
+}
+
+// extraGauges renders the gateway's inflight and trace-store gauges into
+// the exposition.
+func (g *Gateway) extraGauges(buf *bytes.Buffer) {
+	fmt.Fprintln(buf, "# HELP repro_gateway_http_inflight_requests Requests currently being served (includes this scrape).")
+	fmt.Fprintln(buf, "# TYPE repro_gateway_http_inflight_requests gauge")
+	fmt.Fprintf(buf, "repro_gateway_http_inflight_requests %d\n", g.inflight.Load())
+	tracestore.WriteGauges(buf, "repro_gateway_", g.traces.Stats())
 }
 
 func (g *Gateway) handleStatus(w http.ResponseWriter, _ *http.Request) {
@@ -632,7 +675,14 @@ func (g *Gateway) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	endMerge := tr.StartSpan("gateway.merge")
 	mergeStart := time.Now()
 	defer func() { g.metrics.observeStage("gateway.merge", time.Since(mergeStart)); endMerge() }()
-	out := api.BatchQueryResponse{ReleaseID: req.ReleaseID, Results: make([]api.QueryResult, len(req.Queries))}
+	// The merged answer is gateway-built, so the edge request ID must be
+	// restated here — sub-batch responses carry it, but they are not
+	// relayed verbatim.
+	out := api.BatchQueryResponse{
+		RequestID: tr.RequestID,
+		ReleaseID: req.ReleaseID,
+		Results:   make([]api.QueryResult, len(req.Queries)),
+	}
 	for ci, oc := range outcomes {
 		if oc.bad != nil {
 			g.relay(w, oc.bad)

@@ -64,6 +64,11 @@ type testNode struct {
 	// with the slow-query log catching every request.
 	logBuf *syncBuffer
 
+	// srvOpts, when set, adjusts the node's server options after the
+	// harness defaults (cluster token, logging) are applied — e.g. trace
+	// retention or load-sampling cadences a test needs pinned.
+	srvOpts func(*server.Options)
+
 	store *release.Store
 	srv   *server.Server
 	hs    *http.Server
@@ -93,6 +98,9 @@ func (n *testNode) start(t *testing.T) {
 	if n.logBuf != nil {
 		opts.Logger = obs.NewLogger(n.logBuf, slog.LevelDebug)
 		opts.SlowQuery = time.Nanosecond
+	}
+	if n.srvOpts != nil {
+		n.srvOpts(&opts)
 	}
 	srv, err := server.New(store, opts)
 	if err != nil {

@@ -19,6 +19,7 @@ type Metrics struct {
 	counts map[routeCode]uint64
 	start  time.Time
 
+	totalReqs    uint64 // all requests, the load sampler's QPS numerator
 	failovers    uint64 // requests re-dispatched after a node failure
 	subBatches   uint64 // sub-batches fanned out by scatter/gather
 	replOK       uint64 // snapshot replications completed
@@ -47,12 +48,33 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// Observe records one completed gateway request.
-func (m *Metrics) Observe(route string, code int, d time.Duration) {
+// Observe records one completed gateway request; requestID becomes the
+// latency histogram's exemplar.
+func (m *Metrics) Observe(route string, code int, d time.Duration, requestID string) {
 	m.mu.Lock()
 	m.counts[routeCode{route, code}]++
+	m.totalReqs++
 	m.mu.Unlock()
-	m.lat.Observe(route, d)
+	m.lat.ObserveExemplar(route, d, requestID)
+}
+
+// totalRequests returns the all-routes request count, the load sampler's
+// QPS numerator.
+func (m *Metrics) totalRequests() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalReqs
+}
+
+// OverallQuantiles estimates the p50/p95/p99 request latency across all
+// routes, in seconds, by merging the per-route histograms into a
+// scratch one — cheap enough for the 1 Hz load sampler.
+func (m *Metrics) OverallQuantiles() (p50, p95, p99 float64) {
+	var all obs.Histogram
+	for _, route := range m.lat.Labels() {
+		all.Merge(m.lat.Get(route))
+	}
+	return all.Quantile(0.50), all.Quantile(0.95), all.Quantile(0.99)
 }
 
 // observeStage records one gateway-internal stage latency.
@@ -79,8 +101,9 @@ func (m *Metrics) addReplication(bytes int, err error) {
 }
 
 // render writes the exposition, including per-node liveness gauges read
-// live from the membership.
-func (m *Metrics) render(mem *Membership, r int) []byte {
+// live from the membership; extra, when non-nil, appends caller-owned
+// gauges (inflight, trace store).
+func (m *Metrics) render(mem *Membership, r int, extra func(*bytes.Buffer)) []byte {
 	var buf bytes.Buffer
 	m.mu.Lock()
 	keys := make([]routeCode, 0, len(m.counts))
@@ -138,6 +161,9 @@ func (m *Metrics) render(mem *Membership, r int) []byte {
 	for _, st := range mem.nodes {
 		fmt.Fprintf(&buf, "repro_gateway_node_inflight{node=%q} %d\n", st.node.ID, st.inflight.Load())
 	}
+	if extra != nil {
+		extra(&buf)
+	}
 	obs.WriteRuntimeMetrics(&buf, "repro_gateway_")
 	fmt.Fprintln(&buf, "# HELP repro_gateway_uptime_seconds Seconds since the gateway started.")
 	fmt.Fprintln(&buf, "# TYPE repro_gateway_uptime_seconds gauge")
@@ -145,13 +171,19 @@ func (m *Metrics) render(mem *Membership, r int) []byte {
 	return buf.Bytes()
 }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics and the api
+// error code for the retained trace.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code    int
+	errCode string
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// setErrorCode is the writeErr hook: the api error code of the response,
+// recorded onto the retained trace.
+func (r *statusRecorder) setErrorCode(code string) { r.errCode = code }

@@ -1,0 +1,174 @@
+package cluster
+
+// The gateway's trace-plane read side: GET /v1/debug/traces/{id}
+// assembles one cross-node trace document from the gateway's own
+// retained spans plus the spans fetched from every node's Bearer-gated
+// internal trace endpoint, and GET /v1/cluster/overview aggregates each
+// process's rolling load series into one cluster picture.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/tracestore"
+	"repro/pkg/api"
+)
+
+// debugFetchTimeout bounds each per-node fetch on the debug paths. The
+// debug sweep deliberately ignores the circuit breaker — a node whose
+// breaker is open may hold the only copy of a failed attempt's spans, and
+// that failure is exactly what the caller is debugging — so a hard
+// per-node deadline keeps a truly dead member from stalling the page.
+const debugFetchTimeout = 2 * time.Second
+
+// internalGet performs one authenticated GET against a node's internal
+// API, without touching the circuit breaker: debug reads must neither
+// respect it (see debugFetchTimeout) nor open it (a failed trace fetch
+// says nothing about the node's ability to serve queries).
+func (g *Gateway) internalGet(ctx context.Context, st *nodeState, path string, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, debugFetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, st.node.URL+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+g.token)
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s%s: %d: %s", st.node.ID, path, resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// handleTraceDebug assembles one cross-node trace: the gateway's own
+// retained part first, then whatever each node still holds under the
+// same edge request ID, merged into a single offset-ordered span tree.
+// A request that failed over mid-flight shows both replicas' attempts in
+// the one document. 404 only when no process retained anything.
+func (g *Gateway) handleTraceDebug(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var parts []api.TraceResponse
+	if t, ok := g.traces.Get(id); ok {
+		parts = append(parts, tracestore.ToAPI(t, "gateway"))
+	}
+	if g.token != "" {
+		var (
+			mu sync.Mutex
+			wg sync.WaitGroup
+		)
+		for _, st := range g.mem.nodes {
+			wg.Add(1)
+			go func(st *nodeState) {
+				defer wg.Done()
+				var part api.TraceResponse
+				if err := g.internalGet(r.Context(), st, "/v1/internal/traces/"+id, &part); err != nil {
+					return // sampled out there, or unreachable: merge what exists
+				}
+				mu.Lock()
+				parts = append(parts, part)
+				mu.Unlock()
+			}(st)
+		}
+		wg.Wait()
+	}
+	if len(parts) == 0 {
+		writeErr(w, http.StatusNotFound, api.CodeNotFound,
+			fmt.Errorf("no retained trace %q on any cluster member (sampled out, evicted, or never seen)", id), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, tracestore.MergeParts(id, parts))
+}
+
+// handleOverview aggregates the rolling load series: the gateway's own
+// ring plus each node's, fetched via the Bearer-gated internal load
+// endpoint. A node that cannot answer still appears, with its breaker
+// state and the fetch error in place of samples.
+func (g *Gateway) handleOverview(w http.ResponseWriter, r *http.Request) {
+	out := api.ClusterOverviewResponse{
+		Replication: g.rfactor,
+		Gateway:     loadSeriesAPI("gateway", g.loads),
+		Nodes:       make([]api.OverviewNode, len(g.mem.nodes)),
+	}
+	var wg sync.WaitGroup
+	for i, st := range g.mem.nodes {
+		out.Nodes[i] = api.OverviewNode{ID: st.node.ID, URL: st.node.URL, Alive: st.alive.Load()}
+		if g.token == "" {
+			out.Nodes[i].Error = "no cluster token configured; node load is not readable"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, st *nodeState) {
+			defer wg.Done()
+			var series api.LoadSeries
+			if err := g.internalGet(r.Context(), st, "/v1/internal/load", &series); err != nil {
+				out.Nodes[i].Error = err.Error()
+				return
+			}
+			out.Nodes[i].Load = &series
+		}(i, st)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// loadSample builds the gateway's self-observation closure for the load
+// sampler: edge throughput since the last tick, lifetime latency
+// quantiles, inflight requests, and heap pressure. QueueDepth stays 0 —
+// the gateway has no estimation queue.
+func (g *Gateway) loadSample() func(elapsed time.Duration) obs.LoadSample {
+	var lastReqs uint64
+	return func(elapsed time.Duration) obs.LoadSample {
+		reqs := g.metrics.totalRequests()
+		qps := 0.0
+		if secs := elapsed.Seconds(); secs > 0 {
+			qps = float64(reqs-lastReqs) / secs
+		}
+		lastReqs = reqs
+		p50, p95, p99 := g.metrics.OverallQuantiles()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return obs.LoadSample{
+			At:         time.Now(),
+			QPS:        qps,
+			P50:        p50,
+			P95:        p95,
+			P99:        p99,
+			Inflight:   g.inflight.Load(),
+			HeapBytes:  ms.HeapAlloc,
+			Goroutines: runtime.NumGoroutine(),
+		}
+	}
+}
+
+// loadSeriesAPI converts a load ring to its wire form. (The node server
+// carries its own copy; internal/cluster does not import it.)
+func loadSeriesAPI(origin string, ring *obs.LoadRing) api.LoadSeries {
+	samples := ring.Samples()
+	out := api.LoadSeries{Origin: origin, Samples: make([]api.LoadSample, len(samples))}
+	for i, s := range samples {
+		out.Samples[i] = api.LoadSample{
+			UnixMillis: s.At.UnixMilli(),
+			QPS:        s.QPS,
+			P50Millis:  s.P50 * 1000,
+			P95Millis:  s.P95 * 1000,
+			P99Millis:  s.P99 * 1000,
+			Inflight:   s.Inflight,
+			QueueDepth: s.QueueDepth,
+			HeapBytes:  s.HeapBytes,
+			Goroutines: s.Goroutines,
+		}
+	}
+	return out
+}

@@ -162,6 +162,7 @@ type job struct {
 	wg       *sync.WaitGroup
 	enqueued time.Time
 	wait     *time.Duration // written by the worker: time spent queued
+	rid      string         // request ID, exemplar for the stage histograms
 }
 
 // New starts an engine with the given options.
@@ -228,12 +229,12 @@ func (e *Engine) worker() {
 	for j := range e.jobs {
 		start := time.Now()
 		wait := start.Sub(j.enqueued)
-		e.hQueueWait.Observe(wait)
+		e.hQueueWait.ObserveExemplar(wait, j.rid)
 		if j.wait != nil {
 			*j.wait = wait
 		}
 		*j.out, *j.err = j.snap.EstimateUnchecked(j.q, sc)
-		e.hEstimate.Observe(time.Since(start))
+		e.hEstimate.ObserveExemplar(time.Since(start), j.rid)
 		j.wg.Done()
 	}
 }
@@ -244,6 +245,10 @@ func (e *Engine) Stages() *obs.LabeledHistograms { return e.stages }
 
 // MaxBatch returns the configured per-call batch cap.
 func (e *Engine) MaxBatch() int { return e.maxBatch }
+
+// QueueDepth reports the estimation jobs waiting for a worker right now
+// — the saturation gauge the load overview samples.
+func (e *Engine) QueueDepth() int { return len(e.jobs) }
 
 // Stats returns a point-in-time snapshot of the counters.
 func (e *Engine) Stats() Stats {
@@ -291,6 +296,7 @@ func (e *Engine) ExecuteCtx(ctx context.Context, releaseID string, snap *release
 
 	tr := obs.TraceFrom(ctx)
 	tr.SetRelease(releaseID)
+	rid := obs.RequestIDFrom(ctx)
 
 	for i := range qs {
 		if err := snap.ValidateQuery(qs[i]); err != nil {
@@ -378,9 +384,9 @@ func (e *Engine) ExecuteCtx(ctx context.Context, releaseID string, snap *release
 	// The cache path splits by outcome: a batch fully answered from cache
 	// records its lookup-loop latency as a hit, anything else as a miss.
 	if len(misses) == 0 {
-		e.hCacheHit.Observe(time.Since(lookupStart))
+		e.hCacheHit.ObserveExemplar(time.Since(lookupStart), rid)
 	} else {
-		e.hCacheMiss.Observe(time.Since(lookupStart))
+		e.hCacheMiss.ObserveExemplar(time.Since(lookupStart), rid)
 	}
 
 	endEstimate := tr.StartSpan("engine.estimate")
@@ -390,13 +396,13 @@ func (e *Engine) ExecuteCtx(ctx context.Context, releaseID string, snap *release
 		m := misses[0]
 		start := time.Now()
 		m.est, m.err = snap.EstimateUnchecked(units[m.first], nil)
-		e.hEstimate.Observe(time.Since(start))
+		e.hEstimate.ObserveExemplar(time.Since(start), rid)
 	default:
 		var wg sync.WaitGroup
 		wg.Add(len(misses))
 		fanStart := time.Now()
 		for _, m := range misses {
-			e.jobs <- job{snap: snap, q: units[m.first], out: &m.est, err: &m.err, wg: &wg, enqueued: time.Now(), wait: &m.wait}
+			e.jobs <- job{snap: snap, q: units[m.first], out: &m.est, err: &m.err, wg: &wg, enqueued: time.Now(), wait: &m.wait, rid: rid}
 		}
 		wg.Wait()
 		if tr != nil {

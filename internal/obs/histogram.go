@@ -37,6 +37,15 @@ var bucketLabels = func() [numBuckets]string {
 	return l
 }()
 
+// Exemplar links one histogram bucket to a concrete request: the most
+// recent request ID whose observation landed in the bucket, plus that
+// observation's value in seconds. Rendered OpenMetrics-style on bucket
+// lines so a fat p99 bucket points at a retrievable trace.
+type Exemplar struct {
+	RequestID string
+	Value     float64 // the exemplar observation, seconds
+}
+
 // Histogram is a fixed-layout, lock-free latency histogram: Observe is a
 // bucket-index computation plus three atomic adds, cheap enough for
 // per-query hot paths. The zero value is ready to use.
@@ -45,6 +54,11 @@ type Histogram struct {
 	overflow atomic.Uint64 // observations above the last finite bound
 	sumNanos atomic.Int64
 	count    atomic.Uint64
+
+	// exemplars[i] remembers the last exemplar observed into bucket i;
+	// the extra slot is the +Inf (overflow) bucket. Last-writer-wins via
+	// an atomic pointer swap keeps ObserveExemplar lock-free.
+	exemplars [numBuckets + 1]atomic.Pointer[Exemplar]
 }
 
 // bucketIndex maps a duration to the first bucket whose bound holds it,
@@ -81,10 +95,41 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.count.Add(1)
 }
 
+// ObserveExemplar is Observe plus an exemplar: the bucket the duration
+// lands in remembers requestID as its most recent linked request. An
+// empty requestID degrades to plain Observe.
+func (h *Histogram) ObserveExemplar(d time.Duration, requestID string) {
+	if d < 0 {
+		d = 0
+	}
+	i := bucketIndex(d)
+	if i < numBuckets {
+		h.counts[i].Add(1)
+	} else {
+		h.overflow.Add(1)
+	}
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+	if requestID != "" {
+		h.exemplars[i].Store(&Exemplar{RequestID: requestID, Value: d.Seconds()})
+	}
+}
+
+// BucketExemplar returns bucket i's exemplar (i == numBuckets is +Inf);
+// nil when the bucket has never seen an exemplar-carrying observation.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i > numBuckets {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
 // Merge folds other's observations into h. Buckets are layout-identical
 // across all Histograms, so the merge is a per-bucket add. Not atomic as
 // a set: concurrent Observe calls on either side may be partially
 // reflected, which is fine for the aggregation-after-run use it serves.
+// Exemplars present in other win over h's (the merge source is the
+// fresher shard in every current caller).
 func (h *Histogram) Merge(other *Histogram) {
 	for i := 0; i < numBuckets; i++ {
 		if n := other.counts[i].Load(); n > 0 {
@@ -94,6 +139,11 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.overflow.Add(other.overflow.Load())
 	h.sumNanos.Add(other.sumNanos.Load())
 	h.count.Add(other.count.Load())
+	for i := 0; i <= numBuckets; i++ {
+		if e := other.exemplars[i].Load(); e != nil {
+			h.exemplars[i].Store(e)
+		}
+	}
 }
 
 // Count returns the total number of observations.
@@ -142,7 +192,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // writeProm renders one series of a histogram family with the given
 // pre-rendered label prefix (e.g. `route="query"` — no trailing comma) or
-// "" for an unlabeled series.
+// "" for an unlabeled series. Buckets that have seen an exemplar render
+// it OpenMetrics-style after the sample value:
+//
+//	name_bucket{le="0.001"} 42 # {trace_id="ab12..."} 0.00071
 func (h *Histogram) writeProm(buf *bytes.Buffer, name, labels string) {
 	cum, total := h.snapshot()
 	sep := ""
@@ -150,9 +203,13 @@ func (h *Histogram) writeProm(buf *bytes.Buffer, name, labels string) {
 		sep = ","
 	}
 	for i := 0; i < numBuckets; i++ {
-		fmt.Fprintf(buf, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, bucketLabels[i], cum[i])
+		fmt.Fprintf(buf, "%s_bucket{%s%sle=\"%s\"} %d", name, labels, sep, bucketLabels[i], cum[i])
+		writeExemplar(buf, h.exemplars[i].Load())
+		buf.WriteByte('\n')
 	}
-	fmt.Fprintf(buf, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, total)
+	fmt.Fprintf(buf, "%s_bucket{%s%sle=\"+Inf\"} %d", name, labels, sep, total)
+	writeExemplar(buf, h.exemplars[numBuckets].Load())
+	buf.WriteByte('\n')
 	if labels == "" {
 		fmt.Fprintf(buf, "%s_sum %g\n", name, h.Sum())
 		fmt.Fprintf(buf, "%s_count %d\n", name, total)
@@ -160,6 +217,16 @@ func (h *Histogram) writeProm(buf *bytes.Buffer, name, labels string) {
 	}
 	fmt.Fprintf(buf, "%s_sum{%s} %g\n", name, labels, h.Sum())
 	fmt.Fprintf(buf, "%s_count{%s} %d\n", name, labels, total)
+}
+
+// writeExemplar appends one OpenMetrics exemplar clause (` # {...} v`)
+// when e is non-nil. Request IDs pass sanitizeRequestID or are 32-hex
+// trace IDs, so the label value needs no escaping.
+func writeExemplar(buf *bytes.Buffer, e *Exemplar) {
+	if e == nil {
+		return
+	}
+	fmt.Fprintf(buf, " # {trace_id=\"%s\"} %g", e.RequestID, e.Value)
 }
 
 // LabeledHistograms is a histogram family over one label dimension
@@ -190,6 +257,12 @@ func (l *LabeledHistograms) Get(label string) *Histogram {
 
 // Observe records one duration under a label value.
 func (l *LabeledHistograms) Observe(label string, d time.Duration) { l.Get(label).Observe(d) }
+
+// ObserveExemplar records one duration under a label value, linking the
+// bucket it lands in to requestID.
+func (l *LabeledHistograms) ObserveExemplar(label string, d time.Duration, requestID string) {
+	l.Get(label).ObserveExemplar(d, requestID)
+}
 
 // Labels returns the present label values, sorted.
 func (l *LabeledHistograms) Labels() []string {

@@ -134,6 +134,160 @@ func TestWriteHistogramsEmptyFamily(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := &Histogram{}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	// Merging an empty histogram into an empty histogram stays empty.
+	h.Merge(&Histogram{})
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("merge of two empty histograms should stay empty")
+	}
+}
+
+func TestHistogramConcurrentMerge(t *testing.T) {
+	// Observers write into shards while a collector repeatedly merges
+	// them into a sink: -race must stay clean, and once the writers are
+	// done a final merge into a fresh sink must account every observation.
+	const shards, perShard = 4, 2000
+	src := make([]*Histogram, shards)
+	for i := range src {
+		src[i] = &Histogram{}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, h := range src {
+		wg.Add(1)
+		go func(h *Histogram) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				h.ObserveExemplar(time.Duration(i)*time.Microsecond, "req-live")
+			}
+		}(h)
+	}
+	var collectorWG sync.WaitGroup
+	collectorWG.Add(1)
+	go func() {
+		defer collectorWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				scratch := &Histogram{}
+				for _, h := range src {
+					scratch.Merge(h)
+				}
+				_ = scratch.Quantile(0.95)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	collectorWG.Wait()
+	final := &Histogram{}
+	for _, h := range src {
+		final.Merge(h)
+	}
+	if final.Count() != shards*perShard {
+		t.Fatalf("final merged count = %d, want %d", final.Count(), shards*perShard)
+	}
+	if _, total := final.snapshot(); total != shards*perShard {
+		t.Fatalf("final snapshot total = %d, want %d", total, shards*perShard)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	h := &Histogram{}
+	if h.BucketExemplar(0) != nil || h.BucketExemplar(numBuckets) != nil {
+		t.Fatal("fresh histogram should carry no exemplars")
+	}
+	if h.BucketExemplar(-1) != nil || h.BucketExemplar(numBuckets+1) != nil {
+		t.Fatal("out-of-range bucket index should answer nil")
+	}
+	h.ObserveExemplar(100*time.Microsecond, "req-a")
+	h.ObserveExemplar(100*time.Microsecond, "req-b") // same bucket: last writer wins
+	h.ObserveExemplar(time.Hour, "req-slow")         // overflow slot
+	h.ObserveExemplar(time.Millisecond, "")          // empty ID: observed, no exemplar
+	i := bucketIndex(100 * time.Microsecond)
+	e := h.BucketExemplar(i)
+	if e == nil || e.RequestID != "req-b" {
+		t.Fatalf("bucket %d exemplar = %+v, want req-b", i, e)
+	}
+	if e.Value != (100 * time.Microsecond).Seconds() {
+		t.Fatalf("exemplar value = %g, want 1e-4", e.Value)
+	}
+	if e := h.BucketExemplar(numBuckets); e == nil || e.RequestID != "req-slow" {
+		t.Fatalf("+Inf exemplar = %+v, want req-slow", e)
+	}
+	if e := h.BucketExemplar(bucketIndex(time.Millisecond)); e != nil {
+		t.Fatalf("empty-ID observation stored exemplar %+v", e)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (empty-ID observation still counts)", h.Count())
+	}
+
+	// Merge adopts the source's exemplars.
+	sink := &Histogram{}
+	sink.Merge(h)
+	if e := sink.BucketExemplar(i); e == nil || e.RequestID != "req-b" {
+		t.Fatalf("merged exemplar = %+v, want req-b", e)
+	}
+}
+
+func TestHistogramExemplarContention(t *testing.T) {
+	// Hammer one bucket from many goroutines: -race must stay clean and
+	// the surviving exemplar must be one actually written, internally
+	// consistent (ID matches the value its writer observed).
+	h := &Histogram{}
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := string(rune('a' + w))
+			for i := 0; i < 1000; i++ {
+				h.ObserveExemplar(100*time.Microsecond, "req-"+id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	e := h.BucketExemplar(bucketIndex(100 * time.Microsecond))
+	if e == nil {
+		t.Fatal("no exemplar survived")
+	}
+	if !strings.HasPrefix(e.RequestID, "req-") || e.Value != (100*time.Microsecond).Seconds() {
+		t.Fatalf("surviving exemplar %+v is not one that was written", e)
+	}
+	if h.Count() != writers*1000 {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*1000)
+	}
+}
+
+func TestWriteHistogramsExemplarsLintClean(t *testing.T) {
+	stages := NewLabeledHistograms()
+	stages.ObserveExemplar("engine.estimate", 250*time.Microsecond, "req-fast")
+	stages.ObserveExemplar("engine.estimate", time.Hour, "req-overflow")
+	stages.Observe("engine.queue_wait", 10*time.Microsecond) // exemplar-free series
+
+	var buf bytes.Buffer
+	WriteHistograms(&buf, "repro_stage_duration_seconds", "Per-stage latency.", "stage", stages)
+	out := buf.String()
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exemplar-carrying exposition fails the linter: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `# {trace_id="req-fast"} 0.00025`) {
+		t.Errorf("exposition missing the fast exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"`) || !strings.Contains(out, `# {trace_id="req-overflow"} 3600`) {
+		t.Errorf("exposition missing the +Inf exemplar:\n%s", out)
+	}
+}
+
 func TestLabeledHistogramsQuantile(t *testing.T) {
 	l := NewLabeledHistograms()
 	if l.Quantile("missing", 0.5) != 0 {

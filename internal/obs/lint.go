@@ -18,13 +18,17 @@ import (
 //   - no duplicate series (same name and label set twice);
 //   - histogram families are well-formed per series: buckets cumulative
 //     and monotone in ascending le, an le="+Inf" bucket present, _count
-//     equal to the +Inf bucket, and _sum present.
+//     equal to the +Inf bucket, and _sum present;
+//   - OpenMetrics-style exemplars (` # {labels} value [timestamp]`) are
+//     syntactically valid (label grammar, combined label length ≤ 128
+//     runes, parsable value) and appear only where the OpenMetrics spec
+//     allows them: histogram _bucket samples and counter samples.
 //
 // It returns the first violation found, or nil for a clean payload.
 func LintExposition(data []byte) error {
-	typed := make(map[string]string)  // family → declared type
-	sampled := make(map[string]bool)  // family → samples seen
-	series := make(map[string]int)    // name + canonical labels → line no
+	typed := make(map[string]string) // family → declared type
+	sampled := make(map[string]bool) // family → samples seen
+	series := make(map[string]int)   // name + canonical labels → line no
 	type histSeries struct {
 		buckets []bucketSample
 		count   *float64
@@ -55,12 +59,18 @@ func LintExposition(data []byte) error {
 			}
 			continue
 		}
-		name, labels, value, err := parseSample(line)
+		name, labels, value, ex, err := parseSample(line)
 		if err != nil {
 			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		family := familyOf(name, typed)
 		sampled[family] = true
+		if ex != nil {
+			histBucket := typed[family] == "histogram" && name == family+"_bucket"
+			if !histBucket && typed[family] != "counter" {
+				return fmt.Errorf("line %d: exemplar on %q, allowed only on histogram buckets and counters", lineNo, name)
+			}
+		}
 		key := name + "{" + canonicalLabels(labels) + "}"
 		if prev, dup := series[key]; dup {
 			return fmt.Errorf("line %d: duplicate series %s (first at line %d)", lineNo, key, prev)
@@ -184,39 +194,87 @@ func parseComment(line string) (kind, family string, err error) {
 
 type label struct{ name, value string }
 
-// parseSample parses `name{labels} value [timestamp]`.
-func parseSample(line string) (name string, labels []label, value float64, err error) {
+// exemplarClause is a parsed OpenMetrics exemplar trailer.
+type exemplarClause struct {
+	labels []label
+	value  float64
+}
+
+// parseSample parses `name{labels} value [timestamp] [# {labels} value
+// [timestamp]]` — a text-format sample with an optional OpenMetrics
+// exemplar trailer.
+func parseSample(line string) (name string, labels []label, value float64, ex *exemplarClause, err error) {
 	rest := line
 	i := strings.IndexAny(rest, "{ ")
 	if i < 0 {
-		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		return "", nil, 0, nil, fmt.Errorf("sample %q has no value", line)
 	}
 	name = rest[:i]
 	if !validMetricName(name) {
-		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+		return "", nil, 0, nil, fmt.Errorf("invalid metric name %q", name)
 	}
 	if rest[i] == '{' {
 		labels, rest, err = parseLabels(rest[i+1:])
 		if err != nil {
-			return "", nil, 0, err
+			return "", nil, 0, nil, err
 		}
 	} else {
 		rest = rest[i:]
 	}
-	fields := strings.Fields(rest)
+	sample, trailer, hasEx := strings.Cut(rest, " # ")
+	fields := strings.Fields(sample)
 	if len(fields) < 1 || len(fields) > 2 {
-		return "", nil, 0, fmt.Errorf("sample %q has %d value fields", line, len(fields))
+		return "", nil, 0, nil, fmt.Errorf("sample %q has %d value fields", line, len(fields))
 	}
 	value, err = parsePromValue(fields[0])
 	if err != nil {
-		return "", nil, 0, fmt.Errorf("sample %q: %w", line, err)
+		return "", nil, 0, nil, fmt.Errorf("sample %q: %w", line, err)
 	}
 	if len(fields) == 2 {
 		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
-			return "", nil, 0, fmt.Errorf("sample %q has invalid timestamp", line)
+			return "", nil, 0, nil, fmt.Errorf("sample %q has invalid timestamp", line)
 		}
 	}
-	return name, labels, value, nil
+	if hasEx {
+		if ex, err = parseExemplar(trailer); err != nil {
+			return "", nil, 0, nil, fmt.Errorf("sample %q: %w", line, err)
+		}
+	}
+	return name, labels, value, ex, nil
+}
+
+// parseExemplar validates one exemplar trailer body (after the ` # `):
+// `{labels} value [timestamp]`. The OpenMetrics spec bounds the combined
+// rune length of exemplar label names and values at 128.
+func parseExemplar(s string) (*exemplarClause, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("exemplar without a label set")
+	}
+	labels, rest, err := parseLabels(s[1:])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	runes := 0
+	for _, l := range labels {
+		runes += len([]rune(l.name)) + len([]rune(l.value))
+	}
+	if runes > 128 {
+		return nil, fmt.Errorf("exemplar label set is %d runes, above the 128 limit", runes)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar has %d value fields", len(fields))
+	}
+	value, err := parsePromValue(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseFloat(fields[1], 64); terr != nil {
+			return nil, fmt.Errorf("exemplar has invalid timestamp %q", fields[1])
+		}
+	}
+	return &exemplarClause{labels: labels, value: value}, nil
 }
 
 // parseLabels consumes `name="value",...}` and returns the remainder.

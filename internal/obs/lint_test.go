@@ -106,6 +106,72 @@ func TestLintRejections(t *testing.T) {
 	}
 }
 
+func TestLintExemplars(t *testing.T) {
+	accepts := []struct {
+		name    string
+		payload string
+	}{
+		{
+			"histogram bucket exemplar",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="1"} 2 # {trace_id="ab12"} 0.5` + "\n" +
+				`h_bucket{le="+Inf"} 2 # {trace_id="cd34"} 0.9` + "\nh_sum 1.4\nh_count 2\n",
+		},
+		{
+			"counter exemplar",
+			"# TYPE c_total counter\n" + `c_total 5 # {trace_id="ab12"} 1` + "\n",
+		},
+		{
+			"exemplar with timestamp",
+			"# TYPE c_total counter\n" + `c_total 5 # {trace_id="ab12"} 1 1700000000.5` + "\n",
+		},
+	}
+	for _, c := range accepts {
+		if err := lintStr(c.payload); err != nil {
+			t.Errorf("%s: rejected: %v\n%s", c.name, err, c.payload)
+		}
+	}
+
+	long := strings.Repeat("x", 129)
+	rejects := []struct {
+		name    string
+		payload string
+		msg     string
+	}{
+		{"exemplar on gauge", "# TYPE g gauge\n" + `g 1 # {trace_id="ab"} 1` + "\n", "allowed only on histogram buckets and counters"},
+		{"exemplar on untyped", `u 1 # {trace_id="ab"} 1` + "\n", "allowed only on histogram buckets and counters"},
+		{
+			"exemplar on histogram sum",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 1` + "\n" + `h_sum 1 # {trace_id="ab"} 1` + "\nh_count 1\n",
+			"allowed only on histogram buckets and counters",
+		},
+		{
+			"exemplar on histogram count",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 1` + "\nh_sum 1\n" + `h_count 1 # {trace_id="ab"} 1` + "\n",
+			"allowed only on histogram buckets and counters",
+		},
+		{"exemplar without label set", "# TYPE c_total counter\nc_total 5 # 1\n", "without a label set"},
+		{"exemplar bad value", "# TYPE c_total counter\n" + `c_total 5 # {trace_id="ab"} pizza` + "\n", "invalid value"},
+		{"exemplar bad timestamp", "# TYPE c_total counter\n" + `c_total 5 # {trace_id="ab"} 1 soon` + "\n", "invalid timestamp"},
+		{"exemplar bad label name", "# TYPE c_total counter\n" + `c_total 5 # {9x="ab"} 1` + "\n", "invalid label name"},
+		{
+			"exemplar label set too long",
+			"# TYPE c_total counter\n" + `c_total 5 # {trace_id="` + long + `"} 1` + "\n",
+			"above the 128 limit",
+		},
+	}
+	for _, c := range rejects {
+		err := lintStr(c.payload)
+		if err == nil {
+			t.Errorf("%s: accepted\n%s", c.name, c.payload)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.msg) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.msg)
+		}
+	}
+}
+
 func TestLintHistogramSeriesIndependent(t *testing.T) {
 	// Two labeled series of one histogram family, interleaved: each series'
 	// buckets must be checked independently, and this is legal.

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// LoadSample is one self-observation of a process's load: taken on a
+// fixed cadence by a LoadSampler and kept in a LoadRing, it is the unit
+// the cluster overview aggregates and the signal a load-aware placer
+// ranks nodes by.
+type LoadSample struct {
+	At         time.Time
+	QPS        float64 // work completed per second since the previous sample
+	P50        float64 // request latency quantiles, seconds, lifetime-to-date
+	P95        float64
+	P99        float64
+	Inflight   int64 // requests currently being served
+	QueueDepth int   // engine jobs waiting for a worker (0 off-node)
+	HeapBytes  uint64
+	Goroutines int
+}
+
+// LoadRing is a fixed-capacity ring of load samples: bounded memory, no
+// allocation after construction, readable while the sampler writes.
+type LoadRing struct {
+	mu      sync.Mutex
+	samples []LoadSample
+	next    int
+	full    bool
+}
+
+// NewLoadRing builds a ring holding capacity samples (default 120 — two
+// minutes at the default 1s cadence).
+func NewLoadRing(capacity int) *LoadRing {
+	if capacity <= 0 {
+		capacity = 120
+	}
+	return &LoadRing{samples: make([]LoadSample, capacity)}
+}
+
+// Add appends one sample, overwriting the oldest at capacity.
+func (r *LoadRing) Add(s LoadSample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.samples[r.next] = s
+	r.next++
+	if r.next == len(r.samples) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Samples returns the retained samples, oldest first.
+func (r *LoadRing) Samples() []LoadSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]LoadSample, r.next)
+		copy(out, r.samples[:r.next])
+		return out
+	}
+	out := make([]LoadSample, len(r.samples))
+	n := copy(out, r.samples[r.next:])
+	copy(out[n:], r.samples[:r.next])
+	return out
+}
+
+// Last returns the newest sample, if any.
+func (r *LoadRing) Last() (LoadSample, bool) {
+	if r == nil {
+		return LoadSample{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next == 0 && !r.full {
+		return LoadSample{}, false
+	}
+	i := r.next - 1
+	if i < 0 {
+		i = len(r.samples) - 1
+	}
+	return r.samples[i], true
+}
+
+// LoadSampler drives a LoadRing on a fixed cadence from a caller-built
+// sample function (the caller owns what "load" means for its process).
+type LoadSampler struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartLoadSampler samples every interval (default 1s), passing the
+// elapsed time since the previous sample so rate gauges (QPS) can be
+// computed from counter deltas. Close stops it.
+func StartLoadSampler(ring *LoadRing, interval time.Duration, sample func(elapsed time.Duration) LoadSample) *LoadSampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &LoadSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		last := time.Now()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-tick.C:
+				ring.Add(sample(now.Sub(last)))
+				last = now
+			}
+		}
+	}()
+	return s
+}
+
+// Close stops the sampler and waits for its goroutine to exit. Safe to
+// call on a nil receiver and idempotent is NOT required of callers —
+// each sampler is closed exactly once by the process teardown that
+// created it.
+func (s *LoadSampler) Close() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}

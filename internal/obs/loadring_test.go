@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLoadRingWrapAndOrder(t *testing.T) {
+	r := NewLoadRing(3)
+	if got := r.Samples(); len(got) != 0 {
+		t.Fatalf("fresh ring has %d samples", len(got))
+	}
+	if _, ok := r.Last(); ok {
+		t.Fatal("fresh ring has a last sample")
+	}
+	for i := 1; i <= 5; i++ {
+		r.Add(LoadSample{QPS: float64(i)})
+	}
+	got := r.Samples()
+	if len(got) != 3 {
+		t.Fatalf("samples = %d, want capacity 3", len(got))
+	}
+	for i, want := range []float64{3, 4, 5} { // oldest first, newest retained
+		if got[i].QPS != want {
+			t.Fatalf("samples[%d].QPS = %g, want %g (oldest-first)", i, got[i].QPS, want)
+		}
+	}
+	if last, ok := r.Last(); !ok || last.QPS != 5 {
+		t.Fatalf("last = %+v, ok=%v", last, ok)
+	}
+}
+
+func TestLoadRingNilSafe(t *testing.T) {
+	var r *LoadRing
+	r.Add(LoadSample{})
+	if r.Samples() != nil {
+		t.Fatal("nil ring returned samples")
+	}
+	if _, ok := r.Last(); ok {
+		t.Fatal("nil ring has a last sample")
+	}
+}
+
+func TestLoadSamplerTicksAndCloses(t *testing.T) {
+	r := NewLoadRing(16)
+	var ticks atomic.Int64
+	s := StartLoadSampler(r, 5*time.Millisecond, func(elapsed time.Duration) LoadSample {
+		ticks.Add(1)
+		if elapsed <= 0 {
+			t.Errorf("elapsed = %v, want > 0", elapsed)
+		}
+		return LoadSample{At: time.Now(), Inflight: ticks.Load()}
+	})
+	deadline := time.After(2 * time.Second)
+	for ticks.Load() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("sampler produced fewer than 3 ticks in 2s")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	s.Close()
+	n := ticks.Load()
+	time.Sleep(20 * time.Millisecond)
+	if ticks.Load() != n {
+		t.Fatal("sampler kept ticking after Close")
+	}
+	if len(r.Samples()) == 0 {
+		t.Fatal("no samples landed in the ring")
+	}
+	var nilSampler *LoadSampler
+	nilSampler.Close() // must not panic
+}

@@ -19,9 +19,9 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
-	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -52,11 +52,13 @@ func NewRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// isHex reports whether s is entirely lowercase-or-uppercase hex.
-func isHex(s string) bool {
+// isLowerHex reports whether s is entirely lowercase hex. W3C
+// trace-context §3.2 defines trace-id/parent-id/flags as lowercase
+// base16; uppercase is malformed and must be rejected, not normalized.
+func isLowerHex(s string) bool {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
 			return false
 		}
 	}
@@ -64,8 +66,9 @@ func isHex(s string) bool {
 }
 
 // ParseTraceparent extracts the trace-id of a traceparent header value,
-// accepting the version-00 form 00-<32 hex>-<16 hex>-<2 hex>. An all-zero
-// trace-id is invalid per the spec and rejected.
+// accepting the version-00 form 00-<32 hex>-<16 hex>-<2 hex>, lowercase
+// hex only per the W3C grammar. An all-zero trace-id is invalid per the
+// spec and rejected.
 func ParseTraceparent(v string) (traceID string, ok bool) {
 	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
 		return "", false
@@ -74,7 +77,7 @@ func ParseTraceparent(v string) (traceID string, ok bool) {
 		return "", false
 	}
 	id, parent, flags := v[3:35], v[36:52], v[53:55]
-	if !isHex(id) || !isHex(parent) || !isHex(flags) {
+	if !isLowerHex(id) || !isLowerHex(parent) || !isLowerHex(flags) {
 		return "", false
 	}
 	if id == "00000000000000000000000000000000" {
@@ -87,7 +90,7 @@ func ParseTraceparent(v string) (traceID string, ok bool) {
 // minting a fresh parent-id for this hop. traceID must be a 32-hex
 // trace-id (the NewRequestID shape); anything else returns "".
 func FormatTraceparent(traceID string) string {
-	if len(traceID) != 32 || !isHex(traceID) {
+	if len(traceID) != 32 || !isLowerHex(traceID) {
 		return ""
 	}
 	var b [8]byte
@@ -185,6 +188,16 @@ func NewTrace(requestID string) *Trace {
 	return &Trace{RequestID: requestID, start: time.Now()}
 }
 
+// Start returns when the trace began (zero time on a nil trace). Span
+// offsets in Records are relative to this instant; cross-process trace
+// assembly rebases them against it.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
 // SetRelease annotates the trace with the release the request addresses,
 // so slow-query log lines are correlatable by release too.
 func (t *Trace) SetRelease(id string) {
@@ -275,18 +288,22 @@ func (t *Trace) Breakdown() string {
 	if len(spans) == 0 {
 		return ""
 	}
-	out := ""
+	var out strings.Builder
+	out.Grow(len(spans) * 24)
 	for i, sp := range spans {
 		if i > 0 {
-			out += " "
+			out.WriteByte(' ')
 		}
+		out.WriteString(sp.Stage)
 		if sp.Node != "" {
-			out += fmt.Sprintf("%s[%s]=%v", sp.Stage, sp.Node, sp.Dur.Round(time.Microsecond))
-		} else {
-			out += fmt.Sprintf("%s=%v", sp.Stage, sp.Dur.Round(time.Microsecond))
+			out.WriteByte('[')
+			out.WriteString(sp.Node)
+			out.WriteByte(']')
 		}
+		out.WriteByte('=')
+		out.WriteString(sp.Dur.Round(time.Microsecond).String())
 	}
-	return out
+	return out.String()
 }
 
 // traceKey is the context key Trace travels under.

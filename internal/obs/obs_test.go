@@ -10,8 +10,8 @@ import (
 
 func TestNewRequestIDShape(t *testing.T) {
 	a, b := NewRequestID(), NewRequestID()
-	if len(a) != 32 || !isHex(a) {
-		t.Fatalf("request ID %q is not 32 hex chars", a)
+	if len(a) != 32 || !isLowerHex(a) {
+		t.Fatalf("request ID %q is not 32 lowercase hex chars", a)
 	}
 	if a == b {
 		t.Fatalf("two minted IDs collided: %q", a)
@@ -38,6 +38,9 @@ func TestParseTraceparentRejects(t *testing.T) {
 		"00-00000000000000000000000000000000-b7ad6b7169203331-01",      // zero trace-id
 		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01",      // non-hex
 		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-junk", // trailing
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",      // uppercase trace-id (W3C requires lowercase)
+		"00-0af7651916cd43dd8448eb211c80319c-B7AD6B7169203331-01",      // uppercase parent-id
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0A",      // uppercase flags
 	}
 	for _, v := range bad {
 		if id, ok := ParseTraceparent(v); ok {
@@ -60,6 +63,16 @@ func TestRequestIDFromHeaders(t *testing.T) {
 	id, minted = RequestIDFromHeaders(h)
 	if minted || id != "my-request.1" {
 		t.Fatalf("X-Request-Id should be used: got %q minted=%v", id, minted)
+	}
+
+	// Uppercase traceparent hex is malformed per W3C: fall through to the
+	// X-Request-Id rather than adopting (or normalizing) the trace-id.
+	h = http.Header{}
+	h.Set(HeaderTraceparent, "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01")
+	h.Set(HeaderRequestID, "fallback-id")
+	id, minted = RequestIDFromHeaders(h)
+	if minted || id != "fallback-id" {
+		t.Fatalf("uppercase traceparent should fall through to X-Request-Id: got %q minted=%v", id, minted)
 	}
 
 	h = http.Header{}

@@ -1,0 +1,96 @@
+package tracestore
+
+// Wire projection and cross-process assembly of retained traces. Both
+// roles convert their local view with ToAPI; the gateway merges its own
+// part with the parts fetched from nodes via MergeParts.
+
+import (
+	"sort"
+
+	"repro/pkg/api"
+)
+
+// ToAPI converts one retained trace to its wire form, all spans
+// attributed to origin (a node ID, or "gateway").
+func ToAPI(t *Trace, origin string) api.TraceResponse {
+	out := api.TraceResponse{
+		RequestID:      t.RequestID,
+		Route:          t.Route,
+		ReleaseID:      t.ReleaseID,
+		Status:         t.Status,
+		ErrorCode:      t.ErrorCode,
+		Retained:       t.Retained,
+		StartedAt:      t.Start,
+		DurationMicros: t.Duration.Microseconds(),
+		Origins:        []string{origin},
+		DroppedSpans:   t.DroppedSpans,
+		Spans:          make([]api.TraceSpan, len(t.Spans)),
+	}
+	for i, sp := range t.Spans {
+		out.Spans[i] = api.TraceSpan{
+			Origin:       origin,
+			Stage:        sp.Stage,
+			Node:         sp.Node,
+			OffsetMicros: sp.OffsetMicros,
+			Micros:       sp.Micros,
+		}
+	}
+	return out
+}
+
+// MergeParts assembles one cross-process trace document from the
+// per-process views of the same request ID: offsets are rebased onto the
+// earliest part's start (wall-clock skew between processes shifts spans
+// but never loses them), spans are sorted by offset with longer spans
+// first on ties so parents precede children, and parts[0] — the
+// assembling process's own view, when retained — contributes the
+// route/status/retention annotations.
+func MergeParts(requestID string, parts []api.TraceResponse) api.TraceResponse {
+	out := api.TraceResponse{RequestID: requestID}
+	if len(parts) == 0 {
+		return out
+	}
+	base := parts[0].StartedAt
+	for _, p := range parts[1:] {
+		if p.StartedAt.Before(base) {
+			base = p.StartedAt
+		}
+	}
+	out.StartedAt = base
+	out.Route = parts[0].Route
+	out.ReleaseID = parts[0].ReleaseID
+	out.Status = parts[0].Status
+	out.ErrorCode = parts[0].ErrorCode
+	out.Retained = parts[0].Retained
+	for _, p := range parts {
+		if out.ReleaseID == "" {
+			out.ReleaseID = p.ReleaseID
+		}
+		out.Origins = append(out.Origins, p.Origins...)
+		out.DroppedSpans += p.DroppedSpans
+		rebase := p.StartedAt.Sub(base).Microseconds()
+		for _, sp := range p.Spans {
+			sp.OffsetMicros += rebase
+			out.Spans = append(out.Spans, sp)
+		}
+		if end := rebase + p.DurationMicros; end > out.DurationMicros {
+			out.DurationMicros = end
+		}
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		if out.Spans[i].OffsetMicros != out.Spans[j].OffsetMicros {
+			return out.Spans[i].OffsetMicros < out.Spans[j].OffsetMicros
+		}
+		return out.Spans[i].Micros > out.Spans[j].Micros
+	})
+	sort.Strings(out.Origins)
+	// "gateway" leads the origin list when present: it is the edge.
+	for i, o := range out.Origins {
+		if o == "gateway" && i > 0 {
+			copy(out.Origins[1:i+1], out.Origins[:i])
+			out.Origins[0] = "gateway"
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package tracestore
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// WriteGauges renders the store's retention counters in Prometheus text
+// exposition format. prefix namespaces the family per role ("repro_" on
+// a node, "repro_gateway_" on the gateway).
+func WriteGauges(buf *bytes.Buffer, prefix string, st Stats) {
+	fmt.Fprintf(buf, "# HELP %stracestore_capacity Trace ring capacity (fixed memory bound).\n", prefix)
+	fmt.Fprintf(buf, "# TYPE %stracestore_capacity gauge\n", prefix)
+	fmt.Fprintf(buf, "%stracestore_capacity %d\n", prefix, st.Capacity)
+	fmt.Fprintf(buf, "# HELP %stracestore_retained Traces currently resident in the ring.\n", prefix)
+	fmt.Fprintf(buf, "# TYPE %stracestore_retained gauge\n", prefix)
+	fmt.Fprintf(buf, "%stracestore_retained %d\n", prefix, st.Retained)
+	fmt.Fprintf(buf, "# HELP %stracestore_kept_total Traces retained, by reason.\n", prefix)
+	fmt.Fprintf(buf, "# TYPE %stracestore_kept_total counter\n", prefix)
+	fmt.Fprintf(buf, "%stracestore_kept_total{reason=\"error\"} %d\n", prefix, st.KeptError)
+	fmt.Fprintf(buf, "%stracestore_kept_total{reason=\"slow\"} %d\n", prefix, st.KeptSlow)
+	fmt.Fprintf(buf, "%stracestore_kept_total{reason=\"sampled\"} %d\n", prefix, st.KeptSample)
+	fmt.Fprintf(buf, "# HELP %stracestore_sampled_out_total Normal traces dropped by the 1-in-N sampler.\n", prefix)
+	fmt.Fprintf(buf, "# TYPE %stracestore_sampled_out_total counter\n", prefix)
+	fmt.Fprintf(buf, "%stracestore_sampled_out_total %d\n", prefix, st.SampledOut)
+	fmt.Fprintf(buf, "# HELP %stracestore_evicted_total Retained traces pushed out by the bounded ring.\n", prefix)
+	fmt.Fprintf(buf, "# TYPE %stracestore_evicted_total counter\n", prefix)
+	fmt.Fprintf(buf, "%stracestore_evicted_total %d\n", prefix, st.Evicted)
+}

@@ -1,0 +1,217 @@
+// Package tracestore is the read side of request tracing: a bounded
+// in-memory ring of finished traces with tail-based retention. Every
+// process (node and gateway) commits each completed obs.Trace here;
+// error and slow traces are always kept, normal traffic is sampled
+// 1-in-N, and the ring caps memory regardless of load — old traces are
+// evicted in commit order. GET /v1/debug/traces/{id} and the gateway's
+// cross-node assembly read from it.
+package tracestore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Retention reasons recorded on a kept trace.
+const (
+	ReasonError   = "error"   // response status ≥ 400
+	ReasonSlow    = "slow"    // duration ≥ SlowThreshold
+	ReasonSampled = "sampled" // 1-in-SampleEvery of normal traffic
+)
+
+// Options configures a Store. Zero values pick the defaults noted per
+// field.
+type Options struct {
+	// Capacity is the ring size in traces (default 4096). Memory is
+	// bounded by Capacity × MaxSpans regardless of traffic.
+	Capacity int
+	// SampleEvery keeps 1 in N normal (fast, successful) traces
+	// (default 64). 1 keeps everything.
+	SampleEvery int
+	// SlowThreshold marks a trace slow — always retained (default 250ms).
+	SlowThreshold time.Duration
+	// MaxSpans bounds the spans stored per trace (default 512); spans
+	// beyond it are dropped and counted on the stored trace.
+	MaxSpans int
+}
+
+// Trace is one retained request trace: the obs.Trace span records plus
+// the request annotations the instrument middleware knows at commit
+// time.
+type Trace struct {
+	RequestID string
+	Route     string
+	ReleaseID string
+	Status    int
+	ErrorCode string
+	Retained  string // ReasonError | ReasonSlow | ReasonSampled
+	Start     time.Time
+	Duration  time.Duration
+	Spans     []obs.SpanRecord
+	// DroppedSpans counts spans beyond MaxSpans that were not stored.
+	DroppedSpans int
+}
+
+// Stats is a point-in-time view of the store for /metrics gauges.
+type Stats struct {
+	Capacity   int
+	Retained   int    // traces currently resident
+	KeptError  uint64 // commits retained per reason, cumulative
+	KeptSlow   uint64
+	KeptSample uint64
+	SampledOut uint64 // normal traces the sampler dropped
+	Evicted    uint64 // retained traces pushed out by the ring
+}
+
+// Store is a fixed-capacity trace ring with an ID index. All methods
+// are safe for concurrent use; a nil *Store is a valid no-op receiver
+// so uninstrumented processes skip retention with one nil check.
+type Store struct {
+	capacity int
+	every    uint64
+	slow     time.Duration
+	maxSpans int
+
+	seen atomic.Uint64 // normal traces considered, drives 1-in-N
+
+	mu         sync.Mutex
+	ring       []*Trace
+	next       int
+	index      map[string]*Trace
+	keptError  uint64
+	keptSlow   uint64
+	keptSample uint64
+	sampledOut uint64
+	evicted    uint64
+}
+
+// New builds a store; zero/negative option fields take the documented
+// defaults.
+func New(o Options) *Store {
+	if o.Capacity <= 0 {
+		o.Capacity = 4096
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 64
+	}
+	if o.SlowThreshold <= 0 {
+		o.SlowThreshold = 250 * time.Millisecond
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = 512
+	}
+	return &Store{
+		capacity: o.Capacity,
+		every:    uint64(o.SampleEvery),
+		slow:     o.SlowThreshold,
+		maxSpans: o.MaxSpans,
+		ring:     make([]*Trace, o.Capacity),
+		index:    make(map[string]*Trace, o.Capacity),
+	}
+}
+
+// Commit applies the retention policy to one finished trace and stores
+// it when kept. It returns the retention reason, or "" when the trace
+// was sampled out. status and total come from the response the client
+// saw; errCode is the api error code on failures ("" otherwise).
+func (s *Store) Commit(tr *obs.Trace, route string, status int, errCode string, total time.Duration) string {
+	if s == nil || tr == nil || tr.RequestID == "" {
+		return ""
+	}
+	reason := ""
+	switch {
+	case status >= 400:
+		reason = ReasonError
+	case total >= s.slow:
+		reason = ReasonSlow
+	default:
+		if (s.seen.Add(1)-1)%s.every == 0 {
+			reason = ReasonSampled
+		}
+	}
+	if reason == "" {
+		s.mu.Lock()
+		s.sampledOut++
+		s.mu.Unlock()
+		return ""
+	}
+
+	spans := tr.Records()
+	dropped := 0
+	if len(spans) > s.maxSpans {
+		dropped = len(spans) - s.maxSpans
+		spans = spans[:s.maxSpans:s.maxSpans]
+	}
+	t := &Trace{
+		RequestID:    tr.RequestID,
+		Route:        route,
+		ReleaseID:    tr.ReleaseID(),
+		Status:       status,
+		ErrorCode:    errCode,
+		Retained:     reason,
+		Start:        tr.Start(),
+		Duration:     total,
+		Spans:        spans,
+		DroppedSpans: dropped,
+	}
+
+	s.mu.Lock()
+	if old := s.ring[s.next]; old != nil {
+		// Drop the index entry only if it still points at the evicted
+		// trace (a reused request ID may have overwritten it).
+		if s.index[old.RequestID] == old {
+			delete(s.index, old.RequestID)
+		}
+		s.evicted++
+	}
+	s.ring[s.next] = t
+	s.next = (s.next + 1) % s.capacity
+	s.index[t.RequestID] = t
+	switch reason {
+	case ReasonError:
+		s.keptError++
+	case ReasonSlow:
+		s.keptSlow++
+	default:
+		s.keptSample++
+	}
+	s.mu.Unlock()
+	return reason
+}
+
+// Get returns the retained trace for a request ID. Stored traces are
+// immutable after commit, so the pointed-to value is safe to read
+// without copying.
+func (s *Store) Get(requestID string) (*Trace, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	t := s.index[requestID]
+	s.mu.Unlock()
+	if t == nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// Stats returns current retention counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Capacity:   s.capacity,
+		Retained:   len(s.index),
+		KeptError:  s.keptError,
+		KeptSlow:   s.keptSlow,
+		KeptSample: s.keptSample,
+		SampledOut: s.sampledOut,
+		Evicted:    s.evicted,
+	}
+}

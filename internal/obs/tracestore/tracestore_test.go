@@ -1,0 +1,220 @@
+package tracestore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pkg/api"
+)
+
+// commitN commits n normal (fast, 200) traces with distinct IDs prefixed
+// by p, returning how many were retained.
+func commitN(s *Store, p string, n int) int {
+	kept := 0
+	for i := 0; i < n; i++ {
+		tr := obs.NewTrace(fmt.Sprintf("%s-%04d", p, i))
+		if s.Commit(tr, "query", 200, "", time.Millisecond) != "" {
+			kept++
+		}
+	}
+	return kept
+}
+
+func TestRetentionPolicy(t *testing.T) {
+	s := New(Options{Capacity: 64, SampleEvery: 10, SlowThreshold: 100 * time.Millisecond})
+
+	tr := obs.NewTrace("req-err")
+	if got := s.Commit(tr, "query", 500, "internal", time.Millisecond); got != ReasonError {
+		t.Fatalf("error commit retained as %q, want %q", got, ReasonError)
+	}
+	if got := s.Commit(obs.NewTrace("req-slow"), "query", 200, "", 150*time.Millisecond); got != ReasonSlow {
+		t.Fatalf("slow commit retained as %q, want %q", got, ReasonSlow)
+	}
+	// 1-in-10 sampling: exactly 2 of 20 normal traces survive.
+	if kept := commitN(s, "norm", 20); kept != 2 {
+		t.Fatalf("kept %d of 20 normal traces, want 2 at SampleEvery=10", kept)
+	}
+
+	if got, ok := s.Get("req-err"); !ok || got.Status != 500 || got.ErrorCode != "internal" || got.Retained != ReasonError {
+		t.Fatalf("error trace = %+v, ok=%v", got, ok)
+	}
+	if got, ok := s.Get("req-slow"); !ok || got.Duration != 150*time.Millisecond {
+		t.Fatalf("slow trace = %+v, ok=%v", got, ok)
+	}
+	if _, ok := s.Get("norm-0001"); ok {
+		t.Fatal("sampled-out trace should not be retrievable")
+	}
+
+	st := s.Stats()
+	if st.KeptError != 1 || st.KeptSlow != 1 || st.KeptSample != 2 || st.SampledOut != 18 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBoundedRingEvicts(t *testing.T) {
+	s := New(Options{Capacity: 8, SampleEvery: 1, SlowThreshold: time.Hour})
+	if kept := commitN(s, "req", 50); kept != 50 {
+		t.Fatalf("kept %d of 50 at SampleEvery=1, want all", kept)
+	}
+	st := s.Stats()
+	if st.Retained != 8 {
+		t.Fatalf("retained = %d, want capacity 8", st.Retained)
+	}
+	if st.Evicted != 42 {
+		t.Fatalf("evicted = %d, want 42", st.Evicted)
+	}
+	// Newest survive, oldest are gone.
+	if _, ok := s.Get("req-0049"); !ok {
+		t.Fatal("newest trace evicted")
+	}
+	if _, ok := s.Get("req-0000"); ok {
+		t.Fatal("oldest trace still retrievable past capacity")
+	}
+}
+
+func TestReusedRequestIDKeepsIndexConsistent(t *testing.T) {
+	s := New(Options{Capacity: 4, SampleEvery: 1, SlowThreshold: time.Hour})
+	// Same ID committed twice: the index must follow the newer trace, and
+	// evicting the older ring slot must not delete the newer index entry.
+	s.Commit(obs.NewTrace("dup"), "query", 200, "", time.Millisecond)
+	s.Commit(obs.NewTrace("dup"), "query", 200, "", 2*time.Millisecond)
+	commitN(s, "fill", 3) // pushes the FIRST "dup" slot out of the ring
+	got, ok := s.Get("dup")
+	if !ok {
+		t.Fatal("newer dup trace lost when the older slot was evicted")
+	}
+	if got.Duration != 2*time.Millisecond {
+		t.Fatalf("Get returned the older dup commit: %+v", got)
+	}
+}
+
+func TestMaxSpansCap(t *testing.T) {
+	s := New(Options{Capacity: 4, SampleEvery: 1, MaxSpans: 3, SlowThreshold: time.Hour})
+	tr := obs.NewTrace("spanful")
+	for i := 0; i < 10; i++ {
+		tr.AddSpan(fmt.Sprintf("stage%d", i), "", time.Now(), time.Millisecond)
+	}
+	s.Commit(tr, "query", 200, "", time.Millisecond)
+	got, ok := s.Get("spanful")
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(got.Spans) != 3 || got.DroppedSpans != 7 {
+		t.Fatalf("spans = %d, dropped = %d; want 3 and 7", len(got.Spans), got.DroppedSpans)
+	}
+}
+
+func TestNilStoreIsNoOp(t *testing.T) {
+	var s *Store
+	if got := s.Commit(obs.NewTrace("x"), "query", 500, "", time.Second); got != "" {
+		t.Fatalf("nil store committed: %q", got)
+	}
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("nil store returned a trace")
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil store stats = %+v", st)
+	}
+}
+
+func TestConcurrentCommitAndGet(t *testing.T) {
+	s := New(Options{Capacity: 32, SampleEvery: 2, SlowThreshold: 50 * time.Millisecond})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				status := 200
+				if i%7 == 0 {
+					status = 500
+				}
+				s.Commit(obs.NewTrace(id), "query", status, "", time.Millisecond)
+				if tr, ok := s.Get(id); ok && tr.RequestID != id {
+					t.Errorf("Get(%s) returned %s", id, tr.RequestID)
+				}
+				_ = s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Retained > 32 {
+		t.Fatalf("retained %d traces, above capacity 32", st.Retained)
+	}
+}
+
+func TestToAPIAndMergeParts(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	gw := api.TraceResponse{
+		RequestID: "req-1", Route: "batch_query", Status: 200, Retained: ReasonSlow,
+		StartedAt: base, DurationMicros: 5000, Origins: []string{"gateway"},
+		Spans: []api.TraceSpan{
+			{Origin: "gateway", Stage: "gateway.batch_query", OffsetMicros: 0, Micros: 5000},
+			{Origin: "gateway", Stage: "gateway.subbatch", Node: "n1", OffsetMicros: 100, Micros: 2000},
+			{Origin: "gateway", Stage: "gateway.subbatch", Node: "n2", OffsetMicros: 2200, Micros: 2500},
+		},
+	}
+	// n2's part starts 2.3ms after the gateway's: its offsets rebase.
+	n2 := api.TraceResponse{
+		RequestID: "req-1", Route: "batch_query", Status: 200, Retained: ReasonSampled,
+		StartedAt: base.Add(2300 * time.Microsecond), DurationMicros: 2300, Origins: []string{"n2"},
+		Spans: []api.TraceSpan{
+			{Origin: "n2", Stage: "http.batch_query", OffsetMicros: 0, Micros: 2300},
+			{Origin: "n2", Stage: "engine.estimate", OffsetMicros: 200, Micros: 1800},
+		},
+	}
+	merged := MergeParts("req-1", []api.TraceResponse{gw, n2})
+	if merged.RequestID != "req-1" || merged.Route != "batch_query" || merged.Retained != ReasonSlow {
+		t.Fatalf("merged header = %+v", merged)
+	}
+	if want := []string{"gateway", "n2"}; len(merged.Origins) != 2 || merged.Origins[0] != want[0] || merged.Origins[1] != want[1] {
+		t.Fatalf("origins = %v, want %v", merged.Origins, want)
+	}
+	if merged.DurationMicros != 5000 { // gateway's envelope covers n2's rebased end (2300+2300)
+		t.Fatalf("duration = %d, want 5000", merged.DurationMicros)
+	}
+	if len(merged.Spans) != 5 {
+		t.Fatalf("merged %d spans, want 5", len(merged.Spans))
+	}
+	// Offsets nondecreasing, and n2's spans rebased by +2300.
+	prev := int64(-1)
+	for _, sp := range merged.Spans {
+		if sp.OffsetMicros < prev {
+			t.Fatalf("span offsets not ordered: %+v", merged.Spans)
+		}
+		prev = sp.OffsetMicros
+	}
+	for _, sp := range merged.Spans {
+		if sp.Origin == "n2" && sp.Stage == "http.batch_query" && sp.OffsetMicros != 2300 {
+			t.Fatalf("n2 root span offset = %d, want rebased 2300", sp.OffsetMicros)
+		}
+	}
+
+	if got := MergeParts("req-x", nil); got.RequestID != "req-x" || len(got.Spans) != 0 {
+		t.Fatalf("empty merge = %+v", got)
+	}
+}
+
+func TestToAPIAttributesOrigin(t *testing.T) {
+	s := New(Options{SampleEvery: 1, SlowThreshold: time.Hour})
+	tr := obs.NewTrace("req-o")
+	tr.AddSpan("engine.estimate", "", time.Now(), time.Millisecond)
+	s.Commit(tr, "query", 200, "", 2*time.Millisecond)
+	got, _ := s.Get("req-o")
+	resp := ToAPI(got, "n7")
+	if len(resp.Origins) != 1 || resp.Origins[0] != "n7" {
+		t.Fatalf("origins = %v", resp.Origins)
+	}
+	for _, sp := range resp.Spans {
+		if sp.Origin != "n7" {
+			t.Fatalf("span origin = %q, want n7", sp.Origin)
+		}
+	}
+	if resp.DurationMicros != 2000 {
+		t.Fatalf("duration = %d, want 2000", resp.DurationMicros)
+	}
+}

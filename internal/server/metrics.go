@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/tracestore"
 )
 
 // Metrics collects per-route request counters and latency histograms and
@@ -37,17 +38,30 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// Observe records one completed request.
-func (m *Metrics) Observe(route string, code int, d time.Duration) {
+// Observe records one completed request. requestID, when non-empty,
+// becomes the exemplar of the latency bucket the request lands in, so a
+// scrape's fat buckets link to retrievable traces.
+func (m *Metrics) Observe(route string, code int, d time.Duration, requestID string) {
 	m.mu.Lock()
 	m.counts[routeCode{route, code}]++
 	m.mu.Unlock()
-	m.lat.Observe(route, d)
+	m.lat.ObserveExemplar(route, d, requestID)
 }
 
 // RouteQuantile estimates a latency quantile for one route, in seconds.
 func (m *Metrics) RouteQuantile(route string, q float64) float64 {
 	return m.lat.Quantile(route, q)
+}
+
+// OverallQuantiles estimates the p50/p95/p99 request latency across all
+// routes, in seconds, by merging the per-route histograms into a
+// scratch one — cheap enough for the 1 Hz load sampler.
+func (m *Metrics) OverallQuantiles() (p50, p95, p99 float64) {
+	var all obs.Histogram
+	for _, route := range m.lat.Labels() {
+		all.Merge(m.lat.Get(route))
+	}
+	return all.Quantile(0.50), all.Quantile(0.95), all.Quantile(0.99)
 }
 
 // releaseCounter lets the metrics endpoint report the store's release
@@ -85,13 +99,15 @@ type EvalStats struct {
 // evalStats supplies the evaluation service's gauges.
 type evalStats func() EvalStats
 
-// handler renders the registry. releases, evals, engStats, and persist
-// may be nil; stageSets are the per-stage latency families (engine,
-// store, eval) merged into one repro_stage_duration_seconds family —
-// their label values must be disjoint. The exposition is rendered into a
-// buffer first so no lock is held during the network write (a stalled
-// scraper must not serialize request completion).
-func (m *Metrics) handler(releases releaseCounter, evals evalStats, engStats engineStats, persist persistStats, stageSets ...*obs.LabeledHistograms) http.HandlerFunc {
+// handler renders the registry. releases, evals, engStats, persist, and
+// extra may be nil; extra appends caller-owned gauges (trace store,
+// inflight) to the exposition; stageSets are the per-stage latency
+// families (engine, store, eval) merged into one
+// repro_stage_duration_seconds family — their label values must be
+// disjoint. The exposition is rendered into a buffer first so no lock is
+// held during the network write (a stalled scraper must not serialize
+// request completion).
+func (m *Metrics) handler(releases releaseCounter, evals evalStats, engStats engineStats, persist persistStats, extra func(*bytes.Buffer), stageSets ...*obs.LabeledHistograms) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		m.mu.Lock()
@@ -196,6 +212,9 @@ func (m *Metrics) handler(releases releaseCounter, evals evalStats, engStats eng
 				fmt.Fprintf(&buf, "repro_store_recovered_releases{outcome=\"corrupt\"} %d\n", ps.RecoveredCorrupt)
 			}
 		}
+		if extra != nil {
+			extra(&buf)
+		}
 		obs.WriteRuntimeMetrics(&buf, "repro_")
 		fmt.Fprintln(&buf, "# HELP repro_uptime_seconds Seconds since the server started.")
 		fmt.Fprintln(&buf, "# TYPE repro_uptime_seconds gauge")
@@ -206,13 +225,32 @@ func (m *Metrics) handler(releases releaseCounter, evals evalStats, engStats eng
 	}
 }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code and error code for metrics
+// and the trace store.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code    int
+	errCode string
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// setErrorCode is the writeErr hook: the api error code of the response,
+// recorded onto the retained trace.
+func (r *statusRecorder) setErrorCode(code string) { r.errCode = code }
+
+// writeInflightGauge renders the requests-being-served gauge. The scrape
+// itself is one of them, so an idle process reports 1.
+func writeInflightGauge(buf *bytes.Buffer, inflight int64) {
+	fmt.Fprintln(buf, "# HELP repro_http_inflight_requests Requests currently being served (includes this scrape).")
+	fmt.Fprintln(buf, "# TYPE repro_http_inflight_requests gauge")
+	fmt.Fprintf(buf, "repro_http_inflight_requests %d\n", inflight)
+}
+
+// writeTraceStoreGauges renders the trace store's retention counters.
+func writeTraceStoreGauges(buf *bytes.Buffer, st tracestore.Stats) {
+	tracestore.WriteGauges(buf, "repro_", st)
 }

@@ -37,13 +37,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/anon"
@@ -52,6 +55,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/microdata"
 	"repro/internal/obs"
+	"repro/internal/obs/tracestore"
 	"repro/internal/query"
 	"repro/internal/release"
 	"repro/pkg/api"
@@ -83,6 +87,15 @@ type Options struct {
 	// duration reaches it logs its full span breakdown at Warn, keyed by
 	// request ID. ≤ 0 disables the slow-query log.
 	SlowQuery time.Duration
+	// Trace configures the retained-trace store every finished request
+	// commits into (GET /v1/debug/traces/{id}); zero values select the
+	// tracestore defaults. When SlowQuery is set and Trace.SlowThreshold
+	// is not, the slow-query threshold doubles as the trace-retention one
+	// so the two surfaces agree on what "slow" means.
+	Trace tracestore.Options
+	// LoadSampleInterval is the cadence of the rolling load-overview ring
+	// (GET /v1/internal/load). 0 selects 1s; < 0 disables sampling.
+	LoadSampleInterval time.Duration
 }
 
 // Server is the HTTP front end; it implements http.Handler.
@@ -102,6 +115,11 @@ type Server struct {
 	clusterToken               string
 	logger                     *slog.Logger
 	slow                       obs.SlowQueryLogger
+
+	traces   *tracestore.Store
+	loads    *obs.LoadRing
+	sampler  *obs.LoadSampler
+	inflight atomic.Int64
 }
 
 // New wires the API around a store. On a durable store it also opens the
@@ -136,8 +154,16 @@ func New(store *release.Store, opts Options) (*Server, error) {
 	s.slow = obs.SlowQueryLogger{Logger: s.logger, Threshold: opts.SlowQuery}
 	s.maxQueryBody = min(1<<20, s.maxBody)
 	s.maxBatchBody = min(8<<20, s.maxBody)
+	if opts.Trace.SlowThreshold == 0 && opts.SlowQuery > 0 {
+		opts.Trace.SlowThreshold = opts.SlowQuery
+	}
+	s.traces = tracestore.New(opts.Trace)
+	if opts.LoadSampleInterval >= 0 {
+		s.loads = obs.NewLoadRing(0)
+		s.sampler = obs.StartLoadSampler(s.loads, opts.LoadSampleInterval, s.loadSample())
+	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts, s.evalStats, s.engine.Stats, s.persistStats, s.engine.Stages(), store.Stages(), evalSvc.Stages())))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler(s.releaseCounts, s.evalStats, s.engine.Stats, s.persistStats, s.extraGauges, s.engine.Stages(), store.Stages(), evalSvc.Stages())))
 	s.mux.HandleFunc("POST /v1/releases", s.instrument("create_release", s.handleCreate))
 	s.mux.HandleFunc("GET /v1/releases", s.instrument("list_releases", s.handleList))
 	s.mux.HandleFunc("GET /v1/releases/{id}", s.instrument("get_release", s.handleGet))
@@ -149,13 +175,17 @@ func New(store *release.Store, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/query:batch", s.instrument("batch_query", s.handleBatchQuery))
 	s.mux.HandleFunc("GET /v1/internal/snapshot/{id}", s.instrument("internal_snapshot_get", s.requireCluster(s.handleSnapshotGet)))
 	s.mux.HandleFunc("POST /v1/internal/snapshot", s.instrument("internal_snapshot_put", s.requireCluster(s.handleSnapshotPut)))
+	s.mux.HandleFunc("GET /v1/debug/traces/{id}", s.instrument("debug_trace", s.handleTraceDebug))
+	s.mux.HandleFunc("GET /v1/internal/traces/{id}", s.instrument("internal_trace_get", s.requireCluster(s.handleTraceDebug)))
+	s.mux.HandleFunc("GET /v1/internal/load", s.instrument("internal_load", s.requireCluster(s.handleLoadInternal)))
 	s.mux.Handle("/debug/pprof/", obs.PprofHandler(opts.ClusterToken))
 	return s, nil
 }
 
-// Close stops the query engine's worker pool and the evaluation
-// service. The store's lifecycle is owned by the caller.
+// Close stops the query engine's worker pool, the evaluation service,
+// and the load sampler. The store's lifecycle is owned by the caller.
 func (s *Server) Close() {
+	s.sampler.Close()
 	s.engine.Close()
 	s.eval.Close()
 }
@@ -168,23 +198,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // instrument wraps a handler with request observability: a request ID
 // (propagated from upstream via traceparent/X-Request-Id or minted here)
 // echoed as the X-Request-Id response header, a span trace on the request
-// context, per-route metrics, a debug-level access log line, and the
-// slow-query log. The response header is set before the handler runs so
-// writeErr can embed the ID in every error envelope.
+// context, per-route metrics with bucket exemplars, a debug-level access
+// log line, the slow-query log, and — applying the tail-retention policy
+// — a commit into the trace store. The response header is set before the
+// handler runs so writeErr can embed the ID in every error envelope.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	node := s.store.Node()
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		s.inflight.Add(1)
 		id, _ := obs.RequestIDFromHeaders(r.Header)
 		tr := obs.NewTrace(id)
+		// The route span anchors at the trace's own start so assembled
+		// documents never show it at a negative offset.
+		start := tr.Start()
 		w.Header().Set(obs.HeaderRequestID, id)
 		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		total := time.Since(start)
+		s.inflight.Add(-1)
 		tr.AddSpan("node."+route, node, start, total)
-		s.metrics.Observe(route, rec.code, total)
+		s.metrics.Observe(route, rec.code, total, id)
 		s.slow.Observe(route, rec.code, total, tr)
+		s.traces.Commit(tr, route, rec.code, rec.errCode, total)
 		s.logger.Debug("request",
 			"request_id", id,
 			"route", route,
@@ -194,6 +230,42 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			"total_us", total.Microseconds(),
 		)
 	}
+}
+
+// loadSample builds the node's self-observation closure for the load
+// sampler: engine throughput since the last tick, lifetime latency
+// quantiles, inflight requests, engine queue depth, and heap pressure.
+func (s *Server) loadSample() func(elapsed time.Duration) obs.LoadSample {
+	var lastQueries uint64
+	return func(elapsed time.Duration) obs.LoadSample {
+		queries := s.engine.Stats().Queries
+		qps := 0.0
+		if secs := elapsed.Seconds(); secs > 0 {
+			qps = float64(queries-lastQueries) / secs
+		}
+		lastQueries = queries
+		p50, p95, p99 := s.metrics.OverallQuantiles()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return obs.LoadSample{
+			At:         time.Now(),
+			QPS:        qps,
+			P50:        p50,
+			P95:        p95,
+			P99:        p99,
+			Inflight:   s.inflight.Load(),
+			QueueDepth: s.engine.QueueDepth(),
+			HeapBytes:  ms.HeapAlloc,
+			Goroutines: runtime.NumGoroutine(),
+		}
+	}
+}
+
+// extraGauges renders the trace-store and inflight gauges this PR adds,
+// keeping the handler signature free of tracestore types.
+func (s *Server) extraGauges(buf *bytes.Buffer) {
+	writeInflightGauge(buf, s.inflight.Load())
+	writeTraceStoreGauges(buf, s.traces.Stats())
 }
 
 // persistStats projects the store's durability state for /metrics.
@@ -416,7 +488,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		executeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.QueryResponse{ReleaseID: id, Estimate: res[0].Estimate, Cached: res[0].Cached, Groups: toGroups(res[0].Groups)})
+	writeJSON(w, http.StatusOK, api.QueryResponse{
+		ReleaseID: id, Estimate: res[0].Estimate, Cached: res[0].Cached,
+		Groups:    toGroups(res[0].Groups),
+		RequestID: w.Header().Get(obs.HeaderRequestID),
+	})
 }
 
 func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
@@ -457,7 +533,11 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		executeErr(w, err)
 		return
 	}
-	out := api.BatchQueryResponse{ReleaseID: req.ReleaseID, Results: make([]api.QueryResult, len(res))}
+	out := api.BatchQueryResponse{
+		ReleaseID: req.ReleaseID,
+		Results:   make([]api.QueryResult, len(res)),
+		RequestID: w.Header().Get(obs.HeaderRequestID),
+	}
 	for i := range res {
 		out.Results[i] = api.QueryResult{Estimate: res[i].Estimate, Cached: res[i].Cached, Groups: toGroups(res[i].Groups)}
 		if res[i].Cached {
@@ -508,8 +588,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // writeErr emits the structured error envelope every route shares. The
 // request ID the instrument middleware staged as a response header is
 // mirrored into details so error reports are grep-able against server
-// logs without the caller having captured the header.
+// logs without the caller having captured the header. When the writer is
+// the instrument middleware's recorder, the error code is captured on it
+// so the retained trace carries the failure class.
 func writeErr(w http.ResponseWriter, status int, code string, err error, details map[string]any) {
+	if rec, ok := w.(interface{ setErrorCode(string) }); ok {
+		rec.setErrorCode(code)
+	}
 	if id := w.Header().Get(obs.HeaderRequestID); id != "" {
 		if details == nil {
 			details = make(map[string]any, 1)

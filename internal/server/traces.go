@@ -1,0 +1,61 @@
+package server
+
+// Trace-plane read endpoints: a node serves its locally retained traces
+// (ungated on /v1/debug for single-process debugging, Bearer-gated on
+// /v1/internal for the gateway's cross-node assembly) and its rolling
+// load series for the cluster overview.
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/obs/tracestore"
+	"repro/pkg/api"
+)
+
+// origin names this process in trace spans and load series.
+func (s *Server) origin() string {
+	if node := s.store.Node(); node != "" {
+		return node
+	}
+	return "node"
+}
+
+// handleTraceDebug serves one retained trace: 404 when the ID was
+// sampled out or evicted (retention is best-effort by design).
+func (s *Server) handleTraceDebug(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.traces.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, api.CodeNotFound,
+			fmt.Errorf("no retained trace %q (sampled out, evicted, or never seen)", id), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, tracestore.ToAPI(t, s.origin()))
+}
+
+// handleLoadInternal serves the node's rolling load series.
+func (s *Server) handleLoadInternal(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, loadSeriesAPI(s.origin(), s.loads))
+}
+
+// loadSeriesAPI converts a load ring to its wire form.
+func loadSeriesAPI(origin string, ring *obs.LoadRing) api.LoadSeries {
+	samples := ring.Samples()
+	out := api.LoadSeries{Origin: origin, Samples: make([]api.LoadSample, len(samples))}
+	for i, s := range samples {
+		out.Samples[i] = api.LoadSample{
+			UnixMillis: s.At.UnixMilli(),
+			QPS:        s.QPS,
+			P50Millis:  s.P50 * 1000,
+			P95Millis:  s.P95 * 1000,
+			P99Millis:  s.P99 * 1000,
+			Inflight:   s.Inflight,
+			QueueDepth: s.QueueDepth,
+			HeapBytes:  s.HeapBytes,
+			Goroutines: s.Goroutines,
+		}
+	}
+	return out
+}

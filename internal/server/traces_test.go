@@ -1,0 +1,204 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs/tracestore"
+	"repro/pkg/api"
+)
+
+// traceEnv is a server whose trace store keeps the first normal trace
+// and samples out the rest, so both retention outcomes are reachable
+// deterministically.
+func traceEnv(t *testing.T, token string) *testEnv {
+	t.Helper()
+	return newEnvOpts(t, Options{
+		ClusterToken: token,
+		Trace: tracestore.Options{
+			Capacity:      16,
+			SampleEvery:   1 << 20,
+			SlowThreshold: time.Hour,
+		},
+		LoadSampleInterval: -1,
+	}, 2)
+}
+
+func TestTraceRetentionEndpoint(t *testing.T) {
+	e := traceEnv(t, "")
+
+	// First normal request: the 1-in-N sampler keeps trace #1.
+	resp, _ := e.get(t, "/healthz")
+	sampledID := resp.Header.Get(api.HeaderRequestID)
+	if sampledID == "" {
+		t.Fatal("no X-Request-Id on response")
+	}
+	// Second normal request: sampled out at SampleEvery = 2^20.
+	resp, _ = e.get(t, "/healthz")
+	droppedID := resp.Header.Get(api.HeaderRequestID)
+	// An error request is always retained.
+	resp, _ = e.get(t, "/v1/releases/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("release lookup = %d, want 404", resp.StatusCode)
+	}
+	errID := resp.Header.Get(api.HeaderRequestID)
+
+	resp, data := e.get(t, "/v1/debug/traces/"+sampledID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled trace: %d: %s", resp.StatusCode, data)
+	}
+	var tr api.TraceResponse
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.RequestID != sampledID || tr.Retained != tracestore.ReasonSampled || tr.Route != "healthz" {
+		t.Fatalf("sampled trace = %+v", tr)
+	}
+	if len(tr.Spans) == 0 || len(tr.Origins) != 1 {
+		t.Fatalf("sampled trace has no spans/origin: %+v", tr)
+	}
+
+	resp, data = e.get(t, "/v1/debug/traces/"+droppedID)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("sampled-out trace: %d: %s, want 404", resp.StatusCode, data)
+	}
+
+	resp, data = e.get(t, "/v1/debug/traces/"+errID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("error trace: %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Retained != tracestore.ReasonError || tr.Status != http.StatusNotFound || tr.ErrorCode != api.CodeNotFound {
+		t.Fatalf("error trace annotations = %+v", tr)
+	}
+}
+
+func TestInternalTraceAndLoadGated(t *testing.T) {
+	// No token configured: the internal surface answers 403 outright.
+	e := traceEnv(t, "")
+	resp, _ := e.get(t, "/v1/internal/traces/whatever")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("internal trace without token config = %d, want 403", resp.StatusCode)
+	}
+	resp, _ = e.get(t, "/v1/internal/load")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("internal load without token config = %d, want 403", resp.StatusCode)
+	}
+
+	// Token configured: Bearer required, wrong token rejected.
+	e2 := traceEnv(t, "s3cret")
+	resp, _ = e2.get(t, "/v1/releases/nope") // mint a retained error trace
+	errID := resp.Header.Get(api.HeaderRequestID)
+
+	for _, auth := range []string{"", "Bearer wrong"} {
+		req, _ := http.NewRequest(http.MethodGet, e2.ts.URL+"/v1/internal/traces/"+errID, nil)
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		r2, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusForbidden {
+			t.Fatalf("auth %q: %d, want 403", auth, r2.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodGet, e2.ts.URL+"/v1/internal/traces/"+errID, nil)
+	req.Header.Set("Authorization", "Bearer s3cret")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("authed internal trace = %d, want 200", r2.StatusCode)
+	}
+	var tr api.TraceResponse
+	if err := json.NewDecoder(r2.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.RequestID != errID {
+		t.Fatalf("internal trace ID = %q, want %q", tr.RequestID, errID)
+	}
+}
+
+func TestLoadSamplerFeedsInternalLoad(t *testing.T) {
+	e := newEnvOpts(t, Options{
+		ClusterToken:       "tok",
+		LoadSampleInterval: 5 * time.Millisecond,
+	}, 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		req, _ := http.NewRequest(http.MethodGet, e.ts.URL+"/v1/internal/load", nil)
+		req.Header.Set("Authorization", "Bearer tok")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var series api.LoadSeries
+		err = json.NewDecoder(resp.Body).Decode(&series)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series.Samples) >= 2 {
+			if series.Origin == "" {
+				t.Fatalf("load series without origin: %+v", series)
+			}
+			last := series.Samples[len(series.Samples)-1]
+			if last.UnixMillis == 0 || last.Goroutines <= 0 || last.HeapBytes == 0 {
+				t.Fatalf("implausible load sample: %+v", last)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler produced %d samples in 5s, want ≥ 2", len(series.Samples))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestQueryResponseCarriesRequestID(t *testing.T) {
+	e := newEnv(t)
+	csv, _ := censusCSV(t, 500, 5, 3)
+	resp, data := e.post(t, "/v1/releases", createReq("burel", `{"beta": 4, "seed": 7}`, csv, 3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: %d: %s", resp.StatusCode, data)
+	}
+	var meta api.Release
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta = e.pollReady(t, meta.ID); meta.Status != api.StatusReady {
+		t.Fatalf("build failed: %s", meta.Error)
+	}
+	resp, data = e.post(t, "/v1/releases/"+meta.ID+"/query", api.Query{SALo: 0, SAHi: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d: %s", resp.StatusCode, data)
+	}
+	var qr api.QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	header := resp.Header.Get(api.HeaderRequestID)
+	if qr.RequestID == "" || qr.RequestID != header {
+		t.Fatalf("body request_id %q != header %q", qr.RequestID, header)
+	}
+
+	resp, data = e.post(t, "/v1/query:batch", api.BatchQueryRequest{ReleaseID: meta.ID, Queries: []api.Query{{SALo: 0, SAHi: 5}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d: %s", resp.StatusCode, data)
+	}
+	var br api.BatchQueryResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.RequestID == "" || br.RequestID != resp.Header.Get(api.HeaderRequestID) {
+		t.Fatalf("batch body request_id %q != header %q", br.RequestID, resp.Header.Get(api.HeaderRequestID))
+	}
+}

@@ -206,6 +206,10 @@ type QueryResponse struct {
 	Cached    bool    `json:"cached,omitempty"`
 	// Groups holds the per-cell results when the query grouped.
 	Groups []GroupResult `json:"groups,omitempty"`
+	// RequestID mirrors the HeaderRequestID response header into the body,
+	// so tools that persist responses (loadgen reports) can later fetch
+	// the request's trace from /v1/debug/traces/{id}.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // BatchQueryRequest is the POST /v1/query:batch body: one release ID and
@@ -221,6 +225,9 @@ type BatchQueryResponse struct {
 	ReleaseID string        `json:"release_id"`
 	Results   []QueryResult `json:"results"`
 	CacheHits int           `json:"cache_hits"`
+	// RequestID mirrors the HeaderRequestID response header into the body
+	// (see QueryResponse.RequestID).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Evaluation lifecycle states, mirroring the eval service's. An
@@ -374,4 +381,101 @@ type ClusterNode struct {
 type ClusterStatusResponse struct {
 	Replication int           `json:"replication"`
 	Nodes       []ClusterNode `json:"nodes"`
+}
+
+// TraceSpan is one stage timing of a retained trace, offset-ordered
+// within the assembled document.
+type TraceSpan struct {
+	// Origin is the process that recorded the span: a node ID, or
+	// "gateway".
+	Origin string `json:"origin"`
+	// Stage names the hop, dot-namespaced by layer (e.g. "engine.estimate").
+	Stage string `json:"stage"`
+	// Node is the cluster member a cross-process hop ran against
+	// (e.g. on "gateway.subbatch" spans); "" for in-process stages.
+	Node string `json:"node,omitempty"`
+	// OffsetMicros is the span start relative to the trace start.
+	OffsetMicros int64 `json:"offset_us"`
+	// Micros is the span's duration.
+	Micros int64 `json:"us"`
+}
+
+// TraceResponse is the GET /v1/debug/traces/{id} body: one retained
+// request trace. A gateway assembles it from its own spans plus the
+// spans fetched from every node that touched the request; a node serves
+// its local view. 404 (CodeNotFound) means no process retained the
+// trace — it was sampled out or already evicted from the bounded ring.
+type TraceResponse struct {
+	RequestID string `json:"request_id"`
+	// Route is the instrumented route name at the process that answered
+	// (the gateway's, on assembled traces).
+	Route     string `json:"route,omitempty"`
+	ReleaseID string `json:"release_id,omitempty"`
+	// Status is the HTTP status the client saw; ErrorCode the api error
+	// code on failures.
+	Status    int    `json:"status,omitempty"`
+	ErrorCode string `json:"error_code,omitempty"`
+	// Retained is why the trace was kept: "error", "slow", or "sampled".
+	Retained string `json:"retained,omitempty"`
+	// StartedAt anchors the span offsets in wall-clock time.
+	StartedAt      time.Time `json:"started_at"`
+	DurationMicros int64     `json:"duration_us"`
+	// Origins lists the processes that contributed spans, sorted, with
+	// "gateway" first when present.
+	Origins []string `json:"origins,omitempty"`
+	// DroppedSpans counts spans beyond the per-trace bound that were not
+	// retained, summed over origins.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// Spans is the assembled span list, ordered by offset.
+	Spans []TraceSpan `json:"spans"`
+}
+
+// LoadSample is one self-observed load sample of a process, the unit of
+// the cluster overview's rolling per-node series.
+type LoadSample struct {
+	UnixMillis int64 `json:"unix_ms"`
+	// QPS is work completed per second since the previous sample: engine
+	// queries on nodes, HTTP requests on the gateway.
+	QPS float64 `json:"qps"`
+	// P50/P95/P99Millis are request-latency quantiles over the process
+	// lifetime, in milliseconds.
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	// Inflight is the number of requests being served at sample time.
+	Inflight int64 `json:"inflight"`
+	// QueueDepth is the engine jobs waiting for a worker (0 on the
+	// gateway, which has no engine).
+	QueueDepth int    `json:"queue_depth"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+	Goroutines int    `json:"goroutines"`
+}
+
+// LoadSeries is one process's rolling load history, oldest sample first.
+type LoadSeries struct {
+	// Origin is the process: a node ID, or "gateway".
+	Origin  string       `json:"origin"`
+	Samples []LoadSample `json:"samples"`
+}
+
+// OverviewNode is one member's entry in the cluster overview.
+type OverviewNode struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// Alive mirrors the gateway's circuit breaker at assembly time.
+	Alive bool `json:"alive"`
+	// Error is why the node's series could not be fetched ("" on
+	// success).
+	Error string `json:"error,omitempty"`
+	// Load is the node's series; absent when the fetch failed.
+	Load *LoadSeries `json:"load,omitempty"`
+}
+
+// ClusterOverviewResponse is the GET /v1/cluster/overview body: the
+// gateway's own load series plus every member's, the ranking feed for
+// load-aware placement and capacity decisions.
+type ClusterOverviewResponse struct {
+	Replication int            `json:"replication"`
+	Gateway     LoadSeries     `json:"gateway"`
+	Nodes       []OverviewNode `json:"nodes"`
 }

@@ -273,13 +273,12 @@ func (c *Client) WaitReady(ctx context.Context, id string, poll time.Duration) (
 // for SUM/AVG/MIN/MAX and q.GroupBy for a grouped answer, whose per-cell
 // estimates come back in the result's Groups) against a ready release. A
 // 503 (release still building, server saturated) is retried within the
-// client's retry budget.
-func (c *Client) Query(ctx context.Context, id string, q api.Query) (api.QueryResult, error) {
+// client's retry budget. The response carries the server's request ID —
+// feed it to GetTrace to see where a slow answer spent its time.
+func (c *Client) Query(ctx context.Context, id string, q api.Query) (api.QueryResponse, error) {
 	var out api.QueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/releases/"+id+"/query", q, &out); err != nil {
-		return api.QueryResult{}, err
-	}
-	return api.QueryResult{Estimate: out.Estimate, Cached: out.Cached, Groups: out.Groups}, nil
+	err := c.do(ctx, http.MethodPost, "/v1/releases/"+id+"/query", q, &out)
+	return out, err
 }
 
 // QueryBatch answers up to the server's batch cap of queries against one
@@ -352,6 +351,27 @@ func (c *Client) WaitEvaluated(ctx context.Context, id string, poll time.Duratio
 		case <-timer.C:
 		}
 	}
+}
+
+// GetTrace fetches a retained trace by request ID. Against a gateway the
+// document is assembled cluster-wide: gateway spans plus the node-local
+// spans of every member that touched the request, offset-ordered. Trace
+// retention is tail-sampled and bounded, so a normal fast request is
+// usually a *Error of code api.CodeNotFound — error and slow requests
+// are always retained (within ring capacity).
+func (c *Client) GetTrace(ctx context.Context, requestID string) (api.TraceResponse, error) {
+	var out api.TraceResponse
+	err := c.do(ctx, http.MethodGet, "/v1/debug/traces/"+requestID, nil, &out)
+	return out, err
+}
+
+// ClusterOverview fetches the gateway's rolling load overview: its own
+// load series plus one per node. Only gateways serve this route; a
+// single node answers 404.
+func (c *Client) ClusterOverview(ctx context.Context) (api.ClusterOverviewResponse, error) {
+	var out api.ClusterOverviewResponse
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/overview", nil, &out)
+	return out, err
 }
 
 // Healthz probes the service's liveness endpoint.
