@@ -462,7 +462,7 @@ func uploadRelease(ctx context.Context, c *client.Client, rows int, beta float64
 // a failure is exactly the request worth tracing).
 func post(ctx context.Context, c *client.Client, id string, qs []api.Query, single bool) (int, string, error) {
 	if single {
-		res, err := c.Query(ctx, id, qs[0])
+		res, err := c.QueryDetailed(ctx, id, qs[0])
 		if err != nil {
 			return 0, errRequestID(err), err
 		}

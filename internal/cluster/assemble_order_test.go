@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs/tracestore"
+	"repro/pkg/api"
+)
+
+// TestTraceAssemblyDeterministic pins the debug-trace ordering contract:
+// node parts arrive in goroutine-completion order, but after
+// sortTraceParts the assembled document — including the route/status
+// header MergeParts takes from the first part when the gateway's own
+// view was sampled out — is identical for every arrival order.
+func TestTraceAssemblyDeterministic(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	part := func(origin, route string, status int, startOffset time.Duration) api.TraceResponse {
+		return api.TraceResponse{
+			RequestID: "req-1",
+			Route:     route,
+			Status:    status,
+			Retained:  "slow",
+			StartedAt: base.Add(startOffset),
+			Origins:   []string{origin},
+			Spans: []api.TraceSpan{
+				{Origin: origin, Stage: "node.query", Node: origin, Micros: 100},
+			},
+		}
+	}
+	n1 := part("n1", "query_release", 200, time.Millisecond)
+	n2 := part("n2", "query_release", 503, 2*time.Millisecond)
+	n3 := part("n3", "query_release", 200, 3*time.Millisecond)
+
+	orders := [][]api.TraceResponse{
+		{n1, n2, n3},
+		{n3, n1, n2},
+		{n2, n3, n1},
+	}
+	var want api.TraceResponse
+	for i, parts := range orders {
+		ps := append([]api.TraceResponse(nil), parts...)
+		sortTraceParts(ps)
+		got := tracestore.MergeParts("req-1", ps)
+		if i == 0 {
+			want = got
+			if want.Status != n1.Status {
+				t.Fatalf("header status = %d, want the lexicographically first origin's %d", want.Status, n1.Status)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("arrival order %d assembles a different document:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	}
+}

@@ -183,8 +183,11 @@ func (g *Gateway) instrument(route string, h http.HandlerFunc) http.HandlerFunc 
 		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		g.inflight.Add(1)
+		// Deferred, not inline after the handler: net/http recovers
+		// handler panics, and an inline decrement would leak the gauge —
+		// skewing every load sample — on each one.
+		defer g.inflight.Add(-1)
 		h(rec, r)
-		g.inflight.Add(-1)
 		total := time.Since(start)
 		tr.AddSpan("gateway."+route, "", start, total)
 		g.metrics.Observe(route, rec.code, total, id)
@@ -374,9 +377,18 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write(g.metrics.render(g.mem, g.rfactor, g.extraGauges))
+// handleMetrics serves the exposition in the negotiated format: the
+// classic 0.0.4 text format by default (no exemplar syntax exists
+// there), OpenMetrics with bucket exemplars and the "# EOF" terminator
+// when the Accept header asks for it.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	contentType, openMetrics := obs.NegotiateExposition(r.Header.Get("Accept"))
+	data := g.metrics.render(g.mem, g.rfactor, g.extraGauges, openMetrics)
+	if openMetrics {
+		data = append(data, obs.ExpositionEOF...)
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(data)
 }
 
 // extraGauges renders the gateway's inflight and trace-store gauges into

@@ -102,8 +102,10 @@ func (m *Metrics) addReplication(bytes int, err error) {
 
 // render writes the exposition, including per-node liveness gauges read
 // live from the membership; extra, when non-nil, appends caller-owned
-// gauges (inflight, trace store).
-func (m *Metrics) render(mem *Membership, r int, extra func(*bytes.Buffer)) []byte {
+// gauges (inflight, trace store). exemplars gates the OpenMetrics bucket
+// trailers: true only when the scrape negotiated OpenMetrics — the
+// classic 0.0.4 text format has no exemplar syntax.
+func (m *Metrics) render(mem *Membership, r int, extra func(*bytes.Buffer), exemplars bool) []byte {
 	var buf bytes.Buffer
 	m.mu.Lock()
 	keys := make([]routeCode, 0, len(m.counts))
@@ -140,9 +142,9 @@ func (m *Metrics) render(mem *Membership, r int, extra func(*bytes.Buffer)) []by
 	uptime := time.Since(m.start).Seconds()
 	m.mu.Unlock()
 
-	obs.WriteHistograms(&buf, "repro_gateway_request_duration_seconds", "Gateway request latency, by route.", "route", m.lat)
-	obs.WriteHistograms(&buf, "repro_gateway_stage_duration_seconds", "Per-stage latency inside a gateway request (fan-out, merge, replication).", "stage", m.stages)
-	obs.WriteHistogram(&buf, "repro_gateway_probe_duration_seconds", "Health-probe round-trip time across all nodes.", mem.probeLat)
+	obs.WriteHistograms(&buf, "repro_gateway_request_duration_seconds", "Gateway request latency, by route.", "route", exemplars, m.lat)
+	obs.WriteHistograms(&buf, "repro_gateway_stage_duration_seconds", "Per-stage latency inside a gateway request (fan-out, merge, replication).", "stage", exemplars, m.stages)
+	obs.WriteHistogram(&buf, "repro_gateway_probe_duration_seconds", "Health-probe round-trip time across all nodes.", exemplars, mem.probeLat)
 
 	fmt.Fprintln(&buf, "# HELP repro_gateway_replication_factor Configured replication factor R.")
 	fmt.Fprintln(&buf, "# TYPE repro_gateway_replication_factor gauge")

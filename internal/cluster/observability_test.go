@@ -275,6 +275,35 @@ func TestMetricsExpositionLint(t *testing.T) {
 	if err := obs.LintExposition(gwExpo); err != nil {
 		t.Errorf("gateway /metrics fails exposition lint: %v", err)
 	}
+	// The default scrape is classic 0.0.4 text: exemplar trailers would
+	// fail a standard Prometheus parser there, so they must be absent.
+	if bytes.Contains(gwExpo, []byte(" # {")) {
+		t.Error("exemplar leaked into the gateway's text/plain exposition")
+	}
+	// Negotiated OpenMetrics carries the exemplars and the EOF terminator.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	omResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omExpo, _ := io.ReadAll(omResp.Body)
+	omResp.Body.Close()
+	if got := omResp.Header.Get("Content-Type"); got != obs.ContentTypeOpenMetrics {
+		t.Errorf("gateway OpenMetrics Content-Type = %q, want %q", got, obs.ContentTypeOpenMetrics)
+	}
+	if err := obs.LintExposition(omExpo); err != nil {
+		t.Errorf("gateway OpenMetrics exposition fails lint: %v", err)
+	}
+	if !bytes.Contains(omExpo, []byte(` # {trace_id="`)) {
+		t.Error("gateway OpenMetrics exposition carries no exemplar after real traffic")
+	}
+	if !bytes.HasSuffix(omExpo, []byte(obs.ExpositionEOF)) {
+		t.Errorf("gateway OpenMetrics exposition does not end with %q", obs.ExpositionEOF)
+	}
 	for _, fam := range []string{
 		"repro_gateway_request_duration_seconds_bucket",
 		"repro_gateway_stage_duration_seconds_bucket",

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -65,8 +66,9 @@ func (g *Gateway) handleTraceDebug(w http.ResponseWriter, r *http.Request) {
 	}
 	if g.token != "" {
 		var (
-			mu sync.Mutex
-			wg sync.WaitGroup
+			mu        sync.Mutex
+			wg        sync.WaitGroup
+			nodeParts []api.TraceResponse
 		)
 		for _, st := range g.mem.nodes {
 			wg.Add(1)
@@ -77,11 +79,17 @@ func (g *Gateway) handleTraceDebug(w http.ResponseWriter, r *http.Request) {
 					return // sampled out there, or unreachable: merge what exists
 				}
 				mu.Lock()
-				parts = append(parts, part)
+				nodeParts = append(nodeParts, part)
 				mu.Unlock()
 			}(st)
 		}
 		wg.Wait()
+		// Node answers land in goroutine-completion order; sort them so the
+		// assembled document — including the route/status header MergeParts
+		// takes from the first part when the gateway's own view was sampled
+		// out — is identical across identical requests.
+		sortTraceParts(nodeParts)
+		parts = append(parts, nodeParts...)
 	}
 	if len(parts) == 0 {
 		writeErr(w, http.StatusNotFound, api.CodeNotFound,
@@ -89,6 +97,24 @@ func (g *Gateway) handleTraceDebug(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tracestore.MergeParts(id, parts))
+}
+
+// sortTraceParts orders fetched trace parts by origin (then start time,
+// for the degenerate same-origin case) so cross-node assembly is
+// deterministic regardless of response arrival order.
+func sortTraceParts(parts []api.TraceResponse) {
+	origin := func(p api.TraceResponse) string {
+		if len(p.Origins) > 0 {
+			return p.Origins[0]
+		}
+		return ""
+	}
+	sort.SliceStable(parts, func(i, j int) bool {
+		if oi, oj := origin(parts[i]), origin(parts[j]); oi != oj {
+			return oi < oj
+		}
+		return parts[i].StartedAt.Before(parts[j].StartedAt)
+	})
 }
 
 // handleOverview aggregates the rolling load series: the gateway's own

@@ -1,0 +1,36 @@
+package obs
+
+import "strings"
+
+// Content types for the two formats /metrics can serve. The classic
+// Prometheus text format (0.0.4) is the default; its grammar has no
+// exemplar syntax, so a standard scraper pointed at the default
+// exposition must never see one — expfmt fails the whole scrape at the
+// first ` # {...}` trailer. Exemplars ride only on the OpenMetrics
+// exposition, which a client opts into via the Accept header and which
+// is terminated by the mandatory "# EOF" marker.
+const (
+	ContentTypeText        = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// ExpositionEOF is the OpenMetrics end-of-exposition marker, written as
+// the last line of a negotiated OpenMetrics payload.
+const ExpositionEOF = "# EOF\n"
+
+// NegotiateExposition picks the exposition format from a request's
+// Accept header: any listed application/openmetrics-text media type
+// selects OpenMetrics (with exemplars and the "# EOF" terminator),
+// anything else — including an absent header — selects the classic
+// text format without exemplars. Presence wins over q-weighting: a
+// scraper that names OpenMetrics at all can parse it, and the payloads
+// differ only in trailers the text format cannot carry.
+func NegotiateExposition(accept string) (contentType string, openMetrics bool) {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		if strings.EqualFold(strings.TrimSpace(mediaType), "application/openmetrics-text") {
+			return ContentTypeOpenMetrics, true
+		}
+	}
+	return ContentTypeText, false
+}

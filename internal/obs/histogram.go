@@ -192,11 +192,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // writeProm renders one series of a histogram family with the given
 // pre-rendered label prefix (e.g. `route="query"` — no trailing comma) or
-// "" for an unlabeled series. Buckets that have seen an exemplar render
-// it OpenMetrics-style after the sample value:
+// "" for an unlabeled series. With exemplars set, buckets that have seen
+// an exemplar render it OpenMetrics-style after the sample value:
 //
 //	name_bucket{le="0.001"} 42 # {trace_id="ab12..."} 0.00071
-func (h *Histogram) writeProm(buf *bytes.Buffer, name, labels string) {
+//
+// Exemplars must stay off the classic text-format (0.0.4) exposition —
+// its grammar has no exemplar syntax and standard parsers fail the whole
+// scrape on the trailer — so callers pass exemplars=true only when the
+// client negotiated OpenMetrics.
+func (h *Histogram) writeProm(buf *bytes.Buffer, name, labels string, exemplars bool) {
 	cum, total := h.snapshot()
 	sep := ""
 	if labels != "" {
@@ -204,11 +209,15 @@ func (h *Histogram) writeProm(buf *bytes.Buffer, name, labels string) {
 	}
 	for i := 0; i < numBuckets; i++ {
 		fmt.Fprintf(buf, "%s_bucket{%s%sle=\"%s\"} %d", name, labels, sep, bucketLabels[i], cum[i])
-		writeExemplar(buf, h.exemplars[i].Load())
+		if exemplars {
+			writeExemplar(buf, h.exemplars[i].Load())
+		}
 		buf.WriteByte('\n')
 	}
 	fmt.Fprintf(buf, "%s_bucket{%s%sle=\"+Inf\"} %d", name, labels, sep, total)
-	writeExemplar(buf, h.exemplars[numBuckets].Load())
+	if exemplars {
+		writeExemplar(buf, h.exemplars[numBuckets].Load())
+	}
 	buf.WriteByte('\n')
 	if labels == "" {
 		fmt.Fprintf(buf, "%s_sum %g\n", name, h.Sum())
@@ -291,8 +300,10 @@ func (l *LabeledHistograms) Quantile(label string, q float64) float64 {
 // series sorted by label value) from one or more labeled sets. Sets must
 // not share label values — each (name, label) series must be unique in
 // the exposition — and labelName must be a valid Prometheus label name.
-// Families with no observations render HELP/TYPE only.
-func WriteHistograms(buf *bytes.Buffer, name, help, labelName string, sets ...*LabeledHistograms) {
+// Families with no observations render HELP/TYPE only. exemplars gates
+// the OpenMetrics bucket-exemplar trailers (see writeProm): true only
+// for a negotiated OpenMetrics exposition.
+func WriteHistograms(buf *bytes.Buffer, name, help, labelName string, exemplars bool, sets ...*LabeledHistograms) {
 	fmt.Fprintf(buf, "# HELP %s %s\n", name, help)
 	fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
 	type entry struct {
@@ -310,15 +321,16 @@ func WriteHistograms(buf *bytes.Buffer, name, help, labelName string, sets ...*L
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].label < entries[j].label })
 	for _, e := range entries {
-		e.h.writeProm(buf, name, fmt.Sprintf("%s=%q", labelName, e.label))
+		e.h.writeProm(buf, name, fmt.Sprintf("%s=%q", labelName, e.label), exemplars)
 	}
 }
 
-// WriteHistogram renders one unlabeled histogram family.
-func WriteHistogram(buf *bytes.Buffer, name, help string, h *Histogram) {
+// WriteHistogram renders one unlabeled histogram family; exemplars as in
+// WriteHistograms.
+func WriteHistogram(buf *bytes.Buffer, name, help string, exemplars bool, h *Histogram) {
 	fmt.Fprintf(buf, "# HELP %s %s\n", name, help)
 	fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
 	if h != nil {
-		h.writeProm(buf, name, "")
+		h.writeProm(buf, name, "", exemplars)
 	}
 }

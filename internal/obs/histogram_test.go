@@ -102,8 +102,8 @@ func TestWriteHistogramsLintsClean(t *testing.T) {
 	more.Observe("store.snapshot_decode", 5*time.Millisecond)
 
 	var buf bytes.Buffer
-	WriteHistograms(&buf, "repro_stage_duration_seconds", "Per-stage latency.", "stage", stages, more)
-	WriteHistogram(&buf, "repro_probe_duration_seconds", "Probe RTT.", func() *Histogram {
+	WriteHistograms(&buf, "repro_stage_duration_seconds", "Per-stage latency.", "stage", false, stages, more)
+	WriteHistogram(&buf, "repro_probe_duration_seconds", "Probe RTT.", false, func() *Histogram {
 		h := &Histogram{}
 		h.Observe(time.Millisecond)
 		return h
@@ -127,8 +127,8 @@ func TestWriteHistogramsLintsClean(t *testing.T) {
 
 func TestWriteHistogramsEmptyFamily(t *testing.T) {
 	var buf bytes.Buffer
-	WriteHistograms(&buf, "repro_empty_seconds", "Nothing yet.", "stage", NewLabeledHistograms())
-	WriteHistogram(&buf, "repro_empty2_seconds", "Nothing either.", nil)
+	WriteHistograms(&buf, "repro_empty_seconds", "Nothing yet.", "stage", false, NewLabeledHistograms())
+	WriteHistogram(&buf, "repro_empty2_seconds", "Nothing either.", false, nil)
 	if err := LintExposition(buf.Bytes()); err != nil {
 		t.Fatalf("empty families should lint clean: %v\n%s", err, buf.String())
 	}
@@ -275,7 +275,8 @@ func TestWriteHistogramsExemplarsLintClean(t *testing.T) {
 	stages.Observe("engine.queue_wait", 10*time.Microsecond) // exemplar-free series
 
 	var buf bytes.Buffer
-	WriteHistograms(&buf, "repro_stage_duration_seconds", "Per-stage latency.", "stage", stages)
+	WriteHistograms(&buf, "repro_stage_duration_seconds", "Per-stage latency.", "stage", true, stages)
+	buf.WriteString(ExpositionEOF) // exemplars ride only on OpenMetrics framing
 	out := buf.String()
 	if err := LintExposition(buf.Bytes()); err != nil {
 		t.Fatalf("exemplar-carrying exposition fails the linter: %v\n%s", err, out)
@@ -285,6 +286,46 @@ func TestWriteHistogramsExemplarsLintClean(t *testing.T) {
 	}
 	if !strings.Contains(out, `le="+Inf"`) || !strings.Contains(out, `# {trace_id="req-overflow"} 3600`) {
 		t.Errorf("exposition missing the +Inf exemplar:\n%s", out)
+	}
+
+	// The classic text-format rendering of the same histograms must not
+	// leak the trailers: 0.0.4 parsers fail the whole scrape on them.
+	var plain bytes.Buffer
+	WriteHistograms(&plain, "repro_stage_duration_seconds", "Per-stage latency.", "stage", false, stages)
+	if strings.Contains(plain.String(), " # {") {
+		t.Errorf("exemplar leaked into the exemplars=false rendering:\n%s", plain.String())
+	}
+	if err := LintExposition(plain.Bytes()); err != nil {
+		t.Errorf("plain rendering fails the linter: %v", err)
+	}
+}
+
+func TestNegotiateExposition(t *testing.T) {
+	cases := []struct {
+		accept string
+		om     bool
+	}{
+		{"", false},
+		{"text/plain", false},
+		{"text/plain; version=0.0.4", false},
+		{"*/*", false},
+		{"application/openmetrics-text", true},
+		{"application/openmetrics-text; version=1.0.0; charset=utf-8", true},
+		{"application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5", true},
+		{"text/plain;q=0.5, application/OpenMetrics-Text;q=0.4", true},
+	}
+	for _, c := range cases {
+		ct, om := NegotiateExposition(c.accept)
+		if om != c.om {
+			t.Errorf("NegotiateExposition(%q) openMetrics = %v, want %v", c.accept, om, c.om)
+		}
+		want := ContentTypeText
+		if c.om {
+			want = ContentTypeOpenMetrics
+		}
+		if ct != want {
+			t.Errorf("NegotiateExposition(%q) content type = %q, want %q", c.accept, ct, want)
+		}
 	}
 }
 

@@ -22,7 +22,11 @@ import (
 //   - OpenMetrics-style exemplars (` # {labels} value [timestamp]`) are
 //     syntactically valid (label grammar, combined label length ≤ 128
 //     runes, parsable value) and appear only where the OpenMetrics spec
-//     allows them: histogram _bucket samples and counter samples.
+//     allows them: histogram _bucket samples and counter samples;
+//   - exemplars require OpenMetrics framing: a payload carrying any
+//     exemplar must end with the "# EOF" terminator (the classic 0.0.4
+//     text format has no exemplar syntax — a standard scraper fails the
+//     whole scrape on the first trailer), and nothing may follow "# EOF".
 //
 // It returns the first violation found, or nil for a clean payload.
 func LintExposition(data []byte) error {
@@ -35,12 +39,21 @@ func LintExposition(data []byte) error {
 		sum     bool
 	}
 	hists := make(map[string]*histSeries) // family + group labels → state
+	firstExemplar := 0                    // line of the first exemplar seen
+	eofAt := 0                            // line of the "# EOF" terminator
 
 	lines := strings.Split(string(data), "\n")
 	for ln, raw := range lines {
 		line := strings.TrimRight(raw, "\r")
 		lineNo := ln + 1
 		if line == "" {
+			continue
+		}
+		if eofAt != 0 {
+			return fmt.Errorf("line %d: content after the # EOF terminator", lineNo)
+		}
+		if line == "# EOF" {
+			eofAt = lineNo
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -69,6 +82,9 @@ func LintExposition(data []byte) error {
 			histBucket := typed[family] == "histogram" && name == family+"_bucket"
 			if !histBucket && typed[family] != "counter" {
 				return fmt.Errorf("line %d: exemplar on %q, allowed only on histogram buckets and counters", lineNo, name)
+			}
+			if firstExemplar == 0 {
+				firstExemplar = lineNo
 			}
 		}
 		key := name + "{" + canonicalLabels(labels) + "}"
@@ -142,6 +158,9 @@ func LintExposition(data []byte) error {
 		if !hs.sum {
 			return fmt.Errorf("histogram series %s has no _sum sample", g)
 		}
+	}
+	if firstExemplar != 0 && eofAt == 0 {
+		return fmt.Errorf("line %d: exemplar in an exposition without the OpenMetrics # EOF terminator (the 0.0.4 text format has no exemplar syntax)", firstExemplar)
 	}
 	return nil
 }

@@ -115,15 +115,23 @@ func TestLintExemplars(t *testing.T) {
 			"histogram bucket exemplar",
 			"# TYPE h histogram\n" +
 				`h_bucket{le="1"} 2 # {trace_id="ab12"} 0.5` + "\n" +
-				`h_bucket{le="+Inf"} 2 # {trace_id="cd34"} 0.9` + "\nh_sum 1.4\nh_count 2\n",
+				`h_bucket{le="+Inf"} 2 # {trace_id="cd34"} 0.9` + "\nh_sum 1.4\nh_count 2\n# EOF\n",
 		},
 		{
 			"counter exemplar",
-			"# TYPE c_total counter\n" + `c_total 5 # {trace_id="ab12"} 1` + "\n",
+			"# TYPE c_total counter\n" + `c_total 5 # {trace_id="ab12"} 1` + "\n# EOF\n",
 		},
 		{
 			"exemplar with timestamp",
-			"# TYPE c_total counter\n" + `c_total 5 # {trace_id="ab12"} 1 1700000000.5` + "\n",
+			"# TYPE c_total counter\n" + `c_total 5 # {trace_id="ab12"} 1 1700000000.5` + "\n# EOF\n",
+		},
+		{
+			"exemplar-free payload needs no EOF",
+			"# TYPE c_total counter\nc_total 5\n",
+		},
+		{
+			"exemplar-free payload may still carry EOF",
+			"# TYPE c_total counter\nc_total 5\n# EOF\n",
 		},
 	}
 	for _, c := range accepts {
@@ -158,6 +166,16 @@ func TestLintExemplars(t *testing.T) {
 			"exemplar label set too long",
 			"# TYPE c_total counter\n" + `c_total 5 # {trace_id="` + long + `"} 1` + "\n",
 			"above the 128 limit",
+		},
+		{
+			"exemplar without OpenMetrics framing",
+			"# TYPE c_total counter\n" + `c_total 5 # {trace_id="ab12"} 1` + "\n",
+			"without the OpenMetrics # EOF terminator",
+		},
+		{
+			"content after EOF",
+			"# TYPE c_total counter\nc_total 5\n# EOF\nc_total 6\n",
+			"content after the # EOF terminator",
 		},
 	}
 	for _, c := range rejects {

@@ -44,7 +44,10 @@ func ToAPI(t *Trace, origin string) api.TraceResponse {
 // but never loses them), spans are sorted by offset with longer spans
 // first on ties so parents precede children, and parts[0] — the
 // assembling process's own view, when retained — contributes the
-// route/status/retention annotations.
+// route/status/retention annotations. Because the header comes from
+// parts[0], callers must pass parts in a deterministic order (the
+// gateway puts its own part first and sorts fetched node parts by
+// origin), or identical requests would assemble different documents.
 func MergeParts(requestID string, parts []api.TraceResponse) api.TraceResponse {
 	out := api.TraceResponse{RequestID: requestID}
 	if len(parts) == 0 {

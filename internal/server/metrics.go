@@ -107,8 +107,14 @@ type evalStats func() EvalStats
 // disjoint. The exposition is rendered into a buffer first so no lock is
 // held during the network write (a stalled scraper must not serialize
 // request completion).
+//
+// The format is negotiated per scrape: the default is the classic 0.0.4
+// text format, which has no exemplar syntax, so bucket exemplars render
+// only when the client's Accept header names application/openmetrics-text
+// — that payload is framed as OpenMetrics, ending in "# EOF".
 func (m *Metrics) handler(releases releaseCounter, evals evalStats, engStats engineStats, persist persistStats, extra func(*bytes.Buffer), stageSets ...*obs.LabeledHistograms) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		contentType, openMetrics := obs.NegotiateExposition(r.Header.Get("Accept"))
 		var buf bytes.Buffer
 		m.mu.Lock()
 		keys := make([]routeCode, 0, len(m.counts))
@@ -128,8 +134,8 @@ func (m *Metrics) handler(releases releaseCounter, evals evalStats, engStats eng
 		}
 		uptime := time.Since(m.start).Seconds()
 		m.mu.Unlock()
-		obs.WriteHistograms(&buf, "repro_http_request_duration_seconds", "Request latency, by route.", "route", m.lat)
-		obs.WriteHistograms(&buf, "repro_stage_duration_seconds", "Per-stage latency inside a request (engine, store).", "stage", stageSets...)
+		obs.WriteHistograms(&buf, "repro_http_request_duration_seconds", "Request latency, by route.", "route", openMetrics, m.lat)
+		obs.WriteHistograms(&buf, "repro_stage_duration_seconds", "Per-stage latency inside a request (engine, store).", "stage", openMetrics, stageSets...)
 
 		if releases != nil {
 			counts := releases()
@@ -219,8 +225,11 @@ func (m *Metrics) handler(releases releaseCounter, evals evalStats, engStats eng
 		fmt.Fprintln(&buf, "# HELP repro_uptime_seconds Seconds since the server started.")
 		fmt.Fprintln(&buf, "# TYPE repro_uptime_seconds gauge")
 		fmt.Fprintf(&buf, "repro_uptime_seconds %g\n", uptime)
+		if openMetrics {
+			buf.WriteString(obs.ExpositionEOF)
+		}
 
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Type", contentType)
 		_, _ = w.Write(buf.Bytes())
 	}
 }

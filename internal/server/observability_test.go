@@ -90,6 +90,43 @@ func TestMetricsExpositionLint(t *testing.T) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
+	// The default scrape is the classic 0.0.4 text format, whose grammar
+	// has no exemplar syntax: no trailers, no OpenMetrics framing.
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentTypeText {
+		t.Errorf("default scrape Content-Type = %q, want %q", got, obs.ContentTypeText)
+	}
+	if strings.Contains(body, " # {") {
+		t.Errorf("exemplar leaked into the text/plain exposition:\n%s", body)
+	}
+	if strings.Contains(body, "# EOF") {
+		t.Errorf("OpenMetrics EOF marker in the text/plain exposition")
+	}
+
+	// Negotiating OpenMetrics via Accept turns on bucket exemplars and the
+	// mandatory "# EOF" terminator — and still lints clean.
+	req, err := http.NewRequest(http.MethodGet, e.ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	omResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := io.ReadAll(omResp.Body)
+	omResp.Body.Close()
+	if got := omResp.Header.Get("Content-Type"); got != obs.ContentTypeOpenMetrics {
+		t.Errorf("OpenMetrics scrape Content-Type = %q, want %q", got, obs.ContentTypeOpenMetrics)
+	}
+	if err := obs.LintExposition(om); err != nil {
+		t.Fatalf("OpenMetrics exposition fails lint: %v\npayload:\n%s", err, om)
+	}
+	if !strings.Contains(string(om), ` # {trace_id="`) {
+		t.Errorf("OpenMetrics exposition carries no exemplar after real traffic:\n%s", om)
+	}
+	if !strings.HasSuffix(string(om), obs.ExpositionEOF) {
+		t.Errorf("OpenMetrics exposition does not end with %q", obs.ExpositionEOF)
+	}
 	_ = tab
 }
 

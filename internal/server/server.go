@@ -206,6 +206,10 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	node := s.store.Node()
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
+		// Deferred, not inline after the handler: net/http recovers
+		// handler panics, and an inline decrement would leak the gauge —
+		// skewing every load sample — on each one.
+		defer s.inflight.Add(-1)
 		id, _ := obs.RequestIDFromHeaders(r.Header)
 		tr := obs.NewTrace(id)
 		// The route span anchors at the trace's own start so assembled
@@ -216,7 +220,6 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		total := time.Since(start)
-		s.inflight.Add(-1)
 		tr.AddSpan("node."+route, node, start, total)
 		s.metrics.Observe(route, rec.code, total, id)
 		s.slow.Observe(route, rec.code, total, tr)

@@ -273,9 +273,20 @@ func (c *Client) WaitReady(ctx context.Context, id string, poll time.Duration) (
 // for SUM/AVG/MIN/MAX and q.GroupBy for a grouped answer, whose per-cell
 // estimates come back in the result's Groups) against a ready release. A
 // 503 (release still building, server saturated) is retried within the
-// client's retry budget. The response carries the server's request ID —
-// feed it to GetTrace to see where a slow answer spent its time.
-func (c *Client) Query(ctx context.Context, id string, q api.Query) (api.QueryResponse, error) {
+// client's retry budget. Use QueryDetailed when the response envelope —
+// notably the server's request ID, the key into GetTrace — matters.
+func (c *Client) Query(ctx context.Context, id string, q api.Query) (api.QueryResult, error) {
+	resp, err := c.QueryDetailed(ctx, id, q)
+	if err != nil {
+		return api.QueryResult{}, err
+	}
+	return api.QueryResult{Estimate: resp.Estimate, Cached: resp.Cached, Groups: resp.Groups}, nil
+}
+
+// QueryDetailed is Query returning the full response envelope: the
+// release ID echoed back plus the server's request ID — feed that ID to
+// GetTrace to see where a slow answer spent its time.
+func (c *Client) QueryDetailed(ctx context.Context, id string, q api.Query) (api.QueryResponse, error) {
 	var out api.QueryResponse
 	err := c.do(ctx, http.MethodPost, "/v1/releases/"+id+"/query", q, &out)
 	return out, err

@@ -103,6 +103,30 @@ func TestRetryAfterHonored(t *testing.T) {
 	}
 }
 
+// TestQueryDetailedEnvelope: QueryDetailed surfaces the response
+// envelope — release ID echo and the server's request ID (the key into
+// GetTrace) — that the back-compat Query projection drops.
+func TestQueryDetailedEnvelope(t *testing.T) {
+	_, c := newFake(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(api.QueryResponse{ReleaseID: "r-000001", Estimate: 42, RequestID: "ab12cd34"})
+	})
+	resp, err := c.QueryDetailed(context.Background(), "r-000001", api.Query{SALo: 0, SAHi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ReleaseID != "r-000001" || resp.Estimate != 42 || resp.RequestID != "ab12cd34" {
+		t.Fatalf("envelope %+v", resp)
+	}
+	res, err := c.Query(context.Background(), "r-000001", api.Query{SALo: 0, SAHi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 42 {
+		t.Fatalf("projected estimate %v", res.Estimate)
+	}
+}
+
 // TestRetryBounded: a service that never recovers fails after the retry
 // budget with the final 503, not an infinite loop.
 func TestRetryBounded(t *testing.T) {
